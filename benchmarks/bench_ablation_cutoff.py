@@ -1,0 +1,38 @@
+"""A1 — ablation of the candidate-node cutoff (§4.3 design choice).
+
+The paper retrieves "the error codes of the 25 best-scored candidate
+nodes".  This bench sweeps the cutoff to show that 25 sits on the plateau:
+smaller cutoffs truncate the ranked list (hurting accuracy at larger k),
+much larger cutoffs add noise codes without improving the top of the list.
+"""
+
+from conftest import bench_folds
+
+from repro.evaluate import ExperimentConfig, run_experiment
+
+CUTOFFS = (5, 10, 25, 50, 100)
+
+
+def test_node_cutoff_sweep(benchmark, corpus, bundles, annotator, reporter):
+    folds = min(bench_folds(), 3)
+
+    def run_all():
+        results = {}
+        for cutoff in CUTOFFS:
+            config = ExperimentConfig(feature_mode="concepts",
+                                      folds=folds, node_cutoff=cutoff)
+            results[cutoff] = run_experiment(bundles, config, corpus.taxonomy,
+                                             annotator)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    reporter.row("A1 — candidate-node cutoff sweep (concepts+jaccard)")
+    for cutoff, result in results.items():
+        reporter.row(f"cutoff={cutoff:<4} {result.accuracy_row()}")
+
+    # accuracy@10 rises up to the paper's 25 and then plateaus
+    assert results[25].accuracies[10] >= results[5].accuracies[10]
+    assert abs(results[100].accuracies[10] - results[25].accuracies[10]) < 0.03
+    # accuracy@1 is insensitive to the cutoff (top node decides)
+    at1 = [result.accuracies[1] for result in results.values()]
+    assert max(at1) - min(at1) < 0.03

@@ -1,0 +1,47 @@
+"""A2 — ablation over similarity measures, including the extensions.
+
+The paper evaluates Jaccard and overlap; the pipeline is explicitly
+parameterizable in the measure, so this bench adds Dice and cosine and
+confirms that (a) the measure matters less than the feature model and
+(b) Jaccard is never beaten by overlap.
+"""
+
+from conftest import bench_folds
+
+from repro.classify import SIMILARITIES
+from repro.evaluate import ExperimentConfig, run_experiment
+
+
+def test_similarity_sweep(benchmark, corpus, bundles, annotator, reporter):
+    folds = min(bench_folds(), 3)
+
+    def run_all():
+        results = {}
+        for mode in ("words", "concepts"):
+            for similarity in sorted(SIMILARITIES):
+                config = ExperimentConfig(feature_mode=mode,
+                                          similarity=similarity, folds=folds)
+                results[(mode, similarity)] = run_experiment(
+                    bundles, config, corpus.taxonomy, annotator)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    reporter.row("A2 — similarity-measure sweep")
+    for result in results.values():
+        reporter.row(result.accuracy_row())
+
+    for mode in ("words", "concepts"):
+        jaccard = results[(mode, "jaccard")].accuracies
+        overlap = results[(mode, "overlap")].accuracies
+        dice = results[(mode, "dice")].accuracies
+        cosine = results[(mode, "cosine")].accuracies
+        assert jaccard[1] >= overlap[1]                 # the paper's finding
+        assert abs(dice[1] - jaccard[1]) < 0.05         # dice ~ jaccard
+        assert abs(cosine[1] - jaccard[1]) < 0.06
+    # the feature model dominates the choice of measure at k=1
+    words_spread = max(results[("words", s)].accuracies[1]
+                       for s in SIMILARITIES) - min(
+        results[("words", s)].accuracies[1] for s in SIMILARITIES)
+    gap = (results[("words", "jaccard")].accuracies[1]
+           - results[("concepts", "jaccard")].accuracies[1])
+    assert gap > words_spread

@@ -1,0 +1,52 @@
+"""A5 — "more linguistic preprocessing" (§6 future work): stemming.
+
+The paper plans further preprocessing steps on top of the deliberately
+normalization-free §5.1 setting.  This ablation adds stopword removal and
+light German/English stemming to the bag-of-words features and measures
+the effect: accuracy must not degrade, and the feature space (and with it
+the per-bundle classification cost) shrinks.
+"""
+
+from conftest import bench_folds
+
+from repro.evaluate import ExperimentConfig, run_experiment
+
+
+def test_stemming_ablation(benchmark, corpus, bundles, annotator, reporter):
+    folds = min(bench_folds(), 3)
+
+    def run_all():
+        results = {}
+        for mode in ("words", "words-nostop", "words-stem"):
+            config = ExperimentConfig(feature_mode=mode, folds=folds)
+            results[mode] = run_experiment(bundles, config, corpus.taxonomy,
+                                           annotator)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    reporter.row("A5 — linguistic preprocessing ablation (bag-of-words)")
+    for mode, result in results.items():
+        nodes = sum(fold.knowledge_nodes for fold in result.folds)
+        reporter.row(f"{result.accuracy_row()}  "
+                     f"{result.seconds_per_bundle * 1000:.2f} ms/bundle  "
+                     f"nodes={nodes}")
+
+    plain = results["words"]
+    stemmed = results["words-stem"]
+    # preprocessing must not hurt accuracy...
+    assert stemmed.accuracies[1] >= plain.accuracies[1] - 0.02
+    assert stemmed.accuracies[10] >= plain.accuracies[10] - 0.02
+    # ...and must shrink the feature space (the memory side of §5.2.2;
+    # note the stemmer itself costs CPU at extraction time, so wall-clock
+    # per bundle is NOT required to drop)
+    from repro.evaluate import build_extractor
+    plain_extractor = build_extractor("words")
+    stem_extractor = build_extractor("words-stem")
+    sample = [bundle.document_text() for bundle in bundles[:300]]
+    plain_features = sum(len(plain_extractor.extract_text(text))
+                         for text in sample)
+    stem_features = sum(len(stem_extractor.extract_text(text))
+                        for text in sample)
+    reporter.row(f"mean features/bundle: plain={plain_features / 300:.1f} "
+                 f"stemmed={stem_features / 300:.1f}")
+    assert stem_features < plain_features * 0.9

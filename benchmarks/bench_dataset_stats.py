@@ -1,0 +1,41 @@
+"""E0 — reproduce the corpus statistics of §3.2.
+
+Paper values: 7,500 bundles; 831 article codes; 31 part IDs; 1,271
+distinct error codes (718 singletons); 553 classes / 6,782 bundles for the
+experiments; max 146 distinct codes per part; 25 of 31 parts with >10
+codes; ~70 words and ~26 concept mentions per text.
+"""
+
+import statistics
+
+from repro.data import corpus_statistics
+
+PAPER = {
+    "bundles": 7500,
+    "part_ids": 31,
+    "article_codes": 831,
+    "distinct_error_codes": 1271,
+    "singleton_error_codes": 718,
+    "experiment_classes": 553,
+    "experiment_bundles": 6782,
+    "max_codes_per_part": 146,
+    "parts_over_10_codes": 25,
+}
+
+
+def test_corpus_statistics(benchmark, corpus, annotator, reporter):
+    stats = benchmark.pedantic(
+        lambda: corpus_statistics(corpus.bundles), rounds=1, iterations=1)
+    reporter.row(f"{'statistic':<28}{'paper':>10}{'measured':>10}")
+    for key, paper_value in PAPER.items():
+        measured = stats[key]
+        reporter.row(f"{key:<28}{paper_value:>10}{measured:>10}")
+        assert measured == paper_value, key
+    mean_words = stats["mean_words_per_bundle"]
+    reporter.row(f"{'mean_words_per_bundle':<28}{'~70':>10}{mean_words:>10.1f}")
+    assert 60 <= mean_words <= 85
+    sample = corpus.bundles[:500]
+    mean_mentions = statistics.mean(
+        len(annotator.match_text(bundle.document_text())) for bundle in sample)
+    reporter.row(f"{'mean_concept_mentions':<28}{'~26':>10}{mean_mentions:>10.1f}")
+    assert mean_mentions >= 8  # fewer than the paper's 26; see EXPERIMENTS.md

@@ -1,0 +1,48 @@
+"""E2m — Figure 12: classification from mechanic reports only.
+
+Knowledge bases are trained on all reports; test bundles include only the
+mechanic report.  Paper: all four variants fall *below* the code-frequency
+baseline, accuracy@1 between 16 % and 29 % vs the baseline's 35 %, with
+bag-of-words still slightly ahead of bag-of-concepts.
+"""
+
+from conftest import bench_folds
+
+from repro.data import ReportSource
+from repro.evaluate import (ExperimentConfig, run_frequency_baseline,
+                            run_report_source_experiment)
+
+
+def test_experiment2_mechanic_only(benchmark, corpus, bundles, annotator,
+                                   reporter):
+    folds = bench_folds()
+    variants = [("words", "jaccard"), ("words", "overlap"),
+                ("concepts", "jaccard"), ("concepts", "overlap")]
+
+    def run_all():
+        results = []
+        for mode, similarity in variants:
+            config = ExperimentConfig(feature_mode=mode,
+                                      similarity=similarity, folds=folds)
+            results.append(run_report_source_experiment(
+                bundles, config, ReportSource.MECHANIC, corpus.taxonomy,
+                annotator))
+        results.append(run_frequency_baseline(
+            bundles, ExperimentConfig(folds=folds)))
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    reporter.row(f"Figure 12 — mechanic reports only ({folds}-fold CV)")
+    for result in results:
+        reporter.row(result.accuracy_row())
+
+    by_name = {result.name: result.accuracies for result in results}
+    frequency = by_name["code-frequency baseline"]
+    for mode, similarity in variants:
+        name = f"{mode}+{similarity} [mechanic only]"
+        accuracy_1 = by_name[name][1]
+        # paper: 16-29 % @1, all below the 35 % baseline
+        assert accuracy_1 < frequency[1], name
+        assert 0.08 <= accuracy_1 <= 0.33, name
+    assert (by_name["words+jaccard [mechanic only]"][1]
+            >= by_name["concepts+jaccard [mechanic only]"][1] - 0.02)

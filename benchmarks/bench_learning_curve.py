@@ -1,0 +1,39 @@
+"""A7 — learning curve: how much labelled history does QUEST need?
+
+§4.2 picks kNN because it "allows for predictions about class membership
+even with a small data set and a large number of classes".  This bench
+sweeps the training-set size on a fixed stratified test fold for both
+feature models.
+"""
+
+from repro.evaluate import (DEFAULT_SIZES, ExperimentConfig, curve_row,
+                            run_learning_curve)
+
+
+def test_learning_curve(benchmark, corpus, bundles, annotator, reporter):
+    def run_all():
+        curves = {}
+        for mode in ("words", "concepts"):
+            config = ExperimentConfig(feature_mode=mode, folds=5)
+            curves[mode] = run_learning_curve(bundles, config,
+                                              sizes=DEFAULT_SIZES,
+                                              taxonomy=corpus.taxonomy,
+                                              annotator=annotator)
+        return curves
+
+    curves = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    reporter.row("A7 — learning curve (fixed test fold)")
+    for mode, points in curves.items():
+        for point in points:
+            reporter.row(f"{mode:<10} {curve_row(point)}")
+
+    for mode, points in curves.items():
+        # accuracy improves with history...
+        assert points[-1].accuracies[1] > points[0].accuracies[1]
+        # ...but the smallest knowledge base is already useful (§4.2):
+        # far better than the ~5 % a random pick among a part's codes gives
+        assert points[0].accuracies[10] > 0.5
+    # the concept model needs less data to become competitive at k=10
+    words_small = curves["words"][0].accuracies[10]
+    concepts_small = curves["concepts"][0].accuracies[10]
+    assert concepts_small > words_small - 0.10

@@ -1,0 +1,61 @@
+"""E1t — §5.2.2 runtime comparison.
+
+Paper (absolute numbers are testbed-specific; the *ordering and ratios*
+are what we reproduce):
+
+* bag-of-words:            ~0.5 s per data bundle (slowest)
+* bag-of-words w/o stopwords: ~0.3 s per bundle, accuracy unchanged
+* bag-of-concepts:         ~0.14 s per bundle (fastest, ~3.5x faster)
+"""
+
+from conftest import bench_folds
+
+from repro.evaluate import ExperimentConfig, run_experiment
+
+
+def test_runtime_per_bundle(benchmark, corpus, bundles, annotator, reporter):
+    folds = min(bench_folds(), 3)  # timing needs no more folds
+
+    def run_all():
+        results = {}
+        for mode in ("words", "words-nostop", "concepts"):
+            config = ExperimentConfig(feature_mode=mode, folds=folds)
+            results[mode] = run_experiment(bundles, config, corpus.taxonomy,
+                                           annotator)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    reporter.row("§5.2.2 — classification time per data bundle")
+    reporter.row(f"{'variant':<16}{'paper':>12}{'measured':>14}{'acc@1':>9}")
+    paper = {"words": "0.50 s", "words-nostop": "0.30 s",
+             "concepts": "0.14 s"}
+    for mode, result in results.items():
+        reporter.row(f"{mode:<16}{paper[mode]:>12}"
+                     f"{result.seconds_per_bundle * 1000:>11.2f} ms"
+                     f"{result.accuracies[1]:>9.3f}")
+
+    words = results["words"].seconds_per_bundle
+    nostop = results["words-nostop"].seconds_per_bundle
+    concepts = results["concepts"].seconds_per_bundle
+    # concepts are the clear winner (paper ratio ~3.5x; require >= 2x) —
+    # this ordering is far outside wall-clock noise
+    assert concepts < words
+    assert concepts < nostop
+    assert words / concepts > 2.0
+    # stopword removal cuts the features per bundle (the mechanism behind
+    # the paper's 0.5 s -> 0.3 s); wall clock itself is only required not
+    # to get meaningfully WORSE, because small timing deltas are noisy
+    from repro.evaluate import build_extractor
+    sample = [bundle.document_text() for bundle in bundles[:300]]
+    plain_features = sum(len(build_extractor("words").extract_text(text))
+                         for text in sample)
+    nostop_features = sum(
+        len(build_extractor("words-nostop").extract_text(text))
+        for text in sample)
+    reporter.row(f"features/bundle: words={plain_features / 300:.1f} "
+                 f"words-nostop={nostop_features / 300:.1f}")
+    assert nostop_features < plain_features * 0.9
+    assert nostop < words * 1.3
+    # stopword removal must not HURT accuracy (paper: "no impact")
+    assert (results["words-nostop"].accuracies[1]
+            >= results["words"].accuracies[1] - 0.01)

@@ -1,0 +1,61 @@
+"""A6 — scaling behaviour of the instance-based classifier.
+
+§2.2 flags kNN's weakness: "it is instance-based and thus potentially
+memory-intensive", which the paper counters with configuration-instance
+dedup (Fig. 9) and database-backed candidate retrieval.  This bench sweeps
+the training-set size and reports knowledge-base growth and per-bundle
+classification time for both feature models — the evidence behind the
+§5.2.2 feasibility argument ("it is important to keep the number of
+pairwise feature comparisons low").
+"""
+
+import time
+
+from repro.classify import RankedKnnClassifier
+from repro.evaluate import build_extractor
+from repro.knowledge import KnowledgeBase
+
+TRAIN_SIZES = (1000, 2000, 4000, 6000)
+TEST_SIZE = 400
+
+
+def test_knowledge_base_scaling(benchmark, corpus, bundles, annotator,
+                                reporter):
+    test = bundles[-TEST_SIZE:]
+
+    def run_all():
+        rows = []
+        for mode in ("words", "concepts"):
+            extractor = build_extractor(mode, corpus.taxonomy, annotator)
+            for size in TRAIN_SIZES:
+                knowledge_base = KnowledgeBase.from_bundles(bundles[:size],
+                                                            extractor)
+                classifier = RankedKnnClassifier(knowledge_base, extractor)
+                start = time.perf_counter()
+                for bundle in test:
+                    classifier.classify_bundle(bundle.without_label())
+                elapsed = time.perf_counter() - start
+                rows.append((mode, size, len(knowledge_base),
+                             elapsed / TEST_SIZE))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    reporter.row("A6 — knowledge-base scaling")
+    reporter.row(f"{'model':<10}{'train':>7}{'nodes':>8}{'ms/bundle':>11}")
+    for mode, size, nodes, seconds in rows:
+        reporter.row(f"{mode:<10}{size:>7}{nodes:>8}{seconds * 1000:>11.2f}")
+
+    words = {size: (nodes, seconds) for mode, size, nodes, seconds in rows
+             if mode == "words"}
+    concepts = {size: (nodes, seconds) for mode, size, nodes, seconds in rows
+                if mode == "concepts"}
+    # concept dedup collapses instances into configurations; word feature
+    # sets are nearly unique so they dedup far less
+    assert concepts[6000][0] < words[6000][0]
+    # per-bundle time grows with the knowledge base for bag-of-words...
+    assert words[6000][1] > words[1000][1]
+    # ...and the concept model stays cheaper throughout, with the gap
+    # widening as the knowledge base grows (>=2x at full size)
+    for size in TRAIN_SIZES:
+        assert concepts[size][1] < words[size][1]
+    assert concepts[6000][1] < words[6000][1] / 2

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Simulated field study: does QUEST actually save the experts time?
+
+§6 leaves "evaluating the web UI in a field study with quality experts" as
+future work.  This example runs the simulation harness that such a study
+would be designed around: it replays held-out bundles through the QUEST
+interaction model (top-10 shortlist first, full per-part list as the
+fallback) and compares the expert's search effort with the conventional
+full-list workflow — for both the domain-ignorant and the domain-specific
+classifier.
+
+Run:
+    python examples/field_study.py
+"""
+
+from repro.core import QATK, QatkConfig
+from repro.data import GeneratorConfig, generate_corpus, plan_corpus
+from repro.evaluate import experiment_subset
+from repro.quest import simulate_field_study
+from repro.taxonomy import build_taxonomy
+
+SMALL_CORPUS = {
+    "bundles": 1500, "part_ids": 8, "article_codes": 80,
+    "distinct_codes": 180, "singleton_codes": 60,
+    "max_codes_per_part": 45, "parts_over_10_codes": 6,
+}
+
+
+def main() -> None:
+    taxonomy = build_taxonomy()
+    plan = plan_corpus(taxonomy, seed=4, parameters=SMALL_CORPUS)
+    corpus = generate_corpus(taxonomy=taxonomy, plan=plan,
+                             config=GeneratorConfig(seed=4))
+    bundles = experiment_subset(corpus.bundles)
+    historical, incoming = bundles[:-120], bundles[-120:]
+
+    for mode in ("words", "concepts"):
+        qatk = QATK(taxonomy, QatkConfig(feature_mode=mode))
+        qatk.train(historical)
+        service = qatk.make_service()
+        report = simulate_field_study(incoming, qatk.classify,
+                                      service.full_code_list)
+        print(f"\n== {mode} classifier ==")
+        print(report.summary())
+        worst = max(report.outcomes, key=lambda o: o.inspected_with_quest)
+        print(f"hardest bundle: {worst.ref_no} "
+              f"(rank {worst.shortlist_rank}, "
+              f"{worst.inspected_with_quest} entries inspected)")
+
+
+if __name__ == "__main__":
+    main()

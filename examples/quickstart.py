@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: train QATK and get error-code recommendations.
+
+Builds the synthetic automotive taxonomy and a small warranty corpus,
+trains the Quality Analytics Toolkit on the classified bundles, and asks
+it to recommend error codes for held-out damaged parts — the §1.2 use
+case in ~40 lines.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.core import QATK, QatkConfig
+from repro.data import GeneratorConfig, generate_corpus, plan_corpus
+from repro.evaluate import experiment_subset
+from repro.taxonomy import build_taxonomy
+
+SMALL_CORPUS = {
+    "bundles": 1200, "part_ids": 8, "article_codes": 80,
+    "distinct_codes": 160, "singleton_codes": 60,
+    "max_codes_per_part": 40, "parts_over_10_codes": 6,
+}
+
+
+def main() -> None:
+    print("building taxonomy and corpus...")
+    taxonomy = build_taxonomy()
+    plan = plan_corpus(taxonomy, seed=1, parameters=SMALL_CORPUS)
+    corpus = generate_corpus(taxonomy=taxonomy, plan=plan,
+                             config=GeneratorConfig(seed=1))
+    bundles = experiment_subset(corpus.bundles)
+    train, test = bundles[:-25], bundles[-25:]
+
+    print(f"training QATK on {len(train)} classified bundles...")
+    qatk = QATK(taxonomy, QatkConfig(feature_mode="words",
+                                     similarity="jaccard"))
+    qatk.train(train)
+    print(qatk)
+
+    print("\nclassifying 25 held-out bundles:")
+    hits_at_10 = 0
+    for bundle in test:
+        recommendation = qatk.classify(bundle.without_label())
+        top = [scored.error_code for scored in recommendation.top(10)]
+        hit = bundle.error_code in top
+        hits_at_10 += hit
+        marker = "hit " if hit else "miss"
+        print(f"  {bundle.ref_no}  true={bundle.error_code}  "
+              f"top3={top[:3]}  [{marker}@10]")
+    print(f"\ncorrect code within the top-10 shortlist: "
+          f"{hits_at_10}/{len(test)} bundles")
+
+    sample = test[0]
+    print(f"\nexample reports for {sample.ref_no}:")
+    for report in sample.reports[:2]:
+        print(f"  [{report.source.value}/{report.language}] {report.text}")
+
+
+if __name__ == "__main__":
+    main()

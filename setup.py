@@ -1,0 +1,20 @@
+"""Legacy setup shim.
+
+The offline build environment ships setuptools without the ``wheel``
+package, which breaks PEP 517/660 editable installs.  Keeping this shim lets
+``pip install -e .`` fall back to ``setup.py develop``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "QUEST/QATK: text classification for messy industrial quality data "
+        "(EDBT 2016 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,20 @@
+"""repro — reproduction of Kassner & Mitschang, *Exploring Text Classification
+for Messy Data* (EDBT 2016).
+
+The package implements the paper's QUEST/QATK system end to end:
+
+* :mod:`repro.relstore` — embedded relational store (persistence substrate)
+* :mod:`repro.uima` — mini-UIMA analysis framework (CAS, engines, pipelines)
+* :mod:`repro.text` — tokenizer, language identification, stopwords
+* :mod:`repro.taxonomy` — multilingual automotive part/error taxonomy + annotators
+* :mod:`repro.data` — data-bundle model and synthetic OEM / NHTSA corpora
+* :mod:`repro.knowledge` — knowledge nodes and the knowledge base
+* :mod:`repro.classify` — ranked-list kNN, similarity measures, baselines
+* :mod:`repro.evaluate` — stratified cross-validation and accuracy@k
+* :mod:`repro.quest` — QUEST service layer, comparison views, mini web app
+* :mod:`repro.core` — the QATK pipeline facade (Fig. 8 of the paper)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,32 @@
+"""Classification: ranked kNN, similarity measures, baselines, results."""
+
+from .baselines import CandidateSetBaseline, CodeFrequencyBaseline
+from .knn import (DEFAULT_NODE_CUTOFF, MajorityVoteKnnClassifier,
+                  RankedKnnClassifier, ScoredNode)
+from .results import (RECOMMENDATION_SCHEMA, Recommendation, ScoredCode,
+                      create_recommendation_table, load_recommendation,
+                      store_recommendations)
+from .similarity import (SIMILARITIES, SimilarityFn, cosine, dice,
+                         get_similarity, jaccard, overlap)
+
+__all__ = [
+    "CandidateSetBaseline",
+    "CodeFrequencyBaseline",
+    "DEFAULT_NODE_CUTOFF",
+    "MajorityVoteKnnClassifier",
+    "RECOMMENDATION_SCHEMA",
+    "RankedKnnClassifier",
+    "Recommendation",
+    "SIMILARITIES",
+    "ScoredCode",
+    "ScoredNode",
+    "SimilarityFn",
+    "cosine",
+    "create_recommendation_table",
+    "dice",
+    "get_similarity",
+    "jaccard",
+    "load_recommendation",
+    "overlap",
+    "store_recommendations",
+]

@@ -1,0 +1,151 @@
+"""The ranked-list kNN classifier (§4.2-4.3, Fig. 5/7).
+
+Differences from textbook kNN, as designed in the paper:
+
+* no majority vote — because of class sparsity the classifier outputs the
+  *full ranked list* of error codes ordered by the similarity of their
+  knowledge nodes, cut off for presentation (Fig. 7),
+* instances are abstracted knowledge nodes, not raw data points,
+* candidates are pre-filtered by part ID and >= 1 shared feature (Fig. 5),
+* "We retrieve the error codes of the 25 best-scored candidate nodes."
+
+Ties are broken deterministically by the error-code string, never by
+frequency: the classifier is purely instance-based, as in the paper — a
+frequency tie-break would smuggle the code-frequency baseline into every
+uninformative feature set and overstate the text's contribution (visible
+in the Experiment-2 mechanic-only setting, where the paper's classifiers
+fall *below* the frequency baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.bundle import DataBundle, ReportSource, TEST_TIME_SOURCES
+from ..knowledge.base import KnowledgeBase
+from ..knowledge.extractor import FeatureExtractor, test_document
+from ..knowledge.node import KnowledgeNode
+from .results import Recommendation, ScoredCode
+from .similarity import SimilarityFn, get_similarity
+
+#: The paper's candidate-node cutoff.
+DEFAULT_NODE_CUTOFF = 25
+
+
+@dataclass(frozen=True)
+class ScoredNode:
+    """A candidate node with its similarity to the bundle under test."""
+
+    node: KnowledgeNode
+    score: float
+
+
+class RankedKnnClassifier:
+    """Classify bundles into ranked error-code lists.
+
+    Args:
+        knowledge_base: the trained knowledge base.
+        extractor: the feature extractor (must match the one used to build
+            the knowledge base).
+        similarity: registry name or callable (default ``"jaccard"``).
+        node_cutoff: number of best-scored candidate nodes whose codes are
+            retrieved (25 in the paper).
+    """
+
+    def __init__(self, knowledge_base: KnowledgeBase,
+                 extractor: FeatureExtractor,
+                 similarity: str | SimilarityFn = "jaccard",
+                 node_cutoff: int = DEFAULT_NODE_CUTOFF) -> None:
+        if node_cutoff < 1:
+            raise ValueError("node_cutoff must be >= 1")
+        self.knowledge_base = knowledge_base
+        self.extractor = extractor
+        self.similarity = get_similarity(similarity)
+        self.node_cutoff = node_cutoff
+
+    # ------------------------------------------------------------------ #
+    # scoring
+
+    def score_candidates(self, part_id: str,
+                         features: frozenset[str]) -> list[ScoredNode]:
+        """Retrieve and score the candidate set for one bundle."""
+        candidates = self.knowledge_base.candidates(part_id, features)
+        scored = [ScoredNode(node, self.similarity(features, node.features))
+                  for node in candidates]
+        scored.sort(key=lambda item: (-item.score, item.node.error_code,
+                                      -item.node.support))
+        return scored
+
+    def rank_codes(self, part_id: str, features: frozenset[str],
+                   ref_no: str = "") -> Recommendation:
+        """The ranked error-code list for a feature set (Fig. 7)."""
+        scored_nodes = self.score_candidates(part_id, features)
+        top_nodes = scored_nodes[:self.node_cutoff]
+        best: dict[str, ScoredCode] = {}
+        for item in top_nodes:
+            code = item.node.error_code
+            existing = best.get(code)
+            if existing is None:
+                best[code] = ScoredCode(code, item.score, item.node.support)
+            else:
+                best[code] = ScoredCode(code, max(existing.score, item.score),
+                                        existing.support + item.node.support)
+        ranked = sorted(best.values(),
+                        key=lambda scored: (-scored.score, scored.error_code))
+        return Recommendation(ref_no=ref_no, part_id=part_id, codes=ranked)
+
+    # ------------------------------------------------------------------ #
+    # bundle-level API
+
+    def classify_bundle(self, bundle: DataBundle,
+                        sources: tuple[ReportSource, ...] = TEST_TIME_SOURCES,
+                        ) -> Recommendation:
+        """Classify one data bundle from its test-phase document.
+
+        Args:
+            bundle: the bundle to classify (its error code is ignored).
+            sources: which reports feed the document — restrict to a single
+                source for the Experiment-2 setting (§5.3).
+        """
+        features = self.extractor.extract_text(test_document(bundle, sources))
+        return self.rank_codes(bundle.part_id, features, ref_no=bundle.ref_no)
+
+    def classify_text(self, part_id: str, text: str,
+                      ref_no: str = "") -> Recommendation:
+        """Classify raw text against a part ID (used for the NHTSA source)."""
+        features = self.extractor.extract_text(text)
+        return self.rank_codes(part_id, features, ref_no=ref_no)
+
+
+class MajorityVoteKnnClassifier:
+    """Textbook unweighted kNN with majority vote (Fig. 6).
+
+    Included for the paper's illustration of why majority voting is
+    unsuitable here: the predicted class flips with k on sparse data.
+    """
+
+    def __init__(self, knowledge_base: KnowledgeBase,
+                 extractor: FeatureExtractor,
+                 similarity: str | SimilarityFn = "jaccard", k: int = 6) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.knowledge_base = knowledge_base
+        self.extractor = extractor
+        self.similarity = get_similarity(similarity)
+        self.k = k
+
+    def classify_bundle(self, bundle: DataBundle) -> str | None:
+        """Predict a single error code by majority vote, or None."""
+        features = self.extractor.extract_text(test_document(bundle))
+        candidates = self.knowledge_base.candidates(bundle.part_id, features)
+        scored = sorted(
+            ((self.similarity(features, node.features), node)
+             for node in candidates),
+            key=lambda item: (-item[0], -item[1].support, item[1].error_code))
+        nearest = scored[:self.k]
+        if not nearest:
+            return None
+        votes: dict[str, int] = {}
+        for _, node in nearest:
+            votes[node.error_code] = votes.get(node.error_code, 0) + 1
+        return sorted(votes.items(), key=lambda item: (-item[1], item[0]))[0][0]

@@ -1,0 +1,100 @@
+"""Classification results and their relational persistence (§4.4 step 3c).
+
+"These scored error codes are stored in a relational database and presented
+to the quality worker via the web app interface."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..relstore import Column, ColumnType, Database, Schema, col
+
+RECOMMENDATION_SCHEMA = Schema.build(
+    [
+        Column("ref_no", ColumnType.TEXT, nullable=False),
+        Column("error_code", ColumnType.TEXT, nullable=False),
+        Column("score", ColumnType.REAL, nullable=False),
+        Column("rank", ColumnType.INTEGER, nullable=False),
+        Column("support", ColumnType.INTEGER, nullable=False),
+    ],
+)
+
+
+@dataclass(frozen=True)
+class ScoredCode:
+    """One recommended error code with its similarity score."""
+
+    error_code: str
+    score: float
+    support: int = 1
+
+
+@dataclass
+class Recommendation:
+    """The ranked error-code list for one data bundle (Fig. 7)."""
+
+    ref_no: str
+    part_id: str
+    codes: list[ScoredCode] = field(default_factory=list)
+
+    def top(self, k: int) -> list[ScoredCode]:
+        """The first *k* recommendations (the UI shows 10 by default)."""
+        return self.codes[:k]
+
+    def rank_of(self, error_code: str) -> int | None:
+        """1-based rank of *error_code* in the list, or None if absent."""
+        for position, scored in enumerate(self.codes, start=1):
+            if scored.error_code == error_code:
+                return position
+        return None
+
+    def hit_at(self, error_code: str, k: int) -> bool:
+        """Whether *error_code* appears within the first *k* entries."""
+        rank = self.rank_of(error_code)
+        return rank is not None and rank <= k
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+
+def create_recommendation_table(database: Database) -> None:
+    """Create (if needed) and index the recommendations table."""
+    if not database.has_table("recommendations"):
+        table = database.create_table("recommendations", RECOMMENDATION_SCHEMA)
+        table.create_index("ix_reco_ref", "ref_no")
+
+
+def store_recommendations(database: Database,
+                          recommendations: Iterable[Recommendation]) -> int:
+    """Persist ranked recommendations; returns the number of rows written."""
+    create_recommendation_table(database)
+    table = database.table("recommendations")
+    rows = 0
+    for recommendation in recommendations:
+        table.delete(col("ref_no") == recommendation.ref_no)
+        for rank, scored in enumerate(recommendation.codes, start=1):
+            table.insert({
+                "ref_no": recommendation.ref_no,
+                "error_code": scored.error_code,
+                "score": scored.score,
+                "rank": rank,
+                "support": scored.support,
+            })
+            rows += 1
+    return rows
+
+
+def load_recommendation(database: Database, ref_no: str,
+                        part_id: str = "") -> Recommendation | None:
+    """Load the stored ranked list for one bundle, or None."""
+    if not database.has_table("recommendations"):
+        return None
+    rows = database.table("recommendations").select(
+        col("ref_no") == ref_no, order_by="rank")
+    if not rows:
+        return None
+    codes = [ScoredCode(row["error_code"], row["score"], row["support"])
+             for row in rows]
+    return Recommendation(ref_no=ref_no, part_id=part_id, codes=codes)

@@ -1,0 +1,73 @@
+"""Set similarity measures (§4.3).
+
+The paper evaluates the Jaccard coefficient and the overlap coefficient;
+Dice and cosine are included as registered extensions (the pipeline's
+classification step "can easily be used with different similarity or
+distance measures").
+
+All measures map two feature sets to [0, 1]; two empty sets are defined to
+have similarity 0 (such pairs never reach scoring anyway, because candidate
+selection requires at least one shared feature).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+SimilarityFn = Callable[[frozenset, frozenset], float]
+
+
+def jaccard(a: frozenset, b: frozenset) -> float:
+    """|A ∩ B| / |A ∪ B| — the paper's primary measure."""
+    if not a and not b:
+        return 0.0
+    intersection = len(a & b)
+    if intersection == 0:
+        return 0.0
+    return intersection / (len(a) + len(b) - intersection)
+
+
+def overlap(a: frozenset, b: frozenset) -> float:
+    """|A ∩ B| / min(|A|, |B|) — the paper's secondary measure."""
+    if not a or not b:
+        return 0.0
+    return len(a & b) / min(len(a), len(b))
+
+
+def dice(a: frozenset, b: frozenset) -> float:
+    """2·|A ∩ B| / (|A| + |B|) — extension measure."""
+    if not a and not b:
+        return 0.0
+    return 2.0 * len(a & b) / (len(a) + len(b))
+
+
+def cosine(a: frozenset, b: frozenset) -> float:
+    """|A ∩ B| / sqrt(|A|·|B|) — set cosine, extension measure."""
+    if not a or not b:
+        return 0.0
+    return len(a & b) / math.sqrt(len(a) * len(b))
+
+
+#: Registry used by experiment configs ("jaccard", "overlap", ...).
+SIMILARITIES: dict[str, SimilarityFn] = {
+    "jaccard": jaccard,
+    "overlap": overlap,
+    "dice": dice,
+    "cosine": cosine,
+}
+
+
+def get_similarity(name_or_fn: str | SimilarityFn) -> SimilarityFn:
+    """Resolve a similarity by registry name, passing callables through.
+
+    Raises:
+        KeyError: on unknown names.
+    """
+    if callable(name_or_fn):
+        return name_or_fn
+    try:
+        return SIMILARITIES[name_or_fn]
+    except KeyError:
+        known = ", ".join(sorted(SIMILARITIES))
+        raise KeyError(f"unknown similarity {name_or_fn!r}; known: {known}") from None

@@ -1,0 +1,239 @@
+"""Command-line interface for the QUEST/QATK reproduction.
+
+Subcommands::
+
+    python -m repro stats                 # §3.2 corpus statistics
+    python -m repro exp1 [--folds N]      # Fig. 11 (Experiment 1)
+    python -m repro exp2 SOURCE [--folds N]   # Fig. 12/13 (mechanic|supplier)
+    python -m repro compare [--top N]     # Fig. 14 distributions
+    python -m repro annotators            # §4.5.3 coverage comparison
+    python -m repro serve [--port P]      # run the QUEST web app
+
+All subcommands operate on the default seeded corpus, so output is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .data import ReportSource, generate_complaints, generate_corpus
+from .evaluate import (ExperimentConfig, experiment_subset,
+                       run_candidate_set_baseline, run_experiment,
+                       run_frequency_baseline, run_report_source_experiment)
+from .taxonomy import (ConceptAnnotator, LegacyConceptAnnotator,
+                       annotator_coverage)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QUEST/QATK reproduction of Kassner & Mitschang, EDBT 2016")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("stats", help="corpus statistics (§3.2)")
+
+    exp1 = commands.add_parser("exp1", help="Experiment 1 / Fig. 11")
+    exp1.add_argument("--folds", type=int, default=5)
+
+    exp2 = commands.add_parser("exp2", help="Experiment 2 / Fig. 12-13")
+    exp2.add_argument("source", choices=["mechanic", "supplier"])
+    exp2.add_argument("--folds", type=int, default=5)
+
+    compare = commands.add_parser("compare", help="source comparison / Fig. 14")
+    compare.add_argument("--top", type=int, default=3)
+
+    commands.add_parser("annotators", help="annotator coverage (§4.5.3)")
+
+    fieldstudy = commands.add_parser(
+        "fieldstudy", help="simulated field study of the QUEST UI (§6)")
+    fieldstudy.add_argument("--sessions", type=int, default=200)
+
+    extend = commands.add_parser(
+        "extend", help="mine taxonomy-extension proposals from the corpus")
+    extend.add_argument("--top", type=int, default=20)
+
+    serve = commands.add_parser("serve", help="run the QUEST web app")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--train", type=int, default=2000,
+                       help="bundles used to train the demo knowledge base")
+    return parser
+
+
+def _cmd_stats() -> int:
+    from .data import corpus_statistics
+    corpus = generate_corpus()
+    for key, value in corpus_statistics(corpus.bundles).items():
+        if isinstance(value, float):
+            print(f"{key:<28}{value:>10.1f}")
+        else:
+            print(f"{key:<28}{value:>10}")
+    return 0
+
+
+def _cmd_exp1(folds: int) -> int:
+    corpus = generate_corpus()
+    bundles = experiment_subset(corpus.bundles)
+    annotator = ConceptAnnotator(taxonomy=corpus.taxonomy)
+    print(f"Experiment 1 (Fig. 11), {folds}-fold CV, {len(bundles)} bundles")
+    for mode, similarity in (("words", "jaccard"), ("words", "overlap"),
+                             ("concepts", "jaccard"), ("concepts", "overlap")):
+        config = ExperimentConfig(feature_mode=mode, similarity=similarity,
+                                  folds=folds)
+        result = run_experiment(bundles, config, corpus.taxonomy, annotator)
+        print(result.accuracy_row()
+              + f"  {result.seconds_per_bundle * 1000:.2f} ms/bundle")
+    print(run_frequency_baseline(bundles,
+                                 ExperimentConfig(folds=folds)).accuracy_row())
+    for mode in ("words", "concepts"):
+        result = run_candidate_set_baseline(
+            bundles, ExperimentConfig(feature_mode=mode, folds=folds),
+            corpus.taxonomy, annotator)
+        print(result.accuracy_row())
+    return 0
+
+
+def _cmd_exp2(source_name: str, folds: int) -> int:
+    corpus = generate_corpus()
+    bundles = experiment_subset(corpus.bundles)
+    annotator = ConceptAnnotator(taxonomy=corpus.taxonomy)
+    source = ReportSource.parse(source_name)
+    print(f"Experiment 2 ({source.value} reports only), {folds}-fold CV")
+    for mode, similarity in (("words", "jaccard"), ("words", "overlap"),
+                             ("concepts", "jaccard"), ("concepts", "overlap")):
+        config = ExperimentConfig(feature_mode=mode, similarity=similarity,
+                                  folds=folds)
+        result = run_report_source_experiment(bundles, config, source,
+                                              corpus.taxonomy, annotator)
+        print(result.accuracy_row())
+    print(run_frequency_baseline(bundles,
+                                 ExperimentConfig(folds=folds)).accuracy_row())
+    return 0
+
+
+def _cmd_compare(top: int) -> int:
+    from .classify import RankedKnnClassifier
+    from .evaluate import build_extractor
+    from .knowledge import KnowledgeBase
+    from .quest import compare_sources
+    corpus = generate_corpus()
+    bundles = experiment_subset(corpus.bundles)
+    annotator = ConceptAnnotator(taxonomy=corpus.taxonomy)
+    extractor = build_extractor("concepts", corpus.taxonomy, annotator)
+    classifier = RankedKnnClassifier(
+        KnowledgeBase.from_bundles(bundles, extractor), extractor)
+    complaints = generate_complaints(corpus.taxonomy, corpus.plan)
+    part_of_code = {code.code: code.part_id
+                    for code in corpus.plan.all_codes()}
+    part_id = corpus.plan.parts[0].part_id
+    internal = [bundle for bundle in bundles if bundle.part_id == part_id]
+    public = [complaint for complaint in complaints
+              if part_of_code[complaint.planted_code] == part_id]
+    view = compare_sources(internal, classifier, public, top_n=top,
+                           part_id_of_code=part_of_code)
+    for distribution in (view.left, view.right):
+        print(f"{distribution.source} (n={distribution.total}):")
+        for slice_ in distribution.slices():
+            print(f"  {slice_.error_code:<8}{slice_.share:>7.1%}")
+    return 0
+
+
+def _cmd_annotators() -> int:
+    corpus = generate_corpus()
+    texts = [bundle.document_text(include_part_description=False)
+             for bundle in corpus.bundles]
+    for name, annotator in (
+            ("optimized", ConceptAnnotator(taxonomy=corpus.taxonomy)),
+            ("legacy", LegacyConceptAnnotator(taxonomy=corpus.taxonomy))):
+        stats = annotator_coverage(annotator, texts)
+        print(f"{name:<10} zero-concept bundles: "
+              f"{stats['without_concepts']}/{stats['total']}, "
+              f"mean mentions {stats['mean_mentions']:.2f}")
+    return 0
+
+
+def _cmd_fieldstudy(sessions: int) -> int:
+    from .core import QATK, QatkConfig  # noqa: F811 (local import by design)
+    from .quest import simulate_field_study
+    corpus = generate_corpus()
+    bundles = experiment_subset(corpus.bundles)
+    historical, incoming = bundles[:-sessions], bundles[-sessions:]
+    for mode in ("words", "concepts"):
+        qatk = QATK(corpus.taxonomy, QatkConfig(feature_mode=mode))
+        qatk.train(historical)
+        service = qatk.make_service()
+        report = simulate_field_study(incoming, qatk.classify,
+                                      service.full_code_list)
+        print(f"{mode:<10} {report.summary()}")
+    return 0
+
+
+def _cmd_extend(top: int) -> int:
+    from .taxonomy import TaxonomyExtender
+    corpus = generate_corpus()
+    bundles = experiment_subset(corpus.bundles)
+    extender = TaxonomyExtender(corpus.taxonomy, min_support=8)
+    proposals = extender.mine(bundles)
+    print(f"{len(proposals)} proposals mined; top {top}:")
+    for proposal in proposals[:top]:
+        attachment = corpus.taxonomy.get(proposal.concept_id)
+        label = attachment.labels.get("en") or attachment.labels.get("de", "?")
+        print(f"  {proposal.kind:<11} {proposal.token!r:<22} -> "
+              f"{label!r} (score {proposal.score:.2f}, "
+              f"{proposal.support} bundles)")
+    return 0
+
+
+def _cmd_serve(port: int, train: int) -> int:
+    from .core import QATK, QatkConfig
+    from .quest import QuestApp, QuestServer, Role, User, UserStore
+    corpus = generate_corpus()
+    bundles = experiment_subset(corpus.bundles)
+    qatk = QATK(corpus.taxonomy, QatkConfig(feature_mode="words"))
+    qatk.train(bundles[:train])
+    service = qatk.make_service()
+    service.register_bundles([bundle.without_label()
+                              for bundle in bundles[train:train + 50]])
+    users = UserStore(qatk.database)
+    users.add(User("expert", Role.POWER_EXPERT, "Demo Expert"))
+    app = QuestApp(service, users, users.get("expert"))
+    server = QuestServer(app, port=port)
+    host, bound_port = server.address
+    print(f"QUEST running on http://{host}:{bound_port}/ — Ctrl+C to stop")
+    try:
+        server.start()
+        import threading
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "stats":
+        return _cmd_stats()
+    if args.command == "exp1":
+        return _cmd_exp1(args.folds)
+    if args.command == "exp2":
+        return _cmd_exp2(args.source, args.folds)
+    if args.command == "compare":
+        return _cmd_compare(args.top)
+    if args.command == "annotators":
+        return _cmd_annotators()
+    if args.command == "fieldstudy":
+        return _cmd_fieldstudy(args.sessions)
+    if args.command == "extend":
+        return _cmd_extend(args.top)
+    if args.command == "serve":
+        return _cmd_serve(args.port, args.train)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""QATK core: pipeline assembly and the toolkit facade (Fig. 8)."""
+
+from .cas_io import BundleReader, DatabaseBundleReader, bundle_to_cas
+from .engines import (RECOMMENDATION_KEY, ClassifierEngine,
+                      KnowledgeBaseConsumer, RecommendationConsumer,
+                      cas_features)
+from .qatk import QATK, QatkConfig
+
+__all__ = [
+    "BundleReader",
+    "ClassifierEngine",
+    "DatabaseBundleReader",
+    "KnowledgeBaseConsumer",
+    "QATK",
+    "QatkConfig",
+    "RECOMMENDATION_KEY",
+    "RecommendationConsumer",
+    "bundle_to_cas",
+    "cas_features",
+]

@@ -1,0 +1,86 @@
+"""Data bundles in and out of the CAS (§4.5.2).
+
+"One CAS contains one data bundle, including all available reports and
+text descriptions plus the part ID and error code."  Each report becomes a
+``Section`` annotation over its span in the combined document, so engines
+downstream can work per report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..data.bundle import DataBundle, ReportSource, TEST_TIME_SOURCES
+from ..data.schema import load_bundles
+from ..relstore import Database
+from ..uima import CAS, CollectionReader
+
+
+def bundle_to_cas(bundle: DataBundle, *, training: bool = False,
+                  sources: Sequence[ReportSource] | None = None) -> CAS:
+    """Build the CAS for one data bundle.
+
+    Args:
+        bundle: the bundle to analyse.
+        training: include the final OEM report and the error-code
+            description (only available for already-classified data).
+        sources: restrict to specific report sources (Experiment 2); when
+            None, the phase default applies.
+    """
+    if sources is None:
+        sources = tuple(ReportSource) if training else TEST_TIME_SOURCES
+    segments: list[tuple[str, str]] = []
+    for source in sources:
+        report = bundle.report(source)
+        if report is not None:
+            segments.append((source.value, report.text))
+    if bundle.part_description:
+        segments.append(("part_description", bundle.part_description))
+    if training and bundle.error_description:
+        segments.append(("error_description", bundle.error_description))
+
+    text_parts: list[str] = []
+    spans: list[tuple[str, int, int]] = []
+    offset = 0
+    for label, text in segments:
+        if text_parts:
+            offset += 1  # the joining newline
+        spans.append((label, offset, offset + len(text)))
+        text_parts.append(text)
+        offset += len(text)
+    cas = CAS("\n".join(text_parts))
+    for label, begin, end in spans:
+        cas.annotate("Section", begin, end, source=label)
+    cas.metadata["ref_no"] = bundle.ref_no
+    cas.metadata["part_id"] = bundle.part_id
+    cas.metadata["article_code"] = bundle.article_code
+    if training:
+        cas.metadata["error_code"] = bundle.error_code
+    return cas
+
+
+class BundleReader(CollectionReader):
+    """Reader over an in-memory bundle collection (step 1 of Fig. 8)."""
+
+    def __init__(self, bundles: Iterable[DataBundle], *,
+                 training: bool = False,
+                 sources: Sequence[ReportSource] | None = None) -> None:
+        self._bundles = bundles
+        self._training = training
+        self._sources = sources
+
+    def read(self) -> Iterator[CAS]:
+        for bundle in self._bundles:
+            yield bundle_to_cas(bundle, training=self._training,
+                                sources=self._sources)
+
+
+class DatabaseBundleReader(BundleReader):
+    """Reader pulling data bundles from the relational raw tables
+    ("read data from the database and combine related reports into one
+    document")."""
+
+    def __init__(self, database: Database, *, training: bool = False,
+                 sources: Sequence[ReportSource] | None = None) -> None:
+        super().__init__(load_bundles(database), training=training,
+                         sources=sources)

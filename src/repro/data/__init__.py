@@ -1,0 +1,54 @@
+"""Data model and synthetic corpora (§3.2 substitute, §5.4 substitute)."""
+
+from .bundle import DataBundle, Report, ReportSource, TEST_TIME_SOURCES
+from .generator import (Corpus, GeneratorConfig, corpus_statistics,
+                        generate_corpus)
+from .messy import (ABBREVIATIONS, NOISE_PRESETS, abbreviate, corrupt_word,
+                    degrade_umlauts, messify, messify_for_source)
+from .nhtsa import (FLAT_CMPL_FIELDS, MAKES, Complaint, complaints_by_make,
+                    complaints_from_flat, complaints_to_flat,
+                    generate_complaints)
+from .plan import (DEFAULT_PARAMETERS, CodePlan, CorpusPlan, PartPlan,
+                   plan_corpus)
+from .schema import (BUNDLE_SCHEMA, COMPLAINT_SCHEMA, REPORT_SCHEMA,
+                     create_raw_tables, load_bundle, load_bundles,
+                     load_complaints, store_bundles, store_complaints)
+
+__all__ = [
+    "ABBREVIATIONS",
+    "BUNDLE_SCHEMA",
+    "COMPLAINT_SCHEMA",
+    "CodePlan",
+    "Complaint",
+    "Corpus",
+    "CorpusPlan",
+    "DEFAULT_PARAMETERS",
+    "DataBundle",
+    "GeneratorConfig",
+    "MAKES",
+    "NOISE_PRESETS",
+    "PartPlan",
+    "REPORT_SCHEMA",
+    "Report",
+    "ReportSource",
+    "TEST_TIME_SOURCES",
+    "abbreviate",
+    "FLAT_CMPL_FIELDS",
+    "complaints_by_make",
+    "complaints_from_flat",
+    "complaints_to_flat",
+    "corpus_statistics",
+    "corrupt_word",
+    "create_raw_tables",
+    "degrade_umlauts",
+    "generate_complaints",
+    "generate_corpus",
+    "load_bundle",
+    "load_bundles",
+    "load_complaints",
+    "messify",
+    "messify_for_source",
+    "plan_corpus",
+    "store_bundles",
+    "store_complaints",
+]

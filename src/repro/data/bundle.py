@@ -1,0 +1,129 @@
+"""Data-bundle model (§3.2, Fig. 2/3).
+
+A *data bundle* is "all data pertaining to an individual component": a
+unique reference number, an article code, a part ID, a final error code
+(absent before classification), a supplier responsibility code, and three
+or four textual reports accumulated along the evaluation process.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+
+class ReportSource(enum.Enum):
+    """Who wrote a report, in process order (Fig. 2)."""
+
+    MECHANIC = "mechanic"
+    OEM_INITIAL = "oem_initial"
+    SUPPLIER = "supplier"
+    OEM_FINAL = "oem_final"
+
+    @classmethod
+    def parse(cls, name: str) -> "ReportSource":
+        """Return the source named *name* (case-insensitive).
+
+        Raises:
+            ValueError: on unknown names.
+        """
+        try:
+            return cls(name.strip().lower())
+        except ValueError:
+            known = ", ".join(source.value for source in cls)
+            raise ValueError(f"unknown report source {name!r}; expected one of {known}") from None
+
+
+#: Report sources available at test/application time (§3.2: the final OEM
+#: report is "unavailable as a source for textual indicators in data which
+#: have not yet been assigned an error code").
+TEST_TIME_SOURCES = (ReportSource.MECHANIC, ReportSource.OEM_INITIAL,
+                     ReportSource.SUPPLIER)
+
+
+@dataclass(frozen=True)
+class Report:
+    """One textual report about a damaged part."""
+
+    source: ReportSource
+    text: str
+    language: str = "unknown"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.source, ReportSource):
+            raise TypeError("source must be a ReportSource")
+
+
+@dataclass
+class DataBundle:
+    """All data pertaining to one evaluated car part.
+
+    Attributes:
+        ref_no: unique reference number.
+        part_id: coarse part identifier (31 distinct values in the corpus).
+        article_code: fine-grained article code (831 distinct values).
+        error_code: final error code, or None before classification.
+        responsibility_code: supplier damage responsibility code, or None.
+        reports: the accumulated textual reports.
+        part_description: standardized part id description (DE+EN).
+        error_description: standardized error code description; training
+            only — never available for unclassified bundles.
+    """
+
+    ref_no: str
+    part_id: str
+    article_code: str
+    error_code: str | None = None
+    responsibility_code: str | None = None
+    reports: list[Report] = field(default_factory=list)
+    part_description: str = ""
+    error_description: str = ""
+
+    def report(self, source: ReportSource) -> Report | None:
+        """The report written by *source*, or None if absent."""
+        for report in self.reports:
+            if report.source is source:
+                return report
+        return None
+
+    def has_report(self, source: ReportSource) -> bool:
+        """Whether a report from *source* exists."""
+        return self.report(source) is not None
+
+    def document_text(self, sources: Iterable[ReportSource] = TEST_TIME_SOURCES,
+                      *, include_part_description: bool = True,
+                      include_error_description: bool = False) -> str:
+        """Combine the selected reports into one analysis document.
+
+        This is step 1 of the pipeline ("combine related reports into one
+        document").  The default reproduces the *test phase* view: mechanic
+        + optional initial + supplier reports plus the part id description.
+        Pass ``include_error_description=True`` (and all four sources) for
+        the *training phase* view.
+        """
+        wanted = list(sources)
+        parts = [report.text for source in wanted
+                 for report in self.reports if report.source is source]
+        if include_part_description and self.part_description:
+            parts.append(self.part_description)
+        if include_error_description and self.error_description:
+            parts.append(self.error_description)
+        return "\n".join(part for part in parts if part)
+
+    def training_text(self) -> str:
+        """The full training-phase document (all reports + descriptions)."""
+        return self.document_text(tuple(ReportSource),
+                                  include_part_description=True,
+                                  include_error_description=True)
+
+    def without_label(self) -> "DataBundle":
+        """A copy stripped of everything unknowable pre-classification."""
+        return replace(self, error_code=None, error_description="",
+                       reports=[report for report in self.reports
+                                if report.source is not ReportSource.OEM_FINAL])
+
+    def word_count(self, sources: Iterable[ReportSource] = TEST_TIME_SOURCES) -> int:
+        """Number of tokens in the combined test-phase document."""
+        from ..text.tokenizer import tokenize
+        return len(tokenize(self.document_text(sources)))

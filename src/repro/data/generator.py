@@ -1,0 +1,179 @@
+"""The synthetic OEM warranty corpus generator.
+
+Substitutes the proprietary Daimler evaluation-tool extract (§3.2) with a
+seeded generator whose output reproduces every published corpus statistic
+(see :mod:`repro.data.plan`) and the qualitative data properties the
+experiments rely on (see :mod:`repro.data.textgen`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..taxonomy.builder import build_taxonomy
+from ..taxonomy.model import ENGLISH, GERMAN, Taxonomy
+from .bundle import DataBundle, Report, ReportSource
+from .plan import CorpusPlan, plan_corpus
+from .textgen import (RenderContext, pick_language, render_error_description,
+                      render_final_report, render_initial_report,
+                      render_mechanic_report, render_part_description,
+                      render_supplier_report)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tunable knobs of the corpus generator.
+
+    The defaults reproduce the paper's setting; tests and ablations override
+    individual fields.
+    """
+
+    seed: int = 42
+    initial_report_probability: float = 0.35
+    mechanic_german_probability: float = 0.45
+    mechanic_true_symptom_probability: float = 0.30
+    mechanic_wrong_symptom_probability: float = 0.20
+    supplier_symptom_probability: float = 0.95
+    supplier_jargon_probability: float = 0.95
+    supplier_signature_dropout: float = 0.13
+    final_jargon_probability: float = 0.90
+    responsibility_codes: tuple[str, ...] = ("S1", "S2", "O1", "N0")
+    responsibility_weights: tuple[float, ...] = (0.45, 0.20, 0.20, 0.15)
+
+
+@dataclass
+class Corpus:
+    """The generated corpus plus its plan and taxonomy."""
+
+    bundles: list[DataBundle]
+    plan: CorpusPlan
+    taxonomy: Taxonomy
+    config: GeneratorConfig = field(default_factory=GeneratorConfig)
+
+    def experiment_bundles(self) -> list[DataBundle]:
+        """Bundles whose error code appears more than once (§5.1: 6,782)."""
+        counts: dict[str, int] = {}
+        for bundle in self.bundles:
+            counts[bundle.error_code] = counts.get(bundle.error_code, 0) + 1
+        return [bundle for bundle in self.bundles
+                if counts[bundle.error_code] > 1]
+
+
+class _SupplierPool:
+    """Per-part suppliers with stable language preferences.
+
+    A part is manufactured by one supplier, and that supplier's QA
+    department writes its reports in one working language — so the supplier
+    report language is near-constant per part ID (with a small share of
+    reports delegated to a differently-located site).
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._preference: dict[str, float] = {}
+
+    def german_probability(self, part_id: str) -> float:
+        preference = self._preference.get(part_id)
+        if preference is None:
+            preference = self._rng.choice((0.12, 0.88))
+            self._preference[part_id] = preference
+        return preference
+
+
+def generate_corpus(taxonomy: Taxonomy | None = None,
+                    plan: CorpusPlan | None = None,
+                    config: GeneratorConfig | None = None) -> Corpus:
+    """Generate the full synthetic corpus.
+
+    Args:
+        taxonomy: the automotive taxonomy; built with the default seed when
+            omitted.
+        plan: corpus skeleton; planned from the taxonomy when omitted.
+        config: generator knobs (see :class:`GeneratorConfig`).
+    """
+    config = config or GeneratorConfig()
+    taxonomy = taxonomy or build_taxonomy()
+    plan = plan or plan_corpus(taxonomy, seed=config.seed)
+    rng = random.Random(config.seed * 7919 + 13)
+    suppliers = _SupplierPool(rng)
+
+    bundles: list[DataBundle] = []
+    serial = 1
+    for part in plan.parts:
+        for code in part.codes:
+            for _ in range(code.multiplicity):
+                context = RenderContext(part=part, code=code,
+                                        taxonomy=taxonomy, rng=rng)
+                reports: list[Report] = []
+                mechanic_language = pick_language(
+                    rng, config.mechanic_german_probability)
+                reports.append(render_mechanic_report(
+                    context, mechanic_language,
+                    true_symptom_probability=config.mechanic_true_symptom_probability,
+                    wrong_symptom_probability=config.mechanic_wrong_symptom_probability))
+                if rng.random() < config.initial_report_probability:
+                    initial_language = GERMAN if rng.random() < 0.7 else ENGLISH
+                    reports.append(render_initial_report(context, initial_language))
+                supplier_language = (GERMAN if rng.random()
+                                     < suppliers.german_probability(part.part_id)
+                                     else ENGLISH)
+                reports.append(render_supplier_report(
+                    context, supplier_language,
+                    symptom_probability=config.supplier_symptom_probability,
+                    jargon_probability=config.supplier_jargon_probability,
+                    signature_dropout=config.supplier_signature_dropout))
+                # the expert summarizes in the supplier report's language
+                final_language = supplier_language
+                reports.append(render_final_report(
+                    context, final_language,
+                    jargon_probability=config.final_jargon_probability))
+
+                bundle = DataBundle(
+                    ref_no=f"R{serial:07d}",
+                    part_id=part.part_id,
+                    article_code=rng.choice(part.article_codes),
+                    error_code=code.code,
+                    responsibility_code=rng.choices(
+                        config.responsibility_codes,
+                        weights=config.responsibility_weights)[0],
+                    reports=reports,
+                    part_description=render_part_description(context),
+                    error_description=render_error_description(context),
+                )
+                bundles.append(bundle)
+                serial += 1
+    rng.shuffle(bundles)
+    return Corpus(bundles=bundles, plan=plan, taxonomy=taxonomy, config=config)
+
+
+def corpus_statistics(bundles: Iterable[DataBundle]) -> dict[str, float | int]:
+    """Compute the §3.2 statistics table from a bundle list."""
+    bundles = list(bundles)
+    code_counts: dict[str, int] = {}
+    part_ids: set[str] = set()
+    article_codes: set[str] = set()
+    codes_per_part: dict[str, set[str]] = {}
+    for bundle in bundles:
+        part_ids.add(bundle.part_id)
+        article_codes.add(bundle.article_code)
+        code_counts[bundle.error_code] = code_counts.get(bundle.error_code, 0) + 1
+        codes_per_part.setdefault(bundle.part_id, set()).add(bundle.error_code)
+    singletons = sum(1 for count in code_counts.values() if count == 1)
+    experiment_bundles = sum(count for count in code_counts.values() if count > 1)
+    word_counts = [bundle.word_count() for bundle in bundles]
+    return {
+        "bundles": len(bundles),
+        "part_ids": len(part_ids),
+        "article_codes": len(article_codes),
+        "distinct_error_codes": len(code_counts),
+        "singleton_error_codes": singletons,
+        "experiment_classes": len(code_counts) - singletons,
+        "experiment_bundles": experiment_bundles,
+        "max_codes_per_part": max(len(codes) for codes in codes_per_part.values()),
+        "parts_over_10_codes": sum(1 for codes in codes_per_part.values()
+                                   if len(codes) > 10),
+        "mean_words_per_bundle": (sum(word_counts) / len(word_counts)
+                                  if word_counts else 0.0),
+    }

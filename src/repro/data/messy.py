@@ -1,0 +1,158 @@
+"""Messy-text noise injection.
+
+§1.2 defines "messy data" as "text which consists of non-standard,
+domain-specific language, riddled with spelling errors, idiosyncratic and
+non-idiomatic expressions and OEM-internal abbreviations".  This module
+turns clean template output into such text, with a controllable noise
+level so the generator can make mechanic reports much messier than
+supplier reports (§5.3.2).
+
+All randomness comes from a caller-provided ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: OEM-internal abbreviations applied to common words (both languages).
+ABBREVIATIONS: dict[str, str] = {
+    "defekt": "def.",
+    "gebrochen": "gebr.",
+    "funktioniert": "funkt.",
+    "nicht": "n.",
+    "links": "li.",
+    "rechts": "re.",
+    "vorne": "vo.",
+    "hinten": "hi.",
+    "Steuergerät": "Stg.",
+    "Fahrzeug": "Fzg.",
+    "Kunde": "Kd.",
+    "Werkstatt": "Wkst.",
+    "ersetzt": "ers.",
+    "geprüft": "gepr.",
+    "Prüfung": "Prfg.",
+    "customer": "cust.",
+    "replaced": "repl.",
+    "checked": "chk.",
+    "defective": "defect.",
+    "according": "acc.",
+    "approximately": "approx.",
+    "vehicle": "veh.",
+}
+
+#: Umlaut degradations seen in real mechanic typing: either the correct
+#: digraph ("ü" -> "ue", recoverable by normalization) or plain vowel
+#: ("ü" -> "u", a genuine typo).
+_UMLAUT_DIGRAPH = {"ä": "ae", "ö": "oe", "ü": "ue", "ß": "ss",
+                   "Ä": "Ae", "Ö": "Oe", "Ü": "Ue"}
+_UMLAUT_PLAIN = {"ä": "a", "ö": "o", "ü": "u", "ß": "s",
+                 "Ä": "A", "Ö": "O", "Ü": "U"}
+
+_NEIGHBOR_KEYS = {
+    "a": "sq", "b": "vn", "c": "xv", "d": "sf", "e": "wr", "f": "dg",
+    "g": "fh", "h": "gj", "i": "uo", "j": "hk", "k": "jl", "l": "k",
+    "m": "n", "n": "bm", "o": "ip", "p": "o", "q": "wa", "r": "et",
+    "s": "ad", "t": "rz", "u": "zi", "v": "cb", "w": "qe", "x": "yc",
+    "y": "x", "z": "tu",
+}
+
+
+def corrupt_word(word: str, rng: random.Random) -> str:
+    """Apply one random character-level typo to *word*."""
+    if len(word) < 3:
+        return word
+    kind = rng.randrange(4)
+    position = rng.randrange(1, len(word) - 1)
+    if kind == 0:  # swap adjacent characters
+        chars = list(word)
+        chars[position - 1], chars[position] = chars[position], chars[position - 1]
+        return "".join(chars)
+    if kind == 1:  # drop a character
+        return word[:position] + word[position + 1:]
+    if kind == 2:  # duplicate a character
+        return word[:position] + word[position] + word[position:]
+    # substitute with a keyboard neighbour
+    lower = word[position].lower()
+    neighbours = _NEIGHBOR_KEYS.get(lower)
+    if not neighbours:
+        return word
+    replacement = rng.choice(neighbours)
+    if word[position].isupper():
+        replacement = replacement.upper()
+    return word[:position] + replacement + word[position + 1:]
+
+
+def degrade_umlauts(word: str, rng: random.Random,
+                    plain_probability: float = 0.4) -> str:
+    """Replace umlauts by digraphs, or (with *plain_probability*) by the
+    bare vowel, which genuinely breaks dictionary matching."""
+    table = _UMLAUT_PLAIN if rng.random() < plain_probability else _UMLAUT_DIGRAPH
+    return "".join(table.get(char, char) for char in word)
+
+
+def abbreviate(word: str) -> str:
+    """Return the OEM-internal abbreviation for *word* if one exists."""
+    if word in ABBREVIATIONS:
+        return ABBREVIATIONS[word]
+    lowered = word.lower()
+    if lowered in ABBREVIATIONS:
+        return ABBREVIATIONS[lowered]
+    return word
+
+
+def messify(text: str, rng: random.Random, *, typo_probability: float = 0.05,
+            abbreviation_probability: float = 0.15,
+            umlaut_probability: float = 0.35,
+            case_noise_probability: float = 0.03) -> str:
+    """Inject messiness into *text*.
+
+    Args:
+        text: clean template output.
+        rng: the seeded random source.
+        typo_probability: per-word chance of a character-level typo.
+        abbreviation_probability: per-word chance of using the OEM-internal
+            abbreviation (when one exists).
+        umlaut_probability: per-word chance of degrading umlauts.
+        case_noise_probability: per-word chance of random upper/lowercasing.
+    """
+    words = text.split(" ")
+    noisy: list[str] = []
+    for word in words:
+        if not word:
+            noisy.append(word)
+            continue
+        if abbreviation_probability and rng.random() < abbreviation_probability:
+            word = abbreviate(word)
+        if umlaut_probability and any(c in _UMLAUT_DIGRAPH for c in word):
+            if rng.random() < umlaut_probability:
+                word = degrade_umlauts(word, rng)
+        if typo_probability and rng.random() < typo_probability:
+            word = corrupt_word(word, rng)
+        if case_noise_probability and rng.random() < case_noise_probability:
+            word = word.upper() if rng.random() < 0.5 else word.lower()
+        noisy.append(word)
+    return " ".join(noisy)
+
+
+#: Preset noise levels for the different report sources (§5.3.2: mechanic
+#: reports are "poor in detail ... and often error-riddled", supplier
+#: reports "contain more detail").
+NOISE_PRESETS: dict[str, dict[str, float]] = {
+    "mechanic": {"typo_probability": 0.07, "abbreviation_probability": 0.22,
+                 "umlaut_probability": 0.45, "case_noise_probability": 0.06},
+    "oem_initial": {"typo_probability": 0.02, "abbreviation_probability": 0.25,
+                    "umlaut_probability": 0.20, "case_noise_probability": 0.01},
+    "supplier": {"typo_probability": 0.012, "abbreviation_probability": 0.08,
+                 "umlaut_probability": 0.15, "case_noise_probability": 0.01},
+    "oem_final": {"typo_probability": 0.004, "abbreviation_probability": 0.10,
+                  "umlaut_probability": 0.05, "case_noise_probability": 0.0},
+}
+
+
+def messify_for_source(text: str, source: str, rng: random.Random) -> str:
+    """Apply the preset noise level of a report *source* to *text*.
+
+    Raises:
+        KeyError: if *source* has no preset.
+    """
+    return messify(text, rng, **NOISE_PRESETS[source])

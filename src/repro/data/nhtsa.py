@@ -1,0 +1,183 @@
+"""Synthetic NHTSA ODI complaints corpus (§5.4 substitute).
+
+The paper's extended use case classifies complaints from the NHTSA Office
+of Defects Investigation database (safercar.gov) with the OEM-trained
+knowledge base to compare error distributions across manufacturers.  The
+real dump is a network resource, so we synthesize an equivalent corpus
+with the properties §5.4 relies on:
+
+* **English only** and in a completely different register — verbose,
+  first-person customer narratives instead of telegraphic QA shorthand —
+  so the bag-of-words model degrades across sources while bag-of-concepts
+  transfers ("the bag-of-concepts approach is in principle independent of
+  the document language or other text features"),
+* the **same underlying component/symptom space** (taxonomy concepts do
+  occur in the complaints),
+* a **shifted error distribution** per manufacturer, so the side-by-side
+  comparison of Fig. 14 shows different top codes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..taxonomy.model import ENGLISH, Taxonomy
+from .plan import CodePlan, CorpusPlan
+
+#: Vehicle makes in the synthetic complaints database.  "OURS" plays the
+#: role of the OEM's own brand; the rest are competitors.
+MAKES = ("OURS", "COMPETITOR A", "COMPETITOR B")
+
+_NARRATIVE_OPENERS = (
+    "I was driving on the highway when",
+    "while parked in my driveway,",
+    "my wife noticed that",
+    "after picking up the car from the dealer,",
+    "on a cold morning,",
+    "during a long road trip,",
+    "shortly after the warranty expired,",
+)
+
+_NARRATIVE_CLOSERS = (
+    "the dealer could not reproduce the problem.",
+    "this is a serious safety concern for my family.",
+    "I had to pay for the repair myself.",
+    "the problem keeps coming back.",
+    "nobody was hurt but it was very scary.",
+    "I expect the manufacturer to issue a recall.",
+)
+
+
+@dataclass(frozen=True)
+class Complaint:
+    """One ODI-style complaint record."""
+
+    cmplid: str
+    make: str
+    model_year: int
+    component_class: str
+    cdescr: str
+    #: The planted ground-truth error code (hidden from classification;
+    #: used to validate the distribution comparison).
+    planted_code: str
+
+
+def _narrative(rng: random.Random, taxonomy: Taxonomy, code: CodePlan,
+               component_ids: tuple[str, ...]) -> str:
+    def surface(concept_id: str) -> str:
+        concept = taxonomy.get(concept_id)
+        forms = concept.surface_forms(ENGLISH)
+        return rng.choice(forms) if forms else concept_id
+
+    component = surface(rng.choice(component_ids))
+    symptom = surface(rng.choice(code.symptom_concept_ids))
+    pieces = [rng.choice(_NARRATIVE_OPENERS),
+              f"the {component} suddenly showed {symptom}.",
+              f"I noticed the {component} was acting strange and there was "
+              f"{symptom} coming from it."]
+    if rng.random() < 0.5:
+        second = surface(code.symptom_concept_ids[-1])
+        pieces.append(f"later there was also {second}.")
+    pieces.append(rng.choice(_NARRATIVE_CLOSERS))
+    return " ".join(pieces)
+
+
+def generate_complaints(taxonomy: Taxonomy, plan: CorpusPlan,
+                        count: int = 1800, seed: int = 4242) -> list[Complaint]:
+    """Generate *count* synthetic ODI complaints.
+
+    Every make draws from the same part/symptom world but with its own
+    permutation of code frequencies, so the per-make error distributions
+    differ — the signal the Fig. 14 comparison screen visualizes.
+    """
+    rng = random.Random(seed)
+    parts_by_id = {part.part_id: part for part in plan.parts}
+    repeated_codes = [code for part in plan.parts for code in part.repeated_codes]
+    complaints: list[Complaint] = []
+    # per-make frequency permutation over codes
+    make_weights: dict[str, list[float]] = {}
+    for make in MAKES:
+        weights = [1.0 / (rank ** 1.1) for rank in range(1, len(repeated_codes) + 1)]
+        rng.shuffle(weights)
+        make_weights[make] = weights
+    for serial in range(count):
+        make = rng.choice(MAKES)
+        code = rng.choices(repeated_codes, weights=make_weights[make])[0]
+        part = parts_by_id[code.part_id]
+        text = _narrative(rng, taxonomy, code, part.component_concept_ids)
+        complaints.append(Complaint(
+            cmplid=f"ODI{serial + 1:07d}",
+            make=make,
+            model_year=rng.randrange(2006, 2016),
+            component_class=part.component_class,
+            cdescr=text.upper(),  # real ODI narratives are upper-cased
+            planted_code=code.code,
+        ))
+    return complaints
+
+
+def complaints_by_make(complaints: list[Complaint]) -> dict[str, list[Complaint]]:
+    """Group complaints per vehicle make."""
+    groups: dict[str, list[Complaint]] = {}
+    for complaint in complaints:
+        groups.setdefault(complaint.make, []).append(complaint)
+    return groups
+
+
+# --------------------------------------------------------------------- #
+# FLAT_CMPL exchange format
+#
+# The real ODI database is distributed as tab-separated FLAT_CMPL files
+# (one complaint per line, fixed field order, no header).  We write and
+# read the subset of fields our records carry, at their real positions:
+# CMPLID (1), MAKETXT (3), YEARTXT (5), COMPDESC (7), CDESCR (20).
+
+#: Number of fields per FLAT_CMPL line (the 2014-era layout).
+FLAT_CMPL_FIELDS = 49
+_POSITIONS = {"cmplid": 0, "maketxt": 2, "yeartxt": 4, "compdesc": 6,
+              "cdescr": 19}
+
+
+def complaints_to_flat(complaints: list[Complaint]) -> str:
+    """Serialize complaints in the tab-separated FLAT_CMPL layout."""
+    lines = []
+    for complaint in complaints:
+        fields = [""] * FLAT_CMPL_FIELDS
+        fields[_POSITIONS["cmplid"]] = complaint.cmplid
+        fields[_POSITIONS["maketxt"]] = complaint.make
+        fields[_POSITIONS["yeartxt"]] = str(complaint.model_year)
+        fields[_POSITIONS["compdesc"]] = complaint.component_class.upper()
+        fields[_POSITIONS["cdescr"]] = complaint.cdescr.replace("\t", " ")
+        lines.append("\t".join(fields))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def complaints_from_flat(text: str) -> list[Complaint]:
+    """Parse a FLAT_CMPL dump back into complaint records.
+
+    Unknown/extra fields are ignored; the planted ground-truth code is a
+    synthetic-only attribute and comes back empty.
+
+    Raises:
+        ValueError: on lines with too few fields.
+    """
+    complaints: list[Complaint] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        fields = line.split("\t")
+        if len(fields) < _POSITIONS["cdescr"] + 1:
+            raise ValueError(f"FLAT_CMPL line {line_number}: expected at "
+                             f"least {_POSITIONS['cdescr'] + 1} fields, "
+                             f"got {len(fields)}")
+        year_text = fields[_POSITIONS["yeartxt"]]
+        complaints.append(Complaint(
+            cmplid=fields[_POSITIONS["cmplid"]],
+            make=fields[_POSITIONS["maketxt"]],
+            model_year=int(year_text) if year_text.isdigit() else 0,
+            component_class=fields[_POSITIONS["compdesc"]].lower(),
+            cdescr=fields[_POSITIONS["cdescr"]],
+            planted_code="",
+        ))
+    return complaints

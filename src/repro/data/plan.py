@@ -1,0 +1,447 @@
+"""Corpus planner: the statistical skeleton of the synthetic OEM corpus.
+
+The original corpus is proprietary; §3.2 publishes its statistics, and the
+planner reproduces them *exactly* for the default parameters:
+
+* 7,500 data bundles across 3 component classes and 31 part IDs,
+* 831 distinct article codes,
+* 1,271 distinct error codes, 718 of which occur exactly once,
+* hence 553 classes / 6,782 bundles for the experiments,
+* at most 146 distinct error codes for one part ID,
+* more than 10 distinct error codes for 25 of the 31 part IDs.
+
+Beyond the counts, the planner fixes the *semantics* that the text
+generator renders:
+
+* each part ID owns a set of component concepts from the taxonomy,
+* error codes are grouped into clusters sharing a symptom-concept
+  signature — bag-of-concepts features cannot separate codes within a
+  cluster, which is exactly why the paper's bag-of-words variant wins at
+  small k (§5.2.2),
+* each error code additionally owns code-specific jargon tokens that are
+  *not* taxonomy concepts — the signal only bag-of-words can use.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..taxonomy.model import Category, Taxonomy
+from ..taxonomy.vocabulary import JARGON_TOKENS
+
+
+@dataclass(frozen=True)
+class CodePlan:
+    """Plan for one error code."""
+
+    code: str
+    part_id: str
+    multiplicity: int
+    group_id: str
+    symptom_concept_ids: tuple[str, ...]
+    jargon: tuple[str, ...]
+
+    @property
+    def is_singleton(self) -> bool:
+        """Whether the code occurs exactly once in the corpus."""
+        return self.multiplicity == 1
+
+
+@dataclass
+class PartPlan:
+    """Plan for one part ID."""
+
+    part_id: str
+    component_class: str
+    base_concept_id: str
+    component_concept_ids: tuple[str, ...]
+    article_codes: tuple[str, ...]
+    bundle_count: int
+    codes: list[CodePlan] = field(default_factory=list)
+
+    @property
+    def distinct_code_count(self) -> int:
+        """Distinct error codes observed for this part (incl. singletons)."""
+        return len(self.codes)
+
+    @property
+    def repeated_codes(self) -> list[CodePlan]:
+        """Codes with multiplicity >= 2 (the experiment classes)."""
+        return [code for code in self.codes if not code.is_singleton]
+
+
+@dataclass
+class CorpusPlan:
+    """The full corpus skeleton."""
+
+    parts: list[PartPlan]
+    component_classes: tuple[str, ...]
+    seed: int
+
+    # ------------------------------------------------------------------ #
+    # aggregate statistics (§3.2)
+
+    @property
+    def bundle_count(self) -> int:
+        """Total data bundles (7,500 in the paper)."""
+        return sum(part.bundle_count for part in self.parts)
+
+    @property
+    def part_id_count(self) -> int:
+        """Distinct part IDs (31)."""
+        return len(self.parts)
+
+    @property
+    def article_code_count(self) -> int:
+        """Distinct article codes (831)."""
+        return sum(len(part.article_codes) for part in self.parts)
+
+    @property
+    def distinct_error_codes(self) -> int:
+        """Distinct error codes (1,271)."""
+        return sum(part.distinct_code_count for part in self.parts)
+
+    @property
+    def singleton_error_codes(self) -> int:
+        """Codes occurring exactly once (718)."""
+        return sum(1 for part in self.parts for code in part.codes
+                   if code.is_singleton)
+
+    @property
+    def experiment_classes(self) -> int:
+        """Error codes appearing more than once (553 in the paper)."""
+        return self.distinct_error_codes - self.singleton_error_codes
+
+    @property
+    def experiment_bundles(self) -> int:
+        """Bundles whose code appears more than once (6,782 in the paper)."""
+        return sum(code.multiplicity for part in self.parts
+                   for code in part.codes if not code.is_singleton)
+
+    @property
+    def max_codes_per_part(self) -> int:
+        return max(part.distinct_code_count for part in self.parts)
+
+    def parts_with_more_than(self, threshold: int) -> int:
+        """Number of part IDs with more than *threshold* distinct codes."""
+        return sum(1 for part in self.parts
+                   if part.distinct_code_count > threshold)
+
+    def all_codes(self) -> list[CodePlan]:
+        """Every planned error code across all parts."""
+        return [code for part in self.parts for code in part.codes]
+
+
+# --------------------------------------------------------------------- #
+# helper allocation routines
+
+
+def _split_total(total: int, weights: list[float], minimum: int,
+                 rng: random.Random) -> list[int]:
+    """Split *total* into len(weights) integers >= minimum, ~ proportional."""
+    count = len(weights)
+    if total < minimum * count:
+        raise ValueError(f"cannot split {total} into {count} parts >= {minimum}")
+    weight_sum = sum(weights)
+    shares = [max(minimum, int(total * weight / weight_sum)) for weight in weights]
+    # Repair rounding drift deterministically.
+    drift = total - sum(shares)
+    order = sorted(range(count), key=lambda i: -weights[i])
+    index = 0
+    while drift != 0:
+        target = order[index % count]
+        if drift > 0:
+            shares[target] += 1
+            drift -= 1
+        elif shares[target] > minimum:
+            shares[target] -= 1
+            drift += 1
+        index += 1
+    return shares
+
+
+def _zipf_multiplicities(total: int, count: int, exponent: float,
+                         minimum: int) -> list[int]:
+    """Distribute *total* over *count* codes, Zipf-like, each >= minimum.
+
+    The first (most frequent) code receives the largest share; this is what
+    drives the code-frequency baseline's accuracy@1 (§5.1).
+    """
+    if total < minimum * count:
+        raise ValueError(f"cannot give {count} codes {minimum}+ each from {total}")
+    weights = [1.0 / (rank ** exponent) for rank in range(1, count + 1)]
+    weight_sum = sum(weights)
+    shares = [max(minimum, int(round(total * weight / weight_sum)))
+              for weight in weights]
+    drift = total - sum(shares)
+    index = 0
+    while drift != 0:
+        if drift > 0:
+            shares[index % count] += 1
+            drift -= 1
+        elif shares[index % count] > minimum:
+            shares[index % count] -= 1
+            drift += 1
+        index += 1
+    shares.sort(reverse=True)
+    return shares
+
+
+# --------------------------------------------------------------------- #
+# the planner
+
+
+#: Default corpus parameters — the paper's published statistics.
+DEFAULT_PARAMETERS = {
+    "bundles": 7500,
+    "part_ids": 31,
+    "article_codes": 831,
+    "distinct_codes": 1271,
+    "singleton_codes": 718,
+    "max_codes_per_part": 146,
+    "parts_over_10_codes": 25,
+    "zipf_exponent": 1.2,
+    "max_repeated_codes_per_part": 23,
+    "cluster_sizes": (1, 1, 1, 2, 2, 3),
+    "signature_collision": 0.45,
+}
+
+
+def plan_corpus(taxonomy: Taxonomy, seed: int = 42,
+                parameters: dict | None = None) -> CorpusPlan:
+    """Build the corpus skeleton.
+
+    Args:
+        taxonomy: the automotive taxonomy; component and symptom leaves are
+            drawn from it.
+        seed: RNG seed; the default plan reproduces §3.2 exactly.
+        parameters: overrides for :data:`DEFAULT_PARAMETERS` (used by tests
+            and by scaled-down benchmark runs).
+    """
+    config = dict(DEFAULT_PARAMETERS)
+    if parameters:
+        config.update(parameters)
+    rng = random.Random(seed)
+
+    component_classes = ("electrics", "comfort", "powertrain")
+    has_children = {concept.parent_id for concept in taxonomy
+                    if concept.parent_id is not None}
+    symptom_leaves = [concept.concept_id
+                      for concept in taxonomy.concepts(Category.SYMPTOM)
+                      if concept.parent_id is not None
+                      and concept.concept_id not in has_children]
+    component_leaves = [concept for concept in taxonomy.concepts(Category.COMPONENT)
+                        if concept.parent_id is not None
+                        and concept.concept_id not in has_children]
+    if len(symptom_leaves) < 50 or len(component_leaves) < 50:
+        raise ValueError("taxonomy too small to plan a corpus from")
+
+    part_count = config["part_ids"]
+
+    # --- bundles per part: skewed, deterministic -------------------------
+    part_weights = [1.0 / (rank ** 0.55) for rank in range(1, part_count + 1)]
+    bundle_counts = _split_total(config["bundles"], part_weights, 60, rng)
+
+    # --- article codes per part ------------------------------------------
+    article_counts = _split_total(config["article_codes"], part_weights, 5, rng)
+
+    # --- distinct repeated codes per part (sums to 553) -------------------
+    repeated_total = config["distinct_codes"] - config["singleton_codes"]
+    cap = config["max_repeated_codes_per_part"]
+    repeated_counts = _split_total(repeated_total, part_weights, 6, rng)
+    # clamp to the cap, pushing overflow to smaller parts
+    overflow = 0
+    for index, value in enumerate(repeated_counts):
+        if value > cap:
+            overflow += value - cap
+            repeated_counts[index] = cap
+    index = part_count - 1
+    while overflow > 0:
+        if repeated_counts[index] < cap:
+            repeated_counts[index] += 1
+            overflow -= 1
+        index = index - 1 if index > 0 else part_count - 1
+
+    # --- singleton codes per part (sums to 718) ---------------------------
+    # The six smallest parts stay at <= 10 distinct codes overall; the
+    # largest part is pushed to exactly `max_codes_per_part` distinct codes.
+    small_parts = set(range(part_count - (part_count - config["parts_over_10_codes"]),
+                            part_count))
+    singleton_counts = [0] * part_count
+    singleton_counts[0] = config["max_codes_per_part"] - repeated_counts[0]
+    remaining = config["singleton_codes"] - singleton_counts[0]
+    # small parts get at most enough singletons to stay <= 10 distinct
+    for index in sorted(small_parts):
+        repeated_counts[index] = min(repeated_counts[index], 8)
+        budget = 10 - repeated_counts[index]
+        take = min(budget, 2)
+        singleton_counts[index] = take
+        remaining -= take
+    middle = [index for index in range(1, part_count) if index not in small_parts]
+    weights = [part_weights[index] for index in middle]
+    middle_shares = _split_total(remaining, weights, 3, rng)
+    for position, index in enumerate(middle):
+        singleton_counts[index] = middle_shares[position]
+    # keep middle parts above 10 distinct codes
+    for index in middle:
+        if repeated_counts[index] + singleton_counts[index] <= 10:
+            singleton_counts[index] += 11 - (repeated_counts[index]
+                                             + singleton_counts[index])
+            singleton_counts[middle[0]] -= (11 - repeated_counts[index]
+                                            - singleton_counts[index])
+
+    # Fix the repeated-count total after the small-part clamping above.
+    repeated_drift = repeated_total - sum(repeated_counts)
+    index = 1
+    while repeated_drift != 0:
+        target = index % part_count
+        if target not in small_parts:
+            if repeated_drift > 0 and repeated_counts[target] < cap:
+                repeated_counts[target] += 1
+                repeated_drift -= 1
+            elif repeated_drift < 0 and repeated_counts[target] > 6:
+                repeated_counts[target] -= 1
+                repeated_drift += 1
+        index += 1
+
+    singleton_drift = config["singleton_codes"] - sum(singleton_counts)
+    index = 1
+    while singleton_drift != 0:
+        target = index % part_count
+        if target not in small_parts and target != 0:
+            if singleton_drift > 0:
+                singleton_counts[target] += 1
+                singleton_drift -= 1
+            elif singleton_counts[target] > 3:
+                singleton_counts[target] -= 1
+                singleton_drift += 1
+        index += 1
+
+    # --- build the parts ---------------------------------------------------
+    parts: list[PartPlan] = []
+    article_cursor = 1000
+    code_cursor = 1000
+    used_jargon = set()
+
+    base_pool = rng.sample(component_leaves, part_count)
+    for index in range(part_count):
+        base = base_pool[index]
+        siblings = [concept.concept_id for concept in
+                    taxonomy.children(base.parent_id or base.concept_id)]
+        related = [base.concept_id] + [cid for cid in siblings
+                                       if cid != base.concept_id][:3]
+        extra = rng.sample([c.concept_id for c in component_leaves], 2)
+        component_ids = tuple(dict.fromkeys(related + extra))[:5]
+
+        articles = tuple(f"A{article_cursor + offset:05d}"
+                         for offset in range(article_counts[index]))
+        article_cursor += article_counts[index]
+
+        part = PartPlan(
+            part_id=f"P{index + 1:02d}",
+            component_class=component_classes[index % len(component_classes)],
+            base_concept_id=base.concept_id,
+            component_concept_ids=component_ids,
+            article_codes=articles,
+            bundle_count=bundle_counts[index],
+        )
+
+        # --- error codes for this part -----------------------------------
+        repeated = repeated_counts[index]
+        singles = singleton_counts[index]
+        instances = part.bundle_count - singles
+        multiplicities = _zipf_multiplicities(instances, repeated,
+                                              config["zipf_exponent"], 2)
+        # Error-code numbers carry no frequency information in a real
+        # coding scheme, so decouple the two.
+        rng.shuffle(multiplicities)
+
+        # cluster the repeated codes into symptom-signature groups
+        cluster_sizes = list(config["cluster_sizes"])
+        assignments: list[int] = []  # cluster index per code
+        cluster_index = 0
+        position = 0
+        while position < repeated:
+            size = rng.choice(cluster_sizes)
+            size = min(size, repeated - position)
+            assignments.extend([cluster_index] * size)
+            cluster_index += 1
+            position += size
+        cluster_count = cluster_index
+
+        part_symptoms = rng.sample(symptom_leaves, min(cluster_count * 2,
+                                                       len(symptom_leaves)))
+        cluster_signatures: list[tuple[str, ...]] = []
+        for cluster in range(cluster_count):
+            primary = part_symptoms[(cluster * 2) % len(part_symptoms)]
+            if cluster_signatures and rng.random() < config["signature_collision"]:
+                # The taxonomy is coarser than the error-code scheme: some
+                # neighbouring clusters share their primary symptom concept,
+                # so bag-of-concepts features cannot fully separate them
+                # (§5.2.2: the concepts "do not represent ultimately
+                # accurate features").
+                primary = cluster_signatures[-1][0]
+            secondary = part_symptoms[(cluster * 2 + 1) % len(part_symptoms)]
+            signature = (primary, secondary) if rng.random() < 0.6 else (primary,)
+            cluster_signatures.append(signature)
+
+        for code_rank in range(repeated):
+            code_name = f"E{code_cursor:04d}"
+            code_cursor += 1
+            unique = (f"qx{code_cursor:04d}", f"vz{code_cursor + 7000:04d}",
+                      f"fb{code_cursor + 3000:04d}", f"mp{code_cursor + 5000:04d}")
+            shared = rng.choice(JARGON_TOKENS)
+            used_jargon.add(shared)
+            part.codes.append(CodePlan(
+                code=code_name,
+                part_id=part.part_id,
+                multiplicity=multiplicities[code_rank],
+                group_id=f"{part.part_id}-G{assignments[code_rank]:02d}",
+                symptom_concept_ids=cluster_signatures[assignments[code_rank]],
+                jargon=unique + (shared,),
+            ))
+
+        for singleton_rank in range(singles):
+            code_name = f"E{code_cursor:04d}"
+            code_cursor += 1
+            cluster = singleton_rank % max(cluster_count, 1)
+            signature = (cluster_signatures[cluster]
+                         if cluster_signatures else (rng.choice(symptom_leaves),))
+            part.codes.append(CodePlan(
+                code=code_name,
+                part_id=part.part_id,
+                multiplicity=1,
+                group_id=f"{part.part_id}-G{cluster:02d}",
+                symptom_concept_ids=signature,
+                jargon=(f"qx{code_cursor:04d}", f"vz{code_cursor + 7000:04d}",
+                        f"fb{code_cursor + 3000:04d}", f"mp{code_cursor + 5000:04d}",
+                        rng.choice(JARGON_TOKENS)),
+            ))
+
+        parts.append(part)
+
+    plan = CorpusPlan(parts=parts, component_classes=component_classes,
+                      seed=seed)
+    _validate(plan, config)
+    return plan
+
+
+def _validate(plan: CorpusPlan, config: dict) -> None:
+    """Assert the plan reproduces the configured statistics."""
+    problems = []
+    if plan.bundle_count != config["bundles"]:
+        problems.append(f"bundles {plan.bundle_count} != {config['bundles']}")
+    if plan.article_code_count != config["article_codes"]:
+        problems.append(f"articles {plan.article_code_count} != {config['article_codes']}")
+    if plan.distinct_error_codes != config["distinct_codes"]:
+        problems.append(f"codes {plan.distinct_error_codes} != {config['distinct_codes']}")
+    if plan.singleton_error_codes != config["singleton_codes"]:
+        problems.append(f"singletons {plan.singleton_error_codes} != {config['singleton_codes']}")
+    for part in plan.parts:
+        realized = sum(code.multiplicity for code in part.codes)
+        if realized != part.bundle_count:
+            problems.append(f"{part.part_id}: {realized} instances != "
+                            f"{part.bundle_count} bundles")
+    if problems:
+        raise ValueError("invalid corpus plan: " + "; ".join(problems))

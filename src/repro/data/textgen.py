@@ -1,0 +1,293 @@
+"""Report text rendering.
+
+Turns the corpus plan's semantics (component concepts, symptom signature,
+code jargon) into report texts whose information content per source follows
+§5.3.2 of the paper:
+
+* **mechanic reports**: "poor in detail, focused on superficial problem
+  description and often error-riddled" — vague or wrong symptom mentions,
+  heavy noise, customer-voice phrasing;
+* **initial OEM reports**: optional, administrative, nearly signal-free;
+* **supplier reports**: "more detail and include descriptions of potential
+  causes" — the full symptom signature, component mentions, measurement
+  jargon and the code-specific tokens;
+* **final OEM reports** (training only): clean expert summary.
+
+Texts mix German and English (§3.2) and are degraded by
+:mod:`repro.data.messy` according to per-source noise presets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..taxonomy.model import ENGLISH, GERMAN, Taxonomy
+from .bundle import Report, ReportSource
+from .messy import messify_for_source
+from .plan import CodePlan, PartPlan
+
+#: Generic complaints mechanics write instead of a precise symptom.
+GENERIC_COMPLAINTS = {
+    GERMAN: ("ohne Funktion", "geht nicht", "macht Probleme",
+             "funktioniert nicht richtig", "Kunde unzufrieden",
+             "fällt manchmal aus"),
+    ENGLISH: ("does not work", "not working properly", "has problems",
+              "keeps failing", "customer not happy", "acts up sometimes"),
+}
+
+_MECHANIC_OPENERS = {
+    GERMAN: ("Kunde beanstandet", "Kunde meldet", "Beanstandung", "Kd. sagt",
+             "Fahrzeug kam mit"),
+    ENGLISH: ("customer complains about", "client says that", "complaint",
+              "cust. reports", "vehicle came in with"),
+}
+
+_MECHANIC_CLOSERS = {
+    GERMAN: ("Bitte prüfen.", "Teil ausgebaut und eingeschickt.",
+             "Zur Prüfung an Werk.", "Teil getauscht.", ""),
+    ENGLISH: ("please check.", "part removed and sent in.",
+              "sent for inspection.", "part replaced.", ""),
+}
+
+_INITIAL_TEMPLATES = {
+    GERMAN: ("Eingangsprüfung {number}, keine eindeutigen Ergebnisse, "
+             "weiter an Lieferant.",
+             "Sichtprüfung {number} durchgeführt, etwas Schmutz entfernt, "
+             "Weiterleitung an Lieferant.",
+             "Vorprüfung {number} ohne Befund, Teil geht an Lieferant."),
+    ENGLISH: ("id test {number}, no clear results, sending on to supplier.",
+              "visual inspection {number} done, removed some dirt, "
+              "forwarding to supplier.",
+              "initial check {number} inconclusive, part goes to supplier."),
+}
+
+_SUPPLIER_OPENERS = {
+    GERMAN: ("Analyse Eingang:", "Befundung:", "Prüfbericht:",
+             "Eingangsanalyse abgeschlossen:"),
+    ENGLISH: ("incoming analysis:", "findings:", "test report:",
+              "inspection completed:"),
+}
+
+_SUPPLIER_CAUSE = {
+    GERMAN: ("Ursache liegt bei", "Fehlerursache:", "Grund vermutlich"),
+    ENGLISH: ("root cause at", "cause of failure:", "reason probably"),
+}
+
+_FINAL_TEMPLATES = {
+    GERMAN: ("Befund bestätigt: {symptoms}. Betroffen: {component}. "
+             "Fehlercode vergeben. Referenz {jargon}.",
+             "Abschlussbewertung: {symptoms} an {component} nachgewiesen. "
+             "Kennung {jargon}."),
+    ENGLISH: ("finding confirmed: {symptoms}. affected: {component}. "
+              "error code assigned. reference {jargon}.",
+              "final assessment: {symptoms} verified on {component}. "
+              "identifier {jargon}."),
+}
+
+_FILLER = {
+    GERMAN: ("Kilometerstand {km}", "Erstzulassung {year}", "siehe Anhang",
+             "Foto beigefügt", "Rücksprache erfolgt", "wie telefonisch besprochen",
+             "Termin vereinbart", "im Rahmen der Garantie"),
+    ENGLISH: ("mileage {km}", "first registration {year}", "see attachment",
+              "photo attached", "as discussed", "as per phone call",
+              "appointment scheduled", "under warranty"),
+}
+
+
+@dataclass(frozen=True)
+class RenderContext:
+    """Everything the renderer needs for one bundle."""
+
+    part: PartPlan
+    code: CodePlan
+    taxonomy: Taxonomy
+    rng: random.Random
+
+
+def _surface(context: RenderContext, concept_id: str, language: str) -> str:
+    """A surface form of *concept_id* in *language* (fallback: any)."""
+    concept = context.taxonomy.get(concept_id)
+    forms = concept.surface_forms(language)
+    if not forms:
+        for other in sorted(concept.languages()):
+            forms = concept.surface_forms(other)
+            if forms:
+                break
+    if not forms:
+        return concept_id
+    return context.rng.choice(forms)
+
+
+def _filler(context: RenderContext, language: str) -> str:
+    # Numbers come from small pools: free-text numerals would act as
+    # accidental unique features and drown the real bag-of-words signal.
+    template = context.rng.choice(_FILLER[language])
+    return template.format(km=context.rng.choice((30, 60, 90, 120, 150, 180)) * 1000,
+                           year=context.rng.randrange(2008, 2015))
+
+
+def pick_language(rng: random.Random, german_probability: float = 0.55) -> str:
+    """Pick the dominant language of a report."""
+    return GERMAN if rng.random() < german_probability else ENGLISH
+
+
+def render_mechanic_report(context: RenderContext, language: str,
+                           *, true_symptom_probability: float = 0.30,
+                           wrong_symptom_probability: float = 0.20) -> Report:
+    """The mechanic's short, vague, error-riddled complaint."""
+    rng = context.rng
+    component = _surface(context, rng.choice(context.part.component_concept_ids),
+                         language)
+    roll = rng.random()
+    if roll < true_symptom_probability:
+        symptom = _surface(context, rng.choice(context.code.symptom_concept_ids),
+                           language)
+    elif roll < true_symptom_probability + wrong_symptom_probability:
+        other_codes = [code for code in context.part.codes
+                       if code.group_id != context.code.group_id]
+        if other_codes:
+            wrong = rng.choice(other_codes)
+            symptom = _surface(context, rng.choice(wrong.symptom_concept_ids),
+                               language)
+        else:
+            symptom = rng.choice(GENERIC_COMPLAINTS[language])
+    else:
+        symptom = rng.choice(GENERIC_COMPLAINTS[language])
+    opener = rng.choice(_MECHANIC_OPENERS[language])
+    closer = rng.choice(_MECHANIC_CLOSERS[language])
+    duration = rng.randrange(2, 6)
+    since = (f"tritt seit {duration} Wochen immer wieder auf."
+             if language == GERMAN
+             else f"has been happening for {duration} weeks now.")
+    pieces = [f"{opener} {component}.", f"{component} {symptom}."]
+    if rng.random() < 0.6:
+        pieces.append(since)
+    if rng.random() < 0.85:
+        pieces.append(_filler(context, language) + ".")
+    if closer:
+        pieces.append(closer)
+    text = " ".join(pieces)
+    text = messify_for_source(text, "mechanic", rng)
+    return Report(ReportSource.MECHANIC, text, language)
+
+
+def render_initial_report(context: RenderContext, language: str) -> Report:
+    """The optional, administrative initial OEM report."""
+    rng = context.rng
+    template = rng.choice(_INITIAL_TEMPLATES[language])
+    text = template.format(number=rng.randrange(1, 9) * 100)
+    if rng.random() < 0.35:
+        component = _surface(context, context.part.base_concept_id, language)
+        text = f"{component}: {text}"
+    text = messify_for_source(text, "oem_initial", rng)
+    return Report(ReportSource.OEM_INITIAL, text, language)
+
+
+def render_supplier_report(context: RenderContext, language: str,
+                           *, symptom_probability: float = 0.95,
+                           jargon_probability: float = 0.85,
+                           signature_dropout: float = 0.08) -> Report:
+    """The supplier's detailed analysis: symptoms, causes, measurements.
+
+    With probability *signature_dropout* the report names no symptom
+    concept at all (only generic wording plus measurements) — these are the
+    bundles on which the domain-specific bag-of-concepts features carry no
+    error signal, one of the reasons the taxonomy features "do not
+    represent ultimately accurate features for classification" (§5.2.2).
+    """
+    rng = context.rng
+    part = context.part
+    code = context.code
+    dropout = rng.random() < signature_dropout
+    # The opener and the checked-items list are supplier boilerplate: the
+    # same QA template every time, canonical part names, fixed order.
+    pieces: list[str] = [_SUPPLIER_OPENERS[language][0]]
+    components = list(part.component_concept_ids)
+    primary_component = _surface(context, components[0], language)
+    pieces.append(f"{primary_component} geprüft."
+                  if language == GERMAN else f"{primary_component} inspected.")
+
+    def canonical(concept_id: str) -> str:
+        concept = context.taxonomy.get(concept_id)
+        return (concept.labels.get(language)
+                or next(iter(concept.labels.values()), concept_id))
+
+    checked = [canonical(concept_id) for concept_id in components]
+    pieces.append(("Geprüfte Umfänge: " if language == GERMAN
+                   else "items checked: ") + ", ".join(checked) + ".")
+    rng.shuffle(components)
+    confirmed = "bestätigt" if language == GERMAN else "confirmed"
+    if dropout:
+        pieces.append("Fehlfunktion laut Messprotokoll, Symptomatik nicht "
+                      "reproduzierbar." if language == GERMAN else
+                      "malfunction per measurement log, symptoms not "
+                      "reproducible.")
+    else:
+        for symptom_id in code.symptom_concept_ids:
+            if rng.random() < symptom_probability:
+                symptom = _surface(context, symptom_id, language)
+                component = _surface(context, rng.choice(components[:3]),
+                                     language)
+                pieces.append(f"{component}: {symptom} {confirmed}.")
+        if rng.random() < 0.7 and len(components) > 1:
+            extra_component = _surface(context, components[1], language)
+            extra_symptom = _surface(context,
+                                     rng.choice(code.symptom_concept_ids),
+                                     language)
+            pieces.append(f"{extra_component} {extra_symptom}.")
+    jargon_used = [token for token in code.jargon
+                   if rng.random() < jargon_probability]
+    if jargon_used:
+        cause = rng.choice(_SUPPLIER_CAUSE[language])
+        pieces.append(f"{cause} {' '.join(jargon_used)}.")
+    measured = rng.randrange(2, 20) * 5
+    limit = measured + 5
+    pieces.append(f"Messwert {measured} von {limit} außerhalb der Toleranz."
+                  if language == GERMAN
+                  else f"measured value {measured} of {limit} out of tolerance.")
+    if not dropout:
+        summary_symptom = _surface(context, code.symptom_concept_ids[0],
+                                   language)
+        pieces.append(f"Zusammenfassung: {summary_symptom} nachgewiesen."
+                      if language == GERMAN
+                      else f"summary: {summary_symptom} verified.")
+    if rng.random() < 0.6:
+        pieces.append(_filler(context, language) + ".")
+    text = " ".join(pieces)
+    text = messify_for_source(text, "supplier", rng)
+    return Report(ReportSource.SUPPLIER, text, language)
+
+
+def render_final_report(context: RenderContext, language: str,
+                        *, jargon_probability: float = 0.9) -> Report:
+    """The quality expert's clean final summary (training data only)."""
+    rng = context.rng
+    symptoms = ", ".join(_surface(context, sid, language)
+                         for sid in context.code.symptom_concept_ids)
+    component = _surface(context, context.part.base_concept_id, language)
+    jargon = (context.code.jargon[0]
+              if rng.random() < jargon_probability else "intern")
+    template = rng.choice(_FINAL_TEMPLATES[language])
+    text = template.format(symptoms=symptoms, component=component,
+                           jargon=jargon)
+    text = messify_for_source(text, "oem_final", rng)
+    return Report(ReportSource.OEM_FINAL, text, language)
+
+
+def render_part_description(context: RenderContext) -> str:
+    """The standardized bilingual part id description (§3.2)."""
+    english = _surface(context, context.part.base_concept_id, ENGLISH)
+    german = _surface(context, context.part.base_concept_id, GERMAN)
+    if english == german:
+        return f"{english} assembly"
+    return f"{german} / {english} assembly"
+
+
+def render_error_description(context: RenderContext) -> str:
+    """The standardized bilingual error code description (training only)."""
+    german = " ".join(_surface(context, sid, GERMAN)
+                      for sid in context.code.symptom_concept_ids)
+    english = " ".join(_surface(context, sid, ENGLISH)
+                       for sid in context.code.symptom_concept_ids)
+    return f"{german} / {english} [{context.code.jargon[0]} {context.code.jargon[1]}]"

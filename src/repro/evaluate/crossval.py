@@ -1,0 +1,77 @@
+"""Stratified k-fold cross-validation (§5.1).
+
+"We run all experiments with stratified 5-fold cross-validation on the
+6782 data bundles whose error code appears more than once": for each error
+code, its bundles are spread over the folds so that each fold's training
+side sees ~4/5 of every code's instances.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..data.bundle import DataBundle
+
+
+@dataclass(frozen=True)
+class Fold:
+    """One train/test split."""
+
+    index: int
+    train: tuple[DataBundle, ...]
+    test: tuple[DataBundle, ...]
+
+
+def experiment_subset(bundles: Iterable[DataBundle]) -> list[DataBundle]:
+    """The bundles whose error code appears more than once (§3.2).
+
+    Codes observed a single time are removed "since nothing can be learned
+    from them for the classification task at hand".
+    """
+    bundles = list(bundles)
+    counts: dict[str, int] = {}
+    for bundle in bundles:
+        if bundle.error_code is not None:
+            counts[bundle.error_code] = counts.get(bundle.error_code, 0) + 1
+    return [bundle for bundle in bundles
+            if bundle.error_code is not None and counts[bundle.error_code] > 1]
+
+
+def stratified_folds(bundles: Sequence[DataBundle], folds: int = 5,
+                     seed: int = 7) -> Iterator[Fold]:
+    """Yield stratified train/test folds.
+
+    Every bundle appears in exactly one test fold.  Stratification is by
+    error code: each code's bundles are shuffled and dealt round-robin to
+    the folds, with a per-code random starting fold so codes with fewer
+    instances than folds do not all land in fold 0.
+
+    Raises:
+        ValueError: if *folds* < 2.
+    """
+    if folds < 2:
+        raise ValueError("need at least 2 folds")
+    rng = random.Random(seed)
+    by_code: dict[str, list[DataBundle]] = {}
+    for bundle in bundles:
+        if bundle.error_code is None:
+            raise ValueError(f"bundle {bundle.ref_no} has no error code")
+        by_code.setdefault(bundle.error_code, []).append(bundle)
+    assignments: list[list[DataBundle]] = [[] for _ in range(folds)]
+    for code in sorted(by_code):
+        items = by_code[code]
+        rng.shuffle(items)
+        start = rng.randrange(folds)
+        for position, bundle in enumerate(items):
+            assignments[(start + position) % folds].append(bundle)
+    for index in range(folds):
+        test = tuple(assignments[index])
+        train = [bundle for other in range(folds) if other != index
+                 for bundle in assignments[other]]
+        # Training order is the knowledge base's storage order; shuffle it
+        # so "storage order" carries no class information (it is the basis
+        # of the unsorted candidate-set baseline).
+        random.Random(seed * 31 + index).shuffle(train)
+        yield Fold(index=index, train=tuple(train), test=test)

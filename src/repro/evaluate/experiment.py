@@ -1,0 +1,246 @@
+"""The experiment runner behind §5.2-5.4.
+
+One :class:`ExperimentConfig` describes a classifier variant (feature
+model x similarity measure x test report sources); :func:`run_experiment`
+evaluates it with stratified cross-validation and returns per-fold and
+averaged accuracy@k plus per-bundle classification time — everything the
+paper's figures plot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from ..classify.baselines import CandidateSetBaseline, CodeFrequencyBaseline
+from ..classify.knn import DEFAULT_NODE_CUTOFF, RankedKnnClassifier
+from ..data.bundle import DataBundle, ReportSource, TEST_TIME_SOURCES
+from ..data.nhtsa import Complaint
+from ..knowledge.base import KnowledgeBase
+from ..knowledge.extractor import (BagOfConceptsExtractor,
+                                   BagOfWordsExtractor, FeatureExtractor)
+from ..taxonomy.annotator import ConceptAnnotator
+from ..taxonomy.model import Taxonomy
+from .crossval import stratified_folds
+from .metrics import DEFAULT_KS, accuracy_at_k, merge_fold_accuracies
+
+#: Feature-mode identifiers accepted by :class:`ExperimentConfig`.
+FEATURE_MODES = ("words", "words-nostop", "words-stem", "concepts")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One classifier variant under evaluation."""
+
+    feature_mode: str = "words"
+    similarity: str = "jaccard"
+    folds: int = 5
+    ks: tuple[int, ...] = DEFAULT_KS
+    test_sources: tuple[ReportSource, ...] = TEST_TIME_SOURCES
+    node_cutoff: int = DEFAULT_NODE_CUTOFF
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.feature_mode not in FEATURE_MODES:
+            raise ValueError(f"unknown feature mode {self.feature_mode!r}; "
+                             f"expected one of {FEATURE_MODES}")
+
+    @property
+    def label(self) -> str:
+        """Short display label, e.g. ``"concepts+jaccard"``."""
+        return f"{self.feature_mode}+{self.similarity}"
+
+
+@dataclass(frozen=True)
+class FoldOutcome:
+    """Metrics of a single fold."""
+
+    fold: int
+    test_count: int
+    accuracies: dict[int, float]
+    knowledge_nodes: int
+    seconds: float
+
+    @property
+    def seconds_per_bundle(self) -> float:
+        """Classification wall-clock per test bundle."""
+        return self.seconds / self.test_count if self.test_count else 0.0
+
+
+@dataclass
+class ExperimentResult:
+    """Cross-validated metrics of one variant."""
+
+    name: str
+    folds: list[FoldOutcome] = field(default_factory=list)
+
+    @property
+    def accuracies(self) -> dict[int, float]:
+        """Test-size-weighted mean accuracy@k over the folds."""
+        return merge_fold_accuracies([fold.accuracies for fold in self.folds],
+                                     [fold.test_count for fold in self.folds])
+
+    @property
+    def seconds_per_bundle(self) -> float:
+        """Mean classification time per bundle over all folds."""
+        total_seconds = sum(fold.seconds for fold in self.folds)
+        total_bundles = sum(fold.test_count for fold in self.folds)
+        return total_seconds / total_bundles if total_bundles else 0.0
+
+    def accuracy_std(self, k: int) -> float:
+        """Population standard deviation of accuracy@k across folds.
+
+        A quick stability check before reading small differences between
+        variants as real (use :func:`repro.evaluate.paired_bootstrap` for a
+        proper test).
+        """
+        values = [fold.accuracies[k] for fold in self.folds]
+        if len(values) < 2:
+            return 0.0
+        mean = sum(values) / len(values)
+        return (sum((value - mean) ** 2 for value in values)
+                / len(values)) ** 0.5
+
+    def accuracy_row(self) -> str:
+        """A printable accuracy@k row (used by the benchmark harness)."""
+        cells = "  ".join(f"@{k}={value:.3f}"
+                          for k, value in sorted(self.accuracies.items()))
+        return f"{self.name:<28} {cells}"
+
+
+def build_extractor(feature_mode: str, taxonomy: Taxonomy | None = None,
+                    annotator: ConceptAnnotator | None = None,
+                    ) -> FeatureExtractor:
+    """Instantiate the extractor for a feature mode.
+
+    Raises:
+        ValueError: for unknown modes or a missing taxonomy.
+    """
+    if feature_mode == "words":
+        return BagOfWordsExtractor()
+    if feature_mode == "words-nostop":
+        return BagOfWordsExtractor(remove_stopwords=True)
+    if feature_mode == "words-stem":
+        return BagOfWordsExtractor(remove_stopwords=True, stem=True)
+    if feature_mode == "concepts":
+        if annotator is None and taxonomy is None:
+            raise ValueError("concept features need a taxonomy")
+        return BagOfConceptsExtractor(taxonomy=taxonomy, annotator=annotator)
+    raise ValueError(f"unknown feature mode {feature_mode!r}")
+
+
+def run_experiment(bundles: Sequence[DataBundle],
+                   config: ExperimentConfig,
+                   taxonomy: Taxonomy | None = None,
+                   annotator: ConceptAnnotator | None = None,
+                   ) -> ExperimentResult:
+    """Cross-validate one classifier variant over *bundles*."""
+    extractor = build_extractor(config.feature_mode, taxonomy, annotator)
+    result = ExperimentResult(name=config.label)
+    for fold in stratified_folds(bundles, config.folds, config.seed):
+        knowledge_base = KnowledgeBase.from_bundles(fold.train, extractor)
+        classifier = RankedKnnClassifier(knowledge_base, extractor,
+                                         config.similarity,
+                                         config.node_cutoff)
+        start = time.perf_counter()
+        recommendations = [classifier.classify_bundle(bundle,
+                                                      config.test_sources)
+                           for bundle in fold.test]
+        elapsed = time.perf_counter() - start
+        truths = [bundle.error_code for bundle in fold.test]
+        result.folds.append(FoldOutcome(
+            fold=fold.index,
+            test_count=len(fold.test),
+            accuracies=accuracy_at_k(recommendations, truths, config.ks),
+            knowledge_nodes=len(knowledge_base),
+            seconds=elapsed,
+        ))
+    return result
+
+
+def run_frequency_baseline(bundles: Sequence[DataBundle],
+                           config: ExperimentConfig) -> ExperimentResult:
+    """Cross-validate the code-frequency baseline (§5.1 baseline 1)."""
+    result = ExperimentResult(name="code-frequency baseline")
+    for fold in stratified_folds(bundles, config.folds, config.seed):
+        baseline = CodeFrequencyBaseline.from_bundles(fold.train)
+        start = time.perf_counter()
+        recommendations = [baseline.classify_bundle(bundle)
+                           for bundle in fold.test]
+        elapsed = time.perf_counter() - start
+        truths = [bundle.error_code for bundle in fold.test]
+        result.folds.append(FoldOutcome(
+            fold=fold.index, test_count=len(fold.test),
+            accuracies=accuracy_at_k(recommendations, truths, config.ks),
+            knowledge_nodes=0, seconds=elapsed))
+    return result
+
+
+def run_candidate_set_baseline(bundles: Sequence[DataBundle],
+                               config: ExperimentConfig,
+                               taxonomy: Taxonomy | None = None,
+                               annotator: ConceptAnnotator | None = None,
+                               ) -> ExperimentResult:
+    """Cross-validate the unsorted candidate-set baseline (§5.1 baseline 2).
+
+    Depends on the feature model, so the config's ``feature_mode`` selects
+    the bag-of-words or bag-of-concepts flavour shown in Fig. 11.
+    """
+    extractor = build_extractor(config.feature_mode, taxonomy, annotator)
+    result = ExperimentResult(
+        name=f"candidate-set baseline ({config.feature_mode})")
+    for fold in stratified_folds(bundles, config.folds, config.seed):
+        knowledge_base = KnowledgeBase.from_bundles(fold.train, extractor)
+        baseline = CandidateSetBaseline(knowledge_base, extractor)
+        start = time.perf_counter()
+        recommendations = [baseline.classify_bundle(bundle,
+                                                    config.test_sources)
+                           for bundle in fold.test]
+        elapsed = time.perf_counter() - start
+        truths = [bundle.error_code for bundle in fold.test]
+        result.folds.append(FoldOutcome(
+            fold=fold.index, test_count=len(fold.test),
+            accuracies=accuracy_at_k(recommendations, truths, config.ks),
+            knowledge_nodes=len(knowledge_base), seconds=elapsed))
+    return result
+
+
+def run_report_source_experiment(bundles: Sequence[DataBundle],
+                                 config: ExperimentConfig,
+                                 source: ReportSource,
+                                 taxonomy: Taxonomy | None = None,
+                                 annotator: ConceptAnnotator | None = None,
+                                 ) -> ExperimentResult:
+    """Experiment 2 (§5.3): train on all reports, test on one source only."""
+    restricted = replace(config, test_sources=(source,))
+    result = run_experiment(bundles, restricted, taxonomy, annotator)
+    result.name = f"{config.label} [{source.value} only]"
+    return result
+
+
+def run_cross_source_evaluation(train_bundles: Sequence[DataBundle],
+                                complaints: Sequence[Complaint],
+                                part_id_of_code: dict[str, str],
+                                config: ExperimentConfig,
+                                taxonomy: Taxonomy | None = None,
+                                annotator: ConceptAnnotator | None = None,
+                                ) -> dict[int, float]:
+    """Ablation A3: train on OEM bundles, classify NHTSA-style complaints.
+
+    The planted ground-truth codes of the synthetic complaints make the
+    cross-source degradation measurable (the paper only argues it
+    qualitatively in §5.4).
+    """
+    extractor = build_extractor(config.feature_mode, taxonomy, annotator)
+    knowledge_base = KnowledgeBase.from_bundles(train_bundles, extractor)
+    classifier = RankedKnnClassifier(knowledge_base, extractor,
+                                     config.similarity, config.node_cutoff)
+    recommendations = []
+    truths = []
+    for complaint in complaints:
+        part_id = part_id_of_code[complaint.planted_code]
+        recommendations.append(classifier.classify_text(
+            part_id, complaint.cdescr.lower(), ref_no=complaint.cmplid))
+        truths.append(complaint.planted_code)
+    return accuracy_at_k(recommendations, truths, config.ks)

@@ -1,0 +1,70 @@
+"""Evaluation metrics.
+
+The paper's measure is accuracy@k (§5.1): the share of test bundles whose
+correct error code appears within the first k ranked suggestions, for
+k in {1, 5, 10, 15, 20, 25}.  Mean reciprocal rank is provided as an
+additional diagnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..classify.results import Recommendation
+
+#: The k values reported in the paper's figures.
+DEFAULT_KS: tuple[int, ...] = (1, 5, 10, 15, 20, 25)
+
+
+def accuracy_at_k(recommendations: Sequence[Recommendation],
+                  truths: Sequence[str],
+                  ks: Iterable[int] = DEFAULT_KS) -> dict[int, float]:
+    """Accuracy@k over paired recommendations and true codes.
+
+    Raises:
+        ValueError: on length mismatch or an empty test set.
+    """
+    if len(recommendations) != len(truths):
+        raise ValueError("recommendations and truths must align")
+    if not truths:
+        raise ValueError("empty test set")
+    ranks = []
+    for recommendation, truth in zip(recommendations, truths):
+        ranks.append(recommendation.rank_of(truth))
+    return {k: sum(1 for rank in ranks if rank is not None and rank <= k)
+            / len(ranks)
+            for k in ks}
+
+
+def mean_reciprocal_rank(recommendations: Sequence[Recommendation],
+                         truths: Sequence[str]) -> float:
+    """Mean reciprocal rank of the correct code (0 contribution if absent).
+
+    Raises:
+        ValueError: on length mismatch or an empty test set.
+    """
+    if len(recommendations) != len(truths):
+        raise ValueError("recommendations and truths must align")
+    if not truths:
+        raise ValueError("empty test set")
+    total = 0.0
+    for recommendation, truth in zip(recommendations, truths):
+        rank = recommendation.rank_of(truth)
+        if rank is not None:
+            total += 1.0 / rank
+    return total / len(truths)
+
+
+def merge_fold_accuracies(per_fold: Sequence[dict[int, float]],
+                          weights: Sequence[int] | None = None,
+                          ) -> dict[int, float]:
+    """Average accuracy@k dicts over folds (optionally size-weighted)."""
+    if not per_fold:
+        raise ValueError("no folds to merge")
+    ks = per_fold[0].keys()
+    if weights is None:
+        weights = [1] * len(per_fold)
+    total = sum(weights)
+    return {k: sum(fold[k] * weight for fold, weight in zip(per_fold, weights))
+            / total
+            for k in ks}

@@ -1,0 +1,152 @@
+"""Experiment reporting: turn results into readable breakdowns.
+
+Beyond the headline accuracy@k curves, an industrial adopter wants to know
+*where* a variant fails: which part IDs drag the accuracy down, how the
+correct code's rank is distributed, and how two variants compare per part.
+These reports back the discussion sections of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..classify.results import Recommendation
+from ..data.bundle import DataBundle
+
+
+@dataclass
+class RankBreakdown:
+    """Rank distribution of the correct code over a test set."""
+
+    ranks: list[int | None] = field(default_factory=list)
+
+    def add(self, rank: int | None) -> None:
+        """Record one bundle's rank (None when the code was absent)."""
+        self.ranks.append(rank)
+
+    @property
+    def total(self) -> int:
+        """Number of recorded bundles."""
+        return len(self.ranks)
+
+    @property
+    def found(self) -> int:
+        """How often the correct code appeared anywhere in the list."""
+        return sum(1 for rank in self.ranks if rank is not None)
+
+    def histogram(self, buckets: Sequence[int] = (1, 5, 10, 25)) -> dict[str, int]:
+        """Counts per rank bucket, plus ``"miss"`` for absent codes."""
+        result = {f"<={bucket}": 0 for bucket in buckets}
+        result["beyond"] = 0
+        result["miss"] = 0
+        for rank in self.ranks:
+            if rank is None:
+                result["miss"] += 1
+                continue
+            for bucket in buckets:
+                if rank <= bucket:
+                    result[f"<={bucket}"] += 1
+                    break
+            else:
+                result["beyond"] += 1
+        return result
+
+    def mean_rank(self) -> float | None:
+        """Mean rank of the correct code among found cases, or None."""
+        found = [rank for rank in self.ranks if rank is not None]
+        if not found:
+            return None
+        return sum(found) / len(found)
+
+
+@dataclass
+class PartBreakdown:
+    """Per-part-ID accuracy summary."""
+
+    part_id: str
+    total: int = 0
+    hits_at_1: int = 0
+    hits_at_10: int = 0
+
+    @property
+    def accuracy_at_1(self) -> float:
+        """Share of this part's bundles hit at rank 1."""
+        return self.hits_at_1 / self.total if self.total else 0.0
+
+    @property
+    def accuracy_at_10(self) -> float:
+        """Share of this part's bundles hit within rank 10."""
+        return self.hits_at_10 / self.total if self.total else 0.0
+
+
+def breakdown_by_part(bundles: Sequence[DataBundle],
+                      recommendations: Sequence[Recommendation],
+                      ) -> list[PartBreakdown]:
+    """Per-part accuracies of paired bundles/recommendations.
+
+    Raises:
+        ValueError: on length mismatch.
+    """
+    if len(bundles) != len(recommendations):
+        raise ValueError("bundles and recommendations must align")
+    parts: dict[str, PartBreakdown] = {}
+    for bundle, recommendation in zip(bundles, recommendations):
+        entry = parts.setdefault(bundle.part_id,
+                                 PartBreakdown(part_id=bundle.part_id))
+        entry.total += 1
+        rank = recommendation.rank_of(bundle.error_code)
+        if rank is not None and rank <= 1:
+            entry.hits_at_1 += 1
+        if rank is not None and rank <= 10:
+            entry.hits_at_10 += 1
+    return sorted(parts.values(), key=lambda entry: entry.part_id)
+
+
+def rank_breakdown(bundles: Sequence[DataBundle],
+                   recommendations: Sequence[Recommendation],
+                   ) -> RankBreakdown:
+    """Rank distribution of the correct code.
+
+    Raises:
+        ValueError: on length mismatch.
+    """
+    if len(bundles) != len(recommendations):
+        raise ValueError("bundles and recommendations must align")
+    breakdown = RankBreakdown()
+    for bundle, recommendation in zip(bundles, recommendations):
+        breakdown.add(recommendation.rank_of(bundle.error_code))
+    return breakdown
+
+
+def render_markdown_report(title: str,
+                           bundles: Sequence[DataBundle],
+                           recommendations: Sequence[Recommendation]) -> str:
+    """A self-contained markdown report for one evaluated variant."""
+    ranks = rank_breakdown(bundles, recommendations)
+    parts = breakdown_by_part(bundles, recommendations)
+    histogram = ranks.histogram()
+    lines = [f"# {title}", "",
+             f"test bundles: {ranks.total}; correct code present in list: "
+             f"{ranks.found} ({ranks.found / max(ranks.total, 1):.1%})",
+             ""]
+    mean_rank = ranks.mean_rank()
+    if mean_rank is not None:
+        lines.append(f"mean rank of the correct code: {mean_rank:.2f}")
+        lines.append("")
+    lines.append("## Rank distribution")
+    lines.append("")
+    lines.append("| bucket | bundles |")
+    lines.append("|---|---|")
+    for bucket, count in histogram.items():
+        lines.append(f"| {bucket} | {count} |")
+    lines.append("")
+    lines.append("## Per part ID")
+    lines.append("")
+    lines.append("| part | bundles | acc@1 | acc@10 |")
+    lines.append("|---|---|---|---|")
+    for entry in parts:
+        lines.append(f"| {entry.part_id} | {entry.total} "
+                     f"| {entry.accuracy_at_1:.3f} "
+                     f"| {entry.accuracy_at_10:.3f} |")
+    return "\n".join(lines) + "\n"

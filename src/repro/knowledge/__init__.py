@@ -1,0 +1,21 @@
+"""Knowledge nodes, feature extraction and the knowledge base (§4.3-4.4)."""
+
+from .base import NODE_SCHEMA, KnowledgeBase
+from .extractor import (BagOfConceptsExtractor, BagOfWordsExtractor,
+                        FeatureExtractor, extract_test_features,
+                        extract_training_features, test_document,
+                        training_document)
+from .node import KnowledgeNode
+
+__all__ = [
+    "BagOfConceptsExtractor",
+    "BagOfWordsExtractor",
+    "FeatureExtractor",
+    "KnowledgeBase",
+    "KnowledgeNode",
+    "NODE_SCHEMA",
+    "extract_test_features",
+    "extract_training_features",
+    "test_document",
+    "training_document",
+]

@@ -1,0 +1,193 @@
+"""The knowledge base: dedup, indexes and candidate retrieval (§4.3, Fig. 5).
+
+Knowledge nodes live in a relational table (part ID hash index + inverted
+feature index), as in the paper's prototype, which "stores these instances
+in a relational database with on-the-fly access to further address memory
+concerns".  Candidate retrieval follows Fig. 5:
+
+1. start from all knowledge nodes,
+2. keep the nodes with the same part ID as the bundle to classify
+   (fallback: *all* nodes when the part ID is unknown),
+3. keep the nodes sharing at least one feature with the bundle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..data.bundle import DataBundle
+from ..relstore import Column, ColumnType, Database, Schema
+from .extractor import FeatureExtractor, extract_training_features
+from .node import KnowledgeNode
+
+NODE_SCHEMA = Schema.build(
+    [
+        Column("part_id", ColumnType.TEXT, nullable=False),
+        Column("error_code", ColumnType.TEXT, nullable=False),
+        Column("features", ColumnType.JSON, nullable=False),
+        Column("support", ColumnType.INTEGER, nullable=False),
+    ],
+)
+
+
+class KnowledgeBase:
+    """Deduplicated knowledge nodes with index-backed candidate retrieval."""
+
+    def __init__(self, feature_kind: str = "features",
+                 database: Database | None = None,
+                 table_name: str = "knowledge_nodes") -> None:
+        self.feature_kind = feature_kind
+        self._database = database if database is not None else Database("kb")
+        self._table_name = table_name
+        table = self._database.create_table(table_name, NODE_SCHEMA,
+                                            if_not_exists=True)
+        if f"ix_{table_name}_part" not in table.indexes:
+            table.create_index(f"ix_{table_name}_part", "part_id")
+            table.create_index(f"ix_{table_name}_features", "features",
+                               inverted=True)
+        self._table = table
+        # (part_id, error_code, features) -> row id, for dedup on insert
+        self._row_ids: dict[tuple, int] = {}
+        for row_id in list(self._table.row_ids()):
+            row = self._table.get(row_id)
+            key = (row["part_id"], row["error_code"],
+                   frozenset(row["features"]))
+            self._row_ids[key] = row_id
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    def add(self, node: KnowledgeNode) -> None:
+        """Insert a node, merging support with an identical configuration."""
+        existing_row = self._row_ids.get(node.key)
+        if existing_row is not None:
+            current = self._table.get(existing_row)
+            self._table.update(existing_row,
+                               {"support": current["support"] + node.support})
+            return
+        row_id = self._table.insert({
+            "part_id": node.part_id,
+            "error_code": node.error_code,
+            "features": sorted(node.features),
+            "support": node.support,
+        })
+        self._row_ids[node.key] = row_id
+
+    def add_observation(self, part_id: str, error_code: str,
+                        features: Iterable[str]) -> None:
+        """Record one classified data instance."""
+        self.add(KnowledgeNode(part_id, error_code, frozenset(features)))
+
+    def remove_observation(self, part_id: str, error_code: str,
+                           features: Iterable[str]) -> bool:
+        """Retract one previously recorded instance.
+
+        Needed when an expert *re-assigns* a bundle in QUEST: the old
+        (wrong) code's evidence must not linger in the knowledge base.
+        Decrements the matching configuration node's support, deleting the
+        node when it reaches zero.  Returns False when no matching node
+        exists (nothing to retract).
+        """
+        key = (part_id, error_code, frozenset(features))
+        row_id = self._row_ids.get(key)
+        if row_id is None:
+            return False
+        row = self._table.get(row_id)
+        if row["support"] > 1:
+            self._table.update(row_id, {"support": row["support"] - 1})
+        else:
+            self._table.delete_row(row_id)
+            del self._row_ids[key]
+        return True
+
+    @classmethod
+    def from_bundles(cls, bundles: Iterable[DataBundle],
+                     extractor: FeatureExtractor,
+                     database: Database | None = None) -> "KnowledgeBase":
+        """Build a knowledge base from classified training bundles.
+
+        Bundles without an error code are skipped (nothing to learn).
+        """
+        base = cls(feature_kind=extractor.name, database=database)
+        for bundle in bundles:
+            if bundle.error_code is None:
+                continue
+            features = extract_training_features(extractor, bundle)
+            base.add_observation(bundle.part_id, bundle.error_code, features)
+        return base
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    def __len__(self) -> int:
+        """Number of (deduplicated) knowledge nodes."""
+        return len(self._table)
+
+    @property
+    def database(self) -> Database:
+        """The backing relational database."""
+        return self._database
+
+    def nodes(self) -> Iterator[KnowledgeNode]:
+        """Iterate over all nodes."""
+        for row in self._table.scan():
+            yield KnowledgeNode(row["part_id"], row["error_code"],
+                                frozenset(row["features"]), row["support"])
+
+    def part_ids(self) -> set[str]:
+        """All part IDs with at least one node."""
+        return {str(value) for value in self._table.distinct("part_id")}
+
+    def error_codes(self, part_id: str | None = None) -> set[str]:
+        """Error codes known to the base, optionally for one part ID."""
+        from ..relstore import col
+        predicate = col("part_id") == part_id if part_id is not None else None
+        if predicate is None:
+            return {str(v) for v in self._table.distinct("error_code")}
+        return {str(v) for v in self._table.distinct("error_code", predicate)}
+
+    def code_frequencies(self, part_id: str) -> dict[str, int]:
+        """Support-weighted error-code frequencies for *part_id*.
+
+        This feeds the code-frequency baseline (§5.1).
+        """
+        from ..relstore import col
+        frequencies: dict[str, int] = {}
+        for row in self._table.select(col("part_id") == part_id):
+            frequencies[row["error_code"]] = (frequencies.get(row["error_code"], 0)
+                                              + row["support"])
+        return frequencies
+
+    # ------------------------------------------------------------------ #
+    # candidate retrieval (Fig. 5)
+
+    def candidates(self, part_id: str,
+                   features: frozenset[str] | set[str]) -> list[KnowledgeNode]:
+        """The neighbour candidate set for a bundle under classification.
+
+        Nodes with the bundle's part ID sharing >= 1 feature; all nodes of
+        the part when nothing shares a feature is NOT the fallback — the
+        paper falls back to *all* nodes only when the part ID itself is
+        unknown to the knowledge base.
+        """
+        part_index = self._table._index_on("part_id")
+        feature_index = self._table._index_on("features", inverted=True)
+        part_rows = part_index.lookup(part_id)
+        if not part_rows:
+            # unknown part ID -> all nodes sharing a feature, else all nodes
+            shared_rows = feature_index.lookup_any(features)
+            row_ids = shared_rows if shared_rows else set(self._table.row_ids())
+        else:
+            shared_rows = feature_index.lookup_any(features)
+            row_ids = part_rows & shared_rows
+        nodes = []
+        for row_id in sorted(row_ids):
+            row = self._table.get(row_id)
+            nodes.append(KnowledgeNode(row["part_id"], row["error_code"],
+                                       frozenset(row["features"]),
+                                       row["support"]))
+        return nodes
+
+    def __repr__(self) -> str:
+        return (f"<KnowledgeBase kind={self.feature_kind!r} "
+                f"nodes={len(self)} parts={len(self.part_ids())}>")

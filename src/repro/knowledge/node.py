@@ -1,0 +1,47 @@
+"""Knowledge nodes (§4.3, Fig. 9).
+
+A knowledge node is "each unique combination of part ID, error key and
+concept mentions" (or words, for the domain-ignorant variant).  Collapsing
+data instances into such *configuration instances* shrinks the knowledge
+base and speeds up similarity computation — the paper's answer to kNN's
+memory weakness, similar to the kNN-Model approach of Guo et al. [7].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KnowledgeNode:
+    """One abstracted configuration instance.
+
+    Attributes:
+        part_id: the part this configuration was observed for.
+        error_code: the error code assigned to the underlying bundles.
+        features: the feature set (concept ids or words).
+        support: how many data instances collapsed into this node.
+    """
+
+    part_id: str
+    error_code: str
+    features: frozenset[str]
+    support: int = 1
+
+    def __post_init__(self) -> None:
+        if self.support < 1:
+            raise ValueError("support must be >= 1")
+
+    def shared_features(self, features: frozenset[str] | set[str]) -> int:
+        """Number of features shared with *features*."""
+        return len(self.features & features)
+
+    def with_support(self, support: int) -> "KnowledgeNode":
+        """A copy of this node with a different support count."""
+        return KnowledgeNode(self.part_id, self.error_code, self.features,
+                             support)
+
+    @property
+    def key(self) -> tuple[str, str, frozenset[str]]:
+        """The deduplication key: (part ID, error code, feature set)."""
+        return (self.part_id, self.error_code, self.features)

@@ -1,0 +1,37 @@
+"""QUEST: the Quality Engineering Support Tool layer (§4.5.4, §5.4)."""
+
+from .compare import (ComparisonView, Distribution, Slice,
+                      classify_complaints, compare_sources,
+                      distribution_from_codes)
+from .export import (assignments_to_csv, comparison_to_json,
+                     recommendations_to_csv)
+from .service import (SUGGESTION_COUNT, QuestService, SuggestionView)
+from .simulation import (FieldStudyReport, TriageOutcome,
+                         simulate_field_study, simulate_triage)
+from .users import PermissionError_, Role, User, UserStore
+from .webapp import QuestApp, QuestServer
+
+__all__ = [
+    "ComparisonView",
+    "Distribution",
+    "FieldStudyReport",
+    "TriageOutcome",
+    "PermissionError_",
+    "QuestApp",
+    "QuestServer",
+    "QuestService",
+    "Role",
+    "SUGGESTION_COUNT",
+    "Slice",
+    "SuggestionView",
+    "User",
+    "UserStore",
+    "assignments_to_csv",
+    "classify_complaints",
+    "comparison_to_json",
+    "compare_sources",
+    "distribution_from_codes",
+    "recommendations_to_csv",
+    "simulate_field_study",
+    "simulate_triage",
+]

@@ -1,0 +1,66 @@
+"""Exports for downstream BI tooling.
+
+The comparison screen (§5.4) is one consumer of the classified data;
+quality departments also pull the numbers into their own BI stacks.  This
+module renders the core artifacts as CSV and JSON: recommendations,
+assignment audit trails, and source-comparison distributions.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Sequence
+
+from ..classify.results import Recommendation
+from ..relstore import Database
+from .compare import ComparisonView
+
+
+def recommendations_to_csv(recommendations: Sequence[Recommendation]) -> str:
+    """CSV with one row per (bundle, rank) pair."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["ref_no", "part_id", "rank", "error_code", "score",
+                     "support"])
+    for recommendation in recommendations:
+        for rank, scored in enumerate(recommendation.codes, start=1):
+            writer.writerow([recommendation.ref_no, recommendation.part_id,
+                             rank, scored.error_code,
+                             f"{scored.score:.6f}", scored.support])
+    return buffer.getvalue()
+
+
+def assignments_to_csv(database: Database) -> str:
+    """CSV dump of the assignment audit trail."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["sequence", "ref_no", "error_code", "assigned_by",
+                     "from_suggestions"])
+    if database.has_table("assignments"):
+        rows = database.table("assignments").select(order_by="sequence")
+        for row in rows:
+            writer.writerow([row["sequence"], row["ref_no"],
+                             row["error_code"], row["assigned_by"],
+                             int(row["from_suggestions"])])
+    return buffer.getvalue()
+
+
+def comparison_to_json(view: ComparisonView) -> str:
+    """The Fig. 14 comparison as a JSON document."""
+    def encode(distribution):
+        return {
+            "source": distribution.source,
+            "total": distribution.total,
+            "slices": [{"error_code": slice_.error_code,
+                        "count": slice_.count,
+                        "share": round(slice_.share, 6)}
+                       for slice_ in distribution.slices()],
+        }
+
+    return json.dumps({
+        "left": encode(view.left),
+        "right": encode(view.right),
+        "shared_top_codes": sorted(view.shared_top_codes()),
+    }, indent=2, ensure_ascii=False)

@@ -1,0 +1,225 @@
+"""The QUEST service layer (§4.5.4).
+
+Backs the web UI: for a data bundle awaiting classification, the expert is
+"first presented with a selection of the 10 most likely error codes in
+descending order of likelihood"; if the correct code is not among them,
+"they can access the list of all error codes available for the part ID",
+as in the OEM's original software.  Power users can define new error
+codes; every final assignment is recorded.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..classify.baselines import CodeFrequencyBaseline
+from ..classify.knn import RankedKnnClassifier
+from ..classify.results import (Recommendation, load_recommendation,
+                                store_recommendations)
+from ..data.bundle import DataBundle
+from ..data.schema import create_raw_tables, load_bundle, store_bundles
+from ..relstore import Column, ColumnType, Database, Schema, col
+from .users import PermissionError_, User
+
+#: "the user is first presented with a selection of the 10 most likely
+#: error codes" (§4.5.4).
+SUGGESTION_COUNT = 10
+
+ASSIGNMENT_SCHEMA = Schema.build(
+    [
+        Column("ref_no", ColumnType.TEXT, nullable=False),
+        Column("error_code", ColumnType.TEXT, nullable=False),
+        Column("assigned_by", ColumnType.TEXT, nullable=False),
+        Column("from_suggestions", ColumnType.BOOLEAN, nullable=False),
+        Column("sequence", ColumnType.INTEGER, nullable=False),
+    ],
+)
+
+CUSTOM_CODE_SCHEMA = Schema.build(
+    [
+        Column("error_code", ColumnType.TEXT, nullable=False),
+        Column("part_id", ColumnType.TEXT, nullable=False),
+        Column("description", ColumnType.TEXT, nullable=False),
+        Column("created_by", ColumnType.TEXT, nullable=False),
+    ],
+    primary_key="error_code",
+)
+
+
+@dataclass(frozen=True)
+class SuggestionView:
+    """What the assignment screen shows for one bundle."""
+
+    bundle: DataBundle
+    suggestions: Recommendation
+    all_codes: list[str]
+
+    @property
+    def top10(self) -> list[str]:
+        """The shortlist shown first."""
+        return [scored.error_code
+                for scored in self.suggestions.top(SUGGESTION_COUNT)]
+
+
+class QuestService:
+    """Application services over the raw data, classifier and baseline."""
+
+    def __init__(self, database: Database,
+                 classifier: RankedKnnClassifier,
+                 frequency_baseline: CodeFrequencyBaseline) -> None:
+        self.database = database
+        self.classifier = classifier
+        self.frequency_baseline = frequency_baseline
+        create_raw_tables(database)
+        self._assignments = database.create_table(
+            "assignments", ASSIGNMENT_SCHEMA, if_not_exists=True)
+        if "ix_assign_ref" not in self._assignments.indexes:
+            self._assignments.create_index("ix_assign_ref", "ref_no")
+        self._custom_codes = database.create_table(
+            "custom_codes", CUSTOM_CODE_SCHEMA, if_not_exists=True)
+        self._sequence = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # intake
+
+    def register_bundles(self, bundles: list[DataBundle]) -> int:
+        """Store incoming bundles in the raw tables."""
+        return store_bundles(self.database, bundles)
+
+    def bundle(self, ref_no: str) -> DataBundle | None:
+        """Load one bundle by reference number."""
+        return load_bundle(self.database, ref_no)
+
+    # ------------------------------------------------------------------ #
+    # suggestions (§4.4 step 3c + §4.5.4)
+
+    def suggest(self, ref_no: str, *, persist: bool = True) -> SuggestionView:
+        """Classify a bundle and build the assignment screen's data.
+
+        Raises:
+            ValueError: if the bundle is unknown.
+        """
+        bundle = self.bundle(ref_no)
+        if bundle is None:
+            raise ValueError(f"no bundle {ref_no!r}")
+        recommendation = self.classifier.classify_bundle(bundle.without_label())
+        if persist:
+            store_recommendations(self.database, [recommendation])
+        return SuggestionView(bundle=bundle, suggestions=recommendation,
+                              all_codes=self.full_code_list(bundle.part_id))
+
+    def stored_suggestion(self, ref_no: str) -> Recommendation | None:
+        """A previously persisted recommendation, if any."""
+        return load_recommendation(self.database, ref_no)
+
+    def search_bundles(self, query: str, limit: int = 25) -> list[DataBundle]:
+        """Full-text search over report texts (case-insensitive substring).
+
+        The original quality-engineering software lets workers locate
+        bundles by report content; this backs the equivalent QUEST screen.
+        """
+        from ..relstore import Like
+        if not query:
+            return []
+        rows = self.database.table("reports").select(
+            Like("text", f"%{query}%"), columns=["ref_no"])
+        refs = sorted({row["ref_no"] for row in rows})[:limit]
+        bundles = [self.bundle(ref) for ref in refs]
+        return [bundle for bundle in bundles if bundle is not None]
+
+    def full_code_list(self, part_id: str) -> list[str]:
+        """All error codes available for *part_id* (frequency-sorted),
+        including custom codes defined through QUEST."""
+        ranked = [scored.error_code
+                  for scored in self.frequency_baseline.ranked_codes(part_id)]
+        custom = [row["error_code"] for row in self._custom_codes.select(
+            col("part_id") == part_id, order_by="error_code")]
+        return ranked + [code for code in custom if code not in ranked]
+
+    # ------------------------------------------------------------------ #
+    # assignment
+
+    def assign_code(self, actor: User, ref_no: str, error_code: str) -> None:
+        """Record the expert's final error-code decision.
+
+        Raises:
+            PermissionError_: if *actor* may not assign codes.
+            ValueError: unknown bundle, or a code that is neither known for
+                the part nor a custom code.
+        """
+        if not actor.can("assign"):
+            raise PermissionError_(f"{actor.name} may not assign error codes")
+        bundle = self.bundle(ref_no)
+        if bundle is None:
+            raise ValueError(f"no bundle {ref_no!r}")
+        available = set(self.full_code_list(bundle.part_id))
+        if error_code not in available:
+            raise ValueError(f"code {error_code!r} is not available for part "
+                             f"{bundle.part_id}")
+        suggestion = self.stored_suggestion(ref_no)
+        from_suggestions = bool(
+            suggestion and suggestion.hit_at(error_code, SUGGESTION_COUNT))
+        bundles = self.database.table("bundles")
+        row_id = next(rid for rid in bundles.row_ids()
+                      if bundles.get(rid)["ref_no"] == ref_no)
+        previous_code = bundles.get(row_id)["error_code"]
+        bundles.update(row_id, {"error_code": error_code})
+        self._assignments.insert({
+            "ref_no": ref_no,
+            "error_code": error_code,
+            "assigned_by": actor.name,
+            "from_suggestions": from_suggestions,
+            "sequence": next(self._sequence),
+        })
+        # Feed the decision back into the knowledge base (application phase
+        # keeps learning from confirmed assignments).  On a re-assignment
+        # the previous decision's evidence is retracted first, so corrected
+        # mistakes do not linger as knowledge nodes.
+        features = self.classifier.extractor.extract_text(
+            bundle.training_text())
+        if previous_code is not None and previous_code != error_code:
+            self.classifier.knowledge_base.remove_observation(
+                bundle.part_id, previous_code, features)
+        self.classifier.knowledge_base.add_observation(
+            bundle.part_id, error_code, features)
+
+    def assignment_history(self, ref_no: str) -> list[dict]:
+        """All recorded assignments for a bundle, oldest first."""
+        return self._assignments.select(col("ref_no") == ref_no,
+                                        order_by="sequence")
+
+    def suggestion_hit_rate(self) -> float:
+        """Share of assignments taken from the top-10 shortlist."""
+        rows = list(self._assignments.scan())
+        if not rows:
+            return 0.0
+        return sum(1 for row in rows if row["from_suggestions"]) / len(rows)
+
+    # ------------------------------------------------------------------ #
+    # custom error codes
+
+    def define_error_code(self, actor: User, error_code: str, part_id: str,
+                          description: str) -> None:
+        """Create a new error code (power users and admins only).
+
+        Raises:
+            PermissionError_: if *actor* lacks the capability.
+            IntegrityError: if the code already exists.
+        """
+        if not actor.can("define_codes"):
+            raise PermissionError_(f"{actor.name} may not define error codes")
+        self._custom_codes.insert({
+            "error_code": error_code,
+            "part_id": part_id,
+            "description": description,
+            "created_by": actor.name,
+        })
+
+    def custom_codes(self, part_id: str | None = None) -> list[dict]:
+        """Custom codes, optionally restricted to one part."""
+        predicate = (col("part_id") == part_id) if part_id else None
+        if predicate is None:
+            return sorted(self._custom_codes.scan(),
+                          key=lambda row: row["error_code"])
+        return self._custom_codes.select(predicate, order_by="error_code")

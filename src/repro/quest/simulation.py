@@ -1,0 +1,146 @@
+"""Simulated field study of the QUEST assignment UI.
+
+The paper leaves "evaluating the web UI in a field study with quality
+experts" as future work (§6).  This module provides the simulation harness
+such a study would be designed around: it models the expert's search
+effort as the number of list entries inspected before the correct code is
+found —
+
+* **without QUEST**: scanning the conventional full per-part code list,
+* **with QUEST**: scanning the top-10 shortlist first and falling back to
+  the full list when the shortlist misses (§4.5.4's interaction design)
+
+— and reports the hit rate and the effort saved.  The §1.2 goal it
+quantifies: "to make classification work easier for the workers ... by
+sorting error codes in a meaningful way".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..classify.results import Recommendation
+from ..data.bundle import DataBundle
+
+#: Shortlist length shown by the UI (§4.5.4).
+SHORTLIST = 10
+
+
+@dataclass(frozen=True)
+class TriageOutcome:
+    """Search effort for one bundle."""
+
+    ref_no: str
+    shortlist_rank: int | None
+    inspected_with_quest: int
+    inspected_without_quest: int
+
+    @property
+    def shortlist_hit(self) -> bool:
+        """Whether the correct code was on the top-10 shortlist."""
+        return (self.shortlist_rank is not None
+                and self.shortlist_rank <= SHORTLIST)
+
+
+@dataclass
+class FieldStudyReport:
+    """Aggregated simulation results."""
+
+    outcomes: list[TriageOutcome] = field(default_factory=list)
+
+    @property
+    def sessions(self) -> int:
+        """Number of simulated triage sessions."""
+        return len(self.outcomes)
+
+    @property
+    def shortlist_hit_rate(self) -> float:
+        """Share of bundles resolved from the top-10 shortlist."""
+        if not self.outcomes:
+            return 0.0
+        return sum(outcome.shortlist_hit
+                   for outcome in self.outcomes) / len(self.outcomes)
+
+    @property
+    def mean_inspected_with_quest(self) -> float:
+        """Mean list entries read with the QUEST shortlist."""
+        if not self.outcomes:
+            return 0.0
+        return sum(outcome.inspected_with_quest
+                   for outcome in self.outcomes) / len(self.outcomes)
+
+    @property
+    def mean_inspected_without_quest(self) -> float:
+        """Mean list entries read with the conventional full list."""
+        if not self.outcomes:
+            return 0.0
+        return sum(outcome.inspected_without_quest
+                   for outcome in self.outcomes) / len(self.outcomes)
+
+    @property
+    def effort_saved(self) -> float:
+        """Relative reduction of inspected list entries (0..1)."""
+        without = self.mean_inspected_without_quest
+        if without == 0:
+            return 0.0
+        return 1.0 - self.mean_inspected_with_quest / without
+
+    def summary(self) -> str:
+        """One-paragraph textual report."""
+        return (f"{self.sessions} triage sessions: "
+                f"shortlist hit rate {self.shortlist_hit_rate:.0%}, "
+                f"entries inspected {self.mean_inspected_with_quest:.1f} "
+                f"with QUEST vs {self.mean_inspected_without_quest:.1f} "
+                f"without — {self.effort_saved:.0%} effort saved")
+
+
+def simulate_triage(bundle: DataBundle, recommendation: Recommendation,
+                    full_code_list: Sequence[str]) -> TriageOutcome:
+    """Model one expert session for *bundle*.
+
+    Effort counts list entries read top-to-bottom until the correct code;
+    on a shortlist miss the expert reads the whole shortlist before
+    switching to the full list (the §4.5.4 interaction).
+
+    Raises:
+        ValueError: if the bundle has no ground-truth code.
+    """
+    truth = bundle.error_code
+    if truth is None:
+        raise ValueError(f"bundle {bundle.ref_no} has no ground truth")
+    try:
+        full_position = full_code_list.index(truth) + 1
+    except ValueError:
+        full_position = len(full_code_list) + 1  # not listed: read all + ask
+    rank = recommendation.rank_of(truth)
+    if rank is not None and rank <= SHORTLIST:
+        inspected_with = rank
+    else:
+        inspected_with = SHORTLIST + full_position
+    return TriageOutcome(ref_no=bundle.ref_no, shortlist_rank=rank,
+                         inspected_with_quest=inspected_with,
+                         inspected_without_quest=full_position)
+
+
+def simulate_field_study(bundles: Sequence[DataBundle],
+                         recommend: Callable[[DataBundle], Recommendation],
+                         full_list_for: Callable[[str], Sequence[str]],
+                         ) -> FieldStudyReport:
+    """Run the simulation over *bundles*.
+
+    Args:
+        bundles: labelled bundles standing in for incoming work.
+        recommend: the classifier (e.g. ``qatk.classify``); called on the
+            unlabelled view of each bundle.
+        full_list_for: the conventional per-part full code list, as the
+            original software would show it (e.g.
+            ``service.full_code_list``).
+    """
+    report = FieldStudyReport()
+    for bundle in bundles:
+        recommendation = recommend(bundle.without_label())
+        full_list = full_list_for(bundle.part_id)
+        report.outcomes.append(simulate_triage(bundle, recommendation,
+                                               full_list))
+    return report

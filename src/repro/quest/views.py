@@ -1,0 +1,171 @@
+"""Server-rendered HTML views of the QUEST web app (§4.5.4).
+
+Pure functions from domain objects to HTML strings, so every screen is
+unit-testable without a running server.  The layout mirrors the paper's
+description: bundle view, top-10 suggestion screen with full-list
+fallback, new-error-code form, and the side-by-side source comparison
+with pie charts (rendered as inline SVG).
+"""
+
+from __future__ import annotations
+
+import html
+import math
+
+from ..data.bundle import DataBundle
+from .compare import ComparisonView, Distribution
+from .service import SuggestionView
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{title} — QUEST</title>
+<style>
+ body {{ font-family: system-ui, sans-serif; margin: 2rem; color: #222; }}
+ table {{ border-collapse: collapse; }}
+ td, th {{ border: 1px solid #bbb; padding: .3rem .6rem; text-align: left; }}
+ .report {{ background: #f6f6f6; padding: .5rem; margin: .4rem 0;
+            border-left: 4px solid #888; }}
+ .suggestion {{ font-weight: bold; }}
+ .pies {{ display: flex; gap: 3rem; flex-wrap: wrap; }}
+ nav a {{ margin-right: 1rem; }}
+</style>
+</head>
+<body>
+<nav><a href="/">bundles</a><a href="/compare">source comparison</a>
+<a href="/users">users</a></nav>
+<h1>{title}</h1>
+{body}
+</body>
+</html>"""
+
+
+def page(title: str, body: str) -> str:
+    """Wrap *body* in the QUEST chrome."""
+    return _PAGE.format(title=html.escape(title), body=body)
+
+
+def render_bundle_list(bundles: list[DataBundle], limit: int = 50) -> str:
+    """The landing screen: open bundles with links to their screens."""
+    rows = []
+    for bundle in bundles[:limit]:
+        status = bundle.error_code or "—"
+        rows.append(
+            f"<tr><td><a href='/bundle/{html.escape(bundle.ref_no)}'>"
+            f"{html.escape(bundle.ref_no)}</a></td>"
+            f"<td>{html.escape(bundle.part_id)}</td>"
+            f"<td>{html.escape(bundle.article_code)}</td>"
+            f"<td>{html.escape(status)}</td></tr>")
+    table = ("<table><tr><th>Reference</th><th>Part ID</th>"
+             "<th>Article</th><th>Error code</th></tr>"
+             + "".join(rows) + "</table>")
+    return page("Data bundles", table)
+
+
+def render_suggestions(view: SuggestionView) -> str:
+    """The assignment screen: reports, top-10 shortlist, full-list fallback."""
+    bundle = view.bundle
+    reports = "".join(
+        f"<div class='report'><strong>{html.escape(report.source.value)}"
+        f"</strong> [{html.escape(report.language)}]<br>"
+        f"{html.escape(report.text)}</div>"
+        for report in bundle.reports)
+    shortlist = "".join(
+        f"<li class='suggestion'>"
+        f"<form method='post' action='/assign' style='display:inline'>"
+        f"<input type='hidden' name='ref_no' value='{html.escape(bundle.ref_no)}'>"
+        f"<input type='hidden' name='error_code' value='{html.escape(scored.error_code)}'>"
+        f"<button>{html.escape(scored.error_code)}</button></form>"
+        f" score {scored.score:.3f}</li>"
+        for scored in view.suggestions.top(10))
+    fallback = "".join(f"<option>{html.escape(code)}</option>"
+                       for code in view.all_codes)
+    body = (f"<h2>Bundle {html.escape(bundle.ref_no)} "
+            f"(part {html.escape(bundle.part_id)})</h2>"
+            f"<p>{html.escape(bundle.part_description)}</p>"
+            f"{reports}"
+            f"<h3>Suggested error codes</h3><ol>{shortlist}</ol>"
+            f"<h3>All codes for this part</h3>"
+            f"<form method='post' action='/assign'>"
+            f"<input type='hidden' name='ref_no' value='{html.escape(bundle.ref_no)}'>"
+            f"<select name='error_code'>{fallback}</select>"
+            f"<button>Assign</button></form>")
+    return page(f"Assign error code — {bundle.ref_no}", body)
+
+
+def _pie_svg(distribution: Distribution, size: int = 220) -> str:
+    """Render one distribution as an SVG pie chart."""
+    palette = ("#4e79a7", "#f28e2b", "#59a14f", "#b7b7b7")
+    center = size / 2
+    radius = center - 10
+    slices = distribution.slices()
+    paths = []
+    angle = -math.pi / 2
+    for index, slice_ in enumerate(slices):
+        span = slice_.share * 2 * math.pi
+        if span <= 0:
+            continue
+        x1 = center + radius * math.cos(angle)
+        y1 = center + radius * math.sin(angle)
+        angle += span
+        x2 = center + radius * math.cos(angle)
+        y2 = center + radius * math.sin(angle)
+        large = 1 if span > math.pi else 0
+        color = palette[index % len(palette)]
+        if abs(span - 2 * math.pi) < 1e-9:
+            paths.append(f"<circle cx='{center}' cy='{center}' r='{radius}' "
+                         f"fill='{color}'/>")
+        else:
+            paths.append(
+                f"<path d='M{center},{center} L{x1:.2f},{y1:.2f} "
+                f"A{radius},{radius} 0 {large} 1 {x2:.2f},{y2:.2f} Z' "
+                f"fill='{color}'/>")
+    legend = "".join(
+        f"<li><span style='color:{palette[i % len(palette)]}'>&#9632;</span> "
+        f"{html.escape(s.error_code)} ({s.share:.0%})</li>"
+        for i, s in enumerate(slices))
+    return (f"<figure><figcaption>{html.escape(distribution.source)} "
+            f"(n={distribution.total})</figcaption>"
+            f"<svg width='{size}' height='{size}' role='img'>{''.join(paths)}</svg>"
+            f"<ul style='list-style:none;padding:0'>{legend}</ul></figure>")
+
+
+def render_comparison(view: ComparisonView) -> str:
+    """The Fig. 14 screen: two pies side by side."""
+    shared = ", ".join(sorted(view.shared_top_codes())) or "none"
+    body = (f"<div class='pies'>{_pie_svg(view.left)}{_pie_svg(view.right)}"
+            f"</div><p>Shared top codes: {html.escape(shared)}</p>")
+    return page("Error distribution comparison", body)
+
+
+def render_history(ref_no: str, rows: list[dict]) -> str:
+    """The assignment audit trail of one bundle."""
+    body_rows = "".join(
+        f"<tr><td>{row['sequence']}</td>"
+        f"<td>{html.escape(row['error_code'])}</td>"
+        f"<td>{html.escape(row['assigned_by'])}</td>"
+        f"<td>{'shortlist' if row['from_suggestions'] else 'full list'}</td>"
+        f"</tr>"
+        for row in rows)
+    table = ("<table><tr><th>#</th><th>Error code</th><th>Assigned by</th>"
+             "<th>Via</th></tr>" + body_rows + "</table>"
+             if rows else "<p>No assignments recorded.</p>")
+    return page(f"Assignment history — {ref_no}", table)
+
+
+def render_users(users: list) -> str:
+    """The user-maintenance screen."""
+    rows = "".join(
+        f"<tr><td>{html.escape(user.name)}</td>"
+        f"<td>{html.escape(user.role.value)}</td>"
+        f"<td>{html.escape(user.display_name)}</td></tr>"
+        for user in users)
+    return page("Users", "<table><tr><th>Name</th><th>Role</th>"
+                         "<th>Display name</th></tr>" + rows + "</table>")
+
+
+def render_message(title: str, message: str) -> str:
+    """A simple confirmation / error page."""
+    return page(title, f"<p>{html.escape(message)}</p>")

@@ -1,0 +1,160 @@
+"""A minimal QUEST web application on the standard library HTTP server.
+
+Substitute for the paper's PrimeFaces/WSO2 stack (§4.5.4): the same
+user-visible functions — bundle list, top-10 suggestion screen with
+full-list fallback, error-code assignment, custom code creation, user
+list, and the cross-source comparison — served as plain HTML.
+
+The handler delegates all logic to :class:`~repro.quest.service.QuestService`
+and the pure view functions, so it stays a thin transport layer.
+"""
+
+from __future__ import annotations
+
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..data.schema import load_bundles
+from .compare import ComparisonView
+from .service import QuestService
+from .users import PermissionError_, User, UserStore
+from . import views
+
+
+class QuestApp:
+    """Bundles the service, users and (optional) comparison for serving."""
+
+    def __init__(self, service: QuestService, users: UserStore,
+                 current_user: User,
+                 comparison: ComparisonView | None = None) -> None:
+        self.service = service
+        self.users = users
+        self.current_user = current_user
+        self.comparison = comparison
+
+    # ------------------------------------------------------------------ #
+    # request-level operations (transport-independent, unit-testable)
+
+    def get(self, path: str) -> tuple[int, str]:
+        """Handle a GET; returns (status, html).  *path* may carry a query
+        string (used by /search?q=...)."""
+        parts = urllib.parse.urlsplit(path)
+        path, query_string = parts.path, parts.query
+        if path == "/" or path == "/bundles":
+            bundles = load_bundles(self.service.database)
+            return 200, views.render_bundle_list(bundles)
+        if path.startswith("/bundle/"):
+            ref_no = urllib.parse.unquote(path[len("/bundle/"):])
+            try:
+                view = self.service.suggest(ref_no)
+            except ValueError as exc:
+                return 404, views.render_message("Not found", str(exc))
+            return 200, views.render_suggestions(view)
+        if path == "/compare":
+            if self.comparison is None:
+                return 200, views.render_message(
+                    "Error distribution comparison",
+                    "No public data source configured.")
+            return 200, views.render_comparison(self.comparison)
+        if path == "/users":
+            return 200, views.render_users(self.users.all_users())
+        if path == "/search":
+            query = urllib.parse.parse_qs(query_string).get("q", [""])[0]
+            matches = self.service.search_bundles(query)
+            return 200, views.render_bundle_list(matches)
+        if path.startswith("/history/"):
+            ref_no = urllib.parse.unquote(path[len("/history/"):])
+            rows = self.service.assignment_history(ref_no)
+            return 200, views.render_history(ref_no, rows)
+        return 404, views.render_message("Not found", f"no page {path!r}")
+
+    def post(self, path: str, form: dict[str, str]) -> tuple[int, str]:
+        """Handle a POST; returns (status, html)."""
+        if path == "/assign":
+            try:
+                self.service.assign_code(self.current_user,
+                                         form.get("ref_no", ""),
+                                         form.get("error_code", ""))
+            except PermissionError_ as exc:
+                return 403, views.render_message("Forbidden", str(exc))
+            except ValueError as exc:
+                return 400, views.render_message("Bad request", str(exc))
+            return 200, views.render_message(
+                "Assigned", f"{form.get('error_code')} assigned to "
+                            f"{form.get('ref_no')}.")
+        if path == "/codes/new":
+            try:
+                self.service.define_error_code(self.current_user,
+                                               form.get("error_code", ""),
+                                               form.get("part_id", ""),
+                                               form.get("description", ""))
+            except PermissionError_ as exc:
+                return 403, views.render_message("Forbidden", str(exc))
+            return 200, views.render_message(
+                "Created", f"error code {form.get('error_code')} created.")
+        return 404, views.render_message("Not found", f"no action {path!r}")
+
+
+def _make_handler(app: QuestApp) -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        def _send(self, status: int, body: str) -> None:
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "text/html; charset=utf-8")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            status, body = app.get(self.path)
+            self._send(status, body)
+
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length).decode("utf-8")
+            form = {key: values[0] for key, values
+                    in urllib.parse.parse_qs(raw).items()}
+            status, body = app.post(urllib.parse.urlsplit(self.path).path,
+                                    form)
+            self._send(status, body)
+
+        def log_message(self, format: str, *args) -> None:
+            pass  # keep test output clean
+
+    return Handler
+
+
+class QuestServer:
+    """Threaded HTTP server wrapper with clean startup/shutdown."""
+
+    def __init__(self, app: QuestApp, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self._server = ThreadingHTTPServer((host, port), _make_handler(app))
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port)."""
+        return self._server.server_address[:2]
+
+    def start(self) -> None:
+        """Serve in a background thread."""
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Shut the server down and join the thread."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "QuestServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,59 @@
+"""Embedded relational store used by QATK for all persistence (§4.5.1).
+
+The paper stores raw report data, the knowledge bases and classification
+results in a relational database; this package provides that substrate from
+scratch: typed schemas, heap tables, hash / unique / inverted indexes,
+predicate queries, a small SQL subset and atomic directory persistence.
+
+Quickstart:
+    >>> from repro.relstore import Database, Schema, col
+    >>> db = Database()
+    >>> _ = db.create_table("codes", Schema.build([("code", "text"), ("n", "integer")]))
+    >>> _ = db.table("codes").insert({"code": "E12", "n": 3})
+    >>> db.table("codes").select(col("code") == "E12")[0]["n"]
+    3
+"""
+
+from .csv_io import export_csv, import_csv, load_csv_into, table_to_csv
+from .database import Database
+from .errors import (IntegrityError, PersistenceError, QueryError,
+                     RelStoreError, SchemaError, SqlError, TransactionError)
+from .index import HashIndex, InvertedIndex, UniqueIndex
+from .join import hash_join
+from .persist import load_database, save_database
+from .predicate import ALWAYS, Like, Predicate, col
+from .sql import execute, parse, tokenize
+from .table import Table
+from .types import Column, ColumnType, Schema
+
+__all__ = [
+    "ALWAYS",
+    "Column",
+    "ColumnType",
+    "Database",
+    "HashIndex",
+    "IntegrityError",
+    "Like",
+    "InvertedIndex",
+    "PersistenceError",
+    "Predicate",
+    "QueryError",
+    "RelStoreError",
+    "Schema",
+    "SchemaError",
+    "SqlError",
+    "Table",
+    "TransactionError",
+    "UniqueIndex",
+    "col",
+    "export_csv",
+    "import_csv",
+    "load_csv_into",
+    "execute",
+    "hash_join",
+    "load_database",
+    "parse",
+    "save_database",
+    "table_to_csv",
+    "tokenize",
+]

@@ -1,0 +1,112 @@
+"""CSV import/export for tables.
+
+Quality departments exchange data as CSV; this module writes any table to
+CSV and loads CSV files into a schema-checked table.  JSON columns are
+embedded as JSON text; NULL round-trips as the empty string (with the
+usual CSV caveat that an empty TEXT cell is indistinguishable from NULL —
+documented, and resolved in favour of NULL for nullable columns).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any
+
+from .errors import SchemaError
+from .table import Table
+from .types import ColumnType, Schema
+
+
+def table_to_csv(table: Table) -> str:
+    """Render *table* as CSV (header + one line per row, insertion order)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    names = table.schema.column_names
+    writer.writerow(names)
+    for record in table.scan():
+        row = []
+        for name in names:
+            value = record[name]
+            column = table.schema.column(name)
+            if value is None:
+                row.append("")
+            elif column.type is ColumnType.JSON:
+                row.append(json.dumps(value, ensure_ascii=False))
+            elif column.type is ColumnType.BOOLEAN:
+                row.append("true" if value else "false")
+            else:
+                row.append(str(value))
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def export_csv(table: Table, path: str | Path) -> int:
+    """Write *table* to a CSV file; returns the number of data rows."""
+    text = table_to_csv(table)
+    Path(path).write_text(text, encoding="utf-8")
+    return max(text.count("\n") - 1, 0)
+
+
+def _parse_cell(cell: str, column_type: ColumnType) -> Any:
+    if cell == "":
+        return None
+    if column_type is ColumnType.INTEGER:
+        return int(cell)
+    if column_type is ColumnType.REAL:
+        return float(cell)
+    if column_type is ColumnType.BOOLEAN:
+        lowered = cell.strip().lower()
+        if lowered in ("true", "1", "yes"):
+            return True
+        if lowered in ("false", "0", "no"):
+            return False
+        raise SchemaError(f"cannot parse boolean from {cell!r}")
+    if column_type is ColumnType.JSON:
+        return json.loads(cell)
+    return cell
+
+
+def load_csv_into(table: Table, text: str) -> int:
+    """Insert the CSV *text* into *table*; returns the row count.
+
+    The header must name a subset of the table's columns (order-free);
+    missing columns take their schema defaults.
+
+    Raises:
+        SchemaError: on unknown header columns or unparseable cells.
+    """
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        return 0
+    for name in header:
+        if not table.schema.has_column(name):
+            raise SchemaError(f"CSV column {name!r} not in table "
+                              f"{table.name!r}")
+    count = 0
+    for line_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(header):
+            raise SchemaError(f"CSV line {line_number}: expected "
+                              f"{len(header)} cells, got {len(row)}")
+        values: dict[str, Any] = {}
+        for name, cell in zip(header, row):
+            column = table.schema.column(name)
+            try:
+                values[name] = _parse_cell(cell, column.type)
+            except (ValueError, json.JSONDecodeError) as exc:
+                raise SchemaError(
+                    f"CSV line {line_number}, column {name!r}: {exc}") from exc
+        table.insert(values)
+        count += 1
+    return count
+
+
+def import_csv(table: Table, path: str | Path) -> int:
+    """Load a CSV file into *table*; returns the row count."""
+    return load_csv_into(table, Path(path).read_text(encoding="utf-8"))

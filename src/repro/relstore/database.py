@@ -1,0 +1,178 @@
+"""The database object: a namespace of tables with lightweight transactions.
+
+Transactions use an undo log: every mutation performed through the database
+while a transaction is open records its inverse, and ``rollback`` replays the
+inverses in reverse order.  This is enough for QATK's single-writer pipeline
+(the paper persists knowledge nodes and recommendations transactionally per
+processing batch).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Mapping
+
+from .errors import QueryError, SchemaError, TransactionError
+from .predicate import ALWAYS, Predicate
+from .table import Table
+from .types import Schema
+
+
+class Database:
+    """A named collection of :class:`~repro.relstore.table.Table` objects."""
+
+    def __init__(self, name: str = "main") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._undo_log: list[Callable[[], None]] | None = None
+
+    # ------------------------------------------------------------------ #
+    # catalog
+
+    def create_table(self, name: str, schema: Schema, *, if_not_exists: bool = False) -> Table:
+        """Create a table.
+
+        Raises:
+            SchemaError: if the table exists and *if_not_exists* is False.
+        """
+        if name in self._tables:
+            if if_not_exists:
+                return self._tables[name]
+            raise SchemaError(f"table {name!r} already exists")
+        table = Table(name, schema)
+        self._tables[name] = table
+        if self._undo_log is not None:
+            self._undo_log.append(lambda: self._tables.pop(name, None))
+        return table
+
+    def drop_table(self, name: str, *, if_exists: bool = False) -> None:
+        """Drop a table.
+
+        Raises:
+            QueryError: if the table does not exist and *if_exists* is False.
+        """
+        if name not in self._tables:
+            if if_exists:
+                return
+            raise QueryError(f"no table {name!r}")
+        table = self._tables.pop(name)
+        if self._undo_log is not None:
+            self._undo_log.append(lambda: self._tables.__setitem__(name, table))
+
+    def table(self, name: str) -> Table:
+        """Return the table called *name*.
+
+        Raises:
+            QueryError: if it does not exist.
+        """
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise QueryError(f"no table {name!r}; have {sorted(self._tables)}") from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table called *name* exists."""
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        """Sorted names of all tables."""
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __repr__(self) -> str:
+        return f"<Database {self.name} tables={self.table_names()}>"
+
+    # ------------------------------------------------------------------ #
+    # transactional mutation helpers
+
+    def insert(self, table_name: str, values: Mapping[str, Any]) -> int:
+        """Insert into a table, logging the inverse when in a transaction."""
+        table = self.table(table_name)
+        row_id = table.insert(values)
+        if self._undo_log is not None:
+            def undo_insert() -> None:
+                row = table._rows.pop(row_id, None)
+                if row is not None:
+                    for index in table._indexes.values():
+                        index.remove(row_id, row[table.schema.index_of(index.column)])
+            self._undo_log.append(undo_insert)
+        return row_id
+
+    def insert_many(self, table_name: str, rows: Iterator[Mapping[str, Any]] | list) -> list[int]:
+        """Insert several rows through :meth:`insert`."""
+        return [self.insert(table_name, row) for row in rows]
+
+    def update(self, table_name: str, row_id: int, changes: Mapping[str, Any]) -> None:
+        """Update one row, logging the inverse when in a transaction."""
+        table = self.table(table_name)
+        before = table.get(row_id)
+        table.update(row_id, changes)
+        if self._undo_log is not None:
+            self._undo_log.append(lambda: table.update(row_id, before))
+
+    def delete(self, table_name: str, predicate: Predicate = ALWAYS) -> int:
+        """Delete matching rows, logging re-inserts when in a transaction."""
+        table = self.table(table_name)
+        doomed = [(row_id, table.get(row_id)) for row_id in list(table.row_ids())
+                  if predicate(table.get(row_id))]
+        count = table.delete(predicate)
+        if self._undo_log is not None and doomed:
+            def reinsert() -> None:
+                for _, row in doomed:
+                    table.insert(row)
+            self._undo_log.append(reinsert)
+        return count
+
+    # ------------------------------------------------------------------ #
+    # transactions
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether a transaction is currently open."""
+        return self._undo_log is not None
+
+    def begin(self) -> None:
+        """Open a transaction.
+
+        Raises:
+            TransactionError: if one is already open (no nesting).
+        """
+        if self._undo_log is not None:
+            raise TransactionError("transaction already open")
+        self._undo_log = []
+
+    def commit(self) -> None:
+        """Commit the open transaction.
+
+        Raises:
+            TransactionError: if no transaction is open.
+        """
+        if self._undo_log is None:
+            raise TransactionError("no transaction to commit")
+        self._undo_log = None
+
+    def rollback(self) -> None:
+        """Undo every change made since :meth:`begin`.
+
+        Raises:
+            TransactionError: if no transaction is open.
+        """
+        if self._undo_log is None:
+            raise TransactionError("no transaction to roll back")
+        log, self._undo_log = self._undo_log, None
+        for undo in reversed(log):
+            undo()
+
+    @contextmanager
+    def transaction(self) -> Iterator["Database"]:
+        """Context manager committing on success and rolling back on error."""
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            self.rollback()
+            raise
+        else:
+            self.commit()

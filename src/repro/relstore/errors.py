@@ -1,0 +1,35 @@
+"""Exception hierarchy for the embedded relational store.
+
+All errors raised by :mod:`repro.relstore` derive from :class:`RelStoreError`
+so callers can catch storage problems with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class RelStoreError(Exception):
+    """Base class for every error raised by the relational store."""
+
+
+class SchemaError(RelStoreError):
+    """A table schema is invalid or a value does not fit its column type."""
+
+
+class IntegrityError(RelStoreError):
+    """A uniqueness or not-null constraint would be violated."""
+
+
+class QueryError(RelStoreError):
+    """A query references unknown tables/columns or is otherwise malformed."""
+
+
+class SqlError(RelStoreError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class TransactionError(RelStoreError):
+    """A transaction was misused (e.g. nested begin, commit without begin)."""
+
+
+class PersistenceError(RelStoreError):
+    """A database directory could not be written or read back."""

@@ -1,0 +1,90 @@
+"""Equi-joins between tables.
+
+The raw schema is normalized (bundles / reports / assignments keyed by
+reference number), so read paths naturally join.  This module provides a
+hash equi-join with inner/left semantics, plus SQL support
+(``SELECT ... FROM a JOIN b ON a.x = b.y [WHERE ...]``).
+
+Column-name collisions are resolved by prefixing with the table name
+(``bundles.ref_no``); non-colliding columns keep their bare names.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .errors import QueryError
+from .predicate import ALWAYS, Predicate
+from .table import Table
+
+
+def _output_names(left: Table, right: Table) -> dict[tuple[str, str], str]:
+    """Output column name per (table, column), prefixing collisions."""
+    collisions = set(left.schema.column_names) & set(right.schema.column_names)
+    names: dict[tuple[str, str], str] = {}
+    for table in (left, right):
+        for column in table.schema.column_names:
+            if column in collisions:
+                names[(table.name, column)] = f"{table.name}.{column}"
+            else:
+                names[(table.name, column)] = column
+    return names
+
+
+def hash_join(left: Table, right: Table, left_on: str, right_on: str,
+              predicate: Predicate = ALWAYS, *, how: str = "inner",
+              ) -> list[dict[str, Any]]:
+    """Equi-join *left* with *right* on ``left_on == right_on``.
+
+    Args:
+        left, right: the tables.
+        left_on, right_on: join columns (must exist; NULL keys never match).
+        predicate: filter evaluated on the *combined* row (use the
+            prefixed names for colliding columns).
+        how: ``"inner"`` or ``"left"`` (unmatched left rows padded with
+            NULLs).
+
+    Returns combined rows in left-table storage order.
+
+    Raises:
+        QueryError: on unknown columns or join types.
+    """
+    for table, column in ((left, left_on), (right, right_on)):
+        if not table.schema.has_column(column):
+            raise QueryError(f"no column {column!r} in table {table.name!r}")
+    if how not in ("inner", "left"):
+        raise QueryError(f"unsupported join type {how!r}")
+    names = _output_names(left, right)
+    # build side: hash the right table
+    buckets: dict[Any, list[dict[str, Any]]] = {}
+    for row in right.scan():
+        key = row[right_on]
+        if key is None:
+            continue
+        if isinstance(key, list):
+            key = tuple(key)
+        buckets.setdefault(key, []).append(row)
+    null_right = {names[(right.name, column)]: None
+                  for column in right.schema.column_names}
+    results: list[dict[str, Any]] = []
+    for left_row in left.scan():
+        key = left_row[left_on]
+        if isinstance(key, list):
+            key = tuple(key)
+        matches = buckets.get(key, []) if key is not None else []
+        combined_left = {names[(left.name, column)]: left_row[column]
+                         for column in left.schema.column_names}
+        if matches:
+            for right_row in matches:
+                combined = dict(combined_left)
+                combined.update(
+                    {names[(right.name, column)]: right_row[column]
+                     for column in right.schema.column_names})
+                if predicate(combined):
+                    results.append(combined)
+        elif how == "left":
+            combined = dict(combined_left)
+            combined.update(null_right)
+            if predicate(combined):
+                results.append(combined)
+    return results

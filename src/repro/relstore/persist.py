@@ -1,0 +1,111 @@
+"""Durable storage of a database as a directory of JSON files.
+
+Layout::
+
+    <dir>/catalog.json        # table schemas + index definitions
+    <dir>/<table>.jsonl       # one JSON object per row
+
+Writes are atomic per file (write to a temp name, then ``os.replace``), so a
+crash mid-save leaves the previous version intact.  This mirrors the paper's
+use of a relational database for raw data, knowledge bases and results
+(§4.5.1) at laptop scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from .database import Database
+from .errors import PersistenceError
+from .index import InvertedIndex, UniqueIndex
+from .types import Schema
+
+CATALOG_NAME = "catalog.json"
+FORMAT_VERSION = 1
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp_path = path.with_name(path.name + ".tmp")
+    tmp_path.write_text(text, encoding="utf-8")
+    os.replace(tmp_path, path)
+
+
+def save_database(database: Database, directory: str | Path) -> None:
+    """Write *database* to *directory* (created if needed).
+
+    Raises:
+        PersistenceError: if the directory cannot be written.
+    """
+    directory = Path(directory)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise PersistenceError(f"cannot create {directory}: {exc}") from exc
+    catalog: dict[str, Any] = {"version": FORMAT_VERSION, "name": database.name, "tables": {}}
+    for table_name in database.table_names():
+        table = database.table(table_name)
+        indexes = []
+        for index in table.indexes.values():
+            if table.schema.primary_key and index.name == f"pk_{table_name}":
+                continue  # recreated automatically from the schema
+            indexes.append({
+                "name": index.name,
+                "column": index.column,
+                "unique": isinstance(index, UniqueIndex),
+                "inverted": isinstance(index, InvertedIndex),
+            })
+        catalog["tables"][table_name] = {
+            "schema": table.schema.to_json(),
+            "indexes": indexes,
+        }
+        lines = [json.dumps(row, ensure_ascii=False, sort_keys=True)
+                 for row in table.scan()]
+        _atomic_write_text(directory / f"{table_name}.jsonl",
+                           "\n".join(lines) + ("\n" if lines else ""))
+    _atomic_write_text(directory / CATALOG_NAME,
+                       json.dumps(catalog, ensure_ascii=False, indent=2, sort_keys=True))
+
+
+def load_database(directory: str | Path) -> Database:
+    """Read a database previously written by :func:`save_database`.
+
+    Raises:
+        PersistenceError: if the catalog is missing or malformed.
+    """
+    directory = Path(directory)
+    catalog_path = directory / CATALOG_NAME
+    if not catalog_path.is_file():
+        raise PersistenceError(f"no {CATALOG_NAME} in {directory}")
+    try:
+        catalog = json.loads(catalog_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PersistenceError(f"cannot read catalog: {exc}") from exc
+    version = catalog.get("version")
+    if version != FORMAT_VERSION:
+        raise PersistenceError(f"unsupported format version {version!r}")
+    database = Database(catalog.get("name", "main"))
+    for table_name, entry in catalog.get("tables", {}).items():
+        schema = Schema.from_json(entry["schema"])
+        table = database.create_table(table_name, schema)
+        for spec in entry.get("indexes", ()):
+            table.create_index(spec["name"], spec["column"],
+                               unique=spec.get("unique", False),
+                               inverted=spec.get("inverted", False))
+        data_path = directory / f"{table_name}.jsonl"
+        if not data_path.is_file():
+            raise PersistenceError(f"missing data file for table {table_name!r}")
+        with data_path.open(encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise PersistenceError(
+                        f"{data_path.name}:{line_number}: bad JSON: {exc}") from exc
+                table.insert(row)
+    return database

@@ -1,0 +1,401 @@
+"""Heap tables with index-accelerated selection.
+
+A :class:`Table` stores rows as tuples keyed by a monotonically increasing
+row id.  Secondary indexes are maintained incrementally; ``select`` consults
+the predicate's equality / membership bindings to pick an index and falls
+back to a full scan.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from .errors import IntegrityError, QueryError, SchemaError
+from .index import BaseIndex, HashIndex, InvertedIndex, UniqueIndex
+from .predicate import ALWAYS, Predicate
+from .types import Schema
+
+
+class Table:
+    """A single relational table.
+
+    Not thread-safe; QATK drives it from one pipeline thread, as the paper's
+    prototype does.
+    """
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        if not name.isidentifier():
+            raise SchemaError(f"table name {name!r} is not a valid identifier")
+        self.name = name
+        self.schema = schema
+        self._rows: dict[int, tuple[Any, ...]] = {}
+        self._next_row_id = 1
+        self._indexes: dict[str, BaseIndex] = {}
+        if schema.primary_key is not None:
+            self.create_index(f"pk_{name}", schema.primary_key, unique=True)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return f"<Table {self.name} rows={len(self)} indexes={sorted(self._indexes)}>"
+
+    @property
+    def indexes(self) -> Mapping[str, BaseIndex]:
+        """The table's indexes by name (read-only view)."""
+        return dict(self._indexes)
+
+    def row_ids(self) -> Iterator[int]:
+        """Iterate over all live row ids."""
+        return iter(self._rows)
+
+    # ------------------------------------------------------------------ #
+    # index management
+
+    def create_index(self, index_name: str, column: str, *, unique: bool = False,
+                     inverted: bool = False) -> BaseIndex:
+        """Create and backfill an index on *column*.
+
+        Args:
+            index_name: unique name of the index within this table.
+            column: indexed column; must exist in the schema.
+            unique: enforce one row per value (implies a hash index).
+            inverted: index the *elements* of a JSON-list column instead of
+                the value itself.  Mutually exclusive with *unique*.
+
+        Raises:
+            SchemaError: on unknown column or duplicate index name.
+            IntegrityError: if a unique index finds existing duplicates.
+        """
+        if index_name in self._indexes:
+            raise SchemaError(f"index {index_name!r} already exists on {self.name!r}")
+        self.schema.column(column)
+        if unique and inverted:
+            raise SchemaError("an index cannot be both unique and inverted")
+        if unique:
+            index: BaseIndex = UniqueIndex(index_name, column)
+        elif inverted:
+            index = InvertedIndex(index_name, column)
+        else:
+            index = HashIndex(index_name, column)
+        position = self.schema.index_of(column)
+        for row_id, row in self._rows.items():
+            index.add(row_id, row[position])
+        self._indexes[index_name] = index
+        return index
+
+    def drop_index(self, index_name: str) -> None:
+        """Remove an index.
+
+        Raises:
+            SchemaError: if the index does not exist.
+        """
+        if index_name not in self._indexes:
+            raise SchemaError(f"no index {index_name!r} on table {self.name!r}")
+        del self._indexes[index_name]
+
+    def _index_on(self, column: str, *, inverted: bool = False) -> BaseIndex | None:
+        for index in self._indexes.values():
+            if index.column != column:
+                continue
+            is_inverted = isinstance(index, InvertedIndex)
+            if inverted == is_inverted:
+                return index
+        return None
+
+    # ------------------------------------------------------------------ #
+    # mutation
+
+    def insert(self, values: Mapping[str, Any]) -> int:
+        """Insert one row; returns its row id.
+
+        Raises:
+            SchemaError: on schema violations.
+            IntegrityError: on unique-index violations (no partial effects).
+        """
+        row = self.schema.normalize(values)
+        row_id = self._next_row_id
+        added: list[tuple[BaseIndex, Any]] = []
+        try:
+            for index in self._indexes.values():
+                value = row[self.schema.index_of(index.column)]
+                index.add(row_id, value)
+                added.append((index, value))
+        except IntegrityError:
+            for index, value in added:
+                index.remove(row_id, value)
+            raise
+        self._rows[row_id] = row
+        self._next_row_id += 1
+        return row_id
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> list[int]:
+        """Insert several rows; returns their row ids."""
+        return [self.insert(row) for row in rows]
+
+    def get(self, row_id: int) -> dict[str, Any]:
+        """Return the row with id *row_id* as a dict.
+
+        Raises:
+            QueryError: if the row does not exist.
+        """
+        try:
+            return self.schema.as_dict(self._rows[row_id])
+        except KeyError:
+            raise QueryError(f"no row {row_id} in table {self.name!r}") from None
+
+    def update(self, row_id: int, changes: Mapping[str, Any]) -> None:
+        """Apply *changes* (a partial column->value mapping) to one row.
+
+        Raises:
+            QueryError: if the row does not exist.
+            SchemaError / IntegrityError: on constraint violations; the row
+                is left unchanged in that case.
+        """
+        if row_id not in self._rows:
+            raise QueryError(f"no row {row_id} in table {self.name!r}")
+        old_row = self._rows[row_id]
+        merged = self.schema.as_dict(old_row)
+        merged.update(changes)
+        new_row = self.schema.normalize(merged)
+        for index in self._indexes.values():
+            position = self.schema.index_of(index.column)
+            if old_row[position] == new_row[position]:
+                continue
+            index.remove(row_id, old_row[position])
+            try:
+                index.add(row_id, new_row[position])
+            except IntegrityError:
+                index.add(row_id, old_row[position])
+                raise
+        self._rows[row_id] = new_row
+
+    def delete_row(self, row_id: int) -> None:
+        """Delete one row by its id.
+
+        Raises:
+            QueryError: if the row does not exist.
+        """
+        row = self._rows.pop(row_id, None)
+        if row is None:
+            raise QueryError(f"no row {row_id} in table {self.name!r}")
+        for index in self._indexes.values():
+            index.remove(row_id, row[self.schema.index_of(index.column)])
+
+    def delete(self, predicate: Predicate = ALWAYS) -> int:
+        """Delete all rows matching *predicate*; returns the count."""
+        doomed = [row_id for row_id, _ in self._candidate_rows(predicate)
+                  if predicate(self.get(row_id))]
+        for row_id in doomed:
+            row = self._rows.pop(row_id)
+            for index in self._indexes.values():
+                index.remove(row_id, row[self.schema.index_of(index.column)])
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Delete all rows (indexes are emptied, ids keep increasing)."""
+        self._rows.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # ------------------------------------------------------------------ #
+    # querying
+
+    def _candidate_rows(self, predicate: Predicate) -> Iterator[tuple[int, tuple[Any, ...]]]:
+        """Yield (row_id, row) pairs, narrowed through an index if possible."""
+        for column, value in predicate.equality_bindings().items():
+            index = self._index_on(column)
+            if index is not None:
+                for row_id in index.lookup(value):
+                    yield row_id, self._rows[row_id]
+                return
+        for column, element in predicate.membership_bindings().items():
+            index = self._index_on(column, inverted=True)
+            if index is not None:
+                for row_id in index.lookup(element):
+                    yield row_id, self._rows[row_id]
+                return
+        yield from self._rows.items()
+
+    def select(
+        self,
+        predicate: Predicate = ALWAYS,
+        *,
+        columns: Sequence[str] | None = None,
+        order_by: str | Callable[[dict[str, Any]], Any] | None = None,
+        descending: bool = False,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """Return matching rows as dicts.
+
+        Args:
+            predicate: row filter; defaults to all rows.
+            columns: project onto these columns (default: all).
+            order_by: column name or key function for sorting.
+            descending: sort direction.
+            limit: maximum number of rows returned (applied after sorting).
+
+        Raises:
+            QueryError: if a projected or sort column does not exist.
+        """
+        if columns is not None:
+            for name in columns:
+                if not self.schema.has_column(name):
+                    raise QueryError(f"unknown column {name!r} in projection")
+        matches: list[dict[str, Any]] = []
+        for _, row in self._candidate_rows(predicate):
+            record = self.schema.as_dict(row)
+            if predicate(record):
+                matches.append(record)
+        if order_by is not None:
+            if isinstance(order_by, str):
+                if not self.schema.has_column(order_by):
+                    raise QueryError(f"unknown column {order_by!r} in ORDER BY")
+                sort_column = order_by
+                matches.sort(key=lambda record: (record[sort_column] is None,
+                                                 record[sort_column]),
+                             reverse=descending)
+            else:
+                matches.sort(key=order_by, reverse=descending)
+        if limit is not None:
+            matches = matches[:limit]
+        if columns is not None:
+            matches = [{name: record[name] for name in columns} for record in matches]
+        return matches
+
+    def select_one(self, predicate: Predicate) -> dict[str, Any] | None:
+        """Return the first matching row, or None."""
+        rows = self.select(predicate, limit=1)
+        return rows[0] if rows else None
+
+    def count(self, predicate: Predicate = ALWAYS) -> int:
+        """Number of rows matching *predicate*."""
+        if predicate is ALWAYS:
+            return len(self._rows)
+        return sum(1 for _ in self._matching(predicate))
+
+    def distinct(self, column: str, predicate: Predicate = ALWAYS) -> set[Any]:
+        """The set of distinct values of *column* among matching rows.
+
+        List-valued (JSON) cells are converted to tuples so the result is a
+        proper set.
+        """
+        position = self.schema.index_of(column)
+        values: set[Any] = set()
+        for record in self._matching(predicate):
+            value = record[self.schema.column_names[position]]
+            if isinstance(value, list):
+                value = tuple(value)
+            values.add(value)
+        return values
+
+    def group_count(self, column: str, predicate: Predicate = ALWAYS) -> dict[Any, int]:
+        """Histogram of *column* values among matching rows.
+
+        This powers the paper's *code frequency baseline* (error codes per
+        part ID sorted by frequency).
+        """
+        self.schema.column(column)
+        counts: dict[Any, int] = {}
+        for record in self._matching(predicate):
+            value = record[column]
+            if isinstance(value, list):
+                value = tuple(value)
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    def _matching(self, predicate: Predicate) -> Iterator[dict[str, Any]]:
+        for _, row in self._candidate_rows(predicate):
+            record = self.schema.as_dict(row)
+            if predicate(record):
+                yield record
+
+    def scan(self) -> Iterator[dict[str, Any]]:
+        """Iterate over all rows as dicts (no filtering, no copies of cells)."""
+        for row in self._rows.values():
+            yield self.schema.as_dict(row)
+
+    def explain(self, predicate: Predicate = ALWAYS) -> dict[str, Any]:
+        """Describe how :meth:`select` would access rows for *predicate*.
+
+        Returns a dict with ``access`` (``"hash_index"``,
+        ``"inverted_index"`` or ``"full_scan"``), the ``index`` name when
+        one is used, and the estimated number of rows read.
+        """
+        for column, value in predicate.equality_bindings().items():
+            index = self._index_on(column)
+            if index is not None:
+                return {"access": "hash_index", "index": index.name,
+                        "column": column, "rows_examined": len(index.lookup(value))}
+        for column, element in predicate.membership_bindings().items():
+            index = self._index_on(column, inverted=True)
+            if index is not None:
+                return {"access": "inverted_index", "index": index.name,
+                        "column": column,
+                        "rows_examined": len(index.lookup(element))}
+        return {"access": "full_scan", "index": None, "column": None,
+                "rows_examined": len(self._rows)}
+
+    def aggregate(self, aggregations: Sequence[tuple[str, str]],
+                  predicate: Predicate = ALWAYS,
+                  group_by: Sequence[str] = ()) -> list[dict[str, Any]]:
+        """Grouped aggregation over matching rows.
+
+        Args:
+            aggregations: (function, column) pairs; functions are
+                ``count`` (column may be ``"*"``), ``sum``, ``avg``,
+                ``min``, ``max``.
+            predicate: row filter.
+            group_by: grouping columns (empty: one global group).
+
+        Returns one dict per group holding the grouping columns plus one
+        ``"func(column)"`` key per aggregation.  Groups are sorted by
+        their grouping-column values.
+
+        Raises:
+            QueryError: on unknown columns or aggregate functions.
+        """
+        for name in group_by:
+            self.schema.column(name)
+        for function, column in aggregations:
+            if function not in ("count", "sum", "avg", "min", "max"):
+                raise QueryError(f"unknown aggregate function {function!r}")
+            if column != "*":
+                self.schema.column(column)
+            elif function != "count":
+                raise QueryError(f"{function}(*) is not supported")
+        groups: dict[tuple, list[dict[str, Any]]] = {}
+        for record in self._matching(predicate):
+            key = tuple(record[name] for name in group_by)
+            groups.setdefault(key, []).append(record)
+        results = []
+        for key in sorted(groups, key=lambda k: tuple(
+                (value is None, value) for value in k)):
+            rows = groups[key]
+            result: dict[str, Any] = dict(zip(group_by, key))
+            for function, column in aggregations:
+                label = f"{function}({column})"
+                if function == "count":
+                    if column == "*":
+                        result[label] = len(rows)
+                    else:
+                        result[label] = sum(1 for row in rows
+                                            if row[column] is not None)
+                    continue
+                values = [row[column] for row in rows
+                          if row[column] is not None]
+                if not values:
+                    result[label] = None
+                elif function == "sum":
+                    result[label] = sum(values)
+                elif function == "avg":
+                    result[label] = sum(values) / len(values)
+                elif function == "min":
+                    result[label] = min(values)
+                else:
+                    result[label] = max(values)
+            results.append(result)
+        return results

@@ -1,0 +1,51 @@
+"""The automotive part-and-error taxonomy (§4.5.3, Fig. 10).
+
+Multilingual, synonym-rich, shallow taxonomy of components, symptoms,
+locations and solutions, with a trie-based optimized annotator, an
+emulation of the closed-source legacy annotator, XML persistence, a
+synthetic builder replacing the Daimler-internal resource, and a
+maintenance/editor API.
+"""
+
+from .annotator import (DEFAULT_CATEGORIES, ConceptAnnotator, ConceptMatch,
+                        build_concept_trie, resolve_concepts)
+from .builder import build_taxonomy
+from .editor import TaxonomyEditor
+from .errors import ConceptError, TaxonomyError, TaxonomyXmlError
+from .extension import SynonymProposal, TaxonomyExtender
+from .legacy import LegacyConceptAnnotator, annotator_coverage
+from .model import (ENGLISH, GERMAN, LANGUAGES, Category, Concept, Taxonomy)
+from .trie import TokenTrie
+from .validate import (ValidationIssue, ValidationReport, validate_taxonomy)
+from .xml_io import dumps, load_taxonomy, loads, save_taxonomy
+
+__all__ = [
+    "Category",
+    "Concept",
+    "ConceptAnnotator",
+    "ConceptError",
+    "ConceptMatch",
+    "DEFAULT_CATEGORIES",
+    "ENGLISH",
+    "GERMAN",
+    "LANGUAGES",
+    "LegacyConceptAnnotator",
+    "SynonymProposal",
+    "Taxonomy",
+    "TaxonomyExtender",
+    "TaxonomyEditor",
+    "TaxonomyError",
+    "TaxonomyXmlError",
+    "TokenTrie",
+    "ValidationIssue",
+    "ValidationReport",
+    "annotator_coverage",
+    "build_concept_trie",
+    "build_taxonomy",
+    "dumps",
+    "load_taxonomy",
+    "loads",
+    "resolve_concepts",
+    "save_taxonomy",
+    "validate_taxonomy",
+]

@@ -1,0 +1,164 @@
+"""Taxonomy maintenance API.
+
+The paper's legacy stack includes "an editor GUI for adding, changing and
+removing taxonomy concepts and concept features"; QUEST additionally lets
+privileged users define new error codes.  This module provides the same
+maintenance operations as a programmatic API with undo support — the
+substrate a GUI would sit on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .errors import ConceptError
+from .model import Category, Concept, Taxonomy
+
+
+class TaxonomyEditor:
+    """Mutating operations over a :class:`Taxonomy`, with undo."""
+
+    def __init__(self, taxonomy: Taxonomy) -> None:
+        self.taxonomy = taxonomy
+        self._undo_stack: list[tuple[str, Callable[[], None]]] = []
+
+    # ------------------------------------------------------------------ #
+    # operations
+
+    def create_concept(self, concept_id: str, category: Category | str,
+                       parent_id: str | None = None,
+                       labels: dict[str, str] | None = None) -> Concept:
+        """Add a new concept; returns it."""
+        if isinstance(category, str):
+            category = Category.parse(category)
+        concept = Concept(concept_id, category, parent_id=parent_id,
+                          labels=dict(labels or {}))
+        self.taxonomy.add(concept)
+        self._undo_stack.append(
+            (f"create {concept_id}", lambda: self.taxonomy.remove(concept_id)))
+        return concept
+
+    def delete_concept(self, concept_id: str) -> Concept:
+        """Remove a concept; its children become roots."""
+        children = self.taxonomy.children(concept_id)
+        child_parents = {child.concept_id: child.parent_id for child in children}
+        concept = self.taxonomy.remove(concept_id)
+
+        def undo() -> None:
+            self.taxonomy.add(concept)
+            for child_id, parent_id in child_parents.items():
+                self.taxonomy.get(child_id).parent_id = parent_id
+
+        self._undo_stack.append((f"delete {concept_id}", undo))
+        return concept
+
+    def rename_label(self, concept_id: str, language: str, label: str) -> None:
+        """Set the canonical label of a concept in one language."""
+        if not label:
+            raise ConceptError("label must be non-empty")
+        concept = self.taxonomy.get(concept_id)
+        previous = concept.labels.get(language)
+
+        def undo() -> None:
+            if previous is None:
+                concept.labels.pop(language, None)
+            else:
+                concept.labels[language] = previous
+
+        concept.labels[language] = label
+        self._undo_stack.append((f"rename {concept_id}/{language}", undo))
+
+    def add_synonym(self, concept_id: str, language: str, form: str) -> bool:
+        """Add a synonym; returns False if it already existed."""
+        concept = self.taxonomy.get(concept_id)
+        added = concept.add_synonym(language, form)
+        if added:
+            self._undo_stack.append(
+                (f"add-synonym {concept_id}/{language}",
+                 lambda: concept.synonyms[language].remove(form)))
+        return added
+
+    def remove_synonym(self, concept_id: str, language: str, form: str) -> None:
+        """Remove a synonym.
+
+        Raises:
+            ConceptError: if the synonym is not present.
+        """
+        concept = self.taxonomy.get(concept_id)
+        forms = concept.synonyms.get(language, [])
+        if form not in forms:
+            raise ConceptError(
+                f"{form!r} is not a {language} synonym of {concept_id}")
+        position = forms.index(form)
+        forms.remove(form)
+        self._undo_stack.append(
+            (f"remove-synonym {concept_id}/{language}",
+             lambda: forms.insert(position, form)))
+
+    def move_concept(self, concept_id: str, new_parent_id: str | None) -> None:
+        """Re-parent a concept within the shallow hierarchy.
+
+        Raises:
+            ConceptError: on unknown parents or cycles.
+        """
+        concept = self.taxonomy.get(concept_id)
+        if new_parent_id is not None:
+            ancestor_chain = [c.concept_id for c in self.taxonomy.path(new_parent_id)]
+            if concept_id in ancestor_chain:
+                raise ConceptError(
+                    f"moving {concept_id} under {new_parent_id} creates a cycle")
+        previous = concept.parent_id
+        concept.parent_id = new_parent_id
+        self._undo_stack.append(
+            (f"move {concept_id}",
+             lambda: setattr(concept, "parent_id", previous)))
+
+    def merge_concepts(self, winner_id: str, loser_id: str) -> Concept:
+        """Merge *loser* into *winner*: surface forms become synonyms of the
+        winner, the loser's children are re-parented, the loser is removed.
+        """
+        if winner_id == loser_id:
+            raise ConceptError("cannot merge a concept with itself")
+        winner = self.taxonomy.get(winner_id)
+        loser = self.taxonomy.get(loser_id)
+        if winner.category is not loser.category:
+            raise ConceptError("can only merge concepts of the same category")
+        # One compound undo entry for the whole merge.
+        added_synonyms: list[tuple[str, str]] = []
+        for language, form in loser.all_surface_forms():
+            if winner.add_synonym(language, form):
+                added_synonyms.append((language, form))
+        moved_children = [child.concept_id for child in self.taxonomy.children(loser_id)]
+        for child_id in moved_children:
+            self.taxonomy.get(child_id).parent_id = winner_id
+        removed = self.taxonomy.remove(loser_id)
+
+        def undo() -> None:
+            self.taxonomy.add(removed)
+            for child_id in moved_children:
+                self.taxonomy.get(child_id).parent_id = loser_id
+            for language, form in added_synonyms:
+                winner.synonyms[language].remove(form)
+
+        self._undo_stack.append((f"merge {loser_id}->{winner_id}", undo))
+        return winner
+
+    # ------------------------------------------------------------------ #
+    # undo
+
+    @property
+    def history(self) -> list[str]:
+        """Descriptions of undoable operations, oldest first."""
+        return [description for description, _ in self._undo_stack]
+
+    def undo(self) -> str:
+        """Undo the most recent operation; returns its description.
+
+        Raises:
+            ConceptError: when there is nothing to undo.
+        """
+        if not self._undo_stack:
+            raise ConceptError("nothing to undo")
+        description, action = self._undo_stack.pop()
+        action()
+        return description

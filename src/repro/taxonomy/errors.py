@@ -1,0 +1,15 @@
+"""Exception hierarchy for the taxonomy package."""
+
+from __future__ import annotations
+
+
+class TaxonomyError(Exception):
+    """Base class for taxonomy errors."""
+
+
+class ConceptError(TaxonomyError):
+    """A concept is malformed, missing or duplicated."""
+
+
+class TaxonomyXmlError(TaxonomyError):
+    """The custom XML serialization is malformed."""

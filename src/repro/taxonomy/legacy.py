@@ -1,0 +1,131 @@
+"""Behavioural emulation of the closed-source legacy taxonomy annotator.
+
+§4.5.3 reports that the legacy libraries "do not entirely meet the
+requirements of the present use case": the original annotator is slower,
+more memory-intensive, has lower coverage and handles multiwords poorly —
+"the original taxonomy annotator does not recognize any taxonomy concepts
+in 2530 out of the 7500 data bundles" while the trie-based reimplementation
+finds concepts in all of them.
+
+We emulate the legacy behaviour so that comparison can be reproduced:
+
+* **single-language**: the legacy stack comes from German-language
+  information-extraction research ([16], [18] in the paper), so by default
+  only German surface forms are matched (no multilingual annotation);
+  pass ``language="auto"`` to bind it to each text's detected language
+  instead,
+* **no multiword capture**: only single-token surface forms match,
+* **case-sensitive exact matching**: no case folding and no umlaut
+  transliteration, so messy casing and typos break matches,
+* linear dictionary scan per token (no trie) — kept for fidelity of the
+  performance comparison, not because it is a good idea.
+"""
+
+from __future__ import annotations
+
+from ..text.language import detect_language
+from ..text.tokenizer import token_spans
+from ..uima import CAS, AnalysisEngine
+from .annotator import DEFAULT_CATEGORIES, ConceptMatch
+from .model import Category, Taxonomy
+
+
+class LegacyConceptAnnotator(AnalysisEngine):
+    """The legacy annotator emulation (for the §4.5.3 comparison).
+
+    Parameters:
+        taxonomy: the :class:`Taxonomy` to annotate with (required).
+        categories: concept categories to match (default components and
+            symptoms, as for the optimized annotator).
+        language: fixed dictionary language (default ``"de"``), or
+            ``"auto"`` to use each text's detected language.
+    """
+
+    name = "legacy-concept-annotator"
+
+    def initialize(self) -> None:
+        taxonomy = self.params.get("taxonomy")
+        if not isinstance(taxonomy, Taxonomy):
+            raise TypeError("LegacyConceptAnnotator requires a taxonomy= parameter")
+        self.taxonomy = taxonomy
+        self.language = self.params.get("language", "de")
+        self.categories = tuple(self.params.get("categories", DEFAULT_CATEGORIES))
+        self._form_lists: dict[str, list[str]] = {}
+        # language -> exact surface token -> (concept_id, category, canonical)
+        self._dictionaries: dict[str, dict[str, tuple[str, str, str]]] = {}
+        wanted = set(self.categories)
+        for concept in taxonomy:
+            if concept.category not in wanted:
+                continue
+            for language, form in concept.all_surface_forms():
+                if " " in form or "-" in form:
+                    continue  # the legacy matcher mishandles multiwords
+                dictionary = self._dictionaries.setdefault(language, {})
+                dictionary.setdefault(form, (concept.concept_id,
+                                             concept.category.value, form))
+
+    def match_text(self, text: str) -> list[ConceptMatch]:
+        """Annotate raw *text* the legacy way.
+
+        The original has no trie: every token is compared against the full
+        expanded form list — the slow, memory-hungry O(tokens x forms)
+        behaviour §4.5.3 complains about.  We keep that access pattern (a
+        linear membership scan per token) instead of a hash lookup, so the
+        performance comparison against the optimized annotator is honest.
+        """
+        if self.language == "auto":
+            primary = detect_language(text).language
+        else:
+            primary = self.language
+        dictionary = self._dictionaries.get(primary)
+        if dictionary is None:
+            return []
+        form_list = self._form_lists.get(primary)
+        if form_list is None:
+            form_list = list(dictionary)
+            self._form_lists[primary] = form_list
+        matches: list[ConceptMatch] = []
+        for span in token_spans(text):
+            if span.text not in form_list:  # linear scan, case-sensitive
+                continue
+            concept_id, category, canonical = dictionary[span.text]
+            matches.append(ConceptMatch(concept_id, category, primary,
+                                        canonical, span.text,
+                                        span.begin, span.end))
+        return matches
+
+    def concept_ids(self, text: str) -> list[str]:
+        """The concept ids the legacy matcher finds in *text*."""
+        return [match.concept_id for match in self.match_text(text)]
+
+    def process(self, cas: CAS) -> None:
+        for match in self.match_text(cas.document_text):
+            cas.annotate("ConceptMention", match.begin, match.end,
+                         concept_id=match.concept_id,
+                         category=match.category,
+                         language=match.language,
+                         matched=match.matched,
+                         canonical=match.canonical)
+
+
+def annotator_coverage(annotator, texts: list[str]) -> dict[str, float | int]:
+    """Coverage statistics of an annotator over a corpus of texts.
+
+    Returns a dict with ``total``, ``with_concepts``, ``without_concepts``
+    and ``mean_mentions`` — the quantities behind the paper's
+    "no concepts in 2530 of 7500 bundles" comparison.
+    """
+    total = len(texts)
+    without = 0
+    mentions = 0
+    for text in texts:
+        found = annotator.match_text(text)
+        mentions += len(found)
+        if not found:
+            without += 1
+    return {
+        "total": total,
+        "with_concepts": total - without,
+        "without_concepts": without,
+        "mean_mentions": mentions / total if total else 0.0,
+    }

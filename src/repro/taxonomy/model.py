@@ -1,0 +1,232 @@
+"""The automotive part-and-error taxonomy model (§4.5.3, Fig. 10).
+
+The taxonomy is shallow but multilingual: its upper category levels are
+language-independent (a concept has one ID regardless of language), while
+its leaves are language-specific synonym lists.  It distinguishes
+*components*, *symptoms*, *locations* and *solutions*; QATK annotates texts
+with component and symptom occurrences, because error codes "correspond to
+symptoms and also depend on components".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..text.normalize import normalize_phrase
+from .errors import ConceptError
+
+GERMAN = "de"
+ENGLISH = "en"
+LANGUAGES = (GERMAN, ENGLISH)
+
+
+class Category(enum.Enum):
+    """Upper-level taxonomy categories (Fig. 10)."""
+
+    COMPONENT = "component"
+    SYMPTOM = "symptom"
+    LOCATION = "location"
+    SOLUTION = "solution"
+
+    @classmethod
+    def parse(cls, name: str) -> "Category":
+        """Return the category named *name* (case-insensitive).
+
+        Raises:
+            ConceptError: on unknown names.
+        """
+        try:
+            return cls(name.strip().lower())
+        except ValueError:
+            raise ConceptError(f"unknown category {name!r}") from None
+
+
+@dataclass
+class Concept:
+    """One taxonomy concept: a language-independent node with per-language
+    synonym-rich leaves.
+
+    Attributes:
+        concept_id: stable numeric-string identifier (e.g. ``"32516"``).
+        category: one of the four upper-level categories.
+        parent_id: optional parent concept for the shallow hierarchy
+            (e.g. Squeak -> HighNoise -> Noise).
+        labels: language -> canonical label.
+        synonyms: language -> additional surface forms (may be multiword).
+    """
+
+    concept_id: str
+    category: Category
+    parent_id: str | None = None
+    labels: dict[str, str] = field(default_factory=dict)
+    synonyms: dict[str, list[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.concept_id:
+            raise ConceptError("concept_id must be non-empty")
+
+    def languages(self) -> set[str]:
+        """Languages in which this concept has at least one surface form."""
+        present = {language for language, label in self.labels.items() if label}
+        present |= {language for language, forms in self.synonyms.items() if forms}
+        return present
+
+    def surface_forms(self, language: str) -> list[str]:
+        """Canonical label plus synonyms for *language* (deduplicated)."""
+        forms: list[str] = []
+        label = self.labels.get(language)
+        if label:
+            forms.append(label)
+        for synonym in self.synonyms.get(language, ()):
+            if synonym not in forms:
+                forms.append(synonym)
+        return forms
+
+    def all_surface_forms(self) -> Iterator[tuple[str, str]]:
+        """Yield (language, form) pairs over every language."""
+        for language in sorted(self.languages()):
+            for form in self.surface_forms(language):
+                yield language, form
+
+    def add_synonym(self, language: str, form: str) -> bool:
+        """Add a synonym; returns False if it was already present."""
+        if not form:
+            raise ConceptError("synonym must be non-empty")
+        forms = self.synonyms.setdefault(language, [])
+        if form in forms or self.labels.get(language) == form:
+            return False
+        forms.append(form)
+        return True
+
+
+class Taxonomy:
+    """A collection of concepts with id and category lookups."""
+
+    def __init__(self, name: str = "automotive", concepts: Iterable[Concept] = ()) -> None:
+        self.name = name
+        self._concepts: dict[str, Concept] = {}
+        for concept in concepts:
+            self.add(concept)
+
+    # ------------------------------------------------------------------ #
+    # mutation
+
+    def add(self, concept: Concept) -> Concept:
+        """Add a concept.
+
+        Raises:
+            ConceptError: on duplicate ids or a dangling parent reference.
+        """
+        if concept.concept_id in self._concepts:
+            raise ConceptError(f"duplicate concept id {concept.concept_id!r}")
+        if concept.parent_id is not None and concept.parent_id not in self._concepts:
+            raise ConceptError(
+                f"concept {concept.concept_id!r} references unknown parent "
+                f"{concept.parent_id!r} (add parents first)")
+        self._concepts[concept.concept_id] = concept
+        return concept
+
+    def remove(self, concept_id: str) -> Concept:
+        """Remove a concept (children keep their dangling parent ids cleared).
+
+        Raises:
+            ConceptError: if the concept does not exist.
+        """
+        concept = self.get(concept_id)
+        del self._concepts[concept_id]
+        for other in self._concepts.values():
+            if other.parent_id == concept_id:
+                other.parent_id = None
+        return concept
+
+    # ------------------------------------------------------------------ #
+    # lookup
+
+    def get(self, concept_id: str) -> Concept:
+        """Return the concept with *concept_id*.
+
+        Raises:
+            ConceptError: if it does not exist.
+        """
+        try:
+            return self._concepts[concept_id]
+        except KeyError:
+            raise ConceptError(f"no concept {concept_id!r}") from None
+
+    def __contains__(self, concept_id: str) -> bool:
+        return concept_id in self._concepts
+
+    def __len__(self) -> int:
+        return len(self._concepts)
+
+    def __iter__(self) -> Iterator[Concept]:
+        return iter(self._concepts.values())
+
+    def concepts(self, category: Category | None = None) -> list[Concept]:
+        """All concepts, optionally restricted to one category."""
+        if category is None:
+            return list(self._concepts.values())
+        return [concept for concept in self._concepts.values()
+                if concept.category is category]
+
+    def children(self, concept_id: str) -> list[Concept]:
+        """Direct children of *concept_id* in the shallow hierarchy."""
+        return [concept for concept in self._concepts.values()
+                if concept.parent_id == concept_id]
+
+    def roots(self) -> list[Concept]:
+        """Concepts without a parent."""
+        return [concept for concept in self._concepts.values()
+                if concept.parent_id is None]
+
+    def path(self, concept_id: str) -> list[Concept]:
+        """Concept chain from root to *concept_id* (inclusive)."""
+        chain: list[Concept] = []
+        current: str | None = concept_id
+        seen: set[str] = set()
+        while current is not None:
+            if current in seen:
+                raise ConceptError(f"parent cycle at {current!r}")
+            seen.add(current)
+            concept = self.get(current)
+            chain.append(concept)
+            current = concept.parent_id
+        chain.reverse()
+        return chain
+
+    # ------------------------------------------------------------------ #
+    # statistics
+
+    def concept_count(self, language: str | None = None) -> int:
+        """Number of concepts, optionally only those with forms in *language*.
+
+        The paper reports "about 1.800 / 1.900 distinct concepts in German
+        and English, respectively".
+        """
+        if language is None:
+            return len(self._concepts)
+        return sum(1 for concept in self._concepts.values()
+                   if language in concept.languages())
+
+    def surface_form_count(self, language: str) -> int:
+        """Total number of surface forms (labels + synonyms) in *language*."""
+        return sum(len(concept.surface_forms(language))
+                   for concept in self._concepts.values())
+
+    def find_by_form(self, form: str, language: str | None = None) -> list[Concept]:
+        """Concepts having *form* as a surface form (normalized comparison)."""
+        needle = normalize_phrase(form)
+        matches = []
+        for concept in self._concepts.values():
+            languages = [language] if language else sorted(concept.languages())
+            for lang in languages:
+                if any(normalize_phrase(candidate) == needle
+                       for candidate in concept.surface_forms(lang)):
+                    matches.append(concept)
+                    break
+        return matches
+
+    def __repr__(self) -> str:
+        return f"<Taxonomy {self.name!r} concepts={len(self)}>"

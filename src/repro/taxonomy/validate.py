@@ -1,0 +1,131 @@
+"""Taxonomy consistency validation.
+
+The editor and the corpus-driven extender both mutate the taxonomy; before
+shipping an updated resource into the annotation pipeline, a maintainer
+wants a lint pass.  The validator reports:
+
+* **ambiguous surfaces** — the same normalized surface form mapping to
+  different concepts (in one language), which makes annotation
+  first-come-first-served;
+* **cross-category duplicates** — a surface shared between, say, a
+  component and a symptom;
+* **empty concepts** — no surface form in any language;
+* **missing translations** — concepts lacking one of the core languages;
+* **orphans and cycles** — broken hierarchy links;
+* **degenerate surfaces** — single-character or purely numeric forms that
+  would match wildly in messy text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..text.normalize import normalize_phrase
+from .errors import ConceptError
+from .model import LANGUAGES, Taxonomy
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One finding of the validator."""
+
+    severity: str          # "error" | "warning"
+    kind: str              # stable machine-readable issue kind
+    concept_id: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.kind} {self.concept_id}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """All findings for one taxonomy."""
+
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[ValidationIssue]:
+        return [issue for issue in self.issues if issue.severity == "error"]
+
+    @property
+    def warnings(self) -> list[ValidationIssue]:
+        return [issue for issue in self.issues if issue.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the taxonomy has no errors (warnings allowed)."""
+        return not self.errors
+
+    def by_kind(self, kind: str) -> list[ValidationIssue]:
+        """Findings of one kind."""
+        return [issue for issue in self.issues if issue.kind == kind]
+
+    def summary(self) -> str:
+        """One-line result summary."""
+        return (f"{len(self.errors)} errors, {len(self.warnings)} warnings "
+                f"({len(self.issues)} findings)")
+
+
+def validate_taxonomy(taxonomy: Taxonomy,
+                      required_languages: tuple[str, ...] = LANGUAGES,
+                      ) -> ValidationReport:
+    """Lint *taxonomy*; returns all findings (never raises on content)."""
+    report = ValidationReport()
+    add = report.issues.append
+
+    # hierarchy: orphans and cycles
+    ids = {concept.concept_id for concept in taxonomy}
+    for concept in taxonomy:
+        if concept.parent_id is not None and concept.parent_id not in ids:
+            add(ValidationIssue("error", "orphan", concept.concept_id,
+                                f"parent {concept.parent_id!r} does not exist"))
+    for concept in taxonomy:
+        try:
+            taxonomy.path(concept.concept_id)
+        except ConceptError:
+            add(ValidationIssue("error", "cycle", concept.concept_id,
+                                "parent chain contains a cycle"))
+
+    # surfaces
+    surface_owner: dict[tuple[str, tuple[str, ...]], str] = {}
+    category_owner: dict[tuple[str, ...], tuple[str, str]] = {}
+    for concept in taxonomy:
+        languages = concept.languages()
+        if not languages:
+            add(ValidationIssue("error", "empty-concept", concept.concept_id,
+                                "no surface form in any language"))
+            continue
+        for language in required_languages:
+            if language not in languages:
+                add(ValidationIssue("warning", "missing-language",
+                                    concept.concept_id,
+                                    f"no {language} surface form"))
+        for language, form in concept.all_surface_forms():
+            phrase = normalize_phrase(form)
+            if not phrase:
+                add(ValidationIssue("warning", "degenerate-surface",
+                                    concept.concept_id,
+                                    f"form {form!r} normalizes to nothing"))
+                continue
+            if len(phrase) == 1 and (len(phrase[0]) < 2 or phrase[0].isdigit()):
+                add(ValidationIssue("warning", "degenerate-surface",
+                                    concept.concept_id,
+                                    f"form {form!r} is too unspecific"))
+            key = (language, phrase)
+            owner = surface_owner.setdefault(key, concept.concept_id)
+            if owner != concept.concept_id:
+                add(ValidationIssue("warning", "ambiguous-surface",
+                                    concept.concept_id,
+                                    f"{language} form {form!r} already maps "
+                                    f"to concept {owner}"))
+            category_key = phrase
+            previous = category_owner.setdefault(
+                category_key, (concept.concept_id, concept.category.value))
+            if (previous[0] != concept.concept_id
+                    and previous[1] != concept.category.value):
+                add(ValidationIssue("warning", "cross-category-surface",
+                                    concept.concept_id,
+                                    f"form {form!r} also used by "
+                                    f"{previous[1]} concept {previous[0]}"))
+    return report

@@ -1,0 +1,125 @@
+"""Custom XML serialization of the taxonomy.
+
+The legacy resource "is stored in a custom XML format" (§4.5.3); we define
+an equivalent format::
+
+    <taxonomy name="automotive">
+      <concept id="32516" category="component" parent="32000">
+        <label lang="de">Kotflügel</label>
+        <label lang="en">fender</label>
+        <synonym lang="en">mud guard</synonym>
+        <synonym lang="en">splashboard</synonym>
+      </concept>
+      ...
+    </taxonomy>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from .errors import TaxonomyXmlError
+from .model import Category, Concept, Taxonomy
+
+
+def taxonomy_to_element(taxonomy: Taxonomy) -> ET.Element:
+    """Build the XML element tree for *taxonomy*."""
+    root = ET.Element("taxonomy", {"name": taxonomy.name})
+    for concept in taxonomy:
+        attributes = {"id": concept.concept_id, "category": concept.category.value}
+        if concept.parent_id is not None:
+            attributes["parent"] = concept.parent_id
+        element = ET.SubElement(root, "concept", attributes)
+        for language in sorted(concept.labels):
+            label = ET.SubElement(element, "label", {"lang": language})
+            label.text = concept.labels[language]
+        for language in sorted(concept.synonyms):
+            for form in concept.synonyms[language]:
+                synonym = ET.SubElement(element, "synonym", {"lang": language})
+                synonym.text = form
+    return root
+
+
+def dumps(taxonomy: Taxonomy) -> str:
+    """Serialize *taxonomy* to an XML string."""
+    element = taxonomy_to_element(taxonomy)
+    ET.indent(element)
+    return ET.tostring(element, encoding="unicode", xml_declaration=True)
+
+
+def save_taxonomy(taxonomy: Taxonomy, path: str | Path) -> None:
+    """Write the XML serialization of *taxonomy* to *path*."""
+    Path(path).write_text(dumps(taxonomy), encoding="utf-8")
+
+
+def taxonomy_from_element(root: ET.Element) -> Taxonomy:
+    """Rebuild a taxonomy from its XML element tree.
+
+    Concepts may appear in any order; parents are resolved afterwards.
+
+    Raises:
+        TaxonomyXmlError: on structural problems.
+    """
+    if root.tag != "taxonomy":
+        raise TaxonomyXmlError(f"expected <taxonomy> root, got <{root.tag}>")
+    taxonomy = Taxonomy(root.get("name", "taxonomy"))
+    pending: list[Concept] = []
+    for element in root:
+        if element.tag != "concept":
+            raise TaxonomyXmlError(f"unexpected element <{element.tag}>")
+        concept_id = element.get("id")
+        category_name = element.get("category")
+        if not concept_id or not category_name:
+            raise TaxonomyXmlError("<concept> needs id and category attributes")
+        concept = Concept(concept_id, Category.parse(category_name),
+                          parent_id=element.get("parent"))
+        for child in element:
+            language = child.get("lang")
+            if not language:
+                raise TaxonomyXmlError(f"<{child.tag}> needs a lang attribute")
+            text = (child.text or "").strip()
+            if not text:
+                raise TaxonomyXmlError(f"empty <{child.tag}> in concept {concept_id}")
+            if child.tag == "label":
+                concept.labels[language] = text
+            elif child.tag == "synonym":
+                concept.synonyms.setdefault(language, []).append(text)
+            else:
+                raise TaxonomyXmlError(f"unexpected element <{child.tag}>")
+        pending.append(concept)
+    # Insert parents before children regardless of file order.
+    remaining = pending
+    while remaining:
+        progressed = []
+        deferred = []
+        known = {concept.concept_id for concept in taxonomy}
+        for concept in remaining:
+            if concept.parent_id is None or concept.parent_id in known:
+                taxonomy.add(concept)
+                progressed.append(concept)
+            else:
+                deferred.append(concept)
+        if not progressed:
+            missing = sorted({concept.parent_id for concept in deferred})
+            raise TaxonomyXmlError(f"unresolvable parent references: {missing}")
+        remaining = deferred
+    return taxonomy
+
+
+def loads(xml_text: str) -> Taxonomy:
+    """Parse a taxonomy from an XML string.
+
+    Raises:
+        TaxonomyXmlError: on malformed XML or structure.
+    """
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise TaxonomyXmlError(f"malformed XML: {exc}") from exc
+    return taxonomy_from_element(root)
+
+
+def load_taxonomy(path: str | Path) -> Taxonomy:
+    """Read a taxonomy previously written by :func:`save_taxonomy`."""
+    return loads(Path(path).read_text(encoding="utf-8"))

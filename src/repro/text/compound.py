@@ -1,0 +1,109 @@
+"""Dictionary-based German compound splitting.
+
+German quality reports are full of ad-hoc compounds the taxonomy cannot
+enumerate ("Kühlmittelverlust", "Lüfterkabelbruch").  A concept annotator
+that only sees whole tokens misses them; splitting compounds against a
+domain lexicon recovers the parts ("Kühlmittel" + "Verlust") so they can
+match concepts individually.  This is a concrete instance of the paper's
+"more linguistic preprocessing" future work (§6) specialised to the
+domain's dominant language.
+
+The splitter is purely lexicon-driven: it knows nothing about German
+morphology beyond the common linking elements (Fugenelemente) ``s``,
+``es``, ``n``, ``en``, ``e`` and ``-``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .normalize import normalize_token
+
+#: Linking elements tried between compound parts, longest first.
+LINKING_ELEMENTS = ("es", "en", "s", "n", "e", "")
+
+_MIN_PART = 4
+
+
+class CompoundSplitter:
+    """Greedy longest-part compound splitter over a lexicon.
+
+    Args:
+        lexicon: known words (e.g. taxonomy surface tokens).  Entries are
+            normalized; multiword entries contribute their single tokens.
+        min_part: minimal length of a compound part (default 4 — shorter
+            parts cause absurd splits).
+    """
+
+    def __init__(self, lexicon: Iterable[str], min_part: int = _MIN_PART) -> None:
+        self.min_part = min_part
+        self._lexicon: set[str] = set()
+        for entry in lexicon:
+            for token in entry.split():
+                normalized = normalize_token(token)
+                if len(normalized) >= min_part:
+                    self._lexicon.add(normalized)
+
+    def __len__(self) -> int:
+        return len(self._lexicon)
+
+    def __contains__(self, word: str) -> bool:
+        return normalize_token(word) in self._lexicon
+
+    def split(self, word: str) -> list[str]:
+        """Split *word* into known parts; returns ``[word]`` if impossible.
+
+        The split must cover the whole word (modulo linking elements) with
+        every part in the lexicon; among covering splits the one with the
+        fewest parts wins (greedy longest-prefix with backtracking).
+        """
+        normalized = normalize_token(word)
+        if len(normalized) < 2 * self.min_part:
+            return [word]
+        parts = self._split_recursive(normalized, depth=0)
+        if parts is None or len(parts) < 2:
+            return [word]
+        return parts
+
+    def _split_recursive(self, remainder: str, depth: int) -> list[str] | None:
+        if depth > 5:
+            return None
+        if not remainder:
+            return []
+        if remainder in self._lexicon:
+            return [remainder]
+        # try the longest known prefix first, then backtrack
+        for end in range(len(remainder), self.min_part - 1, -1):
+            prefix = remainder[:end]
+            if prefix not in self._lexicon:
+                continue
+            rest = remainder[end:]
+            for link in LINKING_ELEMENTS:
+                if link and not rest.startswith(link):
+                    continue
+                tail = rest[len(link):] if link else rest
+                if tail and len(tail) < self.min_part:
+                    continue
+                sub = self._split_recursive(tail, depth + 1)
+                if sub is not None:
+                    return [prefix] + sub
+        return None
+
+    def expand(self, tokens: Sequence[str]) -> list[str]:
+        """Token list with every splittable compound replaced by its parts
+        (unsplittable tokens pass through unchanged)."""
+        expanded: list[str] = []
+        for token in tokens:
+            expanded.extend(self.split(token))
+        return expanded
+
+
+def splitter_from_taxonomy(taxonomy, languages: tuple[str, ...] = ("de",),
+                           min_part: int = _MIN_PART) -> CompoundSplitter:
+    """Build a splitter whose lexicon is the taxonomy's surface vocabulary."""
+    words: list[str] = []
+    for concept in taxonomy:
+        for language, form in concept.all_surface_forms():
+            if language in languages:
+                words.append(form)
+    return CompoundSplitter(words, min_part=min_part)

@@ -1,0 +1,86 @@
+"""Light rule-based stemming for German and English.
+
+The paper's future work includes "introducing more linguistic
+preprocessing" (§6).  This module provides a conservative suffix stripper
+in the spirit of the Porter/Snowball family, small enough to stay
+dependency-free but strong enough to conflate the inflection variance that
+messy quality reports produce ("gebrochen"/"gebrochene",
+"failing"/"failed").
+
+Stemming is deliberately conservative: a stem is never shorter than three
+characters, and the longest matching suffix wins.
+"""
+
+from __future__ import annotations
+
+from .normalize import normalize_token
+
+#: Suffixes stripped for each language, longest first.
+_GERMAN_SUFFIXES = ("igkeit", "erung", "ungen", "keit", "heit", "lich",
+                    "isch", "ung", "est", "end", "ern", "em", "en", "er",
+                    "es", "et", "st", "e", "n", "s", "t")
+_ENGLISH_SUFFIXES = ("ational", "fulness", "ousness", "iveness", "ization",
+                     "ingly", "edly", "ment", "ness", "tion", "sion",
+                     "able", "ible", "ance", "ence", "ing", "ed", "er",
+                     "es", "ly", "s", "e")
+
+_GERMAN_MIN_STEM = 4
+_ENGLISH_MIN_STEM = 3
+
+
+def _strip_to_fixpoint(word: str, suffixes: tuple[str, ...],
+                       min_stem: int) -> str:
+    """Strip suffixes repeatedly until nothing applies.
+
+    Iterating (unlike single-pass Porter steps) makes the stemmer
+    *conflating by construction*: "gebrochene" -> "gebrochen" -> "gebroch"
+    lands on the same stem as "gebrochen" directly, which is the property
+    the bag-of-words features need.  It is also what makes :func:`stem`
+    idempotent.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for suffix in suffixes:
+            if word.endswith(suffix) and len(word) - len(suffix) >= min_stem:
+                word = word[:len(word) - len(suffix)]
+                changed = True
+                break
+    return word
+
+
+def stem_german(word: str) -> str:
+    """Stem one German word (expects a normalized token)."""
+    return _strip_to_fixpoint(word, _GERMAN_SUFFIXES, _GERMAN_MIN_STEM)
+
+
+def stem_english(word: str) -> str:
+    """Stem one English word (expects a normalized token)."""
+    if word.endswith("ies") and len(word) - 3 >= _ENGLISH_MIN_STEM:
+        word = word[:-3] + "y"   # "bodies" -> "body"
+    elif word.endswith("ied") and len(word) - 3 >= _ENGLISH_MIN_STEM:
+        word = word[:-3] + "y"   # "studied" -> "study"
+    return _strip_to_fixpoint(word, _ENGLISH_SUFFIXES, _ENGLISH_MIN_STEM)
+
+
+def stem(word: str, language: str | None = None) -> str:
+    """Normalize and stem *word*.
+
+    With an explicit *language* ("de"/"en") the matching rule set is used;
+    without one, both rule sets are tried and the shorter (more reduced)
+    result wins — the right behaviour for mixed-language bundles where
+    per-token language is unknown.
+    """
+    normalized = normalize_token(word)
+    if language == "de":
+        return stem_german(normalized)
+    if language == "en":
+        return stem_english(normalized)
+    german = stem_german(normalized)
+    english = stem_english(normalized)
+    return german if len(german) <= len(english) else english
+
+
+def stem_all(words: list[str], language: str | None = None) -> list[str]:
+    """Stem a token list (order preserved)."""
+    return [stem(word, language) for word in words]

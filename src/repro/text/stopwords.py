@@ -1,0 +1,73 @@
+"""German and English stopword lists.
+
+§5.2.2 of the paper removes "German and English stopwords (articles and
+personal pronouns)" as an optional bag-of-words preprocessing step; it
+reports no accuracy change but a sizable speedup.  The lists below cover
+articles, pronouns, common prepositions, conjunctions and auxiliaries —
+the high-frequency function words that carry no error-discriminating
+content in quality reports.
+"""
+
+from __future__ import annotations
+
+GERMAN_STOPWORDS: frozenset[str] = frozenset({
+    # articles
+    "der", "die", "das", "den", "dem", "des", "ein", "eine", "einen",
+    "einem", "einer", "eines", "kein", "keine", "keinen", "keinem",
+    "keiner", "keines",
+    # personal / possessive / demonstrative pronouns
+    "ich", "du", "er", "sie", "es", "wir", "ihr", "mich", "dich", "sich",
+    "uns", "euch", "mir", "dir", "ihm", "ihn", "ihnen", "mein", "dein",
+    "sein", "unser", "euer", "dieser", "diese", "dieses", "diesen",
+    "diesem", "jener", "jene", "jenes", "man", "wer", "was", "welche",
+    "welcher", "welches",
+    # prepositions
+    "in", "im", "an", "am", "auf", "aus", "bei", "beim", "mit", "nach",
+    "seit", "von", "vom", "zu", "zum", "zur", "über", "unter", "vor",
+    "hinter", "neben", "zwischen", "durch", "für", "gegen", "ohne", "um",
+    # conjunctions / particles
+    "und", "oder", "aber", "denn", "doch", "sondern", "als", "wie", "wenn",
+    "weil", "dass", "daß", "ob", "auch", "nur", "noch", "schon", "sehr",
+    "so", "dann", "da", "hier", "dort", "nicht", "nein", "ja", "bitte",
+    # auxiliaries / frequent verbs
+    "ist", "sind", "war", "waren", "wird", "werden", "wurde", "wurden",
+    "hat", "haben", "hatte", "hatten", "kann", "können", "konnte", "muss",
+    "müssen", "musste", "soll", "sollen", "sollte", "will", "wollen",
+    "wollte", "darf", "dürfen", "sei", "bin", "bist", "seid", "wäre",
+})
+
+ENGLISH_STOPWORDS: frozenset[str] = frozenset({
+    # articles
+    "a", "an", "the",
+    # personal / possessive / demonstrative pronouns
+    "i", "you", "he", "she", "it", "we", "they", "me", "him", "her", "us",
+    "them", "my", "your", "his", "its", "our", "their", "mine", "yours",
+    "this", "that", "these", "those", "who", "whom", "whose", "which",
+    "what", "itself", "himself", "herself", "themselves",
+    # prepositions
+    "in", "on", "at", "by", "for", "with", "about", "against", "between",
+    "into", "through", "during", "before", "after", "above", "below",
+    "from", "up", "down", "out", "off", "over", "under", "of", "to",
+    # conjunctions / particles
+    "and", "or", "but", "nor", "so", "yet", "if", "because", "as", "while",
+    "when", "where", "than", "then", "too", "very", "not", "no", "yes",
+    "also", "just", "only", "here", "there", "again", "once", "please",
+    # auxiliaries / frequent verbs
+    "is", "are", "was", "were", "be", "been", "being", "am", "do", "does",
+    "did", "doing", "have", "has", "had", "having", "will", "would",
+    "shall", "should", "can", "could", "may", "might", "must",
+})
+
+#: Union used by the bag-of-words stopword filter (the reports mix both
+#: languages inside one bundle, so filtering is language-blind).
+ALL_STOPWORDS: frozenset[str] = GERMAN_STOPWORDS | ENGLISH_STOPWORDS
+
+
+def is_stopword(word: str) -> bool:
+    """Whether *word* (any case) is a German or English stopword."""
+    return word.lower() in ALL_STOPWORDS
+
+
+def remove_stopwords(words: list[str]) -> list[str]:
+    """Return *words* without German/English stopwords (order preserved)."""
+    return [word for word in words if word.lower() not in ALL_STOPWORDS]

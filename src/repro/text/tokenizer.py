@@ -1,0 +1,60 @@
+"""Whitespace/punctuation tokenization.
+
+The paper deliberately uses "a simple custom whitespace-/punctuation-
+tokenizer" (§4.5.2) and no further normalization (§5.1) so that the
+pipeline stays language-independent.  We reproduce that: a token is a
+maximal run of letters, digits, hyphens or apostrophes; punctuation is
+discarded (the knowledge base excludes punctuation, §4.3).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..uima import CAS, AnalysisEngine
+
+_TOKEN_RE = re.compile(r"[^\W_]+(?:[-'][^\W_]+)*", re.UNICODE)
+
+
+@dataclass(frozen=True)
+class TokenSpan:
+    """One token with its character offsets."""
+
+    text: str
+    begin: int
+    end: int
+
+
+def token_spans(text: str) -> list[TokenSpan]:
+    """Tokenize *text* into :class:`TokenSpan` objects.
+
+    Umlauts and other Unicode letters are kept intact; hyphenated compounds
+    ("Kabel-Bruch") and apostrophes ("doesn't") stay single tokens.
+    """
+    return [TokenSpan(match.group(), match.start(), match.end())
+            for match in _TOKEN_RE.finditer(text)]
+
+
+def tokenize(text: str) -> list[str]:
+    """Tokenize *text* into plain strings (offsets discarded)."""
+    return [match.group() for match in _TOKEN_RE.finditer(text)]
+
+
+class WhitespaceTokenizer(AnalysisEngine):
+    """Analysis engine adding a ``Token`` annotation per token.
+
+    Parameters:
+        lowercase: store a lowercased form in the ``normalized`` feature
+            (default True; matching in later steps is case-insensitive).
+    """
+
+    name = "tokenizer"
+
+    def initialize(self) -> None:
+        self._lowercase = bool(self.params.get("lowercase", True))
+
+    def process(self, cas: CAS) -> None:
+        for span in token_spans(cas.document_text):
+            normalized = span.text.lower() if self._lowercase else span.text
+            cas.annotate("Token", span.begin, span.end, normalized=normalized)

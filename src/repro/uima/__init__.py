@@ -1,0 +1,40 @@
+"""Mini-UIMA: the Unstructured Information Management substrate (§4.5.2).
+
+The paper builds QATK on Apache UIMA; this package recreates the concepts
+the paper relies on — a typed Common Analysis Structure handed between
+composable analysis engines, collection readers and CAS consumers — in pure
+Python.
+"""
+
+from .cas import (CAS, Annotation, TypeDescriptor, TypeSystem,
+                  default_type_system)
+from .engine import (AggregateEngine, AnalysisEngine, CallbackConsumer,
+                     CasConsumer, CollectingConsumer, CollectionReader,
+                     FunctionEngine, IterableReader, Pipeline)
+from .errors import AnnotationError, PipelineError, TypeSystemError, UimaError
+from .serialize import cas_from_dict, cas_from_json, cas_to_dict, cas_to_json
+
+__all__ = [
+    "AggregateEngine",
+    "AnalysisEngine",
+    "Annotation",
+    "AnnotationError",
+    "CAS",
+    "CallbackConsumer",
+    "CasConsumer",
+    "CollectingConsumer",
+    "CollectionReader",
+    "FunctionEngine",
+    "IterableReader",
+    "Pipeline",
+    "PipelineError",
+    "TypeDescriptor",
+    "TypeSystem",
+    "TypeSystemError",
+    "UimaError",
+    "cas_from_dict",
+    "cas_from_json",
+    "cas_to_dict",
+    "cas_to_json",
+    "default_type_system",
+]

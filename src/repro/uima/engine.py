@@ -1,0 +1,159 @@
+"""Analysis engines and pipelines.
+
+An :class:`AnalysisEngine` transforms one CAS in place (adding annotations
+or metadata).  Engines compose into :class:`AggregateEngine` chains — the
+"Analysis Engines containing annotators" of §4.5.2 — and a
+:class:`Pipeline` drives CASes from a reader through an aggregate into CAS
+consumers, reproducing the processing layout of the paper's Fig. 8.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from .cas import CAS
+from .errors import PipelineError
+
+
+class AnalysisEngine:
+    """Base class for annotators.  Subclasses override :meth:`process`."""
+
+    #: Human-readable engine name; defaults to the class name.
+    name: str = ""
+
+    def __init__(self, **params: Any) -> None:
+        self.params = params
+        if not self.name:
+            self.name = type(self).__name__
+        self.initialize()
+
+    def initialize(self) -> None:
+        """Hook for one-time setup after parameters are bound."""
+
+    def process(self, cas: CAS) -> None:
+        """Analyse *cas* in place."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class FunctionEngine(AnalysisEngine):
+    """Wrap a plain ``cas -> None`` callable as an engine."""
+
+    def __init__(self, func: Callable[[CAS], None], name: str | None = None) -> None:
+        self._func = func
+        super().__init__()
+        if name:
+            self.name = name
+
+    def process(self, cas: CAS) -> None:
+        self._func(cas)
+
+
+class AggregateEngine(AnalysisEngine):
+    """Run a fixed sequence of engines over each CAS, in order."""
+
+    def __init__(self, engines: Sequence[AnalysisEngine], name: str = "") -> None:
+        self.engines = list(engines)
+        super().__init__()
+        if name:
+            self.name = name
+
+    def process(self, cas: CAS) -> None:
+        for engine in self.engines:
+            try:
+                engine.process(cas)
+            except Exception as exc:
+                raise PipelineError(
+                    f"engine {engine.name!r} failed: {exc}") from exc
+
+    def __repr__(self) -> str:
+        inner = ", ".join(engine.name for engine in self.engines)
+        return f"<AggregateEngine [{inner}]>"
+
+
+class CollectionReader:
+    """Produces the CAS stream a pipeline consumes."""
+
+    def read(self) -> Iterator[CAS]:
+        """Yield CASes one by one."""
+        raise NotImplementedError
+
+
+class IterableReader(CollectionReader):
+    """Adapt any iterable of CASes (or of texts) into a reader."""
+
+    def __init__(self, items: Iterable[CAS | str]) -> None:
+        self._items = items
+
+    def read(self) -> Iterator[CAS]:
+        for item in self._items:
+            yield item if isinstance(item, CAS) else CAS(item)
+
+
+class CasConsumer:
+    """Receives each fully analysed CAS (e.g. to persist results)."""
+
+    def consume(self, cas: CAS) -> None:
+        """Handle one analysed CAS."""
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        """Hook called once after the last CAS."""
+
+
+class CallbackConsumer(CasConsumer):
+    """Wrap a plain callable as a consumer."""
+
+    def __init__(self, func: Callable[[CAS], None]) -> None:
+        self._func = func
+
+    def consume(self, cas: CAS) -> None:
+        self._func(cas)
+
+
+class CollectingConsumer(CasConsumer):
+    """Keeps every CAS in memory; handy in tests and small runs."""
+
+    def __init__(self) -> None:
+        self.cases: list[CAS] = []
+
+    def consume(self, cas: CAS) -> None:
+        self.cases.append(cas)
+
+
+class Pipeline:
+    """Reader → engines → consumers, the backbone of QATK (Fig. 8).
+
+    Args:
+        reader: source of CASes.
+        engines: analysis engines applied to each CAS in order.
+        consumers: sinks receiving each analysed CAS.
+    """
+
+    def __init__(self, reader: CollectionReader,
+                 engines: Sequence[AnalysisEngine],
+                 consumers: Sequence[CasConsumer] = ()) -> None:
+        if reader is None:
+            raise PipelineError("a pipeline needs a collection reader")
+        self.reader = reader
+        self.aggregate = AggregateEngine(engines, name="pipeline")
+        self.consumers = list(consumers)
+
+    def run(self) -> int:
+        """Process the whole collection; returns the number of CASes."""
+        count = 0
+        for cas in self.reader.read():
+            self.aggregate.process(cas)
+            for consumer in self.consumers:
+                consumer.consume(cas)
+            count += 1
+        for consumer in self.consumers:
+            consumer.finish()
+        return count
+
+    def process_one(self, cas: CAS) -> CAS:
+        """Run only the engines over a single CAS (application phase)."""
+        self.aggregate.process(cas)
+        return cas

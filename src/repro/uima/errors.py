@@ -1,0 +1,19 @@
+"""Exception hierarchy for the mini-UIMA framework."""
+
+from __future__ import annotations
+
+
+class UimaError(Exception):
+    """Base class for all analysis-framework errors."""
+
+
+class TypeSystemError(UimaError):
+    """An annotation type or feature is undeclared or misused."""
+
+
+class AnnotationError(UimaError):
+    """An annotation has invalid offsets for its CAS."""
+
+
+class PipelineError(UimaError):
+    """A pipeline is misconfigured (e.g. no reader, engine failure)."""

@@ -1,0 +1,85 @@
+"""CAS (de)serialization.
+
+Apache UIMA persists analysis results as XMI; the equivalent here is a
+compact JSON form carrying the document text, metadata and all typed
+annotations.  It round-trips everything the QATK pipeline produces, which
+makes intermediate analysis states inspectable and lets a pipeline be
+split across processes ("hand the annotated CASes to another worker").
+
+Metadata values must be JSON-representable; richer objects (like the
+classifier's Recommendation) should be persisted through their own stores
+instead.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .cas import CAS, Annotation, TypeSystem
+from .errors import UimaError
+
+FORMAT_VERSION = 1
+
+
+def cas_to_dict(cas: CAS) -> dict[str, Any]:
+    """A JSON-representable snapshot of *cas*.
+
+    Raises:
+        UimaError: if metadata contains non-JSON values.
+    """
+    annotations = [
+        {"type": annotation.type_name, "begin": annotation.begin,
+         "end": annotation.end, "features": annotation.features}
+        for annotation in cas.iter_all()
+    ]
+    snapshot = {
+        "version": FORMAT_VERSION,
+        "text": cas.document_text,
+        "metadata": cas.metadata,
+        "annotations": annotations,
+    }
+    try:
+        json.dumps(snapshot)
+    except (TypeError, ValueError) as exc:
+        raise UimaError(f"CAS contains non-serializable content: {exc}") from exc
+    return snapshot
+
+
+def cas_to_json(cas: CAS) -> str:
+    """Serialize *cas* to a JSON string."""
+    return json.dumps(cas_to_dict(cas), ensure_ascii=False, sort_keys=True)
+
+
+def cas_from_dict(payload: dict[str, Any],
+                  type_system: TypeSystem | None = None) -> CAS:
+    """Rebuild a CAS from :func:`cas_to_dict` output.
+
+    Raises:
+        UimaError: on version mismatch or malformed payloads.
+    """
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise UimaError(f"unsupported CAS format version {version!r}")
+    cas = CAS(payload.get("text", ""), type_system=type_system)
+    cas.metadata.update(payload.get("metadata", {}))
+    for entry in payload.get("annotations", ()):
+        try:
+            cas.add(Annotation(entry["type"], entry["begin"], entry["end"],
+                               dict(entry.get("features", {}))))
+        except KeyError as exc:
+            raise UimaError(f"annotation entry missing field {exc}") from exc
+    return cas
+
+
+def cas_from_json(text: str, type_system: TypeSystem | None = None) -> CAS:
+    """Parse a CAS from a JSON string.
+
+    Raises:
+        UimaError: on malformed JSON or payloads.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise UimaError(f"malformed CAS JSON: {exc}") from exc
+    return cas_from_dict(payload, type_system=type_system)

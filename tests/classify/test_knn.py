@@ -1,0 +1,137 @@
+"""Unit tests for the ranked-list kNN classifier."""
+
+import pytest
+
+from repro.classify import (MajorityVoteKnnClassifier, RankedKnnClassifier,
+                            ScoredCode)
+from repro.data import DataBundle, Report, ReportSource
+from repro.knowledge import BagOfWordsExtractor, KnowledgeBase
+
+
+def bundle(text, part="P1", ref="R1"):
+    return DataBundle(ref_no=ref, part_id=part, article_code="A1",
+                      reports=[Report(ReportSource.SUPPLIER, text, "en")])
+
+
+@pytest.fixture
+def kb():
+    base = KnowledgeBase(feature_kind="words")
+    base.add_observation("P1", "E1", {"fan", "scorched", "qx1"})
+    base.add_observation("P1", "E1", {"fan", "scorched", "qx1", "smell"})
+    base.add_observation("P1", "E2", {"fan", "rattle", "qx2"})
+    base.add_observation("P1", "E3", {"fan", "noise"})
+    base.add_observation("P2", "E9", {"door", "jammed"})
+    return base
+
+
+@pytest.fixture
+def classifier(kb):
+    return RankedKnnClassifier(kb, BagOfWordsExtractor(), "jaccard")
+
+
+class TestRanking:
+    def test_best_matching_code_first(self, classifier):
+        recommendation = classifier.classify_bundle(
+            bundle("fan scorched qx1"))
+        assert recommendation.codes[0].error_code == "E1"
+
+    def test_full_ranked_list(self, classifier):
+        recommendation = classifier.classify_bundle(bundle("fan rattle qx2"))
+        codes = [scored.error_code for scored in recommendation.codes]
+        assert codes[0] == "E2"
+        assert set(codes) <= {"E1", "E2", "E3"}
+
+    def test_scores_monotone(self, classifier):
+        recommendation = classifier.classify_bundle(bundle("fan scorched"))
+        scores = [scored.score for scored in recommendation.codes]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_candidate_filter_by_part(self, classifier):
+        recommendation = classifier.classify_bundle(
+            bundle("fan scorched", part="P2"))
+        codes = {scored.error_code for scored in recommendation.codes}
+        assert "E1" not in codes  # P1 nodes excluded for a P2 bundle
+
+    def test_unknown_part_falls_back(self, classifier):
+        recommendation = classifier.classify_bundle(
+            bundle("door jammed", part="P99"))
+        assert recommendation.codes[0].error_code == "E9"
+
+    def test_no_candidates_empty_list(self, classifier):
+        recommendation = classifier.classify_bundle(bundle("zzz yyy"))
+        assert recommendation.codes == []
+
+    def test_classify_text(self, classifier):
+        recommendation = classifier.classify_text("P1", "fan scorched qx1",
+                                                  ref_no="X1")
+        assert recommendation.ref_no == "X1"
+        assert recommendation.codes[0].error_code == "E1"
+
+    def test_node_cutoff_limits_codes(self, kb):
+        for index in range(40):
+            kb.add_observation("P1", f"Z{index:02d}", {"fan", f"tok{index}"})
+        classifier = RankedKnnClassifier(kb, BagOfWordsExtractor(),
+                                         "jaccard", node_cutoff=5)
+        recommendation = classifier.classify_bundle(bundle("fan"))
+        assert len(recommendation.codes) <= 5
+
+    def test_cutoff_validation(self, kb):
+        with pytest.raises(ValueError):
+            RankedKnnClassifier(kb, BagOfWordsExtractor(), node_cutoff=0)
+
+    def test_deterministic_tie_break(self, kb):
+        classifier = RankedKnnClassifier(kb, BagOfWordsExtractor())
+        first = classifier.classify_bundle(bundle("fan"))
+        second = classifier.classify_bundle(bundle("fan"))
+        assert ([scored.error_code for scored in first.codes]
+                == [scored.error_code for scored in second.codes])
+
+    def test_code_aggregates_support(self, classifier):
+        recommendation = classifier.classify_bundle(
+            bundle("fan scorched qx1 smell"))
+        top = recommendation.codes[0]
+        assert top.error_code == "E1"
+        assert top.support == 2  # both E1 nodes contribute
+
+
+class TestRecommendationApi:
+    def test_rank_and_hit(self, classifier):
+        recommendation = classifier.classify_bundle(bundle("fan scorched qx1"))
+        assert recommendation.rank_of("E1") == 1
+        assert recommendation.hit_at("E1", 1)
+        assert not recommendation.hit_at("missing", 25)
+        assert recommendation.rank_of("missing") is None
+
+    def test_top(self, classifier):
+        recommendation = classifier.classify_bundle(bundle("fan"))
+        assert len(recommendation.top(2)) <= 2
+
+
+class TestMajorityVote:
+    def test_vote(self, kb):
+        classifier = MajorityVoteKnnClassifier(kb, BagOfWordsExtractor(), k=3)
+        assert classifier.classify_bundle(bundle("fan scorched qx1")) == "E1"
+
+    def test_vote_depends_on_k(self, kb):
+        # Fig. 6's point: the majority answer can flip as k grows.
+        small = MajorityVoteKnnClassifier(kb, BagOfWordsExtractor(), k=1)
+        large = MajorityVoteKnnClassifier(kb, BagOfWordsExtractor(), k=4)
+        text = "fan scorched"
+        assert small.classify_bundle(bundle(text)) is not None
+        assert large.classify_bundle(bundle(text)) is not None
+
+    def test_no_candidates_returns_none(self, kb):
+        classifier = MajorityVoteKnnClassifier(kb, BagOfWordsExtractor())
+        assert classifier.classify_bundle(bundle("zzz")) is None
+
+    def test_k_validation(self, kb):
+        with pytest.raises(ValueError):
+            MajorityVoteKnnClassifier(kb, BagOfWordsExtractor(), k=0)
+
+
+class TestScoredCode:
+    def test_fields(self):
+        scored = ScoredCode("E1", 0.5, 2)
+        assert scored.error_code == "E1"
+        assert scored.score == 0.5
+        assert scored.support == 2

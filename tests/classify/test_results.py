@@ -1,0 +1,49 @@
+"""Unit tests for result objects and their persistence."""
+
+from repro.classify import (Recommendation, ScoredCode, load_recommendation,
+                            store_recommendations)
+from repro.relstore import Database
+
+
+def sample():
+    return Recommendation(ref_no="R1", part_id="P1", codes=[
+        ScoredCode("E1", 0.9, 3),
+        ScoredCode("E2", 0.7, 1),
+        ScoredCode("E3", 0.5, 2),
+    ])
+
+
+class TestRecommendation:
+    def test_len_top_rank(self):
+        recommendation = sample()
+        assert len(recommendation) == 3
+        assert [scored.error_code for scored in recommendation.top(2)] == ["E1", "E2"]
+        assert recommendation.rank_of("E3") == 3
+        assert recommendation.hit_at("E2", 2)
+        assert not recommendation.hit_at("E3", 2)
+
+
+class TestPersistence:
+    def test_store_and_load(self):
+        db = Database()
+        assert store_recommendations(db, [sample()]) == 3
+        loaded = load_recommendation(db, "R1", part_id="P1")
+        assert loaded is not None
+        assert [scored.error_code for scored in loaded.codes] == ["E1", "E2", "E3"]
+        assert loaded.codes[0].score == 0.9
+        assert loaded.codes[0].support == 3
+
+    def test_restore_overwrites_previous(self):
+        db = Database()
+        store_recommendations(db, [sample()])
+        updated = Recommendation(ref_no="R1", part_id="P1",
+                                 codes=[ScoredCode("E9", 1.0, 1)])
+        store_recommendations(db, [updated])
+        loaded = load_recommendation(db, "R1")
+        assert [scored.error_code for scored in loaded.codes] == ["E9"]
+
+    def test_missing_returns_none(self):
+        db = Database()
+        assert load_recommendation(db, "nope") is None
+        store_recommendations(db, [sample()])
+        assert load_recommendation(db, "nope") is None

@@ -1,0 +1,89 @@
+"""Unit and property tests for similarity measures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.classify import (SIMILARITIES, cosine, dice, get_similarity,
+                            jaccard, overlap)
+
+A = frozenset({"a", "b", "c"})
+B = frozenset({"b", "c", "d", "e"})
+EMPTY = frozenset()
+
+
+class TestJaccard:
+    def test_known_value(self):
+        assert jaccard(A, B) == pytest.approx(2 / 5)
+
+    def test_identical_sets(self):
+        assert jaccard(A, A) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(A, frozenset({"x"})) == 0.0
+
+    def test_empty(self):
+        assert jaccard(EMPTY, EMPTY) == 0.0
+        assert jaccard(A, EMPTY) == 0.0
+
+
+class TestOverlap:
+    def test_known_value(self):
+        assert overlap(A, B) == pytest.approx(2 / 3)
+
+    def test_subset_scores_one(self):
+        assert overlap(frozenset({"b", "c"}), B) == 1.0
+
+    def test_empty(self):
+        assert overlap(EMPTY, A) == 0.0
+
+
+class TestExtensions:
+    def test_dice(self):
+        assert dice(A, B) == pytest.approx(4 / 7)
+        assert dice(EMPTY, EMPTY) == 0.0
+
+    def test_cosine(self):
+        assert cosine(A, B) == pytest.approx(2 / (3 * 4) ** 0.5)
+        assert cosine(EMPTY, A) == 0.0
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(SIMILARITIES) == {"jaccard", "overlap", "dice", "cosine"}
+
+    def test_get_by_name(self):
+        assert get_similarity("jaccard") is jaccard
+
+    def test_get_passthrough(self):
+        assert get_similarity(jaccard) is jaccard
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown similarity"):
+            get_similarity("euclid")
+
+
+sets = st.frozensets(st.sampled_from("abcdefgh"), max_size=8)
+
+
+@given(sets, sets)
+def test_measures_are_bounded_and_symmetric(a, b):
+    for name, fn in SIMILARITIES.items():
+        value = fn(a, b)
+        assert 0.0 <= value <= 1.0, name
+        assert fn(a, b) == pytest.approx(fn(b, a)), name
+
+
+@given(sets)
+def test_self_similarity_is_one_for_nonempty(a):
+    for name, fn in SIMILARITIES.items():
+        if a:
+            assert fn(a, a) == pytest.approx(1.0), name
+
+
+@given(sets, sets)
+def test_jaccard_le_dice_le_overlap_ordering(a, b):
+    # |A∩B|/|A∪B| <= 2|A∩B|/(|A|+|B|) <= |A∩B|/min(|A|,|B|)
+    if a and b:
+        assert jaccard(a, b) <= dice(a, b) + 1e-12
+        assert dice(a, b) <= overlap(a, b) + 1e-12

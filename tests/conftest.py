@@ -1,0 +1,22 @@
+"""Shared fixtures: the default taxonomy and corpus are expensive enough to
+build once per test session."""
+
+import pytest
+
+from repro.data import generate_corpus, plan_corpus
+from repro.taxonomy import build_taxonomy
+
+
+@pytest.fixture(scope="session")
+def taxonomy():
+    return build_taxonomy()
+
+
+@pytest.fixture(scope="session")
+def corpus_plan(taxonomy):
+    return plan_corpus(taxonomy)
+
+
+@pytest.fixture(scope="session")
+def corpus(taxonomy, corpus_plan):
+    return generate_corpus(taxonomy=taxonomy, plan=corpus_plan)

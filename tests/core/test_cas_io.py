@@ -1,0 +1,68 @@
+"""Unit tests for bundle<->CAS conversion and readers."""
+
+from repro.core import BundleReader, DatabaseBundleReader, bundle_to_cas
+from repro.data import DataBundle, Report, ReportSource, store_bundles
+from repro.relstore import Database
+
+
+def make_bundle():
+    return DataBundle(
+        ref_no="R1", part_id="P01", article_code="A7", error_code="E1",
+        reports=[
+            Report(ReportSource.MECHANIC, "radio kaputt", "de"),
+            Report(ReportSource.SUPPLIER, "short circuit found", "en"),
+            Report(ReportSource.OEM_FINAL, "final verdict", "en"),
+        ],
+        part_description="Radio / radio assembly",
+        error_description="Kurzschluss [qx1]",
+    )
+
+
+class TestBundleToCas:
+    def test_test_phase_sections(self):
+        cas = bundle_to_cas(make_bundle())
+        sections = cas.select("Section")
+        labels = [section.features["source"] for section in sections]
+        assert labels == ["mechanic", "supplier", "part_description"]
+        assert "final verdict" not in cas.document_text
+
+    def test_training_phase_sections(self):
+        cas = bundle_to_cas(make_bundle(), training=True)
+        labels = [section.features["source"]
+                  for section in cas.select("Section")]
+        assert "oem_final" in labels
+        assert "error_description" in labels
+        assert cas.metadata["error_code"] == "E1"
+
+    def test_section_spans_cover_their_text(self):
+        cas = bundle_to_cas(make_bundle(), training=True)
+        for section in cas.select("Section"):
+            covered = cas.covered_text(section)
+            assert covered  # non-empty
+            assert "\n" not in covered
+
+    def test_metadata(self):
+        cas = bundle_to_cas(make_bundle())
+        assert cas.metadata["ref_no"] == "R1"
+        assert cas.metadata["part_id"] == "P01"
+        assert "error_code" not in cas.metadata  # test phase hides the label
+
+    def test_source_restriction(self):
+        cas = bundle_to_cas(make_bundle(), sources=(ReportSource.MECHANIC,))
+        labels = [section.features["source"]
+                  for section in cas.select("Section")]
+        assert labels == ["mechanic", "part_description"]
+
+
+class TestReaders:
+    def test_bundle_reader(self):
+        cases = list(BundleReader([make_bundle()]).read())
+        assert len(cases) == 1
+        assert cases[0].metadata["ref_no"] == "R1"
+
+    def test_database_reader(self):
+        db = Database()
+        store_bundles(db, [make_bundle()])
+        cases = list(DatabaseBundleReader(db, training=True).read())
+        assert len(cases) == 1
+        assert cases[0].metadata["error_code"] == "E1"

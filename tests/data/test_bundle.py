@@ -1,0 +1,78 @@
+"""Unit tests for the data-bundle model."""
+
+import pytest
+
+from repro.data import DataBundle, Report, ReportSource, TEST_TIME_SOURCES
+
+
+def make_bundle():
+    return DataBundle(
+        ref_no="R1", part_id="P01", article_code="A00001",
+        error_code="E1000", responsibility_code="S1",
+        reports=[
+            Report(ReportSource.MECHANIC, "radio kaputt", "de"),
+            Report(ReportSource.SUPPLIER, "short circuit confirmed", "en"),
+            Report(ReportSource.OEM_FINAL, "final: short circuit", "en"),
+        ],
+        part_description="Radio / radio assembly",
+        error_description="Kurzschluss / short circuit [qx1 vz2]",
+    )
+
+
+class TestReportSource:
+    def test_parse(self):
+        assert ReportSource.parse("mechanic") is ReportSource.MECHANIC
+        assert ReportSource.parse(" OEM_FINAL ") is ReportSource.OEM_FINAL
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError, match="unknown report source"):
+            ReportSource.parse("intern")
+
+    def test_test_time_sources_exclude_final(self):
+        assert ReportSource.OEM_FINAL not in TEST_TIME_SOURCES
+
+
+class TestReport:
+    def test_source_type_checked(self):
+        with pytest.raises(TypeError):
+            Report("mechanic", "text")
+
+
+class TestDataBundle:
+    def test_report_lookup(self):
+        bundle = make_bundle()
+        assert bundle.report(ReportSource.MECHANIC).text == "radio kaputt"
+        assert bundle.report(ReportSource.OEM_INITIAL) is None
+        assert bundle.has_report(ReportSource.SUPPLIER)
+        assert not bundle.has_report(ReportSource.OEM_INITIAL)
+
+    def test_document_text_default_is_test_view(self):
+        text = make_bundle().document_text()
+        assert "radio kaputt" in text
+        assert "short circuit confirmed" in text
+        assert "Radio / radio assembly" in text
+        assert "final:" not in text
+        assert "qx1" not in text  # error description is training-only
+
+    def test_document_text_single_source(self):
+        text = make_bundle().document_text((ReportSource.MECHANIC,),
+                                           include_part_description=False)
+        assert text == "radio kaputt"
+
+    def test_training_text_includes_everything(self):
+        text = make_bundle().training_text()
+        assert "final:" in text
+        assert "qx1" in text
+
+    def test_without_label(self):
+        stripped = make_bundle().without_label()
+        assert stripped.error_code is None
+        assert stripped.error_description == ""
+        assert not stripped.has_report(ReportSource.OEM_FINAL)
+        # original untouched
+        assert make_bundle().error_code == "E1000"
+
+    def test_word_count(self):
+        from repro.text import tokenize
+        bundle = make_bundle()
+        assert bundle.word_count() == len(tokenize(bundle.document_text()))

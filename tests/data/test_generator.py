@@ -1,0 +1,129 @@
+"""Tests for the OEM corpus generator."""
+
+from repro.data import (GeneratorConfig, ReportSource, corpus_statistics,
+                        generate_corpus)
+from repro.taxonomy import ConceptAnnotator
+
+
+class TestCorpusStatistics:
+    def test_headline_statistics(self, corpus):
+        stats = corpus_statistics(corpus.bundles)
+        assert stats["bundles"] == 7500
+        assert stats["part_ids"] == 31
+        assert stats["article_codes"] == 831
+        assert stats["distinct_error_codes"] == 1271
+        assert stats["singleton_error_codes"] == 718
+        assert stats["experiment_classes"] == 553
+        assert stats["experiment_bundles"] == 6782
+        assert stats["max_codes_per_part"] == 146
+        assert stats["parts_over_10_codes"] == 25
+
+    def test_mean_words_about_70(self, corpus):
+        stats = corpus_statistics(corpus.bundles)
+        assert 60 <= stats["mean_words_per_bundle"] <= 85
+
+    def test_experiment_bundles_helper(self, corpus):
+        assert len(corpus.experiment_bundles()) == 6782
+
+
+class TestBundleShape:
+    def test_unique_refs(self, corpus):
+        refs = [bundle.ref_no for bundle in corpus.bundles]
+        assert len(refs) == len(set(refs))
+
+    def test_every_bundle_has_mechanic_and_supplier(self, corpus):
+        for bundle in corpus.bundles[:300]:
+            assert bundle.has_report(ReportSource.MECHANIC)
+            assert bundle.has_report(ReportSource.SUPPLIER)
+            assert bundle.has_report(ReportSource.OEM_FINAL)
+
+    def test_initial_report_is_optional(self, corpus):
+        share = sum(bundle.has_report(ReportSource.OEM_INITIAL)
+                    for bundle in corpus.bundles) / len(corpus.bundles)
+        assert 0.25 <= share <= 0.45
+
+    def test_article_code_belongs_to_part(self, corpus):
+        articles = {part.part_id: set(part.article_codes)
+                    for part in corpus.plan.parts}
+        for bundle in corpus.bundles[:500]:
+            assert bundle.article_code in articles[bundle.part_id]
+
+    def test_every_bundle_has_descriptions(self, corpus):
+        for bundle in corpus.bundles[:300]:
+            assert bundle.part_description
+            assert bundle.error_description
+
+    def test_responsibility_codes(self, corpus):
+        config = GeneratorConfig()
+        for bundle in corpus.bundles[:300]:
+            assert bundle.responsibility_code in config.responsibility_codes
+
+    def test_languages_are_mixed(self, corpus):
+        languages = {report.language for bundle in corpus.bundles[:300]
+                     for report in bundle.reports}
+        assert {"de", "en"} <= languages
+
+
+class TestSignalPlacement:
+    def test_supplier_reports_carry_jargon(self, corpus):
+        codes = {code.code: code for code in corpus.plan.all_codes()}
+        hits = 0
+        sample = corpus.bundles[:200]
+        for bundle in sample:
+            jargon = codes[bundle.error_code].jargon
+            supplier_text = bundle.report(ReportSource.SUPPLIER).text
+            if any(token in supplier_text for token in jargon):
+                hits += 1
+        assert hits / len(sample) > 0.8
+
+    def test_mechanic_reports_do_not_carry_jargon(self, corpus):
+        # Only the code-unique tokens (jargon[:4]) are the invariant; the
+        # shared QA vocabulary (jargon[4]) can occur anywhere.
+        codes = {code.code: code for code in corpus.plan.all_codes()}
+        for bundle in corpus.bundles[:200]:
+            unique = codes[bundle.error_code].jargon[:4]
+            mechanic_text = bundle.report(ReportSource.MECHANIC).text
+            assert not any(token in mechanic_text for token in unique)
+
+    def test_supplier_reports_mention_true_symptom_concepts(self, corpus):
+        annotator = ConceptAnnotator(taxonomy=corpus.taxonomy)
+        codes = {code.code: code for code in corpus.plan.all_codes()}
+        hits = 0
+        sample = corpus.bundles[:150]
+        for bundle in sample:
+            signature = set(codes[bundle.error_code].symptom_concept_ids)
+            found = set(annotator.concept_ids(
+                bundle.report(ReportSource.SUPPLIER).text))
+            if signature & found:
+                hits += 1
+        assert hits / len(sample) > 0.75
+
+    def test_mechanic_reports_rarely_mention_true_symptom(self, corpus):
+        annotator = ConceptAnnotator(taxonomy=corpus.taxonomy)
+        codes = {code.code: code for code in corpus.plan.all_codes()}
+        hits = 0
+        sample = corpus.bundles[:300]
+        for bundle in sample:
+            signature = set(codes[bundle.error_code].symptom_concept_ids)
+            found = set(annotator.concept_ids(
+                bundle.report(ReportSource.MECHANIC).text))
+            if signature & found:
+                hits += 1
+        assert hits / len(sample) < 0.55
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self, taxonomy, corpus_plan, corpus):
+        again = generate_corpus(taxonomy=taxonomy, plan=corpus_plan)
+        assert [b.ref_no for b in again.bundles] == [b.ref_no for b in corpus.bundles]
+        assert [b.error_code for b in again.bundles] == [
+            b.error_code for b in corpus.bundles]
+        assert (again.bundles[0].report(ReportSource.MECHANIC).text
+                == corpus.bundles[0].report(ReportSource.MECHANIC).text)
+
+    def test_different_seed_differs(self, taxonomy, corpus_plan, corpus):
+        other = generate_corpus(taxonomy=taxonomy, plan=corpus_plan,
+                                config=GeneratorConfig(seed=99))
+        assert (other.bundles[0].report(ReportSource.MECHANIC).text
+                != corpus.bundles[0].report(ReportSource.MECHANIC).text
+                or other.bundles[0].ref_no != corpus.bundles[0].ref_no)

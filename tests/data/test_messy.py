@@ -1,0 +1,95 @@
+"""Unit and property tests for messy-text noise injection."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (NOISE_PRESETS, abbreviate, corrupt_word,
+                        degrade_umlauts, messify, messify_for_source)
+
+
+class TestCorruptWord:
+    def test_short_words_untouched(self):
+        rng = random.Random(1)
+        assert corrupt_word("ab", rng) == "ab"
+
+    def test_typo_changes_word_usually(self):
+        rng = random.Random(1)
+        changed = sum(corrupt_word("Katalysator", rng) != "Katalysator"
+                      for _ in range(50))
+        assert changed >= 40  # duplicates of identical letters may collide
+
+    def test_typo_kinds_are_plausible(self):
+        rng = random.Random(3)
+        for _ in range(200):
+            result = corrupt_word("steering", rng)
+            assert abs(len(result) - len("steering")) <= 1
+
+
+class TestDegradeUmlauts:
+    def test_digraph_mode(self):
+        rng = random.Random(1)
+        result = degrade_umlauts("Lüfter", rng, plain_probability=0.0)
+        assert result == "Luefter"
+
+    def test_plain_mode(self):
+        rng = random.Random(1)
+        result = degrade_umlauts("Lüfter", rng, plain_probability=1.0)
+        assert result == "Lufter"
+
+    def test_no_umlauts_identity(self):
+        rng = random.Random(1)
+        assert degrade_umlauts("radio", rng) == "radio"
+
+
+class TestAbbreviate:
+    def test_known_words(self):
+        assert abbreviate("defekt") == "def."
+        assert abbreviate("Steuergerät") == "Stg."
+        assert abbreviate("customer") == "cust."
+
+    def test_case_insensitive_lookup(self):
+        assert abbreviate("Defekt") == "def."
+
+    def test_unknown_word_unchanged(self):
+        assert abbreviate("Katalysator") == "Katalysator"
+
+
+class TestMessify:
+    def test_zero_noise_is_identity(self):
+        rng = random.Random(1)
+        text = "Der Lüfter ist defekt"
+        assert messify(text, rng, typo_probability=0, abbreviation_probability=0,
+                       umlaut_probability=0, case_noise_probability=0) == text
+
+    def test_deterministic_for_seed(self):
+        text = "Der Lüfter ist defekt und macht Geräusche beim Fahren"
+        first = messify(text, random.Random(99))
+        second = messify(text, random.Random(99))
+        assert first == second
+
+    def test_word_count_is_preserved(self):
+        text = "Der Lüfter ist defekt und macht laute Geräusche"
+        result = messify(text, random.Random(5))
+        assert len(result.split(" ")) == len(text.split(" "))
+
+    def test_presets_exist_for_all_sources(self):
+        for source in ("mechanic", "oem_initial", "supplier", "oem_final"):
+            assert source in NOISE_PRESETS
+
+    def test_mechanic_noisier_than_supplier(self):
+        text = " ".join(["Kühlmittelverlust"] * 200)
+        mech = messify_for_source(text, "mechanic", random.Random(1))
+        supp = messify_for_source(text, "supplier", random.Random(1))
+        mech_changed = sum(w != "Kühlmittelverlust" for w in mech.split(" "))
+        supp_changed = sum(w != "Kühlmittelverlust" for w in supp.split(" "))
+        assert mech_changed > supp_changed
+
+
+@settings(max_examples=50)
+@given(st.text(alphabet="abcdefghij ÄÖÜäöüß", min_size=0, max_size=80),
+       st.integers(0, 2 ** 30))
+def test_messify_never_crashes_and_keeps_word_count(text, seed):
+    result = messify(text, random.Random(seed))
+    assert len(result.split(" ")) == len(text.split(" "))

@@ -1,0 +1,102 @@
+"""Tests for the synthetic NHTSA ODI complaints corpus."""
+
+from repro.data import MAKES, complaints_by_make, generate_complaints
+from repro.taxonomy import ConceptAnnotator
+from repro.text import detect_language
+
+
+class TestComplaints:
+    def test_count_and_ids(self, taxonomy, corpus_plan):
+        complaints = generate_complaints(taxonomy, corpus_plan, count=300)
+        assert len(complaints) == 300
+        ids = [complaint.cmplid for complaint in complaints]
+        assert len(set(ids)) == 300
+
+    def test_all_makes_present(self, taxonomy, corpus_plan):
+        complaints = generate_complaints(taxonomy, corpus_plan, count=300)
+        assert {complaint.make for complaint in complaints} == set(MAKES)
+
+    def test_narratives_are_uppercase_english(self, taxonomy, corpus_plan):
+        complaints = generate_complaints(taxonomy, corpus_plan, count=100)
+        for complaint in complaints[:30]:
+            assert complaint.cdescr == complaint.cdescr.upper()
+        # detection on the lowercased narrative should lean English
+        english = sum(detect_language(c.cdescr.lower()).language == "en"
+                      for c in complaints)
+        assert english / len(complaints) > 0.9
+
+    def test_narratives_contain_taxonomy_concepts(self, taxonomy, corpus_plan):
+        annotator = ConceptAnnotator(taxonomy=taxonomy)
+        complaints = generate_complaints(taxonomy, corpus_plan, count=100)
+        with_concepts = sum(bool(annotator.concept_ids(c.cdescr.lower()))
+                            for c in complaints)
+        assert with_concepts / len(complaints) > 0.9
+
+    def test_planted_codes_are_plan_codes(self, taxonomy, corpus_plan):
+        codes = {code.code for code in corpus_plan.all_codes()}
+        complaints = generate_complaints(taxonomy, corpus_plan, count=100)
+        for complaint in complaints:
+            assert complaint.planted_code in codes
+
+    def test_distributions_differ_between_makes(self, taxonomy, corpus_plan):
+        complaints = generate_complaints(taxonomy, corpus_plan, count=1500)
+        groups = complaints_by_make(complaints)
+
+        def top_codes(group):
+            counts = {}
+            for complaint in group:
+                counts[complaint.planted_code] = counts.get(
+                    complaint.planted_code, 0) + 1
+            return tuple(sorted(counts, key=counts.get, reverse=True)[:3])
+
+        tops = {make: top_codes(group) for make, group in groups.items()}
+        assert len(set(tops.values())) > 1
+
+    def test_deterministic(self, taxonomy, corpus_plan):
+        first = generate_complaints(taxonomy, corpus_plan, count=50)
+        second = generate_complaints(taxonomy, corpus_plan, count=50)
+        assert [c.cdescr for c in first] == [c.cdescr for c in second]
+
+    def test_seed_changes_output(self, taxonomy, corpus_plan):
+        first = generate_complaints(taxonomy, corpus_plan, count=50, seed=1)
+        second = generate_complaints(taxonomy, corpus_plan, count=50, seed=2)
+        assert [c.cdescr for c in first] != [c.cdescr for c in second]
+
+
+class TestFlatCmpl:
+    def test_roundtrip(self, taxonomy, corpus_plan):
+        from repro.data import (FLAT_CMPL_FIELDS, complaints_from_flat,
+                                complaints_to_flat)
+        complaints = generate_complaints(taxonomy, corpus_plan, count=25)
+        text = complaints_to_flat(complaints)
+        lines = text.rstrip("\n").split("\n")
+        assert len(lines) == 25
+        assert all(len(line.split("\t")) == FLAT_CMPL_FIELDS
+                   for line in lines)
+        restored = complaints_from_flat(text)
+        assert len(restored) == 25
+        assert restored[0].cmplid == complaints[0].cmplid
+        assert restored[0].make == complaints[0].make
+        assert restored[0].model_year == complaints[0].model_year
+        assert restored[0].cdescr == complaints[0].cdescr
+        assert restored[0].planted_code == ""  # synthetic-only field
+
+    def test_empty(self):
+        from repro.data import complaints_from_flat, complaints_to_flat
+        assert complaints_to_flat([]) == ""
+        assert complaints_from_flat("") == []
+        assert complaints_from_flat("\n\n") == []
+
+    def test_short_line_rejected(self):
+        from repro.data import complaints_from_flat
+        import pytest
+        with pytest.raises(ValueError, match="FLAT_CMPL line 1"):
+            complaints_from_flat("a\tb\tc\n")
+
+    def test_tabs_in_narrative_sanitized(self, taxonomy, corpus_plan):
+        from repro.data import Complaint, complaints_from_flat, complaints_to_flat
+        complaint = Complaint(cmplid="X1", make="OURS", model_year=2010,
+                              component_class="electrics",
+                              cdescr="LINE\tWITH\tTABS", planted_code="E1")
+        restored = complaints_from_flat(complaints_to_flat([complaint]))
+        assert restored[0].cdescr == "LINE WITH TABS"

@@ -1,0 +1,152 @@
+"""Tests for the corpus planner: the §3.2 statistics must hold exactly."""
+
+import pytest
+
+from repro.data import plan_corpus
+from repro.data.plan import _split_total, _zipf_multiplicities
+
+
+class TestPlanStatistics:
+    def test_bundle_count(self, corpus_plan):
+        assert corpus_plan.bundle_count == 7500
+
+    def test_part_ids(self, corpus_plan):
+        assert corpus_plan.part_id_count == 31
+
+    def test_article_codes(self, corpus_plan):
+        assert corpus_plan.article_code_count == 831
+
+    def test_distinct_error_codes(self, corpus_plan):
+        assert corpus_plan.distinct_error_codes == 1271
+
+    def test_singletons(self, corpus_plan):
+        assert corpus_plan.singleton_error_codes == 718
+
+    def test_experiment_classes(self, corpus_plan):
+        assert corpus_plan.experiment_classes == 553
+
+    def test_experiment_bundles(self, corpus_plan):
+        assert corpus_plan.experiment_bundles == 6782
+
+    def test_max_codes_per_part(self, corpus_plan):
+        assert corpus_plan.max_codes_per_part == 146
+
+    def test_parts_over_10_codes(self, corpus_plan):
+        assert corpus_plan.parts_with_more_than(10) == 25
+
+    def test_per_part_instances_match_bundles(self, corpus_plan):
+        for part in corpus_plan.parts:
+            assert sum(code.multiplicity for code in part.codes) == part.bundle_count
+
+    def test_repeated_codes_fit_frequency_top25(self, corpus_plan):
+        # Needed for the code-frequency baseline's accuracy@25 = 100%
+        for part in corpus_plan.parts:
+            assert len(part.repeated_codes) <= 25
+
+    def test_codes_globally_unique(self, corpus_plan):
+        codes = [code.code for code in corpus_plan.all_codes()]
+        assert len(codes) == len(set(codes))
+
+    def test_article_codes_globally_unique(self, corpus_plan):
+        articles = [article for part in corpus_plan.parts
+                    for article in part.article_codes]
+        assert len(articles) == len(set(articles))
+
+
+class TestPlanSemantics:
+    def test_every_code_has_symptom_signature(self, corpus_plan):
+        for code in corpus_plan.all_codes():
+            assert 1 <= len(code.symptom_concept_ids) <= 2
+
+    def test_signature_concepts_are_leaves(self, corpus_plan, taxonomy):
+        has_children = {c.parent_id for c in taxonomy if c.parent_id}
+        for part in corpus_plan.parts[:5]:
+            for code in part.codes[:10]:
+                for concept_id in code.symptom_concept_ids:
+                    assert concept_id not in has_children
+
+    def test_codes_in_same_group_share_signature(self, corpus_plan):
+        for part in corpus_plan.parts:
+            signatures: dict[str, tuple] = {}
+            for code in part.codes:
+                previous = signatures.setdefault(code.group_id,
+                                                 code.symptom_concept_ids)
+                assert previous == code.symptom_concept_ids
+
+    def test_some_groups_have_multiple_codes(self, corpus_plan):
+        multi = 0
+        for part in corpus_plan.parts:
+            groups: dict[str, int] = {}
+            for code in part.repeated_codes:
+                groups[code.group_id] = groups.get(code.group_id, 0) + 1
+            multi += sum(1 for count in groups.values() if count > 1)
+        assert multi > 50  # BoC must face within-group ambiguity
+
+    def test_jargon_unique_per_code(self, corpus_plan):
+        seen: set[str] = set()
+        for code in corpus_plan.all_codes():
+            unique_tokens = code.jargon[:4]
+            for token in unique_tokens:
+                assert token not in seen
+                seen.add(token)
+
+    def test_part_components_from_taxonomy(self, corpus_plan, taxonomy):
+        for part in corpus_plan.parts:
+            for concept_id in part.component_concept_ids:
+                assert concept_id in taxonomy
+
+    def test_deterministic(self, taxonomy):
+        first = plan_corpus(taxonomy, seed=42)
+        second = plan_corpus(taxonomy, seed=42)
+        assert ([code.code for code in first.all_codes()]
+                == [code.code for code in second.all_codes()])
+        assert ([code.multiplicity for code in first.all_codes()]
+                == [code.multiplicity for code in second.all_codes()])
+
+    def test_frequency_skew_supports_baseline(self, corpus_plan):
+        # The most frequent code per part should cover roughly a third of
+        # that part's experiment bundles (code-frequency baseline ~35% @1).
+        top = sum(max(code.multiplicity for code in part.repeated_codes)
+                  for part in corpus_plan.parts)
+        share = top / corpus_plan.experiment_bundles
+        assert 0.30 <= share <= 0.42
+
+
+class TestScaledPlans:
+    def test_small_plan(self, taxonomy):
+        plan = plan_corpus(taxonomy, seed=1, parameters={
+            "bundles": 900, "part_ids": 6, "article_codes": 60,
+            "distinct_codes": 120, "singleton_codes": 40,
+            "max_codes_per_part": 30, "parts_over_10_codes": 4,
+        })
+        assert plan.bundle_count == 900
+        assert plan.distinct_error_codes == 120
+        assert plan.singleton_error_codes == 40
+
+    def test_infeasible_plan_raises(self, taxonomy):
+        with pytest.raises(ValueError):
+            plan_corpus(taxonomy, parameters={"bundles": 100, "part_ids": 31})
+
+
+class TestAllocationHelpers:
+    def test_split_total_sums(self):
+        import random
+        shares = _split_total(100, [5.0, 3.0, 1.0], 2, random.Random(1))
+        assert sum(shares) == 100
+        assert all(share >= 2 for share in shares)
+        assert shares[0] > shares[-1]
+
+    def test_split_total_infeasible(self):
+        import random
+        with pytest.raises(ValueError):
+            _split_total(5, [1.0, 1.0, 1.0], 2, random.Random(1))
+
+    def test_zipf_multiplicities(self):
+        shares = _zipf_multiplicities(100, 8, 1.2, 2)
+        assert sum(shares) == 100
+        assert all(share >= 2 for share in shares)
+        assert shares == sorted(shares, reverse=True)
+
+    def test_zipf_infeasible(self):
+        with pytest.raises(ValueError):
+            _zipf_multiplicities(10, 8, 1.2, 2)

@@ -1,0 +1,64 @@
+"""Tests for relational persistence of bundles and complaints."""
+
+from repro.data import (generate_complaints, load_bundle, load_bundles,
+                        load_complaints, store_bundles, store_complaints)
+from repro.relstore import Database, load_database, save_database
+
+
+class TestBundlePersistence:
+    def test_store_and_load_roundtrip(self, corpus):
+        db = Database()
+        sample = corpus.bundles[:50]
+        assert store_bundles(db, sample) == 50
+        loaded = load_bundles(db)
+        assert len(loaded) == 50
+        by_ref = {bundle.ref_no: bundle for bundle in sample}
+        for bundle in loaded:
+            original = by_ref[bundle.ref_no]
+            assert bundle.part_id == original.part_id
+            assert bundle.error_code == original.error_code
+            assert len(bundle.reports) == len(original.reports)
+            assert bundle.document_text() == original.document_text()
+
+    def test_report_order_restored(self, corpus):
+        db = Database()
+        store_bundles(db, corpus.bundles[:20])
+        for bundle in load_bundles(db):
+            sources = [report.source for report in bundle.reports]
+            assert sources == sorted(sources, key=lambda s: list(type(s)).index(s))
+
+    def test_load_single_bundle(self, corpus):
+        db = Database()
+        store_bundles(db, corpus.bundles[:5])
+        ref = corpus.bundles[2].ref_no
+        bundle = load_bundle(db, ref)
+        assert bundle is not None
+        assert bundle.ref_no == ref
+        assert load_bundle(db, "missing") is None
+
+    def test_disk_roundtrip(self, corpus, tmp_path):
+        db = Database()
+        store_bundles(db, corpus.bundles[:10])
+        save_database(db, tmp_path / "raw")
+        restored = load_database(tmp_path / "raw")
+        assert len(load_bundles(restored)) == 10
+
+
+class TestComplaintPersistence:
+    def test_store_and_load(self, taxonomy, corpus_plan):
+        complaints = generate_complaints(taxonomy, corpus_plan, count=40)
+        db = Database()
+        assert store_complaints(db, complaints) == 40
+        loaded = load_complaints(db)
+        assert len(loaded) == 40
+        assert loaded[0].cdescr == sorted(complaints,
+                                          key=lambda c: c.cmplid)[0].cdescr
+
+    def test_load_by_make(self, taxonomy, corpus_plan):
+        complaints = generate_complaints(taxonomy, corpus_plan, count=60)
+        db = Database()
+        store_complaints(db, complaints)
+        for make in {complaint.make for complaint in complaints}:
+            group = load_complaints(db, make=make)
+            assert group
+            assert all(complaint.make == make for complaint in group)

@@ -1,0 +1,113 @@
+"""Unit tests for report text rendering."""
+
+import random
+
+import pytest
+
+from repro.data import ReportSource
+from repro.data.textgen import (GENERIC_COMPLAINTS, RenderContext,
+                                pick_language, render_error_description,
+                                render_final_report, render_initial_report,
+                                render_mechanic_report,
+                                render_part_description,
+                                render_supplier_report)
+from repro.taxonomy import GERMAN, ENGLISH
+
+
+@pytest.fixture
+def context(taxonomy, corpus_plan):
+    part = corpus_plan.parts[0]
+    code = part.repeated_codes[0]
+    return RenderContext(part=part, code=code, taxonomy=taxonomy,
+                         rng=random.Random(99))
+
+
+class TestPickLanguage:
+    def test_distribution(self):
+        rng = random.Random(1)
+        german = sum(pick_language(rng, 0.7) == GERMAN for _ in range(1000))
+        assert 620 <= german <= 780
+
+    def test_extremes(self):
+        rng = random.Random(1)
+        assert pick_language(rng, 1.0) == GERMAN
+        assert pick_language(rng, 0.0) == ENGLISH
+
+
+class TestMechanicReport:
+    def test_source_and_language(self, context):
+        report = render_mechanic_report(context, GERMAN)
+        assert report.source is ReportSource.MECHANIC
+        assert report.language == GERMAN
+        assert report.text
+
+    def test_generic_complaint_mode(self, context):
+        report = render_mechanic_report(context, ENGLISH,
+                                        true_symptom_probability=0.0,
+                                        wrong_symptom_probability=0.0)
+        lowered = report.text.lower()
+        assert any(phrase.split()[0] in lowered
+                   for phrase in GENERIC_COMPLAINTS[ENGLISH])
+
+    def test_no_jargon_ever(self, context):
+        for _ in range(30):
+            report = render_mechanic_report(context, ENGLISH)
+            assert not any(token in report.text
+                           for token in context.code.jargon[:4])
+
+    def test_deterministic_per_rng(self, taxonomy, corpus_plan):
+        def make():
+            ctx = RenderContext(part=corpus_plan.parts[0],
+                                code=corpus_plan.parts[0].repeated_codes[0],
+                                taxonomy=taxonomy, rng=random.Random(5))
+            return render_mechanic_report(ctx, GERMAN).text
+        assert make() == make()
+
+
+class TestInitialReport:
+    def test_mentions_forwarding(self, context):
+        report = render_initial_report(context, GERMAN)
+        assert report.source is ReportSource.OEM_INITIAL
+        assert "Lieferant" in report.text or "supplier" in report.text.lower()
+
+
+class TestSupplierReport:
+    def test_contains_signature_and_jargon(self, context):
+        report = render_supplier_report(context, ENGLISH,
+                                        symptom_probability=1.0,
+                                        jargon_probability=1.0,
+                                        signature_dropout=0.0)
+        assert report.source is ReportSource.SUPPLIER
+        assert all(token in report.text for token in context.code.jargon[:4])
+
+    def test_signature_dropout_removes_symptoms(self, context, taxonomy):
+        from repro.taxonomy import ConceptAnnotator
+        annotator = ConceptAnnotator(taxonomy=taxonomy)
+        signature = set(context.code.symptom_concept_ids)
+        report = render_supplier_report(context, GERMAN,
+                                        signature_dropout=1.0)
+        found = set(annotator.concept_ids(report.text))
+        assert not (signature & found)
+
+    def test_checked_items_boilerplate(self, context):
+        report = render_supplier_report(context, GERMAN,
+                                        signature_dropout=0.0)
+        assert "Geprüfte Umfänge" in report.text or "Geprufte" in report.text \
+            or "Gepruefte" in report.text
+
+
+class TestFinalReportAndDescriptions:
+    def test_final_report_clean_and_labelled(self, context):
+        report = render_final_report(context, ENGLISH, jargon_probability=1.0)
+        assert report.source is ReportSource.OEM_FINAL
+        assert context.code.jargon[0] in report.text
+
+    def test_part_description_bilingual(self, context):
+        description = render_part_description(context)
+        assert "assembly" in description
+
+    def test_error_description_carries_unique_jargon(self, context):
+        description = render_error_description(context)
+        assert context.code.jargon[0] in description
+        assert context.code.jargon[1] in description
+        assert "/" in description  # German / English halves

@@ -1,0 +1,114 @@
+"""Unit and property tests for stratified cross-validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import DataBundle
+from repro.evaluate import experiment_subset, stratified_folds
+
+
+def bundle(ref, code, part="P1"):
+    return DataBundle(ref_no=ref, part_id=part, article_code="A1",
+                      error_code=code)
+
+
+def make_bundles(code_multiplicities):
+    bundles = []
+    serial = 0
+    for code, count in code_multiplicities.items():
+        for _ in range(count):
+            bundles.append(bundle(f"R{serial}", code))
+            serial += 1
+    return bundles
+
+
+class TestExperimentSubset:
+    def test_removes_singletons(self):
+        bundles = make_bundles({"E1": 3, "E2": 1, "E3": 2})
+        subset = experiment_subset(bundles)
+        codes = {b.error_code for b in subset}
+        assert codes == {"E1", "E3"}
+        assert len(subset) == 5
+
+    def test_removes_unlabeled(self):
+        bundles = [bundle("R1", None), bundle("R2", "E1"), bundle("R3", "E1")]
+        assert len(experiment_subset(bundles)) == 2
+
+    def test_paper_counts(self, corpus):
+        subset = experiment_subset(corpus.bundles)
+        assert len(subset) == 6782
+        assert len({b.error_code for b in subset}) == 553
+
+
+class TestStratifiedFolds:
+    def test_each_bundle_tested_exactly_once(self):
+        bundles = make_bundles({"E1": 10, "E2": 7, "E3": 2})
+        folds = list(stratified_folds(bundles, 5, seed=1))
+        assert len(folds) == 5
+        tested = [b.ref_no for fold in folds for b in fold.test]
+        assert sorted(tested) == sorted(b.ref_no for b in bundles)
+
+    def test_train_test_disjoint_and_complete(self):
+        bundles = make_bundles({"E1": 9, "E2": 6})
+        for fold in stratified_folds(bundles, 3, seed=2):
+            train_refs = {b.ref_no for b in fold.train}
+            test_refs = {b.ref_no for b in fold.test}
+            assert not train_refs & test_refs
+            assert len(train_refs | test_refs) == len(bundles)
+
+    def test_stratification_spreads_codes(self):
+        bundles = make_bundles({"E1": 10})
+        for fold in stratified_folds(bundles, 5, seed=3):
+            assert sum(1 for b in fold.test if b.error_code == "E1") == 2
+
+    def test_code_with_fewer_instances_than_folds(self):
+        bundles = make_bundles({"E1": 2, "E2": 8})
+        folds = list(stratified_folds(bundles, 5, seed=4))
+        e1_test = sum(1 for fold in folds for b in fold.test
+                      if b.error_code == "E1")
+        assert e1_test == 2
+
+    def test_deterministic(self):
+        bundles = make_bundles({"E1": 10, "E2": 5})
+        first = [[b.ref_no for b in fold.test]
+                 for fold in stratified_folds(bundles, 5, seed=7)]
+        second = [[b.ref_no for b in fold.test]
+                  for fold in stratified_folds(bundles, 5, seed=7)]
+        assert first == second
+
+    def test_seed_changes_assignment(self):
+        bundles = make_bundles({"E1": 10, "E2": 5})
+        first = [[b.ref_no for b in fold.test]
+                 for fold in stratified_folds(bundles, 5, seed=7)]
+        second = [[b.ref_no for b in fold.test]
+                  for fold in stratified_folds(bundles, 5, seed=8)]
+        assert first != second
+
+    def test_too_few_folds(self):
+        with pytest.raises(ValueError):
+            list(stratified_folds([], 1))
+
+    def test_unlabeled_bundle_rejected(self):
+        with pytest.raises(ValueError, match="no error code"):
+            list(stratified_folds([bundle("R1", None)], 2))
+
+    def test_train_order_is_shuffled(self):
+        bundles = make_bundles({"E1": 20, "E2": 20})
+        fold = next(iter(stratified_folds(bundles, 5, seed=1)))
+        codes = [b.error_code for b in fold.train]
+        # grouped order would be all E1 then all E2; shuffled order is not
+        first_half = codes[:len(codes) // 2]
+        assert len(set(first_half)) > 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.dictionaries(st.sampled_from(["E1", "E2", "E3", "E4"]),
+                       st.integers(2, 12), min_size=1),
+       st.integers(2, 6))
+def test_folds_partition_property(multiplicities, folds):
+    bundles = make_bundles(multiplicities)
+    all_test = []
+    for fold in stratified_folds(bundles, folds, seed=5):
+        all_test.extend(b.ref_no for b in fold.test)
+    assert sorted(all_test) == sorted(b.ref_no for b in bundles)

@@ -1,0 +1,164 @@
+"""Integration tests for the experiment runner on a scaled-down corpus."""
+
+import pytest
+
+from repro.data import (GeneratorConfig, ReportSource, generate_complaints,
+                        generate_corpus, plan_corpus)
+from repro.evaluate import (ExperimentConfig, build_extractor,
+                            experiment_subset, run_candidate_set_baseline,
+                            run_cross_source_evaluation, run_experiment,
+                            run_frequency_baseline,
+                            run_report_source_experiment)
+from repro.taxonomy import ConceptAnnotator
+
+SMALL = {
+    "bundles": 1200, "part_ids": 8, "article_codes": 80,
+    "distinct_codes": 160, "singleton_codes": 60,
+    "max_codes_per_part": 40, "parts_over_10_codes": 6,
+}
+
+
+@pytest.fixture(scope="module")
+def small_corpus(taxonomy):
+    plan = plan_corpus(taxonomy, seed=11, parameters=SMALL)
+    return generate_corpus(taxonomy=taxonomy, plan=plan,
+                           config=GeneratorConfig(seed=11))
+
+
+@pytest.fixture(scope="module")
+def small_bundles(small_corpus):
+    return experiment_subset(small_corpus.bundles)
+
+
+@pytest.fixture(scope="module")
+def annotator(taxonomy):
+    return ConceptAnnotator(taxonomy=taxonomy)
+
+
+class TestExperimentConfig:
+    def test_label(self):
+        config = ExperimentConfig(feature_mode="concepts",
+                                  similarity="overlap")
+        assert config.label == "concepts+overlap"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(feature_mode="bigrams")
+
+    def test_build_extractor_validation(self):
+        with pytest.raises(ValueError):
+            build_extractor("concepts")
+        with pytest.raises(ValueError):
+            build_extractor("nonsense")
+
+
+class TestRunExperiment:
+    def test_words_beats_frequency_baseline_at_1(self, small_bundles,
+                                                 taxonomy, annotator):
+        config = ExperimentConfig(feature_mode="words", folds=3)
+        result = run_experiment(small_bundles, config, taxonomy, annotator)
+        baseline = run_frequency_baseline(small_bundles, config)
+        assert result.accuracies[1] > baseline.accuracies[1]
+        assert result.accuracies[1] > 0.5
+
+    def test_fold_outcomes_recorded(self, small_bundles, taxonomy, annotator):
+        config = ExperimentConfig(feature_mode="concepts", folds=3)
+        result = run_experiment(small_bundles, config, taxonomy, annotator)
+        assert len(result.folds) == 3
+        assert all(fold.test_count > 0 for fold in result.folds)
+        assert all(fold.knowledge_nodes > 0 for fold in result.folds)
+        assert result.seconds_per_bundle > 0
+        assert sum(fold.test_count for fold in result.folds) == len(small_bundles)
+
+    def test_accuracies_monotone_in_k(self, small_bundles, taxonomy, annotator):
+        config = ExperimentConfig(feature_mode="concepts", folds=3)
+        result = run_experiment(small_bundles, config, taxonomy, annotator)
+        values = [result.accuracies[k] for k in sorted(result.accuracies)]
+        assert values == sorted(values)
+
+    def test_accuracy_row_format(self, small_bundles, taxonomy, annotator):
+        config = ExperimentConfig(feature_mode="concepts", folds=3)
+        result = run_experiment(small_bundles, config, taxonomy, annotator)
+        row = result.accuracy_row()
+        assert "concepts+jaccard" in row
+        assert "@1=" in row
+
+    def test_concepts_faster_than_words(self, small_bundles, taxonomy,
+                                        annotator):
+        words = run_experiment(small_bundles,
+                               ExperimentConfig(feature_mode="words", folds=2),
+                               taxonomy, annotator)
+        concepts = run_experiment(
+            small_bundles, ExperimentConfig(feature_mode="concepts", folds=2),
+            taxonomy, annotator)
+        assert concepts.seconds_per_bundle < words.seconds_per_bundle
+
+
+class TestBaselines:
+    def test_frequency_baseline_reasonable(self, small_bundles):
+        config = ExperimentConfig(folds=3)
+        result = run_frequency_baseline(small_bundles, config)
+        assert 0.15 < result.accuracies[1] < 0.6
+        assert result.accuracies[25] > 0.9
+
+    def test_candidate_set_baseline_low_at_1(self, small_bundles, taxonomy,
+                                             annotator):
+        config = ExperimentConfig(feature_mode="words", folds=2)
+        result = run_candidate_set_baseline(small_bundles, config, taxonomy,
+                                            annotator)
+        baseline_at_1 = result.accuracies[1]
+        classifier = run_experiment(small_bundles, config, taxonomy, annotator)
+        assert baseline_at_1 < classifier.accuracies[1] / 2
+
+
+class TestReportSourceExperiment:
+    def test_mechanic_only_below_supplier_only(self, small_bundles, taxonomy,
+                                               annotator):
+        config = ExperimentConfig(feature_mode="words", folds=2)
+        mechanic = run_report_source_experiment(
+            small_bundles, config, ReportSource.MECHANIC, taxonomy, annotator)
+        supplier = run_report_source_experiment(
+            small_bundles, config, ReportSource.SUPPLIER, taxonomy, annotator)
+        assert mechanic.accuracies[1] < supplier.accuracies[1]
+        assert "[mechanic only]" in mechanic.name
+
+    def test_supplier_only_close_to_all_reports(self, small_bundles, taxonomy,
+                                                annotator):
+        config = ExperimentConfig(feature_mode="words", folds=2)
+        supplier = run_report_source_experiment(
+            small_bundles, config, ReportSource.SUPPLIER, taxonomy, annotator)
+        full = run_experiment(small_bundles, config, taxonomy, annotator)
+        assert supplier.accuracies[5] > full.accuracies[5] - 0.1
+
+
+class TestCrossSource:
+    def test_concepts_transfer_better_than_words(self, small_corpus,
+                                                 small_bundles, taxonomy,
+                                                 annotator):
+        complaints = generate_complaints(taxonomy, small_corpus.plan,
+                                         count=250, seed=3)
+        part_of_code = {code.code: code.part_id
+                        for code in small_corpus.plan.all_codes()}
+        words = run_cross_source_evaluation(
+            small_bundles, complaints, part_of_code,
+            ExperimentConfig(feature_mode="words"), taxonomy, annotator)
+        concepts = run_cross_source_evaluation(
+            small_bundles, complaints, part_of_code,
+            ExperimentConfig(feature_mode="concepts"), taxonomy, annotator)
+        # §5.4: bag-of-words suffers across text types; concepts transfer.
+        assert concepts[10] > words[10]
+
+
+class TestAccuracyStd:
+    def test_std_across_folds(self, small_bundles, taxonomy, annotator):
+        config = ExperimentConfig(feature_mode="concepts", folds=3)
+        result = run_experiment(small_bundles, config, taxonomy, annotator)
+        std = result.accuracy_std(1)
+        assert 0.0 <= std < 0.2
+
+    def test_std_single_fold_is_zero(self):
+        from repro.evaluate import ExperimentResult, FoldOutcome
+        result = ExperimentResult(name="x", folds=[
+            FoldOutcome(fold=0, test_count=10, accuracies={1: 0.5},
+                        knowledge_nodes=1, seconds=0.1)])
+        assert result.accuracy_std(1) == 0.0

@@ -1,0 +1,62 @@
+"""Tests for the learning-curve evaluation."""
+
+import pytest
+
+from repro.data import GeneratorConfig, generate_corpus, plan_corpus
+from repro.evaluate import (ExperimentConfig, curve_row, experiment_subset,
+                            run_learning_curve)
+
+SMALL = {
+    "bundles": 1200, "part_ids": 8, "article_codes": 80,
+    "distinct_codes": 160, "singleton_codes": 60,
+    "max_codes_per_part": 40, "parts_over_10_codes": 6,
+}
+
+
+@pytest.fixture(scope="module")
+def small_bundles(taxonomy):
+    plan = plan_corpus(taxonomy, seed=19, parameters=SMALL)
+    corpus = generate_corpus(taxonomy=taxonomy, plan=plan,
+                             config=GeneratorConfig(seed=19))
+    return experiment_subset(corpus.bundles)
+
+
+class TestLearningCurve:
+    def test_accuracy_grows_with_training_size(self, small_bundles, taxonomy):
+        config = ExperimentConfig(feature_mode="words", folds=4)
+        points = run_learning_curve(small_bundles, config,
+                                    sizes=(150, 400, 800),
+                                    taxonomy=taxonomy)
+        assert [p.train_size for p in points] == [150, 400, 800]
+        assert points[-1].accuracies[1] > points[0].accuracies[1]
+        assert points[-1].accuracies[10] >= points[0].accuracies[10]
+
+    def test_small_data_already_useful(self, small_bundles, taxonomy):
+        # §4.2: instance-based classification works with small data
+        config = ExperimentConfig(feature_mode="concepts", folds=4)
+        points = run_learning_curve(small_bundles, config, sizes=(150,),
+                                    taxonomy=taxonomy)
+        assert points[0].accuracies[10] > 0.4
+
+    def test_nodes_monotone(self, small_bundles, taxonomy):
+        config = ExperimentConfig(feature_mode="concepts", folds=4)
+        points = run_learning_curve(small_bundles, config,
+                                    sizes=(150, 400, 800),
+                                    taxonomy=taxonomy)
+        nodes = [p.knowledge_nodes for p in points]
+        assert nodes == sorted(nodes)
+        assert all(p.knowledge_nodes <= p.train_size for p in points)
+
+    def test_oversized_request_rejected(self, small_bundles, taxonomy):
+        config = ExperimentConfig(feature_mode="words", folds=4)
+        with pytest.raises(ValueError, match="exceeds"):
+            run_learning_curve(small_bundles, config, sizes=(10 ** 6,),
+                               taxonomy=taxonomy)
+
+    def test_curve_row_format(self, small_bundles, taxonomy):
+        config = ExperimentConfig(feature_mode="words", folds=4)
+        points = run_learning_curve(small_bundles, config, sizes=(150,),
+                                    taxonomy=taxonomy)
+        row = curve_row(points[0])
+        assert "train=150" in row
+        assert "@1=" in row

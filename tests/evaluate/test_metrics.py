@@ -1,0 +1,68 @@
+"""Unit tests for accuracy@k and MRR."""
+
+import pytest
+
+from repro.classify import Recommendation, ScoredCode
+from repro.evaluate import (accuracy_at_k, mean_reciprocal_rank,
+                            merge_fold_accuracies)
+
+
+def rec(*codes):
+    return Recommendation(ref_no="R", part_id="P", codes=[
+        ScoredCode(code, 1.0 - index * 0.1) for index, code in enumerate(codes)])
+
+
+class TestAccuracyAtK:
+    def test_basic(self):
+        recommendations = [rec("E1", "E2"), rec("E2", "E1"), rec("E3")]
+        truths = ["E1", "E1", "E9"]
+        accuracies = accuracy_at_k(recommendations, truths, ks=(1, 2))
+        assert accuracies[1] == pytest.approx(1 / 3)
+        assert accuracies[2] == pytest.approx(2 / 3)
+
+    def test_absent_code_never_hits(self):
+        accuracies = accuracy_at_k([rec("E1")], ["E9"], ks=(1, 25))
+        assert accuracies[25] == 0.0
+
+    def test_monotone_in_k(self):
+        recommendations = [rec("E1", "E2", "E3") for _ in range(3)]
+        truths = ["E1", "E2", "E3"]
+        accuracies = accuracy_at_k(recommendations, truths, ks=(1, 2, 3))
+        assert accuracies[1] <= accuracies[2] <= accuracies[3]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_at_k([rec("E1")], ["E1", "E2"])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy_at_k([], [])
+
+
+class TestMRR:
+    def test_basic(self):
+        recommendations = [rec("E1", "E2"), rec("E2", "E1")]
+        truths = ["E1", "E1"]
+        assert mean_reciprocal_rank(recommendations, truths) == pytest.approx(
+            (1.0 + 0.5) / 2)
+
+    def test_absent_contributes_zero(self):
+        assert mean_reciprocal_rank([rec("E1")], ["E9"]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_reciprocal_rank([], [])
+
+
+class TestMergeFolds:
+    def test_unweighted(self):
+        merged = merge_fold_accuracies([{1: 0.5}, {1: 1.0}])
+        assert merged[1] == pytest.approx(0.75)
+
+    def test_weighted(self):
+        merged = merge_fold_accuracies([{1: 0.5}, {1: 1.0}], weights=[3, 1])
+        assert merged[1] == pytest.approx(0.625)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            merge_fold_accuracies([])

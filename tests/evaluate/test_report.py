@@ -1,0 +1,95 @@
+"""Tests for experiment reporting breakdowns."""
+
+import pytest
+
+from repro.classify import Recommendation, ScoredCode
+from repro.data import DataBundle
+from repro.evaluate import (RankBreakdown, breakdown_by_part, rank_breakdown,
+                            render_markdown_report)
+
+
+def bundle(ref, part, code):
+    return DataBundle(ref_no=ref, part_id=part, article_code="A1",
+                      error_code=code)
+
+
+def rec(*codes):
+    return Recommendation(ref_no="R", part_id="P", codes=[
+        ScoredCode(code, 1.0 - i * 0.1) for i, code in enumerate(codes)])
+
+
+@pytest.fixture
+def paired():
+    bundles = [bundle("R1", "P1", "E1"), bundle("R2", "P1", "E2"),
+               bundle("R3", "P2", "E3"), bundle("R4", "P2", "E9")]
+    recommendations = [rec("E1", "E2"),        # rank 1
+                       rec("E1", "E2"),        # rank 2
+                       rec("E5", "E6", "E3"),  # rank 3
+                       rec("E5")]              # miss
+    return bundles, recommendations
+
+
+class TestRankBreakdown:
+    def test_histogram(self, paired):
+        bundles, recommendations = paired
+        breakdown = rank_breakdown(bundles, recommendations)
+        histogram = breakdown.histogram(buckets=(1, 2))
+        assert histogram == {"<=1": 1, "<=2": 1, "beyond": 1, "miss": 1}
+
+    def test_found_and_mean_rank(self, paired):
+        bundles, recommendations = paired
+        breakdown = rank_breakdown(bundles, recommendations)
+        assert breakdown.total == 4
+        assert breakdown.found == 3
+        assert breakdown.mean_rank() == pytest.approx((1 + 2 + 3) / 3)
+
+    def test_empty_mean_rank(self):
+        assert RankBreakdown().mean_rank() is None
+
+    def test_length_mismatch(self, paired):
+        bundles, recommendations = paired
+        with pytest.raises(ValueError):
+            rank_breakdown(bundles[:2], recommendations)
+
+
+class TestPartBreakdown:
+    def test_per_part_accuracies(self, paired):
+        bundles, recommendations = paired
+        parts = breakdown_by_part(bundles, recommendations)
+        by_id = {entry.part_id: entry for entry in parts}
+        assert by_id["P1"].total == 2
+        assert by_id["P1"].accuracy_at_1 == 0.5
+        assert by_id["P1"].accuracy_at_10 == 1.0
+        assert by_id["P2"].accuracy_at_1 == 0.0
+        assert by_id["P2"].accuracy_at_10 == 0.5
+
+    def test_sorted_by_part(self, paired):
+        bundles, recommendations = paired
+        parts = breakdown_by_part(bundles, recommendations)
+        assert [entry.part_id for entry in parts] == ["P1", "P2"]
+
+
+class TestMarkdownReport:
+    def test_render(self, paired):
+        bundles, recommendations = paired
+        report = render_markdown_report("words+jaccard", bundles,
+                                        recommendations)
+        assert report.startswith("# words+jaccard")
+        assert "| P1 | 2 | 0.500 | 1.000 |" in report
+        assert "mean rank" in report
+        assert "| miss | 1 |" in report
+
+    def test_real_variant_report(self, corpus):
+        from repro.classify import RankedKnnClassifier
+        from repro.evaluate import build_extractor, experiment_subset
+        from repro.knowledge import KnowledgeBase
+        bundles = experiment_subset(corpus.bundles)
+        extractor = build_extractor("words")
+        kb = KnowledgeBase.from_bundles(bundles[:2000], extractor)
+        classifier = RankedKnnClassifier(kb, extractor)
+        test = bundles[2000:2100]
+        recommendations = [classifier.classify_bundle(b.without_label())
+                           for b in test]
+        report = render_markdown_report("sample", test, recommendations)
+        assert "## Per part ID" in report
+        assert report.count("| P") >= 3  # several parts present

@@ -1,0 +1,87 @@
+"""Tests for paired bootstrap significance."""
+
+import pytest
+
+from repro.classify import Recommendation, ScoredCode
+from repro.evaluate import compare_variants, paired_bootstrap
+
+
+def rec(code_first, truth="T"):
+    codes = [ScoredCode(code_first, 1.0), ScoredCode("X", 0.5)]
+    return Recommendation(ref_no="R", part_id="P", codes=codes)
+
+
+def variant(hits: list[bool]):
+    """Recommendations hitting the truth 'T' at rank 1 where hits[i]."""
+    return [rec("T" if hit else "Z") for hit in hits]
+
+
+class TestPairedBootstrap:
+    def test_clear_difference_is_significant(self):
+        truths = ["T"] * 120
+        a = variant([True] * 110 + [False] * 10)
+        b = variant([True] * 55 + [False] * 65)
+        result = paired_bootstrap(a, b, truths, k=1, samples=400)
+        assert result.accuracy_a > result.accuracy_b
+        assert result.delta > 0.4
+        assert result.significant
+
+    def test_identical_variants_not_significant(self):
+        truths = ["T"] * 50
+        a = variant([True, False] * 25)
+        result = paired_bootstrap(a, a, truths, k=1, samples=200)
+        assert result.delta == 0.0
+        assert result.p_value == 1.0
+        assert not result.significant
+
+    def test_tiny_difference_not_significant(self):
+        truths = ["T"] * 40
+        a = variant([True] * 21 + [False] * 19)
+        b = variant([True] * 20 + [False] * 20)
+        result = paired_bootstrap(a, b, truths, k=1, samples=400)
+        assert not result.significant
+
+    def test_symmetry_of_direction(self):
+        truths = ["T"] * 60
+        a = variant([True] * 50 + [False] * 10)
+        b = variant([True] * 20 + [False] * 40)
+        forward = paired_bootstrap(a, b, truths, samples=300)
+        backward = paired_bootstrap(b, a, truths, samples=300)
+        assert forward.delta == -backward.delta
+        assert forward.significant and backward.significant
+
+    def test_deterministic_for_seed(self):
+        truths = ["T"] * 30
+        a = variant([True] * 18 + [False] * 12)
+        b = variant([True] * 12 + [False] * 18)
+        first = paired_bootstrap(a, b, truths, samples=200, seed=5)
+        second = paired_bootstrap(a, b, truths, samples=200, seed=5)
+        assert first.p_value == second.p_value
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([], [], [])
+        with pytest.raises(ValueError):
+            paired_bootstrap(variant([True]), variant([True, False]),
+                             ["T", "T"])
+
+    def test_str_format(self):
+        truths = ["T"] * 20
+        result = paired_bootstrap(variant([True] * 20),
+                                  variant([False] * 20), truths, samples=100)
+        assert "delta=" in str(result)
+        assert "significant" in str(result)
+
+
+class TestCompareVariants:
+    def test_all_pairs(self):
+        truths = ["T"] * 30
+        variants = {
+            "alpha": variant([True] * 25 + [False] * 5),
+            "beta": variant([True] * 15 + [False] * 15),
+            "gamma": variant([True] * 5 + [False] * 25),
+        }
+        results = compare_variants(variants, truths, samples=200)
+        assert set(results) == {("alpha", "beta"), ("alpha", "gamma"),
+                                ("beta", "gamma")}
+        assert results[("alpha", "gamma")].significant

@@ -1,0 +1,148 @@
+"""Unit tests for the knowledge base."""
+
+import pytest
+
+from repro.data import DataBundle, Report, ReportSource
+from repro.knowledge import (BagOfWordsExtractor, KnowledgeBase,
+                             KnowledgeNode)
+
+
+def simple_bundle(ref, part, code, text):
+    return DataBundle(ref_no=ref, part_id=part, article_code="A1",
+                      error_code=code,
+                      reports=[Report(ReportSource.SUPPLIER, text, "en")])
+
+
+@pytest.fixture
+def kb():
+    base = KnowledgeBase(feature_kind="test")
+    base.add_observation("P1", "E1", {"c1", "c2"})
+    base.add_observation("P1", "E2", {"c2", "c3"})
+    base.add_observation("P2", "E3", {"c4"})
+    return base
+
+
+class TestConstruction:
+    def test_len_and_repr(self, kb):
+        assert len(kb) == 3
+        assert "nodes=3" in repr(kb)
+
+    def test_dedup_merges_support(self, kb):
+        kb.add_observation("P1", "E1", {"c1", "c2"})
+        assert len(kb) == 3
+        node = [n for n in kb.nodes()
+                if n.error_code == "E1" and n.features == {"c1", "c2"}][0]
+        assert node.support == 2
+
+    def test_same_features_different_code_are_distinct(self, kb):
+        kb.add_observation("P1", "E9", {"c1", "c2"})
+        assert len(kb) == 4
+
+    def test_add_node_with_support(self, kb):
+        kb.add(KnowledgeNode("P3", "E5", frozenset({"x"}), support=4))
+        assert kb.code_frequencies("P3") == {"E5": 4}
+
+    def test_from_bundles(self):
+        bundles = [
+            simple_bundle("R1", "P1", "E1", "alpha beta"),
+            simple_bundle("R2", "P1", "E1", "alpha beta"),
+            simple_bundle("R3", "P1", "E2", "gamma"),
+            simple_bundle("R4", "P2", None, "ignored unlabeled"),
+        ]
+        base = KnowledgeBase.from_bundles(bundles, BagOfWordsExtractor())
+        assert len(base) == 2  # two distinct configurations; R4 skipped
+        assert base.part_ids() == {"P1"}
+
+    def test_feature_kind_recorded(self):
+        base = KnowledgeBase.from_bundles([], BagOfWordsExtractor())
+        assert base.feature_kind == "words"
+
+
+class TestIntrospection:
+    def test_part_ids(self, kb):
+        assert kb.part_ids() == {"P1", "P2"}
+
+    def test_error_codes(self, kb):
+        assert kb.error_codes() == {"E1", "E2", "E3"}
+        assert kb.error_codes("P1") == {"E1", "E2"}
+
+    def test_code_frequencies(self, kb):
+        kb.add_observation("P1", "E1", {"c9"})
+        assert kb.code_frequencies("P1") == {"E1": 2, "E2": 1}
+        assert kb.code_frequencies("unknown") == {}
+
+
+class TestCandidates:
+    def test_same_part_and_shared_feature(self, kb):
+        candidates = kb.candidates("P1", frozenset({"c2"}))
+        assert {node.error_code for node in candidates} == {"E1", "E2"}
+
+    def test_shared_feature_required(self, kb):
+        candidates = kb.candidates("P1", frozenset({"c1"}))
+        assert {node.error_code for node in candidates} == {"E1"}
+
+    def test_no_shared_feature_yields_empty(self, kb):
+        assert kb.candidates("P1", frozenset({"zz"})) == []
+
+    def test_unknown_part_falls_back_to_feature_match(self, kb):
+        candidates = kb.candidates("P99", frozenset({"c4"}))
+        assert {node.error_code for node in candidates} == {"E3"}
+
+    def test_unknown_part_unknown_features_returns_all(self, kb):
+        candidates = kb.candidates("P99", frozenset({"zz"}))
+        assert len(candidates) == 3
+
+    def test_candidates_deterministic_order(self, kb):
+        first = kb.candidates("P1", frozenset({"c2"}))
+        second = kb.candidates("P1", frozenset({"c2"}))
+        assert [n.key for n in first] == [n.key for n in second]
+
+
+class TestPersistenceIntegration:
+    def test_database_roundtrip(self, tmp_path, kb):
+        from repro.relstore import load_database, save_database
+        save_database(kb.database, tmp_path / "kb")
+        restored_db = load_database(tmp_path / "kb")
+        restored = KnowledgeBase(feature_kind="test", database=restored_db)
+        assert len(restored) == len(kb)
+        candidates = restored.candidates("P1", frozenset({"c2"}))
+        assert {node.error_code for node in candidates} == {"E1", "E2"}
+
+    def test_dedup_after_reload(self, tmp_path, kb):
+        from repro.relstore import load_database, save_database
+        save_database(kb.database, tmp_path / "kb")
+        restored = KnowledgeBase(
+            feature_kind="test",
+            database=load_database(tmp_path / "kb"))
+        restored.add_observation("P1", "E1", {"c1", "c2"})
+        assert len(restored) == 3  # merged, not duplicated
+
+
+class TestRemoveObservation:
+    def test_decrements_support(self, kb):
+        kb.add_observation("P1", "E1", {"c1", "c2"})  # support now 2
+        assert kb.remove_observation("P1", "E1", {"c1", "c2"})
+        node = [n for n in kb.nodes()
+                if n.error_code == "E1" and n.features == {"c1", "c2"}][0]
+        assert node.support == 1
+
+    def test_deletes_node_at_zero(self, kb):
+        assert kb.remove_observation("P1", "E1", {"c1", "c2"})
+        assert len(kb) == 2
+        assert kb.candidates("P1", frozenset({"c1"})) == []
+
+    def test_missing_observation_returns_false(self, kb):
+        assert not kb.remove_observation("P1", "E9", {"c1"})
+        assert not kb.remove_observation("P1", "E1", {"zz"})
+        assert len(kb) == 3
+
+    def test_indexes_updated_after_delete(self, kb):
+        kb.remove_observation("P1", "E1", {"c1", "c2"})
+        assert {n.error_code for n in kb.candidates("P1", frozenset({"c2"}))} == {"E2"}
+
+    def test_add_after_remove_roundtrip(self, kb):
+        kb.remove_observation("P1", "E1", {"c1", "c2"})
+        kb.add_observation("P1", "E1", {"c1", "c2"})
+        node = [n for n in kb.nodes()
+                if n.error_code == "E1" and n.features == {"c1", "c2"}][0]
+        assert node.support == 1

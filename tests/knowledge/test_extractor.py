@@ -1,0 +1,101 @@
+"""Unit tests for feature extraction."""
+
+import pytest
+
+from repro.data import DataBundle, Report, ReportSource
+from repro.knowledge import (BagOfConceptsExtractor, BagOfWordsExtractor,
+                             extract_test_features, extract_training_features,
+                             training_document)
+from repro.knowledge import test_document as build_test_document
+from repro.taxonomy import Category, Concept, Taxonomy
+
+
+def tiny_taxonomy():
+    taxonomy = Taxonomy("tiny")
+    taxonomy.add(Concept("200", Category.COMPONENT,
+                         labels={"en": "fan", "de": "Lüfter"}))
+    taxonomy.add(Concept("300", Category.SYMPTOM,
+                         labels={"en": "scorched", "de": "durchgeschmort"}))
+    return taxonomy
+
+
+def bundle():
+    return DataBundle(
+        ref_no="R1", part_id="P01", article_code="A1", error_code="E1",
+        reports=[
+            Report(ReportSource.MECHANIC, "the fan is broken", "en"),
+            Report(ReportSource.SUPPLIER, "Lüfter durchgeschmort qx1000", "de"),
+            Report(ReportSource.OEM_FINAL, "confirmed scorched fan", "en"),
+        ],
+        part_description="Lüfter / fan assembly",
+        error_description="durchgeschmort / scorched [qx1000 vz8000]",
+    )
+
+
+class TestBagOfWords:
+    def test_all_tokens_become_features(self):
+        features = BagOfWordsExtractor().extract_text("the Fan is broken, broken!")
+        assert features == {"the", "Fan", "is", "broken"}
+
+    def test_case_preserved(self):
+        # §5.1: no normalization beyond tokenization
+        features = BagOfWordsExtractor().extract_text("Fan fan")
+        assert features == {"Fan", "fan"}
+
+    def test_stopword_removal(self):
+        extractor = BagOfWordsExtractor(remove_stopwords=True)
+        features = extractor.extract_text("the fan is broken und defekt")
+        assert features == {"fan", "broken", "defekt"}
+
+    def test_names(self):
+        assert BagOfWordsExtractor().name == "words"
+        assert BagOfWordsExtractor(remove_stopwords=True).name == "words-nostop"
+
+
+class TestBagOfConcepts:
+    def test_concept_ids_as_features(self):
+        extractor = BagOfConceptsExtractor(taxonomy=tiny_taxonomy())
+        features = extractor.extract_text("the fan is durchgeschmort")
+        assert features == {"200", "300"}
+
+    def test_synonym_collapse(self):
+        extractor = BagOfConceptsExtractor(taxonomy=tiny_taxonomy())
+        assert (extractor.extract_text("fan here")
+                == extractor.extract_text("Lüfter hier"))
+
+    def test_requires_taxonomy_or_annotator(self):
+        with pytest.raises(TypeError):
+            BagOfConceptsExtractor()
+
+    def test_shared_annotator(self):
+        from repro.taxonomy import ConceptAnnotator
+        annotator = ConceptAnnotator(taxonomy=tiny_taxonomy())
+        extractor = BagOfConceptsExtractor(annotator=annotator)
+        assert extractor.extract_text("fan") == {"200"}
+
+
+class TestDocuments:
+    def test_training_document_includes_all(self):
+        document = training_document(bundle())
+        assert "qx1000 vz8000" in document
+        assert "confirmed scorched fan" in document
+
+    def test_test_document_excludes_training_only_parts(self):
+        document = build_test_document(bundle())
+        assert "vz8000" not in document
+        assert "confirmed scorched fan" not in document
+        assert "fan assembly" in document
+
+    def test_test_document_single_source(self):
+        document = build_test_document(bundle(), (ReportSource.MECHANIC,))
+        assert "the fan is broken" in document
+        assert "durchgeschmort" not in document
+        assert "fan assembly" in document  # part description always present
+
+    def test_extract_helpers(self):
+        extractor = BagOfWordsExtractor()
+        train_features = extract_training_features(extractor, bundle())
+        test_features = extract_test_features(extractor, bundle())
+        assert "vz8000" in train_features
+        assert "vz8000" not in test_features
+        assert "qx1000" in test_features  # supplier mentions it

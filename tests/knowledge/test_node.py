@@ -1,0 +1,33 @@
+"""Unit tests for knowledge nodes."""
+
+import pytest
+
+from repro.knowledge import KnowledgeNode
+
+
+class TestKnowledgeNode:
+    def test_frozen_and_hashable(self):
+        node = KnowledgeNode("P1", "E1", frozenset({"a", "b"}))
+        assert node.support == 1
+        assert hash(node) == hash(KnowledgeNode("P1", "E1", frozenset({"a", "b"})))
+
+    def test_support_validation(self):
+        with pytest.raises(ValueError):
+            KnowledgeNode("P1", "E1", frozenset(), support=0)
+
+    def test_shared_features(self):
+        node = KnowledgeNode("P1", "E1", frozenset({"a", "b", "c"}))
+        assert node.shared_features({"b", "c", "d"}) == 2
+        assert node.shared_features(set()) == 0
+
+    def test_with_support(self):
+        node = KnowledgeNode("P1", "E1", frozenset({"a"}))
+        bumped = node.with_support(5)
+        assert bumped.support == 5
+        assert bumped.features == node.features
+        assert node.support == 1
+
+    def test_key_ignores_support(self):
+        first = KnowledgeNode("P1", "E1", frozenset({"a"}), support=1)
+        second = KnowledgeNode("P1", "E1", frozenset({"a"}), support=9)
+        assert first.key == second.key

@@ -1,0 +1,59 @@
+"""Tests for the Fig. 14 cross-source comparison."""
+
+import pytest
+
+from repro.data import generate_complaints
+from repro.quest import (compare_sources, distribution_from_codes)
+
+
+class TestDistribution:
+    def test_top_n_and_other(self):
+        codes = ["A"] * 47 + ["B"] * 19 + ["C"] * 18 + ["D"] * 10 + ["E"] * 6
+        distribution = distribution_from_codes("test", codes, top_n=3)
+        assert [s.error_code for s in distribution.top] == ["A", "B", "C"]
+        assert distribution.top[0].share == pytest.approx(0.47)
+        assert distribution.other.count == 16
+        assert sum(s.share for s in distribution.slices()) == pytest.approx(1.0)
+
+    def test_fewer_codes_than_top_n(self):
+        distribution = distribution_from_codes("test", ["A", "A", "B"], top_n=5)
+        assert len(distribution.top) == 2
+        assert distribution.other.count == 0
+
+    def test_tie_break_deterministic(self):
+        distribution = distribution_from_codes("test", ["B", "A"], top_n=1)
+        assert distribution.top[0].error_code == "A"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            distribution_from_codes("test", [])
+
+
+class TestCompareSources:
+    def test_fig14_shape(self, trained_qatk, small_corpus, taxonomy):
+        qatk, _ = trained_qatk
+        complaints = generate_complaints(taxonomy, small_corpus.plan,
+                                         count=150, seed=5)
+        part_of_code = {code.code: code.part_id
+                        for code in small_corpus.plan.all_codes()}
+        view = compare_sources(small_corpus.bundles, qatk.classifier,
+                               complaints, top_n=3,
+                               part_id_of_code=part_of_code)
+        assert view.left.source == "Proprietary Data Set"
+        assert view.right.source == "NHTSA Data"
+        assert len(view.left.top) == 3
+        assert len(view.right.top) == 3
+        assert view.left.total == len(small_corpus.bundles)
+        assert view.right.total > 0
+
+    def test_distributions_differ(self, trained_qatk, small_corpus, taxonomy):
+        qatk, _ = trained_qatk
+        complaints = generate_complaints(taxonomy, small_corpus.plan,
+                                         count=150, seed=5)
+        part_of_code = {code.code: code.part_id
+                        for code in small_corpus.plan.all_codes()}
+        view = compare_sources(small_corpus.bundles, qatk.classifier,
+                               complaints, part_id_of_code=part_of_code)
+        left_top = [s.error_code for s in view.left.top]
+        right_top = [s.error_code for s in view.right.top]
+        assert left_top != right_top

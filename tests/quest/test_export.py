@@ -1,0 +1,50 @@
+"""Tests for BI exports."""
+
+from repro.classify import Recommendation, ScoredCode
+from repro.quest import (assignments_to_csv, comparison_to_json,
+                         distribution_from_codes, recommendations_to_csv)
+from repro.quest.compare import ComparisonView
+from repro.relstore import Database
+
+
+class TestRecommendationsCsv:
+    def test_rows_and_header(self):
+        recommendation = Recommendation(ref_no="R1", part_id="P1", codes=[
+            ScoredCode("E1", 0.9, 2), ScoredCode("E2", 0.5, 1)])
+        csv_text = recommendations_to_csv([recommendation])
+        lines = csv_text.strip().split("\n")
+        assert lines[0] == "ref_no,part_id,rank,error_code,score,support"
+        assert lines[1] == "R1,P1,1,E1,0.900000,2"
+        assert lines[2] == "R1,P1,2,E2,0.500000,1"
+
+    def test_empty(self):
+        csv_text = recommendations_to_csv([])
+        assert csv_text.strip().split("\n") == [
+            "ref_no,part_id,rank,error_code,score,support"]
+
+
+class TestAssignmentsCsv:
+    def test_empty_database(self):
+        assert assignments_to_csv(Database()).startswith("sequence,")
+
+    def test_with_assignments(self, service, expert):
+        quest, held_out = service
+        view = quest.suggest(held_out[0].ref_no)
+        quest.assign_code(expert, held_out[0].ref_no, view.top10[0])
+        csv_text = assignments_to_csv(quest.database)
+        lines = csv_text.strip().split("\n")
+        assert len(lines) == 2
+        assert held_out[0].ref_no in lines[1]
+
+
+class TestComparisonJson:
+    def test_roundtrippable_json(self):
+        import json
+        view = ComparisonView(
+            left=distribution_from_codes("Internal", ["A"] * 5 + ["B"] * 3),
+            right=distribution_from_codes("Public", ["B"] * 4 + ["C"] * 4))
+        payload = json.loads(comparison_to_json(view))
+        assert payload["left"]["source"] == "Internal"
+        assert payload["left"]["total"] == 8
+        assert payload["right"]["slices"][0]["error_code"] in ("B", "C")
+        assert isinstance(payload["shared_top_codes"], list)

@@ -1,0 +1,155 @@
+"""Integration tests for the QUEST service layer."""
+
+import pytest
+
+from repro.quest import SUGGESTION_COUNT, PermissionError_
+
+
+class TestSuggest:
+    def test_suggest_returns_top10_and_full_list(self, service):
+        quest, held_out = service
+        view = quest.suggest(held_out[0].ref_no)
+        assert len(view.top10) <= SUGGESTION_COUNT
+        assert view.top10  # something must be suggested
+        assert set(view.top10) <= set(view.all_codes) | set(view.top10)
+        assert len(view.all_codes) >= len(view.top10) / 2
+
+    def test_suggest_unknown_bundle(self, service):
+        quest, _ = service
+        with pytest.raises(ValueError, match="no bundle"):
+            quest.suggest("R9999999")
+
+    def test_suggestions_persisted(self, service):
+        quest, held_out = service
+        ref = held_out[1].ref_no
+        quest.suggest(ref)
+        stored = quest.stored_suggestion(ref)
+        assert stored is not None
+        assert stored.ref_no == ref
+
+    def test_suggestions_often_contain_truth(self, service):
+        quest, held_out = service
+        hits = 0
+        for bundle in held_out[:10]:
+            view = quest.suggest(bundle.ref_no, persist=False)
+            if bundle.error_code in view.top10:
+                hits += 1
+        assert hits >= 7  # the whole point of QUEST (§1.2 goal 1)
+
+
+class TestAssign:
+    def test_assign_records_and_updates(self, service, expert):
+        quest, held_out = service
+        bundle = held_out[2]
+        view = quest.suggest(bundle.ref_no)
+        code = view.top10[0]
+        quest.assign_code(expert, bundle.ref_no, code)
+        assert quest.bundle(bundle.ref_no).error_code == code
+        history = quest.assignment_history(bundle.ref_no)
+        assert len(history) == 1
+        assert history[0]["assigned_by"] == "expert"
+        assert history[0]["from_suggestions"] is True
+
+    def test_assign_requires_capability(self, service, viewer):
+        quest, held_out = service
+        with pytest.raises(PermissionError_):
+            quest.assign_code(viewer, held_out[0].ref_no, "E0000")
+
+    def test_assign_unknown_bundle(self, service, expert):
+        quest, _ = service
+        with pytest.raises(ValueError, match="no bundle"):
+            quest.assign_code(expert, "R404", "E0000")
+
+    def test_assign_unavailable_code(self, service, expert):
+        quest, held_out = service
+        with pytest.raises(ValueError, match="not available"):
+            quest.assign_code(expert, held_out[0].ref_no, "TOTALLY-BOGUS")
+
+    def test_assignment_feeds_knowledge_base(self, service, expert):
+        quest, held_out = service
+        bundle = held_out[3]
+        before = len(quest.classifier.knowledge_base)
+        view = quest.suggest(bundle.ref_no)
+        quest.assign_code(expert, bundle.ref_no, view.top10[0])
+        assert len(quest.classifier.knowledge_base) >= before
+
+    def test_suggestion_hit_rate(self, service, expert):
+        quest, held_out = service
+        bundle = held_out[4]
+        view = quest.suggest(bundle.ref_no)
+        quest.assign_code(expert, bundle.ref_no, view.top10[0])
+        assert quest.suggestion_hit_rate() > 0.0
+
+
+class TestCustomCodes:
+    def test_define_requires_power(self, service, expert, power_user):
+        quest, held_out = service
+        with pytest.raises(PermissionError_):
+            quest.define_error_code(expert, "EX900", "P01", "new failure kind")
+        quest.define_error_code(power_user, "EX900", held_out[0].part_id,
+                                "new failure kind")
+        assert any(row["error_code"] == "EX900"
+                   for row in quest.custom_codes())
+
+    def test_custom_code_becomes_assignable(self, service, expert, power_user):
+        quest, held_out = service
+        bundle = held_out[5]
+        quest.define_error_code(power_user, "EX901", bundle.part_id, "x")
+        assert "EX901" in quest.full_code_list(bundle.part_id)
+        quest.assign_code(expert, bundle.ref_no, "EX901")
+        assert quest.bundle(bundle.ref_no).error_code == "EX901"
+
+    def test_custom_codes_filter_by_part(self, service, power_user):
+        quest, held_out = service
+        quest.define_error_code(power_user, "EX902", "P01", "x")
+        quest.define_error_code(power_user, "EX903", "P02", "y")
+        codes = [row["error_code"] for row in quest.custom_codes("P01")]
+        assert "EX902" in codes
+        assert "EX903" not in codes
+
+
+class TestSearch:
+    def test_search_finds_report_text(self, service):
+        quest, held_out = service
+        needle = held_out[0].reports[0].text.split()[1]
+        matches = quest.search_bundles(needle)
+        assert any(bundle.ref_no == held_out[0].ref_no for bundle in matches)
+
+    def test_search_case_insensitive(self, service):
+        quest, held_out = service
+        needle = held_out[0].reports[0].text.split()[1]
+        upper = quest.search_bundles(needle.upper())
+        lower = quest.search_bundles(needle.lower())
+        assert ({b.ref_no for b in upper} == {b.ref_no for b in lower})
+
+    def test_search_empty_query(self, service):
+        quest, _ = service
+        assert quest.search_bundles("") == []
+
+    def test_search_limit(self, service):
+        quest, _ = service
+        assert len(quest.search_bundles("e", limit=3)) <= 3
+
+
+class TestReassignment:
+    def test_reassign_retracts_previous_evidence(self, service, expert):
+        quest, held_out = service
+        bundle = held_out[6]
+        view = quest.suggest(bundle.ref_no)
+        first, second = view.top10[0], view.top10[1]
+        kb = quest.classifier.knowledge_base
+        features = quest.classifier.extractor.extract_text(
+            quest.bundle(bundle.ref_no).training_text())
+        quest.assign_code(expert, bundle.ref_no, first)
+        # after re-reading, the bundle carries `first`; correct it:
+        quest.assign_code(expert, bundle.ref_no, second)
+        assert quest.bundle(bundle.ref_no).error_code == second
+        history = quest.assignment_history(bundle.ref_no)
+        assert [row["error_code"] for row in history] == [first, second]
+        # the retracted code must no longer own a node with these features
+        matching = [n for n in kb.nodes()
+                    if n.error_code == first and n.features >= features]
+        # the wrongly-assigned configuration is gone (other nodes of the
+        # code may legitimately exist from training)
+        wrong_config = [n for n in matching if n.features == features]
+        assert wrong_config == []

@@ -1,0 +1,99 @@
+"""Tests for the simulated field study."""
+
+import pytest
+
+from repro.classify import Recommendation, ScoredCode
+from repro.data import DataBundle
+from repro.quest import (FieldStudyReport, simulate_field_study,
+                         simulate_triage)
+
+
+def bundle(ref="R1", code="E3", part="P1"):
+    return DataBundle(ref_no=ref, part_id=part, article_code="A1",
+                      error_code=code)
+
+
+def recommendation(*codes, ref="R1"):
+    return Recommendation(ref_no=ref, part_id="P1",
+                          codes=[ScoredCode(code, 1.0 - i * 0.05)
+                                 for i, code in enumerate(codes)])
+
+
+FULL_LIST = [f"E{i}" for i in range(30)]
+
+
+class TestSimulateTriage:
+    def test_shortlist_hit(self):
+        outcome = simulate_triage(bundle(code="E3"),
+                                  recommendation("E9", "E3"), FULL_LIST)
+        assert outcome.shortlist_rank == 2
+        assert outcome.shortlist_hit
+        assert outcome.inspected_with_quest == 2
+        assert outcome.inspected_without_quest == 4  # E3 at position 4
+
+    def test_shortlist_miss_falls_back(self):
+        outcome = simulate_triage(bundle(code="E25"),
+                                  recommendation("E1", "E2"), FULL_LIST)
+        assert not outcome.shortlist_hit
+        assert outcome.inspected_with_quest == 10 + 26
+        assert outcome.inspected_without_quest == 26
+
+    def test_rank_beyond_shortlist_counts_as_miss(self):
+        codes = [f"E{i}" for i in range(12)]  # truth at rank 12
+        outcome = simulate_triage(bundle(code="E11"),
+                                  recommendation(*codes), FULL_LIST)
+        assert outcome.shortlist_rank == 12
+        assert not outcome.shortlist_hit
+
+    def test_code_missing_from_full_list(self):
+        outcome = simulate_triage(bundle(code="EX99"),
+                                  recommendation("E1"), FULL_LIST)
+        assert outcome.inspected_without_quest == len(FULL_LIST) + 1
+
+    def test_unlabeled_bundle_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_triage(bundle(code=None), recommendation("E1"), FULL_LIST)
+
+
+class TestFieldStudyReport:
+    def make_report(self):
+        bundles = [bundle(ref=f"R{i}", code=f"E{i}") for i in range(3)]
+
+        def recommend(b):
+            # perfect classifier: the bundle's true code always ranks first
+            return Recommendation(ref_no=b.ref_no, part_id=b.part_id,
+                                  codes=[ScoredCode(f"E{b.ref_no[1:]}", 1.0)])
+
+        return simulate_field_study(bundles, recommend, lambda part: FULL_LIST)
+
+    def test_aggregates(self):
+        report = self.make_report()
+        assert report.sessions == 3
+        assert report.shortlist_hit_rate == 1.0
+        assert report.mean_inspected_with_quest == 1.0
+        assert report.mean_inspected_without_quest == pytest.approx(2.0)
+        assert report.effort_saved == pytest.approx(0.5)
+
+    def test_summary_text(self):
+        summary = self.make_report().summary()
+        assert "hit rate 100%" in summary
+        assert "effort saved" in summary
+
+    def test_empty_report(self):
+        report = FieldStudyReport()
+        assert report.shortlist_hit_rate == 0.0
+        assert report.effort_saved == 0.0
+
+
+class TestEndToEnd:
+    def test_quest_saves_effort_on_real_corpus(self, trained_qatk):
+        qatk, held_out = trained_qatk
+        service = qatk.make_service()
+        report = simulate_field_study(held_out[:40], qatk.classify,
+                                      service.full_code_list)
+        assert report.sessions == 40
+        # QUEST's raison d'être (§1.2): less searching than the plain list
+        assert report.shortlist_hit_rate > 0.7
+        assert report.effort_saved > 0.2
+        assert (report.mean_inspected_with_quest
+                < report.mean_inspected_without_quest)

@@ -1,0 +1,72 @@
+"""Unit tests for QUEST users, roles and the user store."""
+
+import pytest
+
+from repro.quest import PermissionError_, Role, User, UserStore
+from repro.relstore import IntegrityError
+
+
+class TestRoles:
+    def test_parse(self):
+        assert Role.parse("expert") is Role.EXPERT
+        assert Role.parse(" ADMIN ") is Role.ADMIN
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            Role.parse("root")
+
+    def test_capabilities_nest(self):
+        viewer = User("v", Role.VIEWER)
+        expert = User("e", Role.EXPERT)
+        power = User("p", Role.POWER_EXPERT)
+        admin = User("a", Role.ADMIN)
+        assert viewer.can("view") and not viewer.can("assign")
+        assert expert.can("assign") and not expert.can("define_codes")
+        assert power.can("define_codes") and not power.can("manage_users")
+        assert admin.can("manage_users")
+
+
+class TestUserStore:
+    def test_add_and_get(self):
+        store = UserStore()
+        store.add(User("kassner", Role.EXPERT, "L. Kassner"))
+        user = store.get("kassner")
+        assert user.role is Role.EXPERT
+        assert user.display_name == "L. Kassner"
+        assert store.get("nobody") is None
+
+    def test_duplicate_name_rejected(self):
+        store = UserStore()
+        store.add(User("a", Role.VIEWER))
+        with pytest.raises(IntegrityError):
+            store.add(User("a", Role.ADMIN))
+
+    def test_set_role_requires_admin(self):
+        store = UserStore()
+        store.add(User("admin", Role.ADMIN))
+        store.add(User("worker", Role.VIEWER))
+        store.set_role(store.get("admin"), "worker", Role.EXPERT)
+        assert store.get("worker").role is Role.EXPERT
+        with pytest.raises(PermissionError_):
+            store.set_role(store.get("worker"), "admin", Role.VIEWER)
+
+    def test_set_role_unknown_user(self):
+        store = UserStore()
+        store.add(User("admin", Role.ADMIN))
+        with pytest.raises(ValueError):
+            store.set_role(store.get("admin"), "ghost", Role.EXPERT)
+
+    def test_remove(self):
+        store = UserStore()
+        store.add(User("admin", Role.ADMIN))
+        store.add(User("worker", Role.VIEWER))
+        store.remove(store.get("admin"), "worker")
+        assert store.get("worker") is None
+        with pytest.raises(PermissionError_):
+            store.remove(User("x", Role.EXPERT), "admin")
+
+    def test_all_users_sorted(self):
+        store = UserStore()
+        store.add(User("zeta", Role.VIEWER))
+        store.add(User("alpha", Role.VIEWER))
+        assert [user.name for user in store.all_users()] == ["alpha", "zeta"]

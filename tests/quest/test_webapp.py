@@ -1,0 +1,171 @@
+"""Tests for the QUEST views and the HTTP wrapper."""
+
+import urllib.request
+
+from repro.data import generate_complaints
+from repro.quest import (QuestApp, QuestServer, Role, User, UserStore,
+                         compare_sources)
+from repro.quest.views import (render_bundle_list, render_comparison,
+                               render_message, render_suggestions,
+                               render_users)
+
+
+def make_app(service_pair, taxonomy, small_corpus, trained_qatk):
+    quest, _ = service_pair
+    users = UserStore()
+    users.add(User("expert", Role.EXPERT, "Test Expert"))
+    qatk, _ = trained_qatk
+    complaints = generate_complaints(taxonomy, small_corpus.plan,
+                                     count=80, seed=9)
+    part_of_code = {code.code: code.part_id
+                    for code in small_corpus.plan.all_codes()}
+    comparison = compare_sources(small_corpus.bundles, qatk.classifier,
+                                 complaints, part_id_of_code=part_of_code)
+    return QuestApp(quest, users, users.get("expert"), comparison)
+
+
+class TestViews:
+    def test_bundle_list(self, service):
+        quest, held_out = service
+        html = render_bundle_list([quest.bundle(b.ref_no) for b in held_out[:3]])
+        assert held_out[0].ref_no in html
+        assert "<table>" in html
+
+    def test_suggestions_screen(self, service):
+        quest, held_out = service
+        view = quest.suggest(held_out[0].ref_no, persist=False)
+        html = render_suggestions(view)
+        assert held_out[0].ref_no in html
+        for code in view.top10[:3]:
+            assert code in html
+        assert "All codes for this part" in html
+
+    def test_comparison_screen(self, trained_qatk, small_corpus, taxonomy,
+                               service):
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        html = render_comparison(app.comparison)
+        assert "svg" in html
+        assert "Proprietary Data Set" in html
+        assert "NHTSA Data" in html
+
+    def test_users_screen(self):
+        html = render_users([User("a", Role.ADMIN, "Alice & Bob")])
+        assert "Alice &amp; Bob" in html  # HTML-escaped
+
+    def test_message(self):
+        html = render_message("Oops", "<script>")
+        assert "&lt;script&gt;" in html
+
+
+class TestAppRouting:
+    def test_get_routes(self, service, taxonomy, small_corpus, trained_qatk):
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        _, held_out = service
+        assert app.get("/")[0] == 200
+        assert app.get(f"/bundle/{held_out[0].ref_no}")[0] == 200
+        assert app.get("/compare")[0] == 200
+        assert app.get("/users")[0] == 200
+        assert app.get("/nonsense")[0] == 404
+        assert app.get("/bundle/R404")[0] == 404
+
+    def test_post_assign(self, service, taxonomy, small_corpus, trained_qatk):
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        quest, held_out = service
+        bundle = held_out[0]
+        view = quest.suggest(bundle.ref_no)
+        status, body = app.post("/assign", {"ref_no": bundle.ref_no,
+                                            "error_code": view.top10[0]})
+        assert status == 200
+        assert quest.bundle(bundle.ref_no).error_code == view.top10[0]
+
+    def test_post_assign_bad_code(self, service, taxonomy, small_corpus,
+                                  trained_qatk):
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        _, held_out = service
+        status, _ = app.post("/assign", {"ref_no": held_out[0].ref_no,
+                                         "error_code": "BOGUS"})
+        assert status == 400
+
+    def test_post_forbidden(self, service, taxonomy, small_corpus,
+                            trained_qatk):
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        app.current_user = User("viewer", Role.VIEWER)
+        _, held_out = service
+        status, _ = app.post("/assign", {"ref_no": held_out[0].ref_no,
+                                         "error_code": "E0000"})
+        assert status == 403
+
+    def test_post_unknown_action(self, service, taxonomy, small_corpus,
+                                 trained_qatk):
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        assert app.post("/nope", {})[0] == 404
+
+
+class TestHttpServer:
+    def test_serves_over_http(self, service, taxonomy, small_corpus,
+                              trained_qatk):
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        with QuestServer(app) as server:
+            host, port = server.address
+            with urllib.request.urlopen(f"http://{host}:{port}/") as response:
+                assert response.status == 200
+                body = response.read().decode("utf-8")
+                assert "QUEST" in body
+            with urllib.request.urlopen(
+                    f"http://{host}:{port}/compare") as response:
+                assert "svg" in response.read().decode("utf-8")
+
+    def test_post_over_http(self, service, taxonomy, small_corpus,
+                            trained_qatk):
+        import urllib.parse
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        quest, held_out = service
+        bundle = held_out[1]
+        view = quest.suggest(bundle.ref_no)
+        with QuestServer(app) as server:
+            host, port = server.address
+            data = urllib.parse.urlencode({
+                "ref_no": bundle.ref_no,
+                "error_code": view.top10[0]}).encode("ascii")
+            with urllib.request.urlopen(f"http://{host}:{port}/assign",
+                                        data=data) as response:
+                assert response.status == 200
+        assert quest.bundle(bundle.ref_no).error_code == view.top10[0]
+
+
+class TestSearchRoute:
+    def test_search_route(self, service, taxonomy, small_corpus, trained_qatk):
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        _, held_out = service
+        needle = held_out[0].reports[0].text.split()[1]
+        import urllib.parse
+        status, body = app.get("/search?q=" + urllib.parse.quote(needle))
+        assert status == 200
+        assert held_out[0].ref_no in body or "<table>" in body
+
+    def test_search_empty(self, service, taxonomy, small_corpus, trained_qatk):
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        status, body = app.get("/search?q=")
+        assert status == 200
+
+
+class TestHistoryRoute:
+    def test_history_after_assignment(self, service, taxonomy, small_corpus,
+                                      trained_qatk):
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        quest, held_out = service
+        bundle = held_out[2]
+        view = quest.suggest(bundle.ref_no)
+        app.post("/assign", {"ref_no": bundle.ref_no,
+                             "error_code": view.top10[0]})
+        status, body = app.get(f"/history/{bundle.ref_no}")
+        assert status == 200
+        assert view.top10[0] in body
+        assert "shortlist" in body
+
+    def test_history_empty(self, service, taxonomy, small_corpus,
+                           trained_qatk):
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        status, body = app.get("/history/R-unknown")
+        assert status == 200
+        assert "No assignments" in body

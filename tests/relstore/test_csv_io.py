@@ -1,0 +1,94 @@
+"""Tests for CSV import/export."""
+
+import pytest
+
+from repro.relstore import (Column, ColumnType, Schema, SchemaError,
+                            export_csv, import_csv, load_csv_into,
+                            table_to_csv)
+from repro.relstore.table import Table
+
+
+def make_table():
+    schema = Schema.build([
+        Column("ref", ColumnType.TEXT, nullable=False),
+        ("n", ColumnType.INTEGER),
+        ("score", ColumnType.REAL),
+        ("flag", ColumnType.BOOLEAN),
+        ("features", ColumnType.JSON),
+    ], primary_key="ref")
+    return Table("t", schema)
+
+
+@pytest.fixture
+def table():
+    t = make_table()
+    t.insert({"ref": "R1", "n": 3, "score": 0.5, "flag": True,
+              "features": ["a", "b"]})
+    t.insert({"ref": "R2", "n": None, "score": None, "flag": False,
+              "features": None})
+    return t
+
+
+class TestExport:
+    def test_header_and_rows(self, table):
+        text = table_to_csv(table)
+        lines = text.strip().split("\n")
+        assert lines[0] == "ref,n,score,flag,features"
+        assert lines[1] == 'R1,3,0.5,true,"[""a"", ""b""]"'
+        assert lines[2] == "R2,,,false,"
+
+    def test_file_roundtrip(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        assert export_csv(table, path) == 2
+        fresh = make_table()
+        assert import_csv(fresh, path) == 2
+        rows = sorted(fresh.scan(), key=lambda row: row["ref"])
+        assert rows[0]["features"] == ["a", "b"]
+        assert rows[0]["flag"] is True
+        assert rows[1]["n"] is None
+
+
+class TestImport:
+    def test_subset_of_columns(self):
+        t = make_table()
+        load_csv_into(t, "ref,n\nR9,7\n")
+        row = next(t.scan())
+        assert row["ref"] == "R9"
+        assert row["n"] == 7
+        assert row["score"] is None
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SchemaError, match="not in table"):
+            load_csv_into(make_table(), "bogus\n1\n")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SchemaError, match="expected 2 cells"):
+            load_csv_into(make_table(), "ref,n\nR1\n")
+
+    def test_bad_integer(self):
+        with pytest.raises(SchemaError, match="column 'n'"):
+            load_csv_into(make_table(), "ref,n\nR1,xx\n")
+
+    def test_bad_boolean(self):
+        with pytest.raises(SchemaError):
+            load_csv_into(make_table(), "ref,flag\nR1,maybe\n")
+
+    def test_boolean_spellings(self):
+        t = make_table()
+        load_csv_into(t, "ref,flag\nR1,TRUE\nR2,0\nR3,yes\n")
+        flags = {row["ref"]: row["flag"] for row in t.scan()}
+        assert flags == {"R1": True, "R2": False, "R3": True}
+
+    def test_empty_text(self):
+        assert load_csv_into(make_table(), "") == 0
+
+    def test_primary_key_enforced_on_import(self):
+        t = make_table()
+        from repro.relstore import IntegrityError
+        with pytest.raises(IntegrityError):
+            load_csv_into(t, "ref\nR1\nR1\n")
+
+    def test_unicode_cells(self, tmp_path):
+        t = make_table()
+        load_csv_into(t, "ref,features\nR1,\"[\"\"Kotflügel\"\"]\"\n")
+        assert next(t.scan())["features"] == ["Kotflügel"]

@@ -1,0 +1,121 @@
+"""Tests for hash joins (API and SQL)."""
+
+import pytest
+
+from repro.relstore import (Database, Schema, SqlError, col, execute,
+                            hash_join)
+from repro.relstore.errors import QueryError
+from repro.relstore.table import Table
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    execute(database, "CREATE TABLE bundles (ref_no TEXT PRIMARY KEY, "
+                      "part_id TEXT, error_code TEXT)")
+    execute(database, "CREATE TABLE reports (ref_no TEXT, source TEXT, "
+                      "text TEXT)")
+    execute(database, "INSERT INTO bundles (ref_no, part_id, error_code) "
+                      "VALUES ('R1','P1','E1'), ('R2','P1','E2'), "
+                      "('R3','P2',NULL)")
+    execute(database, "INSERT INTO reports (ref_no, source, text) VALUES "
+                      "('R1','mechanic','fan broken'), "
+                      "('R1','supplier','scorched'), "
+                      "('R2','mechanic','rattle')")
+    return database
+
+
+class TestHashJoinApi:
+    def test_inner_join(self, db):
+        rows = hash_join(db.table("bundles"), db.table("reports"),
+                         "ref_no", "ref_no")
+        assert len(rows) == 3
+        refs = sorted(row["bundles.ref_no"] for row in rows)
+        assert refs == ["R1", "R1", "R2"]
+        assert all("source" in row and "part_id" in row for row in rows)
+
+    def test_left_join_pads_nulls(self, db):
+        rows = hash_join(db.table("bundles"), db.table("reports"),
+                         "ref_no", "ref_no", how="left")
+        assert len(rows) == 4
+        r3 = [row for row in rows if row["bundles.ref_no"] == "R3"][0]
+        assert r3["source"] is None
+        assert r3["text"] is None
+
+    def test_predicate_on_combined_row(self, db):
+        rows = hash_join(db.table("bundles"), db.table("reports"),
+                         "ref_no", "ref_no",
+                         (col("part_id") == "P1") & (col("source") == "supplier"))
+        assert len(rows) == 1
+        assert rows[0]["text"] == "scorched"
+
+    def test_collision_prefixing(self, db):
+        rows = hash_join(db.table("bundles"), db.table("reports"),
+                         "ref_no", "ref_no")
+        assert "bundles.ref_no" in rows[0]
+        assert "reports.ref_no" in rows[0]
+        assert "ref_no" not in rows[0]
+
+    def test_null_keys_never_match(self):
+        a = Table("a", Schema.build([("k", "text")]))
+        b = Table("b", Schema.build([("k", "text")]))
+        a.insert({"k": None})
+        b.insert({"k": None})
+        assert hash_join(a, b, "k", "k") == []
+        assert len(hash_join(a, b, "k", "k", how="left")) == 1
+
+    def test_unknown_join_column(self, db):
+        with pytest.raises(QueryError):
+            hash_join(db.table("bundles"), db.table("reports"),
+                      "bogus", "ref_no")
+
+    def test_unknown_join_type(self, db):
+        with pytest.raises(QueryError, match="join type"):
+            hash_join(db.table("bundles"), db.table("reports"),
+                      "ref_no", "ref_no", how="outer")
+
+
+class TestSqlJoin:
+    def test_inner_join_sql(self, db):
+        rows = execute(db, "SELECT part_id, source FROM bundles "
+                           "JOIN reports ON bundles.ref_no = reports.ref_no "
+                           "ORDER BY source")
+        assert rows[0] == {"part_id": "P1", "source": "mechanic"}
+        assert len(rows) == 3
+
+    def test_left_join_sql(self, db):
+        rows = execute(db, "SELECT * FROM bundles LEFT JOIN reports "
+                           "ON bundles.ref_no = reports.ref_no")
+        assert len(rows) == 4
+
+    def test_join_with_where(self, db):
+        rows = execute(db, "SELECT text FROM bundles JOIN reports "
+                           "ON bundles.ref_no = reports.ref_no "
+                           "WHERE error_code = 'E1' AND source = 'supplier'")
+        assert rows == [{"text": "scorched"}]
+
+    def test_join_reversed_on_clause(self, db):
+        rows = execute(db, "SELECT * FROM bundles JOIN reports "
+                           "ON reports.ref_no = bundles.ref_no")
+        assert len(rows) == 3
+
+    def test_join_limit(self, db):
+        rows = execute(db, "SELECT * FROM bundles JOIN reports "
+                           "ON bundles.ref_no = reports.ref_no LIMIT 2")
+        assert len(rows) == 2
+
+    def test_join_with_aggregate_rejected(self, db):
+        with pytest.raises(SqlError, match="aggregates over joins"):
+            execute(db, "SELECT count(*) FROM bundles JOIN reports "
+                        "ON bundles.ref_no = reports.ref_no")
+
+    def test_unknown_qualifier(self, db):
+        with pytest.raises(SqlError, match="qualifier"):
+            execute(db, "SELECT * FROM bundles JOIN reports "
+                        "ON nonsense.ref_no = reports.ref_no")
+
+    def test_projection_of_qualified_column(self, db):
+        rows = execute(db, "SELECT bundles.ref_no, source FROM bundles "
+                           "JOIN reports ON bundles.ref_no = reports.ref_no "
+                           "LIMIT 1")
+        assert set(rows[0]) == {"bundles.ref_no", "source"}

@@ -1,0 +1,110 @@
+"""Unit tests for directory persistence."""
+
+import json
+
+import pytest
+
+from repro.relstore.database import Database
+from repro.relstore.errors import PersistenceError
+from repro.relstore.index import InvertedIndex, UniqueIndex
+from repro.relstore.persist import load_database, save_database
+from repro.relstore.predicate import col
+from repro.relstore.types import Column, ColumnType, Schema
+
+
+def build_database():
+    db = Database("kb")
+    schema = Schema.build(
+        [
+            Column("ref", ColumnType.TEXT, nullable=False),
+            ("part_id", "text"),
+            ("features", "json"),
+            Column("seen", ColumnType.INTEGER, default=0),
+        ],
+        primary_key="ref",
+    )
+    table = db.create_table("nodes", schema)
+    table.create_index("ix_part", "part_id")
+    table.create_index("ix_feat", "features", inverted=True)
+    table.insert({"ref": "N1", "part_id": "P1", "features": ["c1", "c2"]})
+    table.insert({"ref": "N2", "part_id": "P2", "features": ["c2"], "seen": 5})
+    db.create_table("empty", Schema.build([("x", "integer")]))
+    return db
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_rows(self, tmp_path):
+        db = build_database()
+        save_database(db, tmp_path / "store")
+        restored = load_database(tmp_path / "store")
+        assert restored.name == "kb"
+        assert restored.table_names() == ["empty", "nodes"]
+        assert restored.table("nodes").count() == 2
+        assert restored.table("nodes").select_one(col("ref") == "N2")["seen"] == 5
+
+    def test_roundtrip_preserves_indexes(self, tmp_path):
+        db = build_database()
+        save_database(db, tmp_path / "store")
+        restored = load_database(tmp_path / "store")
+        indexes = restored.table("nodes").indexes
+        assert any(isinstance(ix, UniqueIndex) for ix in indexes.values())
+        assert any(isinstance(ix, InvertedIndex) for ix in indexes.values())
+        rows = restored.table("nodes").select(col("features").contains("c2"))
+        assert {row["ref"] for row in rows} == {"N1", "N2"}
+
+    def test_roundtrip_empty_table(self, tmp_path):
+        db = build_database()
+        save_database(db, tmp_path / "store")
+        restored = load_database(tmp_path / "store")
+        assert restored.table("empty").count() == 0
+
+    def test_save_is_idempotent(self, tmp_path):
+        db = build_database()
+        save_database(db, tmp_path / "store")
+        save_database(db, tmp_path / "store")
+        restored = load_database(tmp_path / "store")
+        assert restored.table("nodes").count() == 2
+
+    def test_unicode_survives(self, tmp_path):
+        db = Database()
+        table = db.create_table("t", Schema.build([("text", "text")]))
+        table.insert({"text": "Lüfter funktioniert nicht — Geräusch"})
+        save_database(db, tmp_path / "s")
+        restored = load_database(tmp_path / "s")
+        assert restored.table("t").select()[0]["text"].startswith("Lüfter")
+
+
+class TestFailureModes:
+    def test_missing_catalog(self, tmp_path):
+        with pytest.raises(PersistenceError, match="catalog"):
+            load_database(tmp_path)
+
+    def test_corrupt_catalog(self, tmp_path):
+        (tmp_path / "catalog.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(PersistenceError):
+            load_database(tmp_path)
+
+    def test_bad_version(self, tmp_path):
+        (tmp_path / "catalog.json").write_text(
+            json.dumps({"version": 999, "tables": {}}), encoding="utf-8")
+        with pytest.raises(PersistenceError, match="version"):
+            load_database(tmp_path)
+
+    def test_missing_table_file(self, tmp_path):
+        db = build_database()
+        save_database(db, tmp_path)
+        (tmp_path / "nodes.jsonl").unlink()
+        with pytest.raises(PersistenceError, match="missing data file"):
+            load_database(tmp_path)
+
+    def test_corrupt_row(self, tmp_path):
+        db = build_database()
+        save_database(db, tmp_path)
+        with (tmp_path / "nodes.jsonl").open("a", encoding="utf-8") as handle:
+            handle.write("{broken\n")
+        with pytest.raises(PersistenceError, match="bad JSON"):
+            load_database(tmp_path)
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        save_database(build_database(), tmp_path)
+        assert not list(tmp_path.glob("*.tmp"))

@@ -1,0 +1,163 @@
+"""Unit tests for the SQL subset."""
+
+import pytest
+
+from repro.relstore.database import Database
+from repro.relstore.errors import QueryError, SchemaError, SqlError
+from repro.relstore.sql import execute, parse, tokenize
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    execute(database, "CREATE TABLE codes (code TEXT PRIMARY KEY, part_id TEXT, n INTEGER)")
+    execute(database, "INSERT INTO codes (code, part_id, n) VALUES "
+                      "('E1', 'P1', 5), ('E2', 'P1', 2), ('E3', 'P2', 9)")
+    return database
+
+
+class TestTokenizer:
+    def test_strings_with_escapes(self):
+        tokens = tokenize("SELECT 'it''s'")
+        assert tokens[1].value == "it's"
+
+    def test_numbers(self):
+        tokens = tokenize("1 -2 3.5")
+        assert [t.value for t in tokens[:-1]] == [1, -2, 3.5]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SeLeCt FROM")
+        assert tokens[0].kind == "keyword"
+        assert tokens[0].value == "select"
+
+    def test_semicolon_ignored(self):
+        tokens = tokenize("SELECT 1;")
+        assert tokens[-1].kind == "end"
+
+    def test_garbage_raises(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT @@")
+
+
+class TestParser:
+    def test_create_table(self):
+        statement = parse("CREATE TABLE t (a TEXT NOT NULL, b INTEGER PRIMARY KEY)")
+        assert statement["kind"] == "create_table"
+        schema = statement["schema"]
+        assert schema.primary_key == "b"
+        assert not schema.column("a").nullable
+
+    def test_select_star(self):
+        statement = parse("SELECT * FROM t")
+        assert statement["columns"] is None
+        assert not statement["count"]
+
+    def test_where_precedence(self):
+        statement = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        predicate = statement["where"]
+        # OR at top level: a=1 OR (b=2 AND c=3)
+        assert predicate({"a": 1, "b": 0, "c": 0})
+        assert predicate({"a": 0, "b": 2, "c": 3})
+        assert not predicate({"a": 0, "b": 2, "c": 0})
+
+    def test_parentheses(self):
+        statement = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        predicate = statement["where"]
+        assert not predicate({"a": 1, "b": 0, "c": 0})
+        assert predicate({"a": 1, "b": 0, "c": 3})
+
+    def test_in_and_null(self):
+        statement = parse("SELECT * FROM t WHERE a IN (1, 2) AND b IS NULL")
+        predicate = statement["where"]
+        assert predicate({"a": 2, "b": None})
+        assert not predicate({"a": 3, "b": None})
+
+    def test_is_not_null(self):
+        predicate = parse("SELECT * FROM t WHERE a IS NOT NULL")["where"]
+        assert predicate({"a": 0})
+        assert not predicate({"a": None})
+
+    def test_not(self):
+        predicate = parse("SELECT * FROM t WHERE NOT a = 1")["where"]
+        assert predicate({"a": 2})
+
+    def test_insert_arity_mismatch(self):
+        with pytest.raises(SqlError, match="columns but"):
+            parse("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlError):
+            parse("VACUUM")
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT * FROM t LIMIT -1")
+
+    def test_boolean_literals(self):
+        predicate = parse("SELECT * FROM t WHERE flag = TRUE")["where"]
+        assert predicate({"flag": True})
+        assert not predicate({"flag": False})
+
+
+class TestExecute:
+    def test_select_rows(self, db):
+        rows = execute(db, "SELECT code, n FROM codes WHERE part_id = 'P1' "
+                           "ORDER BY n DESC")
+        assert rows == [{"code": "E1", "n": 5}, {"code": "E2", "n": 2}]
+
+    def test_select_limit(self, db):
+        rows = execute(db, "SELECT code FROM codes ORDER BY code LIMIT 2")
+        assert [row["code"] for row in rows] == ["E1", "E2"]
+
+    def test_count(self, db):
+        assert execute(db, "SELECT COUNT(*) FROM codes") == 3
+        assert execute(db, "SELECT COUNT(*) FROM codes WHERE n > 2") == 2
+
+    def test_update(self, db):
+        touched = execute(db, "UPDATE codes SET n = 0 WHERE part_id = 'P1'")
+        assert touched == 2
+        assert execute(db, "SELECT COUNT(*) FROM codes WHERE n = 0") == 2
+
+    def test_delete(self, db):
+        deleted = execute(db, "DELETE FROM codes WHERE code = 'E3'")
+        assert deleted == 1
+        assert execute(db, "SELECT COUNT(*) FROM codes") == 2
+
+    def test_drop(self, db):
+        execute(db, "DROP TABLE codes")
+        with pytest.raises(QueryError):
+            execute(db, "SELECT * FROM codes")
+
+    def test_insert_returns_count(self, db):
+        assert execute(db, "INSERT INTO codes (code, part_id, n) "
+                           "VALUES ('E4', 'P3', 1)") == 1
+
+    def test_primary_key_enforced_via_sql(self, db):
+        from repro.relstore.errors import IntegrityError
+        with pytest.raises(IntegrityError):
+            execute(db, "INSERT INTO codes (code, part_id, n) VALUES ('E1', 'X', 0)")
+
+    def test_schema_violation_via_sql(self, db):
+        with pytest.raises(SchemaError):
+            execute(db, "INSERT INTO codes (code, part_id, n) VALUES ('E9', 'P', 'x')")
+
+    def test_null_literal(self, db):
+        execute(db, "INSERT INTO codes (code, part_id, n) VALUES ('E5', NULL, NULL)")
+        rows = execute(db, "SELECT code FROM codes WHERE part_id IS NULL")
+        assert rows == [{"code": "E5"}]
+
+
+class TestLikeSql:
+    def test_like(self, db):
+        execute(db, "INSERT INTO codes (code, part_id, n) "
+                    "VALUES ('XR99', 'Px', 0)")
+        rows = execute(db, "SELECT code FROM codes WHERE code LIKE 'E%'")
+        assert {row["code"] for row in rows} == {"E1", "E2", "E3"}
+
+    def test_not_like(self, db):
+        rows = execute(db, "SELECT code FROM codes WHERE NOT code LIKE 'E1'")
+        assert {row["code"] for row in rows} == {"E2", "E3"}
+
+    def test_like_needs_string(self, db):
+        with pytest.raises(SqlError, match="string pattern"):
+            execute(db, "SELECT * FROM codes WHERE code LIKE 5")

@@ -1,0 +1,171 @@
+"""Unit tests for relstore column types and schemas."""
+
+import pytest
+
+from repro.relstore.errors import SchemaError
+from repro.relstore.types import (NO_DEFAULT, Column, ColumnType, Schema,
+                                  coerce_value)
+
+
+class TestColumnType:
+    def test_parse_known_names(self):
+        assert ColumnType.parse("integer") is ColumnType.INTEGER
+        assert ColumnType.parse("TEXT") is ColumnType.TEXT
+        assert ColumnType.parse(" json ") is ColumnType.JSON
+
+    def test_parse_unknown_name_raises(self):
+        with pytest.raises(SchemaError, match="unknown column type"):
+            ColumnType.parse("varchar")
+
+
+class TestCoerceValue:
+    def test_none_passes_through(self):
+        assert coerce_value(None, ColumnType.INTEGER) is None
+
+    def test_integer_accepts_int(self):
+        assert coerce_value(42, ColumnType.INTEGER) == 42
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            coerce_value(True, ColumnType.INTEGER)
+
+    def test_integer_rejects_float(self):
+        with pytest.raises(SchemaError):
+            coerce_value(1.5, ColumnType.INTEGER)
+
+    def test_real_widens_int(self):
+        value = coerce_value(3, ColumnType.REAL)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_real_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            coerce_value(False, ColumnType.REAL)
+
+    def test_text_accepts_str_only(self):
+        assert coerce_value("abc", ColumnType.TEXT) == "abc"
+        with pytest.raises(SchemaError):
+            coerce_value(12, ColumnType.TEXT)
+
+    def test_boolean_strict(self):
+        assert coerce_value(True, ColumnType.BOOLEAN) is True
+        with pytest.raises(SchemaError):
+            coerce_value(1, ColumnType.BOOLEAN)
+
+    def test_json_converts_tuple_to_list(self):
+        assert coerce_value((1, 2), ColumnType.JSON) == [1, 2]
+
+    def test_json_converts_set_to_sorted_list(self):
+        assert coerce_value({"b", "a"}, ColumnType.JSON) == ["a", "b"]
+
+    def test_json_accepts_nested(self):
+        value = {"k": [1, {"x": None}]}
+        assert coerce_value(value, ColumnType.JSON) == value
+
+    def test_json_rejects_non_json(self):
+        with pytest.raises(SchemaError):
+            coerce_value(object(), ColumnType.JSON)
+
+    def test_json_rejects_non_string_keys(self):
+        with pytest.raises(SchemaError):
+            coerce_value({1: "x"}, ColumnType.JSON)
+
+
+class TestColumn:
+    def test_invalid_identifier_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", ColumnType.TEXT)
+
+    def test_not_null_rejects_none(self):
+        column = Column("c", ColumnType.TEXT, nullable=False)
+        with pytest.raises(SchemaError, match="NOT NULL"):
+            column.check(None)
+
+    def test_nullable_accepts_none(self):
+        assert Column("c", ColumnType.TEXT).check(None) is None
+
+    def test_has_default(self):
+        assert not Column("c", ColumnType.TEXT).has_default
+        assert Column("c", ColumnType.TEXT, default="x").has_default
+        assert Column("c", ColumnType.TEXT, default=None).has_default
+
+    def test_check_reports_column_name(self):
+        with pytest.raises(SchemaError, match="'c'"):
+            Column("c", ColumnType.INTEGER).check("nope")
+
+
+class TestSchema:
+    def make(self):
+        return Schema.build(
+            [
+                Column("ref", ColumnType.TEXT, nullable=False),
+                ("part_id", "text"),
+                ("score", ColumnType.REAL),
+                Column("features", ColumnType.JSON, default=NO_DEFAULT),
+            ],
+            primary_key="ref",
+        )
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema.build([("a", "text"), ("a", "integer")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(())
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            Schema.build([("a", "text")], primary_key="b")
+
+    def test_column_lookup(self):
+        schema = self.make()
+        assert schema.column("part_id").type is ColumnType.TEXT
+        assert schema.has_column("score")
+        assert not schema.has_column("nope")
+        with pytest.raises(SchemaError):
+            schema.column("nope")
+
+    def test_index_of(self):
+        schema = self.make()
+        assert schema.index_of("ref") == 0
+        assert schema.index_of("features") == 3
+
+    def test_normalize_full_row(self):
+        schema = self.make()
+        row = schema.normalize({"ref": "R1", "part_id": "P1", "score": 1,
+                                "features": ("a", "b")})
+        assert row == ("R1", "P1", 1.0, ["a", "b"])
+
+    def test_normalize_fills_nullable_missing_with_none(self):
+        schema = self.make()
+        row = schema.normalize({"ref": "R1"})
+        assert row == ("R1", None, None, None)
+
+    def test_normalize_rejects_unknown_columns(self):
+        with pytest.raises(SchemaError, match="unknown columns"):
+            self.make().normalize({"ref": "R1", "bogus": 1})
+
+    def test_normalize_rejects_missing_required(self):
+        schema = Schema.build([Column("a", ColumnType.TEXT, nullable=False)])
+        with pytest.raises(SchemaError, match="missing required"):
+            schema.normalize({})
+
+    def test_normalize_applies_default(self):
+        schema = Schema.build([Column("a", ColumnType.INTEGER, default=7)])
+        assert schema.normalize({}) == (7,)
+
+    def test_as_dict_roundtrip(self):
+        schema = self.make()
+        values = {"ref": "R9", "part_id": "P2", "score": 0.5, "features": ["x"]}
+        assert schema.as_dict(schema.normalize(values)) == values
+
+    def test_json_roundtrip(self):
+        schema = self.make()
+        restored = Schema.from_json(schema.to_json())
+        assert restored == schema
+
+    def test_json_roundtrip_preserves_defaults(self):
+        schema = Schema.build([Column("a", ColumnType.INTEGER, default=7)])
+        restored = Schema.from_json(schema.to_json())
+        assert restored.normalize({}) == (7,)

@@ -1,0 +1,208 @@
+"""Unit tests for the optimized and legacy concept annotators."""
+
+import pytest
+
+from repro.taxonomy import (Category, Concept, ConceptAnnotator,
+                            LegacyConceptAnnotator, Taxonomy,
+                            annotator_coverage, build_concept_trie,
+                            resolve_concepts)
+from repro.text import WhitespaceTokenizer
+from repro.uima import CAS
+
+
+def small_taxonomy():
+    taxonomy = Taxonomy("test")
+    taxonomy.add(Concept("200", Category.COMPONENT,
+                         labels={"en": "fender", "de": "Kotflügel"},
+                         synonyms={"en": ["mud guard", "splashboard"]}))
+    taxonomy.add(Concept("201", Category.COMPONENT,
+                         labels={"en": "fan", "de": "Lüfter"}))
+    taxonomy.add(Concept("300", Category.SYMPTOM,
+                         labels={"en": "crackling sound", "de": "Knistern"},
+                         synonyms={"en": ["crackle"]}))
+    taxonomy.add(Concept("301", Category.SYMPTOM,
+                         labels={"en": "scorched", "de": "durchgeschmort"}))
+    taxonomy.add(Concept("400", Category.SOLUTION,
+                         labels={"en": "replace fan", "de": "Lüfter ersetzen"}))
+    return taxonomy
+
+
+@pytest.fixture
+def annotator():
+    return ConceptAnnotator(taxonomy=small_taxonomy())
+
+
+class TestConceptAnnotator:
+    def test_requires_taxonomy(self):
+        with pytest.raises(TypeError):
+            ConceptAnnotator()
+
+    def test_single_word_match(self, annotator):
+        ids = annotator.concept_ids("the fender is broken")
+        assert ids == ["200"]
+
+    def test_multiword_match(self, annotator):
+        matches = annotator.match_text("mud guard cracked")
+        assert [m.concept_id for m in matches] == ["200"]
+        assert matches[0].matched == "mud guard"
+
+    def test_multilingual_in_one_text(self, annotator):
+        text = "Kunde sagt Knistern, fan not working"
+        ids = annotator.concept_ids(text)
+        assert ids == ["300", "201"]
+
+    def test_case_insensitive(self, annotator):
+        assert annotator.concept_ids("FENDER damage") == ["200"]
+
+    def test_umlaut_folding(self, annotator):
+        # "Luefter" (typed without umlaut) must match "Lüfter"
+        assert annotator.concept_ids("Luefter defekt") == ["201"]
+
+    def test_synonyms_collapse_to_one_concept(self, annotator):
+        for surface in ("fender", "mud guard", "splashboard", "Kotflügel"):
+            assert annotator.concept_ids(f"the {surface} here") == ["200"]
+
+    def test_solutions_excluded_by_default(self, annotator):
+        # "replace fan" is a SOLUTION; default categories are
+        # components+symptoms, so only "fan" (component) matches.
+        assert annotator.concept_ids("replace fan") == ["201"]
+
+    def test_categories_parameter(self):
+        annotator = ConceptAnnotator(taxonomy=small_taxonomy(),
+                                     categories=(Category.SOLUTION,))
+        matches = annotator.match_text("please replace fan")
+        assert [m.concept_id for m in matches] == ["400"]
+        assert matches[0].matched == "replace fan"
+
+    def test_language_restriction(self):
+        annotator = ConceptAnnotator(taxonomy=small_taxonomy(),
+                                     languages=("de",))
+        assert annotator.concept_ids("fan Lüfter") == ["201"]
+        assert annotator.concept_ids("fan only") == []
+
+    def test_offsets_point_at_surface(self, annotator):
+        text = "electrical smell, crackling sound heard"
+        match = annotator.match_text(text)[0]
+        assert text[match.begin:match.end] == "crackling sound"
+
+    def test_no_match(self, annotator):
+        assert annotator.match_text("completely unrelated words") == []
+
+    def test_process_cas_with_tokens(self, annotator):
+        cas = CAS("Kotflügel has a crackle")
+        WhitespaceTokenizer().process(cas)
+        annotator.process(cas)
+        mentions = cas.select("ConceptMention")
+        assert [m.features["concept_id"] for m in mentions] == ["200", "300"]
+        assert mentions[0].features["category"] == "component"
+        concepts = resolve_concepts(cas, annotator.taxonomy)
+        assert concepts[0].concept_id == "200"
+
+    def test_process_cas_without_tokens(self, annotator):
+        cas = CAS("fan broken")
+        annotator.process(cas)
+        assert [m.features["concept_id"] for m in cas.select("ConceptMention")] == ["201"]
+
+    def test_build_concept_trie_counts(self):
+        trie = build_concept_trie(small_taxonomy())
+        # components+symptoms: fender(4 forms incl de) + fan(2) +
+        # crackling(3) + scorched(2) = 11
+        assert len(trie) == 11
+
+
+class TestLegacyAnnotator:
+    def test_requires_taxonomy(self):
+        with pytest.raises(TypeError):
+            LegacyConceptAnnotator()
+
+    def test_default_is_german_bound(self):
+        legacy = LegacyConceptAnnotator(taxonomy=small_taxonomy())
+        # German dictionary only: the English "fan" is invisible even in
+        # an English sentence, but "Lüfter" matches anywhere.
+        assert legacy.concept_ids("the fan is broken") == []
+        assert legacy.concept_ids("the Lüfter is broken") == ["201"]
+
+    def test_auto_language_detection(self):
+        legacy = LegacyConceptAnnotator(taxonomy=small_taxonomy(),
+                                        language="auto")
+        # Document detected as German -> the English "fan" is invisible.
+        text = "Der Lüfter ist defekt und der fan ist kaputt und nicht gut"
+        ids = legacy.concept_ids(text)
+        assert "201" in ids
+        assert ids.count("201") == 1
+
+    def test_case_sensitive(self):
+        legacy = LegacyConceptAnnotator(taxonomy=small_taxonomy(),
+                                        language="auto")
+        text = "The FENDER and the fender are the same part of the car."
+        ids = legacy.concept_ids(text)
+        assert ids == ["200"]  # only the exact-case occurrence
+
+    def test_no_multiword(self):
+        legacy = LegacyConceptAnnotator(taxonomy=small_taxonomy(),
+                                        language="auto")
+        text = "The mud guard with a crackling sound was brought to us."
+        assert legacy.concept_ids(text) == []
+
+    def test_no_umlaut_folding(self):
+        legacy = LegacyConceptAnnotator(taxonomy=small_taxonomy())
+        text = "Der Luefter ist defekt und macht ein lautes Geräusch dabei."
+        assert legacy.concept_ids(text) == []
+
+    def test_unknown_language_returns_nothing(self):
+        legacy = LegacyConceptAnnotator(taxonomy=small_taxonomy(),
+                                        language="auto")
+        assert legacy.concept_ids("12345 999") == []
+
+    def test_process_cas(self):
+        legacy = LegacyConceptAnnotator(taxonomy=small_taxonomy(),
+                                        language="auto")
+        cas = CAS("The fender is broken on this car.")
+        legacy.process(cas)
+        assert [m.features["concept_id"]
+                for m in cas.select("ConceptMention")] == ["200"]
+
+
+class TestCoverage:
+    def test_new_beats_legacy_on_messy_text(self):
+        taxonomy = small_taxonomy()
+        new = ConceptAnnotator(taxonomy=taxonomy)
+        legacy = LegacyConceptAnnotator(taxonomy=taxonomy, language="auto")
+        texts = [
+            "LUEFTER defekt",                       # casing + umlaut
+            "the mud guard is cracked",             # multiword
+            "Der fan ist kaputt und geht nicht",    # cross-language
+        ]
+        new_stats = annotator_coverage(new, texts)
+        legacy_stats = annotator_coverage(legacy, texts)
+        assert new_stats["without_concepts"] == 0
+        assert legacy_stats["without_concepts"] == len(texts)
+
+    def test_coverage_empty_corpus(self):
+        new = ConceptAnnotator(taxonomy=small_taxonomy())
+        stats = annotator_coverage(new, [])
+        assert stats["total"] == 0
+        assert stats["mean_mentions"] == 0.0
+
+
+class TestCompoundSplitting:
+    def test_compound_matching_enabled(self, taxonomy):
+        plain = ConceptAnnotator(taxonomy=taxonomy)
+        splitting = ConceptAnnotator(taxonomy=taxonomy, split_compounds=True)
+        text = "Kühlerlüfter defekt am Fahrzeug"
+        assert len(splitting.concept_ids(text)) > len(plain.concept_ids(text))
+
+    def test_offsets_point_at_compound(self, taxonomy):
+        splitting = ConceptAnnotator(taxonomy=taxonomy, split_compounds=True)
+        text = "Kühlerlüfter defekt"
+        matches = [m for m in splitting.match_text(text)
+                   if m.begin == 0]
+        assert matches
+        for match in matches:
+            assert match.matched == "Kühlerlüfter"
+
+    def test_plain_tokens_unaffected(self, taxonomy):
+        plain = ConceptAnnotator(taxonomy=taxonomy)
+        splitting = ConceptAnnotator(taxonomy=taxonomy, split_compounds=True)
+        text = "the fender is broken"
+        assert plain.concept_ids(text) == splitting.concept_ids(text)

@@ -1,0 +1,80 @@
+"""Tests for the synthetic taxonomy builder (checks §4.5.3 statistics)."""
+
+import pytest
+
+from repro.taxonomy import (Category, ConceptAnnotator, Taxonomy,
+                            build_taxonomy)
+
+
+@pytest.fixture(scope="module")
+def taxonomy():
+    return build_taxonomy()
+
+
+class TestCounts:
+    def test_english_concepts_about_1900(self, taxonomy):
+        assert 1850 <= taxonomy.concept_count("en") <= 1950
+
+    def test_german_concepts_about_1800(self, taxonomy):
+        assert 1750 <= taxonomy.concept_count("de") <= 1880
+
+    def test_german_fewer_than_english(self, taxonomy):
+        assert taxonomy.concept_count("de") < taxonomy.concept_count("en")
+
+    def test_all_categories_present(self, taxonomy):
+        for category in Category:
+            assert taxonomy.concepts(category), category
+
+    def test_components_dominate(self, taxonomy):
+        assert (len(taxonomy.concepts(Category.COMPONENT))
+                > len(taxonomy.concepts(Category.SYMPTOM))
+                > len(taxonomy.concepts(Category.LOCATION)))
+
+
+class TestStructure:
+    def test_deterministic(self):
+        first = build_taxonomy(seed=7)
+        second = build_taxonomy(seed=7)
+        assert len(first) == len(second)
+        ids_first = sorted(c.concept_id for c in first)
+        ids_second = sorted(c.concept_id for c in second)
+        assert ids_first == ids_second
+
+    def test_seed_changes_composition(self):
+        assert ({c.concept_id for c in build_taxonomy(seed=7)}
+                != {c.concept_id for c in build_taxonomy(seed=8)}
+                or len(build_taxonomy(seed=7)) != len(build_taxonomy(seed=8)))
+
+    def test_every_leaf_reaches_a_root(self, taxonomy):
+        for concept in taxonomy:
+            path = taxonomy.path(concept.concept_id)
+            assert path[0].parent_id is None
+
+    def test_hierarchy_is_shallow(self, taxonomy):
+        max_depth = max(len(taxonomy.path(c.concept_id)) for c in taxonomy)
+        assert max_depth <= 4  # root -> group -> base -> composed leaf
+
+    def test_multiword_forms_exist(self, taxonomy):
+        multiwords = [form for concept in taxonomy
+                      for _, form in concept.all_surface_forms()
+                      if " " in form]
+        assert len(multiwords) > 500
+
+    def test_synonym_richness(self, taxonomy):
+        with_synonyms = sum(1 for concept in taxonomy
+                            if any(concept.synonyms.values()))
+        assert with_synonyms > len(taxonomy) * 0.5
+
+
+class TestAnnotatability:
+    def test_annotator_builds_from_full_taxonomy(self, taxonomy):
+        annotator = ConceptAnnotator(taxonomy=taxonomy)
+        ids = annotator.concept_ids(
+            "Kunde meldet Quietschen, der Kotflügel vorne links ist verbogen")
+        assert len(ids) >= 2
+
+    def test_english_and_german_find_same_concept(self, taxonomy):
+        annotator = ConceptAnnotator(taxonomy=taxonomy)
+        english = annotator.concept_ids("the fender is broken")
+        german = annotator.concept_ids("Kotflügel gebrochen")
+        assert set(english) & set(german)

@@ -1,0 +1,139 @@
+"""Unit tests for the taxonomy editor."""
+
+import pytest
+
+from repro.taxonomy import (Category, Concept, ConceptError, Taxonomy,
+                            TaxonomyEditor)
+
+
+@pytest.fixture
+def editor():
+    taxonomy = Taxonomy("edit")
+    taxonomy.add(Concept("1", Category.SYMPTOM, labels={"en": "noise"}))
+    taxonomy.add(Concept("2", Category.SYMPTOM, parent_id="1",
+                         labels={"en": "squeak"}, synonyms={"en": ["squeal"]}))
+    taxonomy.add(Concept("3", Category.SYMPTOM, parent_id="1",
+                         labels={"en": "screech"}))
+    taxonomy.add(Concept("9", Category.COMPONENT, labels={"en": "fan"}))
+    return TaxonomyEditor(taxonomy)
+
+
+class TestCreateDelete:
+    def test_create(self, editor):
+        editor.create_concept("10", "symptom", parent_id="1",
+                              labels={"en": "hum"})
+        assert editor.taxonomy.get("10").labels["en"] == "hum"
+
+    def test_create_undo(self, editor):
+        editor.create_concept("10", Category.SYMPTOM)
+        editor.undo()
+        assert "10" not in editor.taxonomy
+
+    def test_delete_reparents_children_to_root(self, editor):
+        editor.delete_concept("1")
+        assert editor.taxonomy.get("2").parent_id is None
+
+    def test_delete_undo_restores_children(self, editor):
+        editor.delete_concept("1")
+        editor.undo()
+        assert editor.taxonomy.get("2").parent_id == "1"
+        assert "1" in editor.taxonomy
+
+
+class TestLabelsAndSynonyms:
+    def test_rename(self, editor):
+        editor.rename_label("2", "en", "squeaking")
+        assert editor.taxonomy.get("2").labels["en"] == "squeaking"
+        editor.undo()
+        assert editor.taxonomy.get("2").labels["en"] == "squeak"
+
+    def test_rename_new_language_undo_removes(self, editor):
+        editor.rename_label("2", "de", "Quietschen")
+        editor.undo()
+        assert "de" not in editor.taxonomy.get("2").labels
+
+    def test_rename_empty_rejected(self, editor):
+        with pytest.raises(ConceptError):
+            editor.rename_label("2", "en", "")
+
+    def test_add_synonym(self, editor):
+        assert editor.add_synonym("2", "en", "chirp")
+        assert "chirp" in editor.taxonomy.get("2").synonyms["en"]
+        assert not editor.add_synonym("2", "en", "chirp")
+
+    def test_add_synonym_undo(self, editor):
+        editor.add_synonym("2", "en", "chirp")
+        editor.undo()
+        assert "chirp" not in editor.taxonomy.get("2").synonyms["en"]
+
+    def test_remove_synonym(self, editor):
+        editor.remove_synonym("2", "en", "squeal")
+        assert editor.taxonomy.get("2").synonyms["en"] == []
+        editor.undo()
+        assert editor.taxonomy.get("2").synonyms["en"] == ["squeal"]
+
+    def test_remove_missing_synonym(self, editor):
+        with pytest.raises(ConceptError):
+            editor.remove_synonym("2", "en", "nope")
+
+
+class TestMoveMerge:
+    def test_move(self, editor):
+        editor.create_concept("10", Category.SYMPTOM, labels={"en": "hum"})
+        editor.move_concept("10", "1")
+        assert editor.taxonomy.get("10").parent_id == "1"
+        editor.undo()
+        assert editor.taxonomy.get("10").parent_id is None
+
+    def test_move_cycle_rejected(self, editor):
+        with pytest.raises(ConceptError, match="cycle"):
+            editor.move_concept("1", "2")
+
+    def test_move_self_cycle_rejected(self, editor):
+        with pytest.raises(ConceptError, match="cycle"):
+            editor.move_concept("1", "1")
+
+    def test_merge_absorbs_forms(self, editor):
+        editor.merge_concepts("2", "3")
+        assert "3" not in editor.taxonomy
+        assert "screech" in editor.taxonomy.get("2").synonyms["en"]
+
+    def test_merge_moves_children(self, editor):
+        editor.create_concept("30", Category.SYMPTOM, parent_id="3")
+        editor.merge_concepts("2", "3")
+        assert editor.taxonomy.get("30").parent_id == "2"
+
+    def test_merge_undo_full_restore(self, editor):
+        editor.create_concept("30", Category.SYMPTOM, parent_id="3")
+        editor.merge_concepts("2", "3")
+        editor.undo()
+        assert "3" in editor.taxonomy
+        assert editor.taxonomy.get("30").parent_id == "3"
+        assert "screech" not in editor.taxonomy.get("2").synonyms.get("en", [])
+
+    def test_merge_self_rejected(self, editor):
+        with pytest.raises(ConceptError):
+            editor.merge_concepts("2", "2")
+
+    def test_merge_category_mismatch(self, editor):
+        with pytest.raises(ConceptError, match="category"):
+            editor.merge_concepts("2", "9")
+
+
+class TestUndoStack:
+    def test_history(self, editor):
+        editor.add_synonym("2", "en", "chirp")
+        editor.rename_label("3", "en", "screeching")
+        assert editor.history == ["add-synonym 2/en", "rename 3/en"]
+
+    def test_undo_empty(self, editor):
+        with pytest.raises(ConceptError, match="nothing to undo"):
+            editor.undo()
+
+    def test_undo_order_lifo(self, editor):
+        editor.rename_label("2", "en", "first")
+        editor.rename_label("2", "en", "second")
+        editor.undo()
+        assert editor.taxonomy.get("2").labels["en"] == "first"
+        editor.undo()
+        assert editor.taxonomy.get("2").labels["en"] == "squeak"

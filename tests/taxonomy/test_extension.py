@@ -1,0 +1,175 @@
+"""Tests for corpus-driven taxonomy extension."""
+
+import pytest
+
+from repro.data import DataBundle, Report, ReportSource
+from repro.taxonomy import (Category, Concept, ConceptAnnotator, Taxonomy,
+                            TaxonomyEditor, TaxonomyExtender)
+
+
+def tiny_taxonomy():
+    taxonomy = Taxonomy("tiny")
+    taxonomy.add(Concept("100", Category.COMPONENT,
+                         labels={"en": "fan", "de": "Lüfter"}))
+    taxonomy.add(Concept("200", Category.SYMPTOM,
+                         labels={"en": "scorched", "de": "durchgeschmort"}))
+    taxonomy.add(Concept("201", Category.SYMPTOM,
+                         labels={"en": "rattle", "de": "Klappern"}))
+    return taxonomy
+
+
+def bundle(ref, code, text):
+    return DataBundle(ref_no=ref, part_id="P1", article_code="A1",
+                      error_code=code,
+                      reports=[Report(ReportSource.SUPPLIER, text, "en")])
+
+
+def scorch_corpus():
+    """Code E1's bundles say 'scorched' and the unknown word 'verkokelt';
+    code E2's bundles say 'rattle' plus an unknown word of their own."""
+    bundles = []
+    for index in range(8):
+        bundles.append(bundle(f"A{index}", "E1",
+                              f"fan scorched verkokelt unit {index}"))
+        bundles.append(bundle(f"B{index}", "E2",
+                              f"fan rattle klackert unit {index}"))
+    return bundles
+
+
+class TestMine:
+    def test_proposes_unknown_cooccurring_tokens(self):
+        taxonomy = tiny_taxonomy()
+        extender = TaxonomyExtender(taxonomy, min_support=4)
+        proposals = extender.mine(scorch_corpus())
+        by_token = {proposal.token: proposal for proposal in proposals}
+        assert "verkokelt" in by_token
+        assert by_token["verkokelt"].concept_id == "200"
+        assert "klackert" in by_token
+        assert by_token["klackert"].concept_id == "201"
+
+    def test_known_surfaces_not_proposed(self):
+        extender = TaxonomyExtender(tiny_taxonomy(), min_support=2)
+        tokens = {proposal.token for proposal in extender.mine(scorch_corpus())}
+        assert "scorched" not in tokens
+        assert "fan" not in tokens
+
+    def test_stopwords_numbers_short_tokens_excluded(self):
+        extender = TaxonomyExtender(tiny_taxonomy(), min_support=2)
+        tokens = {proposal.token for proposal in extender.mine(scorch_corpus())}
+        assert "the" not in tokens
+        assert not any(token.isdigit() for token in tokens)
+        assert all(len(token) >= 3 for token in tokens)
+
+    def test_min_support_filters(self):
+        extender = TaxonomyExtender(tiny_taxonomy(), min_support=100)
+        assert extender.mine(scorch_corpus()) == []
+
+    def test_unlabeled_bundles_skipped(self):
+        extender = TaxonomyExtender(tiny_taxonomy(), min_support=2)
+        corpus = scorch_corpus() + [bundle("X", None, "verkokelt " * 20)]
+        proposals = extender.mine(corpus)
+        by_token = {p.token: p for p in proposals}
+        # the unlabeled flood must not change the supervised counts
+        assert by_token["verkokelt"].support == 8
+
+    def test_ambiguous_tokens_not_proposed(self):
+        # 'unit' occurs with both codes equally -> low agreement on one
+        # symptom, filtered by min_score
+        extender = TaxonomyExtender(tiny_taxonomy(), min_support=4,
+                                    min_score=0.9)
+        tokens = {p.token for p in extender.mine(scorch_corpus())}
+        assert "unit" not in tokens
+
+    def test_language_guess(self):
+        taxonomy = tiny_taxonomy()
+        extender = TaxonomyExtender(taxonomy, min_support=2)
+        bundles = [bundle(f"G{i}", "E1", "fan scorched überhitzt")
+                   for i in range(4)]
+        proposals = extender.mine(bundles)
+        by_token = {p.token: p for p in proposals}
+        assert by_token["überhitzt"].language == "de"
+
+    def test_proposals_sorted_by_score(self):
+        extender = TaxonomyExtender(tiny_taxonomy(), min_support=2)
+        proposals = extender.mine(scorch_corpus())
+        scores = [p.score for p in proposals]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestApply:
+    def test_code_dominated_tokens_become_refinements(self):
+        taxonomy = tiny_taxonomy()
+        extender = TaxonomyExtender(taxonomy, min_support=4)
+        proposals = extender.mine(scorch_corpus())
+        by_token = {p.token: p for p in proposals}
+        # 'verkokelt' occurs exclusively with code E1 -> refinement
+        assert by_token["verkokelt"].kind == "refinement"
+        assert by_token["verkokelt"].code_affinity == 1.0
+
+    def test_spread_tokens_become_synonyms(self):
+        taxonomy = tiny_taxonomy()
+        # make 'glimmt' co-occur with two E-codes sharing concept 200
+        bundles = scorch_corpus()
+        bundles += [bundle(f"C{i}", "E3", f"fan scorched glimmt x{i}")
+                    for i in range(8)]
+        bundles += [bundle(f"D{i}", "E4", f"fan scorched glimmt y{i}")
+                    for i in range(8)]
+        extender = TaxonomyExtender(taxonomy, min_support=4,
+                                    refinement_affinity=0.9)
+        proposals = extender.mine(bundles)
+        by_token = {p.token: p for p in proposals}
+        assert by_token["glimmt"].kind == "synonym"  # 50/50 across E1/E3
+        extender.apply([by_token["glimmt"]])
+        assert "glimmt" in taxonomy.get("200").synonyms["en"]
+
+    def test_apply_creates_child_concepts(self):
+        taxonomy = tiny_taxonomy()
+        extender = TaxonomyExtender(taxonomy, min_support=4)
+        added = extender.extend_from_corpus(scorch_corpus())
+        assert added >= 2
+        found = taxonomy.find_by_form("verkokelt")
+        assert len(found) == 1
+        assert found[0].parent_id == "200"
+        assert found[0].category is Category.SYMPTOM
+
+    def test_apply_with_limit(self):
+        taxonomy = tiny_taxonomy()
+        extender = TaxonomyExtender(taxonomy, min_support=4)
+        proposals = extender.mine(scorch_corpus())
+        assert extender.apply(proposals, limit=1) == 1
+
+    def test_apply_is_undoable_via_editor(self):
+        taxonomy = tiny_taxonomy()
+        size_before = len(taxonomy)
+        editor = TaxonomyEditor(taxonomy)
+        extender = TaxonomyExtender(taxonomy, min_support=4)
+        proposals = extender.mine(scorch_corpus())
+        added = extender.apply(proposals, editor=editor)
+        for _ in range(added):
+            editor.undo()
+        assert len(taxonomy) == size_before
+        assert taxonomy.get("200").synonyms.get("en", []) == []
+
+    def test_extension_improves_annotator_coverage(self):
+        taxonomy = tiny_taxonomy()
+        extender = TaxonomyExtender(taxonomy, min_support=4)
+        before = ConceptAnnotator(taxonomy=taxonomy)
+        assert before.concept_ids("Gehäuse verkokelt") == []
+        extender.extend_from_corpus(scorch_corpus())
+        after = ConceptAnnotator(taxonomy=taxonomy)
+        ids = after.concept_ids("Gehäuse verkokelt")
+        assert len(ids) == 1
+        path = [concept.concept_id for concept in taxonomy.path(ids[0])]
+        assert "200" in path or ids == ["200"]
+
+
+class TestOnRealCorpus:
+    def test_mining_the_synthetic_corpus_finds_jargon(self, corpus):
+        extender = TaxonomyExtender(corpus.taxonomy, min_support=8)
+        sample = corpus.experiment_bundles()[:1500]
+        proposals = extender.mine(sample)
+        assert proposals
+        # the code-unique jargon tokens are prime candidates: they
+        # perfectly predict one code and hence its symptom profile
+        assert any(p.token.startswith(("qx", "vz", "fb", "mp"))
+                   for p in proposals[:50])

@@ -1,0 +1,133 @@
+"""Unit tests for the taxonomy model."""
+
+import pytest
+
+from repro.taxonomy import (Category, Concept, ConceptError, Taxonomy)
+
+
+def sample_taxonomy():
+    taxonomy = Taxonomy("test")
+    taxonomy.add(Concept("100", Category.SYMPTOM,
+                         labels={"en": "noise group", "de": "Akustik"}))
+    taxonomy.add(Concept("101", Category.SYMPTOM, parent_id="100",
+                         labels={"en": "squeak", "de": "Quietschen"},
+                         synonyms={"en": ["squeal"], "de": ["Quietschgeräusch"]}))
+    taxonomy.add(Concept("102", Category.SYMPTOM, parent_id="100",
+                         labels={"en": "hum"}))
+    taxonomy.add(Concept("200", Category.COMPONENT,
+                         labels={"en": "fender", "de": "Kotflügel"},
+                         synonyms={"en": ["mud guard", "splashboard"]}))
+    return taxonomy
+
+
+class TestCategory:
+    def test_parse(self):
+        assert Category.parse("Component") is Category.COMPONENT
+        assert Category.parse(" symptom ") is Category.SYMPTOM
+
+    def test_parse_unknown(self):
+        with pytest.raises(ConceptError):
+            Category.parse("gizmo")
+
+
+class TestConcept:
+    def test_empty_id_rejected(self):
+        with pytest.raises(ConceptError):
+            Concept("", Category.SYMPTOM)
+
+    def test_languages(self):
+        concept = Concept("1", Category.SYMPTOM, labels={"en": "x"},
+                          synonyms={"de": ["y"]})
+        assert concept.languages() == {"en", "de"}
+
+    def test_surface_forms_order_and_dedup(self):
+        concept = Concept("1", Category.SYMPTOM, labels={"en": "squeak"},
+                          synonyms={"en": ["squeal", "squeak"]})
+        assert concept.surface_forms("en") == ["squeak", "squeal"]
+
+    def test_surface_forms_missing_language(self):
+        concept = Concept("1", Category.SYMPTOM, labels={"en": "x"})
+        assert concept.surface_forms("de") == []
+
+    def test_add_synonym(self):
+        concept = Concept("1", Category.SYMPTOM, labels={"en": "squeak"})
+        assert concept.add_synonym("en", "squeal")
+        assert not concept.add_synonym("en", "squeal")
+        assert not concept.add_synonym("en", "squeak")  # same as label
+        with pytest.raises(ConceptError):
+            concept.add_synonym("en", "")
+
+    def test_all_surface_forms(self):
+        concept = Concept("1", Category.SYMPTOM,
+                          labels={"en": "hum", "de": "Brummen"})
+        pairs = list(concept.all_surface_forms())
+        assert ("de", "Brummen") in pairs
+        assert ("en", "hum") in pairs
+
+
+class TestTaxonomy:
+    def test_add_duplicate_rejected(self):
+        taxonomy = sample_taxonomy()
+        with pytest.raises(ConceptError, match="duplicate"):
+            taxonomy.add(Concept("101", Category.SYMPTOM))
+
+    def test_add_dangling_parent_rejected(self):
+        taxonomy = sample_taxonomy()
+        with pytest.raises(ConceptError, match="parent"):
+            taxonomy.add(Concept("999", Category.SYMPTOM, parent_id="404"))
+
+    def test_get_and_contains(self):
+        taxonomy = sample_taxonomy()
+        assert taxonomy.get("101").labels["en"] == "squeak"
+        assert "101" in taxonomy
+        assert "404" not in taxonomy
+        with pytest.raises(ConceptError):
+            taxonomy.get("404")
+
+    def test_concepts_by_category(self):
+        taxonomy = sample_taxonomy()
+        assert len(taxonomy.concepts(Category.SYMPTOM)) == 3
+        assert len(taxonomy.concepts(Category.COMPONENT)) == 1
+        assert len(taxonomy.concepts()) == 4
+
+    def test_children_and_roots(self):
+        taxonomy = sample_taxonomy()
+        assert {c.concept_id for c in taxonomy.children("100")} == {"101", "102"}
+        assert {c.concept_id for c in taxonomy.roots()} == {"100", "200"}
+
+    def test_path(self):
+        taxonomy = sample_taxonomy()
+        assert [c.concept_id for c in taxonomy.path("101")] == ["100", "101"]
+
+    def test_path_cycle_detected(self):
+        taxonomy = sample_taxonomy()
+        taxonomy.get("100").parent_id = "101"
+        with pytest.raises(ConceptError, match="cycle"):
+            taxonomy.path("101")
+
+    def test_remove_clears_children(self):
+        taxonomy = sample_taxonomy()
+        taxonomy.remove("100")
+        assert taxonomy.get("101").parent_id is None
+
+    def test_concept_count_by_language(self):
+        taxonomy = sample_taxonomy()
+        assert taxonomy.concept_count() == 4
+        assert taxonomy.concept_count("en") == 4
+        assert taxonomy.concept_count("de") == 3
+
+    def test_surface_form_count(self):
+        taxonomy = sample_taxonomy()
+        assert taxonomy.surface_form_count("en") == 7
+        assert taxonomy.surface_form_count("de") == 4
+
+    def test_find_by_form_normalized(self):
+        taxonomy = sample_taxonomy()
+        assert [c.concept_id for c in taxonomy.find_by_form("MUD GUARD")] == ["200"]
+        assert [c.concept_id for c in taxonomy.find_by_form("Quietschgeräusch")] == ["101"]
+        assert taxonomy.find_by_form("nonexistent") == []
+
+    def test_find_by_form_language_restricted(self):
+        taxonomy = sample_taxonomy()
+        assert taxonomy.find_by_form("Quietschen", language="en") == []
+        assert len(taxonomy.find_by_form("Quietschen", language="de")) == 1

@@ -1,0 +1,96 @@
+"""Tests for the taxonomy validator."""
+
+from repro.taxonomy import (Category, Concept, Taxonomy, validate_taxonomy)
+
+
+def clean_taxonomy():
+    taxonomy = Taxonomy("t")
+    taxonomy.add(Concept("1", Category.SYMPTOM,
+                         labels={"en": "squeak", "de": "Quietschen"}))
+    taxonomy.add(Concept("2", Category.COMPONENT, parent_id="1",
+                         labels={"en": "fan", "de": "Lüfter"}))
+    return taxonomy
+
+
+class TestCleanTaxonomy:
+    def test_no_errors(self):
+        report = validate_taxonomy(clean_taxonomy())
+        assert report.ok
+        assert report.errors == []
+
+    def test_summary(self):
+        report = validate_taxonomy(clean_taxonomy())
+        assert "0 errors" in report.summary()
+
+
+class TestFindings:
+    def test_missing_language_warning(self):
+        taxonomy = clean_taxonomy()
+        taxonomy.add(Concept("3", Category.SYMPTOM, labels={"en": "hum"}))
+        report = validate_taxonomy(taxonomy)
+        assert report.ok  # warnings only
+        kinds = {issue.kind for issue in report.warnings}
+        assert "missing-language" in kinds
+
+    def test_empty_concept_error(self):
+        taxonomy = clean_taxonomy()
+        taxonomy.add(Concept("3", Category.SYMPTOM))
+        report = validate_taxonomy(taxonomy)
+        assert not report.ok
+        assert report.by_kind("empty-concept")
+
+    def test_ambiguous_surface(self):
+        taxonomy = clean_taxonomy()
+        taxonomy.add(Concept("3", Category.SYMPTOM,
+                             labels={"en": "squeak", "de": "Fiepen"}))
+        report = validate_taxonomy(taxonomy)
+        ambiguous = report.by_kind("ambiguous-surface")
+        assert len(ambiguous) == 1
+        assert ambiguous[0].concept_id == "3"
+
+    def test_cross_category_surface(self):
+        taxonomy = clean_taxonomy()
+        taxonomy.add(Concept("3", Category.COMPONENT,
+                             labels={"en": "squeak damper",
+                                     "de": "Quietschen"}))
+        report = validate_taxonomy(taxonomy)
+        assert report.by_kind("cross-category-surface")
+
+    def test_degenerate_surface(self):
+        taxonomy = clean_taxonomy()
+        taxonomy.add(Concept("3", Category.SYMPTOM,
+                             labels={"en": "x", "de": "42"}))
+        report = validate_taxonomy(taxonomy)
+        assert len(report.by_kind("degenerate-surface")) == 2
+
+    def test_orphan_error(self):
+        taxonomy = clean_taxonomy()
+        taxonomy.get("2").parent_id = "404"
+        report = validate_taxonomy(taxonomy)
+        assert report.by_kind("orphan")
+        assert not report.ok
+
+    def test_cycle_error(self):
+        taxonomy = clean_taxonomy()
+        taxonomy.get("1").parent_id = "2"  # 1 -> 2 -> 1
+        report = validate_taxonomy(taxonomy)
+        assert report.by_kind("cycle")
+
+    def test_issue_str(self):
+        taxonomy = clean_taxonomy()
+        taxonomy.add(Concept("3", Category.SYMPTOM))
+        issue = validate_taxonomy(taxonomy).errors[0]
+        assert "empty-concept" in str(issue)
+
+
+class TestShippedTaxonomy:
+    def test_built_taxonomy_has_no_errors(self, taxonomy):
+        report = validate_taxonomy(taxonomy)
+        assert report.ok, [str(issue) for issue in report.errors[:5]]
+
+    def test_built_taxonomy_warning_profile(self, taxonomy):
+        report = validate_taxonomy(taxonomy)
+        kinds = {issue.kind for issue in report.warnings}
+        # English-only leaves are by design (the DE<EN count gap)
+        assert kinds <= {"missing-language", "ambiguous-surface",
+                         "cross-category-surface", "degenerate-surface"}

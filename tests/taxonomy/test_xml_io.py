@@ -1,0 +1,99 @@
+"""Unit tests for the custom XML format."""
+
+import pytest
+
+from repro.taxonomy import (Category, Concept, Taxonomy, TaxonomyXmlError,
+                            dumps, load_taxonomy, loads, save_taxonomy)
+
+
+def sample_taxonomy():
+    taxonomy = Taxonomy("demo")
+    taxonomy.add(Concept("1", Category.SYMPTOM, labels={"en": "noise"}))
+    taxonomy.add(Concept("2", Category.SYMPTOM, parent_id="1",
+                         labels={"en": "squeak", "de": "Quietschen"},
+                         synonyms={"en": ["squeal"], "de": ["Quietschgeräusch"]}))
+    return taxonomy
+
+
+class TestRoundtrip:
+    def test_dumps_loads(self):
+        taxonomy = sample_taxonomy()
+        restored = loads(dumps(taxonomy))
+        assert restored.name == "demo"
+        assert len(restored) == 2
+        squeak = restored.get("2")
+        assert squeak.parent_id == "1"
+        assert squeak.labels == {"en": "squeak", "de": "Quietschen"}
+        assert squeak.synonyms["de"] == ["Quietschgeräusch"]
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "taxonomy.xml"
+        save_taxonomy(sample_taxonomy(), path)
+        restored = load_taxonomy(path)
+        assert len(restored) == 2
+
+    def test_umlauts_survive(self):
+        restored = loads(dumps(sample_taxonomy()))
+        assert "Quietschgeräusch" in restored.get("2").synonyms["de"]
+
+    def test_child_before_parent_in_file(self):
+        xml = """<taxonomy name="x">
+            <concept id="2" category="symptom" parent="1">
+                <label lang="en">squeak</label>
+            </concept>
+            <concept id="1" category="symptom">
+                <label lang="en">noise</label>
+            </concept>
+        </taxonomy>"""
+        taxonomy = loads(xml)
+        assert taxonomy.get("2").parent_id == "1"
+
+    def test_full_synthetic_taxonomy_roundtrip(self):
+        from repro.taxonomy import build_taxonomy
+        taxonomy = build_taxonomy()
+        restored = loads(dumps(taxonomy))
+        assert len(restored) == len(taxonomy)
+        assert restored.concept_count("de") == taxonomy.concept_count("de")
+
+
+class TestErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(TaxonomyXmlError, match="malformed"):
+            loads("<taxonomy><concept></taxonomy>")
+
+    def test_wrong_root(self):
+        with pytest.raises(TaxonomyXmlError, match="root"):
+            loads("<nope/>")
+
+    def test_concept_missing_id(self):
+        with pytest.raises(TaxonomyXmlError):
+            loads('<taxonomy><concept category="symptom"/></taxonomy>')
+
+    def test_unexpected_element(self):
+        with pytest.raises(TaxonomyXmlError, match="unexpected"):
+            loads("<taxonomy><weird/></taxonomy>")
+
+    def test_label_missing_lang(self):
+        xml = ('<taxonomy><concept id="1" category="symptom">'
+               "<label>noise</label></concept></taxonomy>")
+        with pytest.raises(TaxonomyXmlError, match="lang"):
+            loads(xml)
+
+    def test_empty_label(self):
+        xml = ('<taxonomy><concept id="1" category="symptom">'
+               '<label lang="en">  </label></concept></taxonomy>')
+        with pytest.raises(TaxonomyXmlError, match="empty"):
+            loads(xml)
+
+    def test_unresolvable_parent(self):
+        xml = ('<taxonomy><concept id="1" category="symptom" parent="404">'
+               '<label lang="en">x</label></concept></taxonomy>')
+        with pytest.raises(TaxonomyXmlError, match="unresolvable"):
+            loads(xml)
+
+    def test_unknown_category(self):
+        xml = ('<taxonomy><concept id="1" category="gizmo">'
+               '<label lang="en">x</label></concept></taxonomy>')
+        from repro.taxonomy import ConceptError
+        with pytest.raises(ConceptError):
+            loads(xml)

@@ -1,0 +1,127 @@
+"""Edge-case and failure-mode tests across module boundaries."""
+
+import pytest
+
+from repro.classify import (CandidateSetBaseline, CodeFrequencyBaseline,
+                            RankedKnnClassifier)
+from repro.core import QATK, QatkConfig
+from repro.data import DataBundle, Report, ReportSource
+from repro.knowledge import BagOfWordsExtractor, KnowledgeBase
+
+
+def empty_bundle(ref="R0", part="P0"):
+    return DataBundle(ref_no=ref, part_id=part, article_code="A0")
+
+
+def text_bundle(text, ref="R1", part="P1"):
+    return DataBundle(ref_no=ref, part_id=part, article_code="A1",
+                      reports=[Report(ReportSource.SUPPLIER, text, "en")])
+
+
+class TestEmptyKnowledgeBase:
+    def test_classifier_returns_empty_list(self):
+        kb = KnowledgeBase(feature_kind="words")
+        classifier = RankedKnnClassifier(kb, BagOfWordsExtractor())
+        recommendation = classifier.classify_bundle(text_bundle("fan broken"))
+        assert recommendation.codes == []
+
+    def test_frequency_baseline_empty(self):
+        baseline = CodeFrequencyBaseline.from_bundles([])
+        assert baseline.classify_bundle(text_bundle("x")).codes == []
+
+    def test_candidate_baseline_empty(self):
+        kb = KnowledgeBase(feature_kind="words")
+        baseline = CandidateSetBaseline(kb, BagOfWordsExtractor())
+        assert baseline.classify_bundle(text_bundle("x")).codes == []
+
+
+class TestDegenerateBundles:
+    def test_bundle_without_reports(self):
+        kb = KnowledgeBase(feature_kind="words")
+        kb.add_observation("P0", "E1", {"anything"})
+        classifier = RankedKnnClassifier(kb, BagOfWordsExtractor())
+        recommendation = classifier.classify_bundle(empty_bundle())
+        assert recommendation.codes == []  # no shared feature possible
+
+    def test_bundle_with_empty_text_report(self):
+        kb = KnowledgeBase(feature_kind="words")
+        kb.add_observation("P1", "E1", {"fan"})
+        classifier = RankedKnnClassifier(kb, BagOfWordsExtractor())
+        bundle = text_bundle("")
+        assert classifier.classify_bundle(bundle).codes == []
+
+    def test_punctuation_only_report(self):
+        kb = KnowledgeBase(feature_kind="words")
+        kb.add_observation("P1", "E1", {"fan"})
+        classifier = RankedKnnClassifier(kb, BagOfWordsExtractor())
+        assert classifier.classify_bundle(text_bundle("!!! ... ???")).codes == []
+
+
+class TestUntrainedQatk:
+    def test_classify_before_train(self, taxonomy):
+        qatk = QATK(taxonomy, QatkConfig(feature_mode="concepts"))
+        recommendation = qatk.classify(text_bundle("Kotflügel verbogen"))
+        assert recommendation.codes == []
+
+    def test_train_on_empty_collection(self, taxonomy):
+        qatk = QATK(taxonomy, QatkConfig(feature_mode="concepts"))
+        assert qatk.train([]) == 0
+        assert len(qatk.knowledge_base) == 0
+
+    def test_train_skips_unlabeled(self, taxonomy):
+        qatk = QATK(taxonomy, QatkConfig(feature_mode="words"))
+        qatk.train([text_bundle("fan broken", ref="R1")])  # no error_code
+        assert len(qatk.knowledge_base) == 0
+
+
+class TestServiceEdgeCases:
+    def test_service_on_empty_database(self, taxonomy):
+        from repro.relstore import Database
+        qatk = QATK(taxonomy, QatkConfig(feature_mode="words"),
+                    database=Database("empty"))
+        service = qatk.make_service()
+        assert service.bundle("R404") is None
+        assert service.full_code_list("P1") == []
+        assert service.suggestion_hit_rate() == 0.0
+        assert service.search_bundles("anything") == []
+
+    def test_suggest_for_part_unknown_to_kb(self, taxonomy):
+        from repro.relstore import Database
+        qatk = QATK(taxonomy, QatkConfig(feature_mode="words"),
+                    database=Database("x"))
+        qatk.train([DataBundle(ref_no="T1", part_id="P1", article_code="A1",
+                               error_code="E1",
+                               reports=[Report(ReportSource.SUPPLIER,
+                                               "fan scorched", "en")])])
+        service = qatk.make_service()
+        service.register_bundles([text_bundle("fan scorched", ref="N1",
+                                              part="P-UNSEEN")])
+        view = service.suggest("N1")
+        # unknown part falls back to all nodes sharing a feature (Fig. 5)
+        assert [scored.error_code for scored in view.suggestions.codes] == ["E1"]
+
+
+class TestExperimentEdgeCases:
+    def test_accuracy_with_all_misses(self):
+        from repro.evaluate import accuracy_at_k
+        from repro.classify import Recommendation
+        recommendations = [Recommendation(ref_no="R", part_id="P", codes=[])]
+        accuracies = accuracy_at_k(recommendations, ["E1"], ks=(1, 25))
+        assert accuracies == {1: 0.0, 25: 0.0}
+
+    def test_folds_with_exactly_two_instances_per_code(self):
+        from repro.evaluate import stratified_folds
+        bundles = [DataBundle(ref_no=f"R{i}{j}", part_id="P1",
+                              article_code="A1", error_code=f"E{i}")
+                   for i in range(5) for j in range(2)]
+        folds = list(stratified_folds(bundles, 5, seed=1))
+        # with multiplicity 2, each code is tested in exactly two folds
+        tested = {}
+        for fold in folds:
+            for bundle in fold.test:
+                tested[bundle.error_code] = tested.get(bundle.error_code, 0) + 1
+        assert all(count == 2 for count in tested.values())
+        # and every fold's training side still knows most codes
+        for fold in folds:
+            train_codes = {bundle.error_code for bundle in fold.train}
+            assert len(train_codes) >= 4

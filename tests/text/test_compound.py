@@ -1,0 +1,74 @@
+"""Tests for German compound splitting."""
+
+import pytest
+
+from repro.text import CompoundSplitter, splitter_from_taxonomy
+
+LEXICON = ["Kühlmittel", "Verlust", "Lüfter", "Kabel", "Bruch", "Wasser",
+           "Pumpe", "Bremse", "Scheibe", "Motor", "Haube"]
+
+
+@pytest.fixture
+def splitter():
+    return CompoundSplitter(LEXICON)
+
+
+class TestSplit:
+    def test_two_part_compound(self, splitter):
+        assert splitter.split("Kühlmittelverlust") == ["kuehlmittel", "verlust"]
+
+    def test_linking_s(self, splitter):
+        # "Verlustsbruch" is artificial but exercises the 's' Fugenelement
+        assert splitter.split("Verlustsbruch") == ["verlust", "bruch"]
+
+    def test_three_part_compound(self, splitter):
+        assert splitter.split("Lüfterkabelbruch") == ["luefter", "kabel", "bruch"]
+
+    def test_unsplittable_word_passes_through(self, splitter):
+        assert splitter.split("Getriebeschaden") == ["Getriebeschaden"]
+
+    def test_simple_word_not_split(self, splitter):
+        assert splitter.split("Kabel") == ["Kabel"]
+
+    def test_short_words_never_split(self, splitter):
+        assert splitter.split("Motoröl") == ["Motoröl"]  # 'öl' < min_part
+
+    def test_full_coverage_required(self, splitter):
+        # "Kühlmittelxyz" has a known prefix but unknown tail
+        assert splitter.split("Kühlmittelxyz") == ["Kühlmittelxyz"]
+
+    def test_case_and_umlaut_insensitive(self, splitter):
+        assert splitter.split("KUEHLMITTELVERLUST") == ["kuehlmittel", "verlust"]
+
+    def test_expand(self, splitter):
+        tokens = ["Der", "Kühlmittelverlust", "am", "Motor"]
+        assert splitter.expand(tokens) == ["Der", "kuehlmittel", "verlust",
+                                           "am", "Motor"]
+
+    def test_contains(self, splitter):
+        assert "Kühlmittel" in splitter
+        assert "zzz" not in splitter
+
+    def test_multiword_lexicon_entries_contribute_tokens(self):
+        splitter = CompoundSplitter(["Wasser Pumpe"])
+        assert "Wasser" in splitter
+        assert "Pumpe" in splitter
+
+
+class TestTaxonomyLexicon:
+    def test_splitter_from_taxonomy(self, taxonomy):
+        splitter = splitter_from_taxonomy(taxonomy)
+        assert len(splitter) > 300
+        # "Kühlerlüfter" = Kühler + Lüfter, both taxonomy words
+        parts = splitter.split("Kühlerlüfter")
+        assert parts == ["kuehler", "luefter"]
+
+    def test_improves_conceptual_reach(self, taxonomy):
+        from repro.taxonomy import ConceptAnnotator
+        annotator = ConceptAnnotator(taxonomy=taxonomy)
+        splitter = splitter_from_taxonomy(taxonomy)
+        compound = "Kühlerlüfter defekt"
+        direct = annotator.concept_ids(compound)
+        split_text = " ".join(splitter.expand(compound.split()))
+        via_split = annotator.concept_ids(split_text)
+        assert len(via_split) > len(direct)

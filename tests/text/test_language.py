@@ -1,0 +1,83 @@
+"""Unit tests for language identification and stopwords."""
+
+from repro.text import (ENGLISH, GERMAN, UNKNOWN, LanguageDetector,
+                        detect_language, is_stopword, remove_stopwords,
+                        score_language)
+from repro.uima import CAS
+
+
+class TestDetectLanguage:
+    def test_german_sentence(self):
+        guess = detect_language("Der Lüfter funktioniert nicht und macht Geräusche.")
+        assert guess.language == GERMAN
+        assert guess.confidence > 0.5
+
+    def test_english_sentence(self):
+        guess = detect_language("The radio turns on and off by itself.")
+        assert guess.language == ENGLISH
+        assert guess.confidence > 0.5
+
+    def test_empty_text(self):
+        assert detect_language("").language == UNKNOWN
+
+    def test_number_only_text(self):
+        assert detect_language("470 12 9981").language == UNKNOWN
+
+    def test_mixed_text_leans_to_dominant(self):
+        text = ("Unit non-functional. Der Kontakt ist defekt und "
+                "durchgeschmort, das Kabel ist gebrochen und die "
+                "Sicherung war durchgebrannt.")
+        assert detect_language(text).language == GERMAN
+
+    def test_scores_are_per_word(self):
+        scores = score_language("the the the")
+        assert scores[ENGLISH] > scores[GERMAN]
+
+
+class TestLanguageDetectorEngine:
+    def test_document_level_annotation(self):
+        cas = CAS("The cable is broken and the fuse has failed.")
+        LanguageDetector().process(cas)
+        assert cas.metadata["language"] == ENGLISH
+        labels = cas.select("Language")
+        assert len(labels) == 1
+        assert labels[0].features["language"] == ENGLISH
+
+    def test_per_section_annotation(self):
+        german = "Der Lüfter ist defekt und macht laute Geräusche."
+        english = "The customer says that the radio does not work."
+        cas = CAS(german + " " + english)
+        cas.annotate("Section", 0, len(german), source="supplier")
+        cas.annotate("Section", len(german) + 1, len(cas.document_text),
+                     source="mechanic")
+        LanguageDetector().process(cas)
+        labels = cas.select("Language")
+        assert [l.features["language"] for l in labels] == [GERMAN, ENGLISH]
+
+    def test_empty_document(self):
+        cas = CAS("")
+        LanguageDetector().process(cas)
+        assert cas.metadata["language"] == UNKNOWN
+        assert cas.select("Language") == []
+
+
+class TestStopwords:
+    def test_german_articles(self):
+        assert is_stopword("der")
+        assert is_stopword("Die")
+
+    def test_english_pronouns(self):
+        assert is_stopword("it")
+        assert is_stopword("They")
+
+    def test_content_words_kept(self):
+        assert not is_stopword("Lüfter")
+        assert not is_stopword("radio")
+        assert not is_stopword("defekt")
+
+    def test_remove_stopwords_keeps_order(self):
+        words = ["the", "radio", "ist", "defekt", "and", "broken"]
+        assert remove_stopwords(words) == ["radio", "defekt", "broken"]
+
+    def test_remove_stopwords_empty(self):
+        assert remove_stopwords([]) == []

@@ -1,0 +1,66 @@
+"""Unit and property tests for the light stemmer."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import stem, stem_all, stem_english, stem_german
+
+
+class TestGerman:
+    def test_inflection_conflation(self):
+        assert stem_german("gebrochen") == stem_german("gebrochene")
+        assert stem_german("quietschende") == stem_german("quietschend")
+
+    def test_ung_nouns(self):
+        assert stem_german("pruefung") == "pruef"
+        assert stem_german("dichtungen") == stem_german("dichtung")
+
+    def test_short_words_untouched(self):
+        assert stem_german("rad") == "rad"
+        assert stem_german("en") == "en"
+
+
+class TestEnglish:
+    def test_inflection_conflation(self):
+        assert stem_english("failing") == stem_english("failed")
+        assert stem_english("brakes") == stem_english("brake") == "brak"
+
+    def test_ies_to_y(self):
+        assert stem_english("bodies") == "body"
+
+    def test_tion(self):
+        assert stem_english("vibration") == "vibra"
+
+    def test_short_words_untouched(self):
+        assert stem_english("fan") == "fan"
+
+
+class TestAutoLanguage:
+    def test_normalizes_first(self):
+        assert stem("GEBROCHENE") == stem("gebrochene")
+        assert stem("Lüfter") == stem("Luefter")
+
+    def test_explicit_language(self):
+        assert stem("failing", "en") == stem_english("failing")
+        assert stem("Prüfung", "de") == "pruef"
+
+    def test_stem_all(self):
+        words = ["broken", "gebrochen"]
+        assert stem_all(words) == [stem(w) for w in words]
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyzäöüß", min_size=0,
+               max_size=20))
+def test_stem_never_too_short_or_longer(word):
+    stemmed = stem(word)
+    assert len(stemmed) <= max(len(word), len(stemmed))
+    if len(word) >= 3:
+        assert len(stemmed) >= 3 or stemmed == word or len(word) < 3 or \
+            len(stemmed) >= min(3, len(word))
+
+
+@given(st.sampled_from(["gebrochen", "vibration", "quietschen", "failing",
+                        "leakage", "dichtungen", "scorched"]))
+def test_stem_is_idempotent_on_vocabulary(word):
+    once = stem(word)
+    assert stem(once) == once or len(stem(once)) >= 3

@@ -1,0 +1,97 @@
+"""Unit tests for engines, pipelines, readers and consumers."""
+
+import pytest
+
+from repro.uima import (CAS, AggregateEngine, AnalysisEngine,
+                        CallbackConsumer, CollectingConsumer, FunctionEngine,
+                        IterableReader, Pipeline, PipelineError)
+
+
+class MarkEngine(AnalysisEngine):
+    """Appends its tag to a CAS metadata list (records execution order)."""
+
+    def initialize(self):
+        self.tag = self.params.get("tag", "?")
+
+    def process(self, cas):
+        cas.metadata.setdefault("trace", []).append(self.tag)
+
+
+class FailingEngine(AnalysisEngine):
+    def process(self, cas):
+        raise ValueError("inner failure")
+
+
+class TestEngines:
+    def test_function_engine(self):
+        engine = FunctionEngine(lambda cas: cas.metadata.update(done=True),
+                                name="fn")
+        cas = CAS("x")
+        engine.process(cas)
+        assert cas.metadata["done"]
+        assert engine.name == "fn"
+
+    def test_aggregate_runs_in_order(self):
+        aggregate = AggregateEngine([MarkEngine(tag="a"), MarkEngine(tag="b")])
+        cas = CAS("x")
+        aggregate.process(cas)
+        assert cas.metadata["trace"] == ["a", "b"]
+
+    def test_aggregate_wraps_failures(self):
+        aggregate = AggregateEngine([FailingEngine()])
+        with pytest.raises(PipelineError, match="FailingEngine"):
+            aggregate.process(CAS("x"))
+
+    def test_engine_name_defaults_to_class(self):
+        assert MarkEngine().name == "MarkEngine"
+
+    def test_params_are_kept(self):
+        engine = MarkEngine(tag="z")
+        assert engine.params == {"tag": "z"}
+        assert engine.tag == "z"
+
+
+class TestPipeline:
+    def test_run_counts_cases(self):
+        reader = IterableReader(["one", "two", "three"])
+        sink = CollectingConsumer()
+        pipeline = Pipeline(reader, [MarkEngine(tag="a")], [sink])
+        assert pipeline.run() == 3
+        assert len(sink.cases) == 3
+        assert all(cas.metadata["trace"] == ["a"] for cas in sink.cases)
+
+    def test_reader_accepts_cas_objects(self):
+        cas = CAS("prebuilt")
+        cas.metadata["k"] = 1
+        sink = CollectingConsumer()
+        Pipeline(IterableReader([cas]), [], [sink]).run()
+        assert sink.cases[0] is cas
+
+    def test_callback_consumer(self):
+        seen = []
+        pipeline = Pipeline(IterableReader(["x"]), [],
+                            [CallbackConsumer(lambda cas: seen.append(cas))])
+        pipeline.run()
+        assert len(seen) == 1
+
+    def test_finish_called_once(self):
+        class CountingConsumer(CollectingConsumer):
+            finished = 0
+
+            def finish(self):
+                type(self).finished += 1
+
+        consumer = CountingConsumer()
+        Pipeline(IterableReader(["a", "b"]), [], [consumer]).run()
+        assert CountingConsumer.finished == 1
+
+    def test_missing_reader_rejected(self):
+        with pytest.raises(PipelineError):
+            Pipeline(None, [])
+
+    def test_process_one_skips_reader_and_consumers(self):
+        sink = CollectingConsumer()
+        pipeline = Pipeline(IterableReader([]), [MarkEngine(tag="t")], [sink])
+        cas = pipeline.process_one(CAS("direct"))
+        assert cas.metadata["trace"] == ["t"]
+        assert sink.cases == []

@@ -1,0 +1,106 @@
+"""Tests for CAS (de)serialization."""
+
+import pytest
+
+from repro.uima import (CAS, TypeDescriptor, TypeSystem, UimaError,
+                        cas_from_dict, cas_from_json, cas_to_dict,
+                        cas_to_json)
+
+
+def build_cas():
+    cas = CAS("Lüfter defekt, crackling sound")
+    cas.metadata.update(ref_no="R1", part_id="P01")
+    cas.annotate("Token", 0, 6, normalized="lüfter")
+    cas.annotate("Token", 7, 13, normalized="defekt")
+    cas.annotate("ConceptMention", 0, 6, concept_id="201",
+                 category="component", language="de", matched="Lüfter",
+                 canonical="Lüfter")
+    cas.annotate("Section", 0, 13, source="mechanic")
+    return cas
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self):
+        original = build_cas()
+        restored = cas_from_dict(cas_to_dict(original))
+        assert restored.document_text == original.document_text
+        assert restored.metadata == original.metadata
+        assert restored.annotation_count() == original.annotation_count()
+        mention = restored.select("ConceptMention")[0]
+        assert mention.features["concept_id"] == "201"
+        assert restored.covered_text(mention) == "Lüfter"
+
+    def test_json_roundtrip(self):
+        original = build_cas()
+        restored = cas_from_json(cas_to_json(original))
+        assert restored.document_text == original.document_text
+        assert [a.span for a in restored.select("Token")] == [
+            a.span for a in original.select("Token")]
+
+    def test_unicode_preserved(self):
+        restored = cas_from_json(cas_to_json(build_cas()))
+        assert "Lüfter" in restored.document_text
+
+    def test_custom_type_system(self):
+        ts = TypeSystem([TypeDescriptor("Thing", frozenset({"kind"}))])
+        cas = CAS("abc", type_system=ts)
+        cas.annotate("Thing", 0, 1, kind="x")
+        restored = cas_from_dict(cas_to_dict(cas), type_system=ts)
+        assert restored.select("Thing")[0].features["kind"] == "x"
+
+    def test_empty_cas(self):
+        restored = cas_from_json(cas_to_json(CAS("")))
+        assert restored.document_text == ""
+        assert restored.annotation_count() == 0
+
+
+class TestErrors:
+    def test_non_serializable_metadata(self):
+        cas = CAS("x")
+        cas.metadata["obj"] = object()
+        with pytest.raises(UimaError, match="non-serializable"):
+            cas_to_dict(cas)
+
+    def test_bad_version(self):
+        with pytest.raises(UimaError, match="version"):
+            cas_from_dict({"version": 99, "text": ""})
+
+    def test_malformed_json(self):
+        with pytest.raises(UimaError, match="malformed"):
+            cas_from_json("{nope")
+
+    def test_missing_annotation_fields(self):
+        payload = {"version": 1, "text": "abc",
+                   "annotations": [{"type": "Token"}]}
+        with pytest.raises(UimaError, match="missing field"):
+            cas_from_dict(payload)
+
+    def test_undeclared_type_rejected_on_load(self):
+        from repro.uima import TypeSystemError
+        payload = {"version": 1, "text": "abc", "metadata": {},
+                   "annotations": [{"type": "Mystery", "begin": 0, "end": 1,
+                                    "features": {}}]}
+        with pytest.raises(TypeSystemError):
+            cas_from_dict(payload)
+
+
+class TestPipelineIntegration:
+    def test_analyzed_bundle_cas_roundtrips(self, taxonomy):
+        from repro.core import bundle_to_cas
+        from repro.data import DataBundle, Report, ReportSource
+        from repro.taxonomy import ConceptAnnotator
+        from repro.text import LanguageDetector, WhitespaceTokenizer
+        bundle = DataBundle(
+            ref_no="R1", part_id="P01", article_code="A1",
+            reports=[Report(ReportSource.MECHANIC,
+                            "Kotflügel verbogen und zerkratzt", "de")],
+            part_description="Kotflügel / fender assembly")
+        cas = bundle_to_cas(bundle)
+        for engine in (WhitespaceTokenizer(), LanguageDetector(),
+                       ConceptAnnotator(taxonomy=taxonomy)):
+            engine.process(cas)
+        restored = cas_from_json(cas_to_json(cas))
+        assert (restored.annotation_count("ConceptMention")
+                == cas.annotation_count("ConceptMention"))
+        assert restored.metadata["ref_no"] == "R1"
+        assert restored.metadata["language"] == "de"
