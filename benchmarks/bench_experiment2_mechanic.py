@@ -6,11 +6,11 @@ baseline, accuracy@1 between 16 % and 29 % vs the baseline's 35 %, with
 bag-of-words still slightly ahead of bag-of-concepts.
 """
 
-from conftest import bench_folds
+from conftest import bench_folds, bench_workers
 
 from repro.data import ReportSource
-from repro.evaluate import (ExperimentConfig, run_frequency_baseline,
-                            run_report_source_experiment)
+from repro.evaluate import (ExperimentConfig, run_experiments_parallel,
+                            run_frequency_baseline)
 
 
 def test_experiment2_mechanic_only(benchmark, corpus, bundles, annotator,
@@ -20,13 +20,15 @@ def test_experiment2_mechanic_only(benchmark, corpus, bundles, annotator,
                 ("concepts", "jaccard"), ("concepts", "overlap")]
 
     def run_all():
-        results = []
-        for mode, similarity in variants:
-            config = ExperimentConfig(feature_mode=mode,
-                                      similarity=similarity, folds=folds)
-            results.append(run_report_source_experiment(
-                bundles, config, ReportSource.MECHANIC, corpus.taxonomy,
-                annotator))
+        configs = [ExperimentConfig(feature_mode=mode, similarity=similarity,
+                                    folds=folds,
+                                    test_sources=(ReportSource.MECHANIC,))
+                   for mode, similarity in variants]
+        results = run_experiments_parallel(bundles, configs, corpus.taxonomy,
+                                           annotator,
+                                           max_workers=bench_workers())
+        for result in results:
+            result.name = f"{result.name} [mechanic only]"
         results.append(run_frequency_baseline(
             bundles, ExperimentConfig(folds=folds)))
         return results

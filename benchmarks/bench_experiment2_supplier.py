@@ -6,12 +6,11 @@ and from k=10 (bag-of-concepts); bag-of-concepts + overlap closely tracks
 the code-frequency baseline.
 """
 
-from conftest import bench_folds
+from conftest import bench_folds, bench_workers
 
 from repro.data import ReportSource
 from repro.evaluate import (ExperimentConfig, run_experiment,
-                            run_frequency_baseline,
-                            run_report_source_experiment)
+                            run_experiments_parallel, run_frequency_baseline)
 
 
 def test_experiment2_supplier_only(benchmark, corpus, bundles, annotator,
@@ -21,13 +20,15 @@ def test_experiment2_supplier_only(benchmark, corpus, bundles, annotator,
                 ("concepts", "jaccard"), ("concepts", "overlap")]
 
     def run_all():
-        results = []
-        for mode, similarity in variants:
-            config = ExperimentConfig(feature_mode=mode,
-                                      similarity=similarity, folds=folds)
-            results.append(run_report_source_experiment(
-                bundles, config, ReportSource.SUPPLIER, corpus.taxonomy,
-                annotator))
+        configs = [ExperimentConfig(feature_mode=mode, similarity=similarity,
+                                    folds=folds,
+                                    test_sources=(ReportSource.SUPPLIER,))
+                   for mode, similarity in variants]
+        results = run_experiments_parallel(bundles, configs, corpus.taxonomy,
+                                           annotator,
+                                           max_workers=bench_workers())
+        for result in results:
+            result.name = f"{result.name} [supplier only]"
         results.append(run_frequency_baseline(
             bundles, ExperimentConfig(folds=folds)))
         results.append(run_experiment(

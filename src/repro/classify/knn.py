@@ -19,6 +19,7 @@ fall *below* the frequency baseline).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 from ..data.bundle import DataBundle, ReportSource, TEST_TIME_SOURCES
@@ -68,12 +69,26 @@ class RankedKnnClassifier:
 
     def score_candidates(self, part_id: str,
                          features: frozenset[str]) -> list[ScoredNode]:
-        """Retrieve and score the candidate set for one bundle."""
-        candidates = self.knowledge_base.candidates(part_id, features)
-        scored = [ScoredNode(node, self.similarity(features, node.features))
-                  for node in candidates]
-        scored.sort(key=lambda item: (-item.score, item.node.error_code,
-                                      -item.node.support))
+        """Retrieve and score the top candidates for one bundle.
+
+        Returns at most ``node_cutoff`` candidates in rank order.  The
+        candidate set is often an order of magnitude larger than the
+        cutoff, so a bounded ``heapq.nsmallest`` selection replaces the
+        full sort; ``nsmallest`` is stable and the key carries the full
+        tie-break, so the result equals ``sorted(...)[:node_cutoff]``
+        exactly.
+        """
+        similarity = self.similarity
+        scored = [ScoredNode(node, similarity(features, node.features))
+                  for node in self.knowledge_base.candidates(part_id,
+                                                             features)]
+
+        def rank_key(item: ScoredNode) -> tuple[float, str, int]:
+            return (-item.score, item.node.error_code, -item.node.support)
+
+        if len(scored) > self.node_cutoff:
+            return heapq.nsmallest(self.node_cutoff, scored, key=rank_key)
+        scored.sort(key=rank_key)
         return scored
 
     def rank_codes(self, part_id: str, features: frozenset[str],

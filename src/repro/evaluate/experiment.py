@@ -19,7 +19,8 @@ from ..data.bundle import DataBundle, ReportSource, TEST_TIME_SOURCES
 from ..data.nhtsa import Complaint
 from ..knowledge.base import KnowledgeBase
 from ..knowledge.extractor import (BagOfConceptsExtractor,
-                                   BagOfWordsExtractor, FeatureExtractor)
+                                   BagOfWordsExtractor, FeatureExtractor,
+                                   complaint_document)
 from ..taxonomy.annotator import ConceptAnnotator
 from ..taxonomy.model import Taxonomy
 from .crossval import stratified_folds
@@ -94,7 +95,16 @@ class ExperimentResult:
         A quick stability check before reading small differences between
         variants as real (use :func:`repro.evaluate.paired_bootstrap` for a
         proper test).
+
+        Raises:
+            ValueError: when *k* was not measured in every fold.
         """
+        for fold in self.folds:
+            if k not in fold.accuracies:
+                raise ValueError(
+                    f"accuracy@{k} was not measured for fold {fold.fold} "
+                    f"of {self.name!r} (known k values: "
+                    f"{sorted(fold.accuracies)})")
         values = [fold.accuracies[k] for fold in self.folds]
         if len(values) < 2:
             return 0.0
@@ -241,6 +251,6 @@ def run_cross_source_evaluation(train_bundles: Sequence[DataBundle],
     for complaint in complaints:
         part_id = part_id_of_code[complaint.planted_code]
         recommendations.append(classifier.classify_text(
-            part_id, complaint.cdescr.lower(), ref_no=complaint.cmplid))
+            part_id, complaint_document(complaint), ref_no=complaint.cmplid))
         truths.append(complaint.planted_code)
     return accuracy_at_k(recommendations, truths, config.ks)

@@ -58,10 +58,24 @@ def mean_reciprocal_rank(recommendations: Sequence[Recommendation],
 def merge_fold_accuracies(per_fold: Sequence[dict[int, float]],
                           weights: Sequence[int] | None = None,
                           ) -> dict[int, float]:
-    """Average accuracy@k dicts over folds (optionally size-weighted)."""
+    """Average accuracy@k dicts over folds (optionally size-weighted).
+
+    Raises:
+        ValueError: on an empty fold list or when the folds disagree about
+            which k values were measured (naming the offending k).
+    """
     if not per_fold:
         raise ValueError("no folds to merge")
     ks = per_fold[0].keys()
+    for index, fold in enumerate(per_fold[1:], start=1):
+        missing = sorted(ks - fold.keys())
+        if missing:
+            raise ValueError(f"fold {index} is missing accuracy@{missing[0]} "
+                             f"(folds must share one k set)")
+        extra = sorted(fold.keys() - ks)
+        if extra:
+            raise ValueError(f"fold {index} has unexpected accuracy@{extra[0]} "
+                             f"(folds must share one k set)")
     if weights is None:
         weights = [1] * len(per_fold)
     total = sum(weights)

@@ -1,10 +1,10 @@
 """Knowledge nodes, feature extraction and the knowledge base (§4.3-4.4)."""
 
-from .base import NODE_SCHEMA, KnowledgeBase
+from .base import NODE_SCHEMA, KnowledgeBase, NodeCache
 from .extractor import (BagOfConceptsExtractor, BagOfWordsExtractor,
-                        FeatureExtractor, extract_test_features,
-                        extract_training_features, test_document,
-                        training_document)
+                        FeatureExtractor, complaint_document,
+                        extract_test_features, extract_training_features,
+                        test_document, training_document)
 from .node import KnowledgeNode
 
 __all__ = [
@@ -14,6 +14,8 @@ __all__ = [
     "KnowledgeBase",
     "KnowledgeNode",
     "NODE_SCHEMA",
+    "NodeCache",
+    "complaint_document",
     "extract_test_features",
     "extract_training_features",
     "test_document",

@@ -9,6 +9,11 @@ concerns".  Candidate retrieval follows Fig. 5:
 2. keep the nodes with the same part ID as the bundle to classify
    (fallback: *all* nodes when the part ID is unknown),
 3. keep the nodes sharing at least one feature with the bundle.
+
+On the classification hot path the steps are answered from a write-through
+:class:`NodeCache` (interned nodes + posting lists) kept in sync with the
+relstore table on every mutation; the table remains the durable source of
+truth for persistence and SQL-style queries.
 """
 
 from __future__ import annotations
@@ -30,6 +35,121 @@ NODE_SCHEMA = Schema.build(
 )
 
 
+class NodeCache:
+    """Write-through materialized view of the knowledge-node table.
+
+    Candidate retrieval (Fig. 5) used to re-materialize a
+    :class:`KnowledgeNode` from a relstore row dict for every candidate of
+    every classification — by far the dominant cost of a ``classify``
+    call.  The cache keeps one interned node object per row (feature
+    frozensets shared through a pool) plus per-part and global feature
+    posting lists, so retrieval is pure dict/set work.  The owning
+    :class:`KnowledgeBase` mirrors every table mutation into the cache,
+    which keeps the cached answer bit-identical to the relstore-backed
+    path (see :meth:`KnowledgeBase.candidates_from_store`).
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, KnowledgeNode] = {}
+        self._part_rows: dict[str, set[int]] = {}
+        # part_id -> feature -> row ids: candidate retrieval for a known
+        # part unions only that part's posting lists.
+        self._part_feature_rows: dict[str, dict[str, set[int]]] = {}
+        # global feature -> row ids, for the unknown-part fallback.
+        self._feature_rows: dict[str, set[int]] = {}
+        self._feature_pool: dict[frozenset[str], frozenset[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def intern_features(self, features: Iterable[str]) -> frozenset[str]:
+        """A pooled frozenset equal to *features* (shared across nodes)."""
+        features = frozenset(features)
+        return self._feature_pool.setdefault(features, features)
+
+    def node(self, row_id: int) -> KnowledgeNode:
+        """The cached node stored under *row_id*."""
+        return self._nodes[row_id]
+
+    def nodes(self) -> Iterator[KnowledgeNode]:
+        """All cached nodes in row-id (= insertion) order."""
+        return iter(self._nodes.values())
+
+    def put(self, row_id: int, node: KnowledgeNode) -> KnowledgeNode:
+        """Register *node* under *row_id*; returns the interned copy."""
+        interned = KnowledgeNode(node.part_id, node.error_code,
+                                 self.intern_features(node.features),
+                                 node.support)
+        self._nodes[row_id] = interned
+        self._part_rows.setdefault(interned.part_id, set()).add(row_id)
+        postings = self._part_feature_rows.setdefault(interned.part_id, {})
+        for feature in interned.features:
+            postings.setdefault(feature, set()).add(row_id)
+            self._feature_rows.setdefault(feature, set()).add(row_id)
+        return interned
+
+    def set_support(self, row_id: int, support: int) -> KnowledgeNode:
+        """Replace the support of the node under *row_id* (postings keep)."""
+        node = self._nodes[row_id].with_support(support)
+        self._nodes[row_id] = node
+        return node
+
+    def discard(self, row_id: int) -> None:
+        """Forget *row_id* and unlink it from all posting lists."""
+        node = self._nodes.pop(row_id, None)
+        if node is None:
+            return
+        part_rows = self._part_rows.get(node.part_id)
+        if part_rows is not None:
+            part_rows.discard(row_id)
+            if not part_rows:
+                del self._part_rows[node.part_id]
+                self._part_feature_rows.pop(node.part_id, None)
+        postings = self._part_feature_rows.get(node.part_id)
+        for feature in node.features:
+            if postings is not None:
+                bucket = postings.get(feature)
+                if bucket is not None:
+                    bucket.discard(row_id)
+                    if not bucket:
+                        del postings[feature]
+            global_bucket = self._feature_rows.get(feature)
+            if global_bucket is not None:
+                global_bucket.discard(row_id)
+                if not global_bucket:
+                    del self._feature_rows[feature]
+
+    def clear(self) -> None:
+        """Drop all cached nodes and posting lists."""
+        self._nodes.clear()
+        self._part_rows.clear()
+        self._part_feature_rows.clear()
+        self._feature_rows.clear()
+        self._feature_pool.clear()
+
+    def candidate_rows(self, part_id: str,
+                       features: Iterable[str]) -> set[int]:
+        """Row ids matching Fig. 5 for (*part_id*, *features*).
+
+        Known part: that part's rows sharing >= 1 feature.  Unknown part:
+        any row sharing a feature, else every row (the paper's fallback).
+        """
+        postings = self._part_feature_rows.get(part_id)
+        shared: set[int] = set()
+        if postings is None and part_id not in self._part_rows:
+            for feature in features:
+                bucket = self._feature_rows.get(feature)
+                if bucket:
+                    shared |= bucket
+            return shared if shared else set(self._nodes)
+        if postings is not None:
+            for feature in features:
+                bucket = postings.get(feature)
+                if bucket:
+                    shared |= bucket
+        return shared
+
+
 class KnowledgeBase:
     """Deduplicated knowledge nodes with index-backed candidate retrieval."""
 
@@ -46,13 +166,19 @@ class KnowledgeBase:
             table.create_index(f"ix_{table_name}_features", "features",
                                inverted=True)
         self._table = table
+        # Write-through node cache: every mutation below mirrors the table
+        # change so candidates() never touches Table.get on the hot path.
+        # Mutating the table behind the KnowledgeBase's back (raw inserts
+        # on kb.database) is not supported — go through add/remove.
+        self._cache = NodeCache()
         # (part_id, error_code, features) -> row id, for dedup on insert
         self._row_ids: dict[tuple, int] = {}
         for row_id in list(self._table.row_ids()):
             row = self._table.get(row_id)
-            key = (row["part_id"], row["error_code"],
-                   frozenset(row["features"]))
-            self._row_ids[key] = row_id
+            node = self._cache.put(row_id, KnowledgeNode(
+                row["part_id"], row["error_code"],
+                frozenset(row["features"]), row["support"]))
+            self._row_ids[node.key] = row_id
 
     # ------------------------------------------------------------------ #
     # construction
@@ -61,9 +187,9 @@ class KnowledgeBase:
         """Insert a node, merging support with an identical configuration."""
         existing_row = self._row_ids.get(node.key)
         if existing_row is not None:
-            current = self._table.get(existing_row)
-            self._table.update(existing_row,
-                               {"support": current["support"] + node.support})
+            merged = self._cache.node(existing_row).support + node.support
+            self._table.update(existing_row, {"support": merged})
+            self._cache.set_support(existing_row, merged)
             return
         row_id = self._table.insert({
             "part_id": node.part_id,
@@ -71,7 +197,8 @@ class KnowledgeBase:
             "features": sorted(node.features),
             "support": node.support,
         })
-        self._row_ids[node.key] = row_id
+        interned = self._cache.put(row_id, node)
+        self._row_ids[interned.key] = row_id
 
     def add_observation(self, part_id: str, error_code: str,
                         features: Iterable[str]) -> None:
@@ -92,11 +219,13 @@ class KnowledgeBase:
         row_id = self._row_ids.get(key)
         if row_id is None:
             return False
-        row = self._table.get(row_id)
-        if row["support"] > 1:
-            self._table.update(row_id, {"support": row["support"] - 1})
+        support = self._cache.node(row_id).support
+        if support > 1:
+            self._table.update(row_id, {"support": support - 1})
+            self._cache.set_support(row_id, support - 1)
         else:
             self._table.delete_row(row_id)
+            self._cache.discard(row_id)
             del self._row_ids[key]
         return True
 
@@ -129,10 +258,8 @@ class KnowledgeBase:
         return self._database
 
     def nodes(self) -> Iterator[KnowledgeNode]:
-        """Iterate over all nodes."""
-        for row in self._table.scan():
-            yield KnowledgeNode(row["part_id"], row["error_code"],
-                                frozenset(row["features"]), row["support"])
+        """Iterate over all nodes (cached; row-id order, like a scan)."""
+        return self._cache.nodes()
 
     def part_ids(self) -> set[str]:
         """All part IDs with at least one node."""
@@ -169,16 +296,44 @@ class KnowledgeBase:
         the part when nothing shares a feature is NOT the fallback — the
         paper falls back to *all* nodes only when the part ID itself is
         unknown to the knowledge base.
+
+        Served from the write-through :class:`NodeCache`: no relstore row
+        is touched, but the returned nodes and their order are identical
+        to :meth:`candidates_from_store`.
         """
-        part_index = self._table._index_on("part_id")
-        feature_index = self._table._index_on("features", inverted=True)
-        part_rows = part_index.lookup(part_id)
+        node_of = self._cache.node
+        return [node_of(row_id)
+                for row_id in sorted(self._cache.candidate_rows(part_id,
+                                                                features))]
+
+    def candidates_from_store(self, part_id: str,
+                              features: frozenset[str] | set[str],
+                              ) -> list[KnowledgeNode]:
+        """Candidate retrieval straight from the relstore table (no cache).
+
+        The reference implementation the cache is checked against (and the
+        path of record before the cache existed).  Uses the table's
+        indexes when they exist and falls back to full scans when they
+        were dropped or the table was supplied without them.
+        """
+        part_index = self._table.index_for("part_id")
+        feature_index = self._table.index_for("features", inverted=True)
+        if part_index is not None:
+            part_rows = part_index.lookup(part_id)
+        else:
+            part_rows = {row_id for row_id in self._table.row_ids()
+                         if self._table.get(row_id)["part_id"] == part_id}
+        if feature_index is not None:
+            shared_rows = feature_index.lookup_any(features)
+        else:
+            wanted = set(features)
+            shared_rows = {row_id for row_id in self._table.row_ids()
+                           if wanted.intersection(
+                               self._table.get(row_id)["features"])}
         if not part_rows:
             # unknown part ID -> all nodes sharing a feature, else all nodes
-            shared_rows = feature_index.lookup_any(features)
             row_ids = shared_rows if shared_rows else set(self._table.row_ids())
         else:
-            shared_rows = feature_index.lookup_any(features)
             row_ids = part_rows & shared_rows
         nodes = []
         for row_id in sorted(row_ids):

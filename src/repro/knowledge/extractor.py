@@ -125,3 +125,16 @@ def extract_test_features(extractor: FeatureExtractor, bundle: DataBundle,
                           ) -> frozenset[str]:
     """Features of *bundle* as seen at classification time."""
     return extractor.extract_text(test_document(bundle, sources))
+
+
+def complaint_document(complaint) -> str:
+    """The classification document of an ODI-style complaint (§5.4).
+
+    Real FLAT_CMPL narratives are upper-cased — a source artifact, not
+    signal — so the text is case-folded before extraction, mirroring what
+    the mixed-case OEM documents look like to the extractors.  Every entry
+    point classifying complaints (cross-source evaluation, the QUEST
+    comparison screen) must build its document here so they cannot drift
+    apart in how they normalize.
+    """
+    return complaint.cdescr.lower()

@@ -15,6 +15,7 @@ from typing import Iterable, Sequence
 from ..classify.knn import RankedKnnClassifier
 from ..data.bundle import DataBundle
 from ..data.nhtsa import Complaint
+from ..knowledge.extractor import complaint_document
 
 
 @dataclass(frozen=True)
@@ -93,7 +94,7 @@ def classify_complaints(classifier: RankedKnnClassifier,
         else:
             part_id = "unknown-public-source"
         recommendation = classifier.classify_text(
-            part_id, complaint.cdescr.lower(), ref_no=complaint.cmplid)
+            part_id, complaint_document(complaint), ref_no=complaint.cmplid)
         if recommendation.codes:
             assigned.append(recommendation.codes[0].error_code)
     return assigned

@@ -106,6 +106,20 @@ class Table:
                 return index
         return None
 
+    def index_for(self, column: str, *, inverted: bool = False) -> BaseIndex | None:
+        """The index covering *column*, or None if there is none.
+
+        Args:
+            column: the indexed column to look for.
+            inverted: require an element (inverted) index instead of a
+                scalar one.
+
+        Callers must handle the None case (typically with a full-scan
+        fallback): indexes can be dropped at runtime and externally
+        supplied tables may never have had them.
+        """
+        return self._index_on(column, inverted=inverted)
+
     # ------------------------------------------------------------------ #
     # mutation
 
@@ -161,16 +175,22 @@ class Table:
         merged = self.schema.as_dict(old_row)
         merged.update(changes)
         new_row = self.schema.normalize(merged)
+        modified: list[tuple[BaseIndex, Any, Any]] = []
         for index in self._indexes.values():
             position = self.schema.index_of(index.column)
-            if old_row[position] == new_row[position]:
+            old_value, new_value = old_row[position], new_row[position]
+            if old_value == new_value:
                 continue
-            index.remove(row_id, old_row[position])
+            index.remove(row_id, old_value)
             try:
-                index.add(row_id, new_row[position])
+                index.add(row_id, new_value)
             except IntegrityError:
-                index.add(row_id, old_row[position])
+                index.add(row_id, old_value)
+                for other, other_old, other_new in reversed(modified):
+                    other.remove(row_id, other_new)
+                    other.add(row_id, other_old)
                 raise
+            modified.append((index, old_value, new_value))
         self._rows[row_id] = new_row
 
     def delete_row(self, row_id: int) -> None:

@@ -149,6 +149,40 @@ class TestCrossSource:
         assert concepts[10] > words[10]
 
 
+class TestCrossSourceNormalization:
+    def test_eval_and_quest_entry_points_agree(self, small_corpus, taxonomy,
+                                               annotator):
+        # regression: both entry points used to lower-case complaint text
+        # ad hoc; they must classify a complaint identically now that the
+        # folding lives in the extractor path (complaint_document)
+        from repro.classify import RankedKnnClassifier
+        from repro.knowledge import KnowledgeBase, complaint_document
+        bundles = experiment_subset(small_corpus.bundles)[:300]
+        extractor = build_extractor("words")
+        classifier = RankedKnnClassifier(
+            KnowledgeBase.from_bundles(bundles, extractor), extractor)
+        complaints = generate_complaints(taxonomy, small_corpus.plan,
+                                         count=20, seed=5)
+        part_of_code = {code.code: code.part_id
+                        for code in small_corpus.plan.all_codes()}
+        from repro.quest import classify_complaints
+        quest_codes = classify_complaints(classifier, complaints,
+                                          part_of_code)
+        direct = [classifier.classify_text(
+            part_of_code[c.planted_code], complaint_document(c),
+            ref_no=c.cmplid) for c in complaints]
+        direct_codes = [r.codes[0].error_code for r in direct if r.codes]
+        assert quest_codes == direct_codes
+
+    def test_complaint_document_folds_case(self, small_corpus, taxonomy):
+        from repro.knowledge import complaint_document
+        complaints = generate_complaints(taxonomy, small_corpus.plan,
+                                         count=5, seed=5)
+        for complaint in complaints:
+            assert complaint_document(complaint) == complaint.cdescr.lower()
+            assert complaint_document(complaint).islower()
+
+
 class TestAccuracyStd:
     def test_std_across_folds(self, small_bundles, taxonomy, annotator):
         config = ExperimentConfig(feature_mode="concepts", folds=3)
@@ -162,3 +196,11 @@ class TestAccuracyStd:
             FoldOutcome(fold=0, test_count=10, accuracies={1: 0.5},
                         knowledge_nodes=1, seconds=0.1)])
         assert result.accuracy_std(1) == 0.0
+
+    def test_unknown_k_named_in_error(self):
+        from repro.evaluate import ExperimentResult, FoldOutcome
+        result = ExperimentResult(name="x", folds=[
+            FoldOutcome(fold=0, test_count=10, accuracies={1: 0.5},
+                        knowledge_nodes=1, seconds=0.1)])
+        with pytest.raises(ValueError, match="accuracy@5"):
+            result.accuracy_std(5)

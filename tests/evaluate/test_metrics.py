@@ -59,6 +59,14 @@ class TestMergeFolds:
         merged = merge_fold_accuracies([{1: 0.5}, {1: 1.0}])
         assert merged[1] == pytest.approx(0.75)
 
+    def test_missing_k_named_in_error(self):
+        with pytest.raises(ValueError, match="accuracy@5"):
+            merge_fold_accuracies([{1: 0.5, 5: 0.8}, {1: 1.0}])
+
+    def test_extra_k_named_in_error(self):
+        with pytest.raises(ValueError, match="accuracy@25"):
+            merge_fold_accuracies([{1: 0.5}, {1: 1.0, 25: 1.0}])
+
     def test_weighted(self):
         merged = merge_fold_accuracies([{1: 0.5}, {1: 1.0}], weights=[3, 1])
         assert merged[1] == pytest.approx(0.625)

@@ -1,0 +1,100 @@
+"""The parallel runner must be a bit-identical drop-in for the serial one."""
+
+import pytest
+
+from repro.data import GeneratorConfig, generate_corpus, plan_corpus
+from repro.evaluate import (ExperimentConfig, MemoizedExtractor,
+                            build_extractor, experiment_subset,
+                            run_experiment, run_experiment_parallel,
+                            run_experiments_parallel)
+from repro.taxonomy import ConceptAnnotator
+
+TINY = {
+    "bundles": 400, "part_ids": 6, "article_codes": 50,
+    "distinct_codes": 80, "singleton_codes": 25,
+    "max_codes_per_part": 25, "parts_over_10_codes": 4,
+}
+
+
+@pytest.fixture(scope="module")
+def tiny_bundles(taxonomy):
+    plan = plan_corpus(taxonomy, seed=19, parameters=TINY)
+    corpus = generate_corpus(taxonomy=taxonomy, plan=plan,
+                             config=GeneratorConfig(seed=19))
+    return experiment_subset(corpus.bundles)
+
+
+@pytest.fixture(scope="module")
+def annotator(taxonomy):
+    return ConceptAnnotator(taxonomy=taxonomy)
+
+
+def fold_accuracies(result):
+    return [fold.accuracies for fold in result.folds]
+
+
+class TestBitIdentity:
+    def test_two_workers_match_serial(self, tiny_bundles, taxonomy,
+                                      annotator):
+        config = ExperimentConfig(feature_mode="words", folds=3)
+        serial = run_experiment(tiny_bundles, config, taxonomy, annotator)
+        parallel = run_experiment_parallel(tiny_bundles, config, taxonomy,
+                                           annotator, max_workers=2)
+        assert fold_accuracies(parallel) == fold_accuracies(serial)
+        assert parallel.accuracies == serial.accuracies
+        assert ([fold.knowledge_nodes for fold in parallel.folds]
+                == [fold.knowledge_nodes for fold in serial.folds])
+
+    def test_serial_fallback_matches_serial(self, tiny_bundles, taxonomy,
+                                            annotator):
+        config = ExperimentConfig(feature_mode="words", folds=3)
+        serial = run_experiment(tiny_bundles, config, taxonomy, annotator)
+        fallback = run_experiment_parallel(tiny_bundles, config, taxonomy,
+                                           annotator, max_workers=1)
+        assert fold_accuracies(fallback) == fold_accuracies(serial)
+
+    def test_shared_feature_mode_variants_match(self, tiny_bundles, taxonomy,
+                                                annotator):
+        # words+jaccard and words+overlap share one knowledge base and one
+        # memoized extraction per fold; accuracies must not notice.
+        configs = [ExperimentConfig(feature_mode="words", folds=2),
+                   ExperimentConfig(feature_mode="words",
+                                    similarity="overlap", folds=2)]
+        joint = run_experiments_parallel(tiny_bundles, configs, taxonomy,
+                                         annotator, max_workers=2)
+        for config, result in zip(configs, joint):
+            serial = run_experiment(tiny_bundles, config, taxonomy, annotator)
+            assert fold_accuracies(result) == fold_accuracies(serial), (
+                config.label)
+
+
+class TestValidation:
+    def test_empty_configs_rejected(self, tiny_bundles):
+        with pytest.raises(ValueError):
+            run_experiments_parallel(tiny_bundles, [])
+
+    def test_mismatched_seed_rejected(self, tiny_bundles):
+        with pytest.raises(ValueError):
+            run_experiments_parallel(tiny_bundles, [
+                ExperimentConfig(folds=2, seed=7),
+                ExperimentConfig(folds=2, seed=8)])
+
+    def test_mismatched_folds_rejected(self, tiny_bundles):
+        with pytest.raises(ValueError):
+            run_experiments_parallel(tiny_bundles, [
+                ExperimentConfig(folds=2),
+                ExperimentConfig(folds=3)])
+
+
+class TestMemoizedExtractor:
+    def test_hit_is_same_object(self):
+        extractor = MemoizedExtractor(build_extractor("words"))
+        first = extractor.extract_text("fan scorched smell")
+        second = extractor.extract_text("fan scorched smell")
+        assert first is second
+        assert first == build_extractor("words").extract_text(
+            "fan scorched smell")
+
+    def test_name_forwarded(self):
+        extractor = MemoizedExtractor(build_extractor("words-nostop"))
+        assert extractor.name == "words-nostop"

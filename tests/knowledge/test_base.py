@@ -97,6 +97,53 @@ class TestCandidates:
         second = kb.candidates("P1", frozenset({"c2"}))
         assert [n.key for n in first] == [n.key for n in second]
 
+    def test_store_path_matches_cache(self, kb):
+        for part, features in (("P1", {"c2"}), ("P1", {"c1"}),
+                               ("P99", {"c4"}), ("P99", {"zz"}),
+                               ("P1", {"zz"})):
+            assert (kb.candidates(part, frozenset(features))
+                    == kb.candidates_from_store(part, frozenset(features)))
+
+    def test_candidates_survive_dropped_indexes(self, kb):
+        # regression: the store path reached into Table._index_on and
+        # crashed with AttributeError when an index had been dropped
+        table = kb.database.table("knowledge_nodes")
+        table.drop_index("ix_knowledge_nodes_part")
+        table.drop_index("ix_knowledge_nodes_features")
+        expected = [("P1", {"c2"}, {"E1", "E2"}), ("P99", {"c4"}, {"E3"})]
+        for part, features, codes in expected:
+            via_scan = kb.candidates_from_store(part, frozenset(features))
+            assert {node.error_code for node in via_scan} == codes
+            assert kb.candidates(part, frozenset(features)) == via_scan
+
+
+class TestNodeCache:
+    def test_feature_sets_interned(self, kb):
+        kb.add_observation("P1", "E7", {"c1", "c2"})
+        nodes = [n for n in kb.nodes() if n.features == {"c1", "c2"}]
+        assert len(nodes) == 2
+        assert nodes[0].features is nodes[1].features
+
+    def test_cache_tracks_support_merge(self, kb):
+        kb.add_observation("P1", "E1", {"c1", "c2"})
+        (node,) = [n for n in kb.candidates("P1", frozenset({"c1"}))
+                   if n.error_code == "E1"]
+        assert node.support == 2
+
+    def test_cache_after_remove_matches_store(self, kb):
+        kb.remove_observation("P1", "E1", {"c1", "c2"})
+        for part, features in (("P1", {"c1"}), ("P1", {"c2"}),
+                               ("P99", {"zz"})):
+            assert (kb.candidates(part, frozenset(features))
+                    == kb.candidates_from_store(part, frozenset(features)))
+
+    def test_unknown_part_fallback_shrinks_with_deletes(self, kb):
+        kb.remove_observation("P2", "E3", {"c4"})
+        # P2 is now unknown: fall back to feature match, then to all nodes
+        assert kb.candidates("P2", frozenset({"c4"})) == kb.candidates(
+            "P2", frozenset({"zz"}))
+        assert len(kb.candidates("P2", frozenset({"zz"}))) == 2
+
 
 class TestPersistenceIntegration:
     def test_database_roundtrip(self, tmp_path, kb):

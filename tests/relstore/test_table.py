@@ -168,6 +168,29 @@ class TestUpdateDelete:
         with pytest.raises(QueryError):
             table.update(12345, {"part_id": "X"})
 
+    def test_update_partial_index_rollback(self):
+        # regression: when a LATER index rejects an update, indexes already
+        # moved to the new value must be rolled back, not left pointing at
+        # a value the row does not hold.
+        t = Table("rollback", bundle_schema())
+        t.create_index("ix_part", "part_id")
+        t.create_index("ix_feat", "features", inverted=True)
+        t.create_index("ux_code", "error_code", unique=True)
+        first = t.insert({"ref": "R1", "part_id": "P1", "error_code": "E1",
+                          "features": ["c1"]})
+        t.insert({"ref": "R2", "part_id": "P2", "error_code": "E2",
+                  "features": ["c2"]})
+        with pytest.raises(IntegrityError):
+            t.update(first, {"part_id": "P9", "features": ["c9"],
+                             "error_code": "E2"})
+        assert t.get(first)["part_id"] == "P1"
+        assert t.index_for("part_id").lookup("P1") == {first}
+        assert t.index_for("part_id").lookup("P9") == set()
+        feat = t.index_for("features", inverted=True)
+        assert feat.lookup("c1") == {first}
+        assert feat.lookup("c9") == set()
+        assert t.select_one(col("part_id") == "P1")["ref"] == "R1"
+
     def test_delete_with_predicate(self, table):
         assert table.delete(col("part_id") == "P1") == 2
         assert len(table) == 1
@@ -214,6 +237,19 @@ class TestIndexManagement:
             table.drop_index("ix_part")
         # selection still works via scan
         assert len(table.select(col("part_id") == "P1")) == 2
+
+    def test_index_for_finds_matching_kind(self, table):
+        assert isinstance(table.index_for("part_id"), HashIndex)
+        assert isinstance(table.index_for("features", inverted=True),
+                          InvertedIndex)
+        # kind mismatch and unindexed columns return None, never raise
+        assert table.index_for("features") is None
+        assert table.index_for("part_id", inverted=True) is None
+        assert table.index_for("score") is None
+
+    def test_index_for_after_drop(self, table):
+        table.drop_index("ix_part")
+        assert table.index_for("part_id") is None
 
 
 class TestIndexUnits:
