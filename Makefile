@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-faults lint bench
+
+# Tier-1: the fast deterministic suite gating every change.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Tier-2: seeded fault-injection scenarios (torn WALs, bit flips,
+# crashes mid-save, poisoned CASes) across 5 seeds per scenario.
+test-faults:
+	$(PYTHON) -m pytest -q -m faults
+
+lint:
+	$(PYTHON) tools/lint_bare_except.py src
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q

@@ -8,6 +8,11 @@ Subcommands::
     python -m repro compare [--top N]     # Fig. 14 distributions
     python -m repro annotators            # §4.5.3 coverage comparison
     python -m repro serve [--port P]      # run the QUEST web app
+    python -m repro recover DIR           # crash-recover a database dir
+
+``fieldstudy`` and ``serve`` accept ``--on-error={fail_fast,skip,quarantine}``
+to pick the pipeline's degradation policy (see DESIGN.md, "Durability &
+failure semantics").
 
 All subcommands operate on the default seeded corpus, so output is
 reproducible.
@@ -53,9 +58,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("annotators", help="annotator coverage (§4.5.3)")
 
+    def add_on_error(command) -> None:
+        command.add_argument(
+            "--on-error", choices=["fail_fast", "skip", "quarantine"],
+            default="fail_fast", dest="on_error",
+            help="pipeline error policy: fail_fast (default) aborts on the "
+                 "first broken bundle, skip drops it, quarantine drops it "
+                 "and reports every failure at the end")
+
     fieldstudy = commands.add_parser(
         "fieldstudy", help="simulated field study of the QUEST UI (§6)")
     fieldstudy.add_argument("--sessions", type=int, default=200)
+    add_on_error(fieldstudy)
 
     extend = commands.add_parser(
         "extend", help="mine taxonomy-extension proposals from the corpus")
@@ -65,6 +79,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--train", type=int, default=2000,
                        help="bundles used to train the demo knowledge base")
+    add_on_error(serve)
+
+    recover = commands.add_parser(
+        "recover",
+        help="recover a crash-damaged database directory (WAL replay + "
+             "quarantine of corrupt rows)")
+    recover.add_argument("directory", help="the database directory")
+    recover.add_argument("--checkpoint", action="store_true",
+                         help="write a fresh snapshot after recovery, "
+                              "folding the WAL back in")
     return parser
 
 
@@ -170,14 +194,15 @@ def _cmd_annotators() -> int:
     return 0
 
 
-def _cmd_fieldstudy(sessions: int) -> int:
+def _cmd_fieldstudy(sessions: int, on_error: str) -> int:
     from .core import QATK, QatkConfig  # noqa: F811 (local import by design)
     from .quest import simulate_field_study
     corpus = generate_corpus()
     bundles = experiment_subset(corpus.bundles)
     historical, incoming = bundles[:-sessions], bundles[-sessions:]
     for mode in ("words", "concepts"):
-        qatk = QATK(corpus.taxonomy, QatkConfig(feature_mode=mode))
+        qatk = QATK(corpus.taxonomy, QatkConfig(feature_mode=mode,
+                                                error_policy=on_error))
         qatk.train(historical)
         service = qatk.make_service()
         report = simulate_field_study(incoming, qatk.classify,
@@ -202,12 +227,13 @@ def _cmd_extend(top: int) -> int:
     return 0
 
 
-def _cmd_serve(port: int, train: int) -> int:
+def _cmd_serve(port: int, train: int, on_error: str) -> int:
     from .core import QATK, QatkConfig
     from .quest import QuestApp, QuestServer, Role, User, UserStore
     corpus = generate_corpus()
     bundles = experiment_subset(corpus.bundles)
-    qatk = QATK(corpus.taxonomy, QatkConfig(feature_mode="words"))
+    qatk = QATK(corpus.taxonomy, QatkConfig(feature_mode="words",
+                                            error_policy=on_error))
     qatk.train(bundles[:train])
     service = qatk.make_service()
     service.register_bundles([bundle.without_label()
@@ -229,6 +255,22 @@ def _cmd_serve(port: int, train: int) -> int:
     return 0
 
 
+def _cmd_recover(directory: str, do_checkpoint: bool) -> int:
+    from .relstore import PersistenceError, recover_database, save_database
+    try:
+        database, report = recover_database(directory)
+    except PersistenceError as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    if do_checkpoint:
+        save_database(database, directory)
+        print("checkpoint written (WAL folded into a fresh snapshot)")
+    print("recovery " + ("clean" if report.clean else
+                         "completed with findings (see above)"))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -243,11 +285,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "annotators":
         return _cmd_annotators()
     if args.command == "fieldstudy":
-        return _cmd_fieldstudy(args.sessions)
+        return _cmd_fieldstudy(args.sessions, args.on_error)
     if args.command == "extend":
         return _cmd_extend(args.top)
     if args.command == "serve":
-        return _cmd_serve(args.port, args.train)
+        return _cmd_serve(args.port, args.train, args.on_error)
+    if args.command == "recover":
+        return _cmd_recover(args.directory, args.checkpoint)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -40,6 +40,13 @@ class QatkConfig:
     node_cutoff: int = DEFAULT_NODE_CUTOFF
     annotate_concepts: bool = True
     extra_engines: list[AnalysisEngine] = field(default_factory=list)
+    #: Pipeline degradation semantics (see :class:`repro.uima.Pipeline`):
+    #: ``fail_fast`` (default, the historical behavior), ``skip`` or
+    #: ``quarantine``.
+    error_policy: str = "fail_fast"
+    #: Per-CAS retries with exponential backoff before the policy applies.
+    max_retries: int = 0
+    retry_backoff: float = 0.0
 
 
 class QATK:
@@ -80,11 +87,17 @@ class QATK:
         engines.extend(self.config.extra_engines)
         return engines
 
+    def _pipeline_options(self) -> dict:
+        return {"error_policy": self.config.error_policy,
+                "max_retries": self.config.max_retries,
+                "retry_backoff": self.config.retry_backoff}
+
     def training_pipeline(self, bundles: Iterable[DataBundle]) -> Pipeline:
         """The full training-phase pipeline over *bundles*."""
         return Pipeline(BundleReader(bundles, training=True),
                         self.analysis_engines(),
-                        [KnowledgeBaseConsumer(self.knowledge_base)])
+                        [KnowledgeBaseConsumer(self.knowledge_base)],
+                        **self._pipeline_options())
 
     def classification_pipeline(self, bundles: Iterable[DataBundle],
                                 sources: Sequence[ReportSource] | None = None,
@@ -95,7 +108,8 @@ class QATK:
                                                 self.knowledge_base.feature_kind))
         return Pipeline(BundleReader(bundles, training=False, sources=sources),
                         engines,
-                        [RecommendationConsumer(self.database)])
+                        [RecommendationConsumer(self.database)],
+                        **self._pipeline_options())
 
     # ------------------------------------------------------------------ #
     # convenience API

@@ -100,11 +100,26 @@ def _evaluate_fold(task: tuple) -> list[FoldOutcome]:
     return outcomes
 
 
+def _evaluate_fold_with_retry(task: tuple) -> list[FoldOutcome]:
+    """Evaluate one fold, retrying once before failing the run.
+
+    Fold evaluation is deterministic, so a retry only helps against
+    *transient* faults (a flaky annotator dependency, an OOM-killed
+    worker, injected test faults) — exactly the cases where failing a
+    multi-minute cross-validation run outright is wasteful.  A second
+    failure propagates: it is then a real bug, not noise.
+    """
+    try:
+        return _evaluate_fold(task)
+    except Exception:
+        return _evaluate_fold(task)
+
+
 def _run_pool(tasks: list[tuple], max_workers: int) -> list[list[FoldOutcome]]:
     """Run fold tasks on a process pool; raises when no pool is possible."""
     from concurrent.futures import ProcessPoolExecutor
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(_evaluate_fold, tasks))
+        return list(pool.map(_evaluate_fold_with_retry, tasks))
 
 
 def run_experiments_parallel(bundles: Sequence[DataBundle],
@@ -158,7 +173,7 @@ def run_experiments_parallel(bundles: Sequence[DataBundle],
             # the serial path below computes the identical result.
             per_fold = None
     if per_fold is None:
-        per_fold = [_evaluate_fold(task) for task in tasks]
+        per_fold = [_evaluate_fold_with_retry(task) for task in tasks]
     results = [ExperimentResult(name=config.label) for config in configs]
     for fold_outcomes in per_fold:
         for result, outcome in zip(results, fold_outcomes):

@@ -3,6 +3,7 @@
 from .compare import (ComparisonView, Distribution, Slice,
                       classify_complaints, compare_sources,
                       distribution_from_codes)
+from .errors import DegradedServiceError, QuestError, UnknownBundleError
 from .export import (assignments_to_csv, comparison_to_json,
                      recommendations_to_csv)
 from .service import (SUGGESTION_COUNT, QuestService, SuggestionView)
@@ -13,10 +14,13 @@ from .webapp import QuestApp, QuestServer
 
 __all__ = [
     "ComparisonView",
+    "DegradedServiceError",
     "Distribution",
     "FieldStudyReport",
     "TriageOutcome",
     "PermissionError_",
+    "QuestError",
+    "UnknownBundleError",
     "QuestApp",
     "QuestServer",
     "QuestService",

@@ -1,0 +1,21 @@
+"""Typed exception hierarchy for the QUEST service layer.
+
+:class:`QuestError` subclasses :class:`ValueError` because the service
+historically raised bare ``ValueError`` for bad inputs; existing callers
+(and tests) that catch ``ValueError`` keep working while new code can
+catch storage-/service-level problems precisely.
+"""
+
+from __future__ import annotations
+
+
+class QuestError(ValueError):
+    """Base class for every error raised by the QUEST service layer."""
+
+
+class UnknownBundleError(QuestError):
+    """A reference number does not correspond to any stored bundle."""
+
+
+class DegradedServiceError(QuestError):
+    """Every fallback path for a degraded suggestion also failed."""

@@ -20,6 +20,7 @@ from ..classify.results import (Recommendation, load_recommendation,
 from ..data.bundle import DataBundle
 from ..data.schema import create_raw_tables, load_bundle, store_bundles
 from ..relstore import Column, ColumnType, Database, Schema, col
+from .errors import DegradedServiceError, QuestError, UnknownBundleError
 from .users import PermissionError_, User
 
 #: "the user is first presented with a selection of the 10 most likely
@@ -54,6 +55,10 @@ class SuggestionView:
     bundle: DataBundle
     suggestions: Recommendation
     all_codes: list[str]
+    #: None for a normal classification; otherwise which fallback produced
+    #: the suggestions ("stored", "fallback" or "frequency") after the
+    #: primary classifier failed.
+    degraded: str | None = None
 
     @property
     def top10(self) -> list[str]:
@@ -67,10 +72,15 @@ class QuestService:
 
     def __init__(self, database: Database,
                  classifier: RankedKnnClassifier,
-                 frequency_baseline: CodeFrequencyBaseline) -> None:
+                 frequency_baseline: CodeFrequencyBaseline,
+                 fallback_classifier: RankedKnnClassifier | None = None) -> None:
         self.database = database
         self.classifier = classifier
         self.frequency_baseline = frequency_baseline
+        #: Optional secondary classifier for degraded mode — typically a
+        #: BoW (words-mode) classifier that needs no concept annotator, so
+        #: it keeps working when the taxonomy/annotation path fails.
+        self.fallback_classifier = fallback_classifier
         create_raw_tables(database)
         self._assignments = database.create_table(
             "assignments", ASSIGNMENT_SCHEMA, if_not_exists=True)
@@ -94,20 +104,69 @@ class QuestService:
     # ------------------------------------------------------------------ #
     # suggestions (§4.4 step 3c + §4.5.4)
 
-    def suggest(self, ref_no: str, *, persist: bool = True) -> SuggestionView:
+    def suggest(self, ref_no: str, *, persist: bool = True,
+                on_error: str = "degrade") -> SuggestionView:
         """Classify a bundle and build the assignment screen's data.
 
+        Args:
+            ref_no: the bundle's reference number.
+            persist: store the freshly computed recommendation.
+            on_error: ``"degrade"`` (default) falls back when the primary
+                classifier raises — first to a previously stored
+                suggestion, then to the BoW ``fallback_classifier`` (if
+                configured), then to the code-frequency baseline — and
+                labels the view's ``degraded`` field accordingly.
+                ``"raise"`` propagates the classifier's error.
+
         Raises:
-            ValueError: if the bundle is unknown.
+            UnknownBundleError: if the bundle is unknown.
+            DegradedServiceError: if the classifier failed and every
+                fallback failed too.
         """
         bundle = self.bundle(ref_no)
         if bundle is None:
-            raise ValueError(f"no bundle {ref_no!r}")
-        recommendation = self.classifier.classify_bundle(bundle.without_label())
-        if persist:
+            raise UnknownBundleError(f"no bundle {ref_no!r}")
+        degraded = None
+        try:
+            recommendation = self.classifier.classify_bundle(
+                bundle.without_label())
+        except Exception as exc:
+            if on_error == "raise":
+                raise
+            recommendation, degraded = self._degraded_suggestion(bundle, exc)
+        # A degraded answer never overwrites a previously stored (healthy)
+        # recommendation.
+        if persist and degraded is None:
             store_recommendations(self.database, [recommendation])
         return SuggestionView(bundle=bundle, suggestions=recommendation,
-                              all_codes=self.full_code_list(bundle.part_id))
+                              all_codes=self.full_code_list(bundle.part_id),
+                              degraded=degraded)
+
+    def _degraded_suggestion(self, bundle: DataBundle,
+                             cause: Exception,
+                             ) -> tuple[Recommendation, str]:
+        """The fallback chain behind degraded :meth:`suggest`."""
+        stored = self.stored_suggestion(bundle.ref_no)
+        if stored is not None:
+            return stored, "stored"
+        if self.fallback_classifier is not None:
+            try:
+                return (self.fallback_classifier.classify_bundle(
+                    bundle.without_label()), "fallback")
+            except Exception:
+                pass  # fall through to the frequency baseline
+        try:
+            recommendation = self.frequency_baseline.classify_bundle(
+                bundle.without_label())
+        except Exception as exc:
+            raise DegradedServiceError(
+                f"classifier failed for {bundle.ref_no!r} ({cause!r}) and "
+                f"no fallback succeeded") from exc
+        if not recommendation.codes:
+            raise DegradedServiceError(
+                f"classifier failed for {bundle.ref_no!r} ({cause!r}) and "
+                f"no fallback produced any suggestion") from cause
+        return recommendation, "frequency"
 
     def stored_suggestion(self, ref_no: str) -> Recommendation | None:
         """A previously persisted recommendation, if any."""
@@ -145,24 +204,30 @@ class QuestService:
 
         Raises:
             PermissionError_: if *actor* may not assign codes.
-            ValueError: unknown bundle, or a code that is neither known for
-                the part nor a custom code.
+            UnknownBundleError: unknown bundle.
+            QuestError: a code that is neither known for the part nor a
+                custom code, or an inconsistent bundle store (both are
+                ``ValueError`` subclasses, as before).
         """
         if not actor.can("assign"):
             raise PermissionError_(f"{actor.name} may not assign error codes")
         bundle = self.bundle(ref_no)
         if bundle is None:
-            raise ValueError(f"no bundle {ref_no!r}")
+            raise UnknownBundleError(f"no bundle {ref_no!r}")
         available = set(self.full_code_list(bundle.part_id))
         if error_code not in available:
-            raise ValueError(f"code {error_code!r} is not available for part "
+            raise QuestError(f"code {error_code!r} is not available for part "
                              f"{bundle.part_id}")
         suggestion = self.stored_suggestion(ref_no)
         from_suggestions = bool(
             suggestion and suggestion.hit_at(error_code, SUGGESTION_COUNT))
         bundles = self.database.table("bundles")
-        row_id = next(rid for rid in bundles.row_ids()
-                      if bundles.get(rid)["ref_no"] == ref_no)
+        row_id = next((rid for rid in bundles.row_ids()
+                       if bundles.get(rid)["ref_no"] == ref_no), None)
+        if row_id is None:
+            raise QuestError(
+                f"bundle {ref_no!r} has reports but no bundles row; "
+                f"the raw store is inconsistent")
         previous_code = bundles.get(row_id)["error_code"]
         bundles.update(row_id, {"error_code": error_code})
         self._assignments.insert({

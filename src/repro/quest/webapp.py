@@ -17,6 +17,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..data.schema import load_bundles
 from .compare import ComparisonView
+from .errors import QuestError, UnknownBundleError
 from .service import QuestService
 from .users import PermissionError_, User, UserStore
 from . import views
@@ -48,8 +49,10 @@ class QuestApp:
             ref_no = urllib.parse.unquote(path[len("/bundle/"):])
             try:
                 view = self.service.suggest(ref_no)
-            except ValueError as exc:
+            except UnknownBundleError as exc:
                 return 404, views.render_message("Not found", str(exc))
+            except QuestError as exc:
+                return 503, views.render_message("Service degraded", str(exc))
             return 200, views.render_suggestions(view)
         if path == "/compare":
             if self.comparison is None:

@@ -16,20 +16,24 @@ Quickstart:
 
 from .csv_io import export_csv, import_csv, load_csv_into, table_to_csv
 from .database import Database
-from .errors import (IntegrityError, PersistenceError, QueryError,
-                     RelStoreError, SchemaError, SqlError, TransactionError)
+from .errors import (CorruptionError, IntegrityError, PersistenceError,
+                     QueryError, RelStoreError, SchemaError, SqlError,
+                     TransactionError, WalError)
 from .index import HashIndex, InvertedIndex, UniqueIndex
 from .join import hash_join
-from .persist import load_database, save_database
+from .persist import (RecoveryReport, checkpoint, load_database,
+                      open_database, recover_database, save_database)
 from .predicate import ALWAYS, Like, Predicate, col
 from .sql import execute, parse, tokenize
 from .table import Table
 from .types import Column, ColumnType, Schema
+from .wal import WriteAheadLog
 
 __all__ = [
     "ALWAYS",
     "Column",
     "ColumnType",
+    "CorruptionError",
     "Database",
     "HashIndex",
     "IntegrityError",
@@ -38,6 +42,7 @@ __all__ = [
     "PersistenceError",
     "Predicate",
     "QueryError",
+    "RecoveryReport",
     "RelStoreError",
     "Schema",
     "SchemaError",
@@ -45,6 +50,9 @@ __all__ = [
     "Table",
     "TransactionError",
     "UniqueIndex",
+    "WalError",
+    "WriteAheadLog",
+    "checkpoint",
     "col",
     "export_csv",
     "import_csv",
@@ -52,7 +60,9 @@ __all__ = [
     "execute",
     "hash_join",
     "load_database",
+    "open_database",
     "parse",
+    "recover_database",
     "save_database",
     "table_to_csv",
     "tokenize",

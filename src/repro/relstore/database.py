@@ -25,6 +25,33 @@ class Database:
         self.name = name
         self._tables: dict[str, Table] = {}
         self._undo_log: list[Callable[[], None]] | None = None
+        self._journal: Callable[[Mapping[str, Any]], None] | None = None
+        self._txn_ops: list[Mapping[str, Any]] = []
+        self._journal_suppressed = False
+        self._wal = None  # WriteAheadLog attached by persist.open_database
+
+    # ------------------------------------------------------------------ #
+    # journaling (write-ahead logging)
+
+    def set_journal(self, journal: Callable[[Mapping[str, Any]], None] | None) -> None:
+        """Route every committed mutation through *journal* (or stop, if None).
+
+        Used by :func:`repro.relstore.persist.open_database` to attach a
+        write-ahead log.  Ops performed inside a transaction are buffered
+        and only reach the journal on ``commit``; ``rollback`` discards
+        them (and suppresses the journal while undoing).
+        """
+        self._journal = journal
+        for table in self._tables.values():
+            table.journal = self._route_op
+
+    def _route_op(self, op: Mapping[str, Any]) -> None:
+        if self._journal is None or self._journal_suppressed:
+            return
+        if self._undo_log is not None:
+            self._txn_ops.append(op)
+        else:
+            self._journal(op)
 
     # ------------------------------------------------------------------ #
     # catalog
@@ -40,7 +67,10 @@ class Database:
                 return self._tables[name]
             raise SchemaError(f"table {name!r} already exists")
         table = Table(name, schema)
+        table.journal = self._route_op
         self._tables[name] = table
+        self._route_op({"op": "create_table", "table": name,
+                        "schema": schema.to_json()})
         if self._undo_log is not None:
             self._undo_log.append(lambda: self._tables.pop(name, None))
         return table
@@ -56,6 +86,7 @@ class Database:
                 return
             raise QueryError(f"no table {name!r}")
         table = self._tables.pop(name)
+        self._route_op({"op": "drop_table", "table": name})
         if self._undo_log is not None:
             self._undo_log.append(lambda: self._tables.__setitem__(name, table))
 
@@ -142,6 +173,7 @@ class Database:
         if self._undo_log is not None:
             raise TransactionError("transaction already open")
         self._undo_log = []
+        self._txn_ops = []
 
     def commit(self) -> None:
         """Commit the open transaction.
@@ -152,6 +184,10 @@ class Database:
         if self._undo_log is None:
             raise TransactionError("no transaction to commit")
         self._undo_log = None
+        ops, self._txn_ops = self._txn_ops, []
+        if self._journal is not None:
+            for op in ops:
+                self._journal(op)
 
     def rollback(self) -> None:
         """Undo every change made since :meth:`begin`.
@@ -162,8 +198,13 @@ class Database:
         if self._undo_log is None:
             raise TransactionError("no transaction to roll back")
         log, self._undo_log = self._undo_log, None
-        for undo in reversed(log):
-            undo()
+        self._txn_ops = []
+        self._journal_suppressed = True
+        try:
+            for undo in reversed(log):
+                undo()
+        finally:
+            self._journal_suppressed = False
 
     @contextmanager
     def transaction(self) -> Iterator["Database"]:

@@ -33,3 +33,15 @@ class TransactionError(RelStoreError):
 
 class PersistenceError(RelStoreError):
     """A database directory could not be written or read back."""
+
+
+class CorruptionError(PersistenceError):
+    """Stored data failed a checksum or is structurally damaged.
+
+    Raised only in strict loading mode; recovery mode quarantines the
+    damaged records instead (see :func:`repro.relstore.persist.recover_database`).
+    """
+
+
+class WalError(PersistenceError):
+    """The write-ahead log could not be appended to, read, or truncated."""

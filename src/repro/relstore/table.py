@@ -31,8 +31,17 @@ class Table:
         self._rows: dict[int, tuple[Any, ...]] = {}
         self._next_row_id = 1
         self._indexes: dict[str, BaseIndex] = {}
+        #: Optional mutation journal: a callable receiving one op dict per
+        #: committed change.  Set by ``Database`` so a write-ahead log can
+        #: capture mutations made directly on the table (the QUEST service
+        #: layer mutates tables without going through ``Database`` helpers).
+        self.journal: Callable[[dict[str, Any]], None] | None = None
         if schema.primary_key is not None:
             self.create_index(f"pk_{name}", schema.primary_key, unique=True)
+
+    def _emit(self, op: dict[str, Any]) -> None:
+        if self.journal is not None:
+            self.journal(op)
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -85,6 +94,9 @@ class Table:
         for row_id, row in self._rows.items():
             index.add(row_id, row[position])
         self._indexes[index_name] = index
+        self._emit({"op": "create_index", "table": self.name,
+                    "name": index_name, "column": column,
+                    "unique": unique, "inverted": inverted})
         return index
 
     def drop_index(self, index_name: str) -> None:
@@ -96,6 +108,8 @@ class Table:
         if index_name not in self._indexes:
             raise SchemaError(f"no index {index_name!r} on table {self.name!r}")
         del self._indexes[index_name]
+        self._emit({"op": "drop_index", "table": self.name,
+                    "name": index_name})
 
     def _index_on(self, column: str, *, inverted: bool = False) -> BaseIndex | None:
         for index in self._indexes.values():
@@ -123,15 +137,27 @@ class Table:
     # ------------------------------------------------------------------ #
     # mutation
 
-    def insert(self, values: Mapping[str, Any]) -> int:
+    def insert(self, values: Mapping[str, Any], *,
+               row_id: int | None = None) -> int:
         """Insert one row; returns its row id.
+
+        Args:
+            values: the row as a column->value mapping.
+            row_id: restore the row under this explicit id (used by WAL
+                replay and snapshot loading so ids stay stable across
+                reopens); must not collide with a live row.
 
         Raises:
             SchemaError: on schema violations.
-            IntegrityError: on unique-index violations (no partial effects).
+            IntegrityError: on unique-index violations or a duplicate
+                explicit *row_id* (no partial effects).
         """
         row = self.schema.normalize(values)
-        row_id = self._next_row_id
+        if row_id is None:
+            row_id = self._next_row_id
+        elif row_id in self._rows:
+            raise IntegrityError(
+                f"row id {row_id} already exists in table {self.name!r}")
         added: list[tuple[BaseIndex, Any]] = []
         try:
             for index in self._indexes.values():
@@ -143,7 +169,9 @@ class Table:
                 index.remove(row_id, value)
             raise
         self._rows[row_id] = row
-        self._next_row_id += 1
+        self._next_row_id = max(self._next_row_id, row_id + 1)
+        self._emit({"op": "insert", "table": self.name, "id": row_id,
+                    "row": self.schema.as_dict(row)})
         return row_id
 
     def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> list[int]:
@@ -192,6 +220,8 @@ class Table:
                 raise
             modified.append((index, old_value, new_value))
         self._rows[row_id] = new_row
+        self._emit({"op": "update", "table": self.name, "id": row_id,
+                    "row": self.schema.as_dict(new_row)})
 
     def delete_row(self, row_id: int) -> None:
         """Delete one row by its id.
@@ -204,6 +234,7 @@ class Table:
             raise QueryError(f"no row {row_id} in table {self.name!r}")
         for index in self._indexes.values():
             index.remove(row_id, row[self.schema.index_of(index.column)])
+        self._emit({"op": "delete", "table": self.name, "id": row_id})
 
     def delete(self, predicate: Predicate = ALWAYS) -> int:
         """Delete all rows matching *predicate*; returns the count."""
@@ -213,6 +244,7 @@ class Table:
             row = self._rows.pop(row_id)
             for index in self._indexes.values():
                 index.remove(row_id, row[self.schema.index_of(index.column)])
+            self._emit({"op": "delete", "table": self.name, "id": row_id})
         return len(doomed)
 
     def clear(self) -> None:
@@ -220,6 +252,7 @@ class Table:
         self._rows.clear()
         for index in self._indexes.values():
             index.clear()
+        self._emit({"op": "clear", "table": self.name})
 
     # ------------------------------------------------------------------ #
     # querying

@@ -1,0 +1,12 @@
+"""Test support utilities shipped with the package.
+
+:mod:`repro.testing.faults` provides the deterministic fault-injection
+harness the robustness test suite (tier 2, ``pytest -m faults``) is built
+on.  It lives in ``src`` rather than ``tests`` so examples, benchmarks and
+downstream users can exercise failure paths the same way the test suite
+does.
+"""
+
+from .faults import FaultInjected, FaultPlan
+
+__all__ = ["FaultInjected", "FaultPlan"]

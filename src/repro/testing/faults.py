@@ -1,0 +1,158 @@
+"""Deterministic fault injection for robustness testing.
+
+A :class:`FaultPlan` is a *seeded* source of faults: every decision it
+makes — where to truncate a file, which byte to flip, which call to fail —
+comes from one ``random.Random(seed)`` stream, so a failing scenario
+reproduces exactly from its seed alone.  The tier-2 fault suite runs the
+same scenarios across several seeds (``make test-faults``).
+
+Fault kinds (matching the crash modes the storage/pipeline layers defend
+against):
+
+* :meth:`FaultPlan.raise_on_nth` — wrap a callable so its *n*-th
+  invocation raises (process dies mid-save, annotator blows up on one CAS).
+* :meth:`FaultPlan.flaky` — wrap a callable so its first *k* invocations
+  raise, then it works (transient faults; proves retry paths).
+* :meth:`FaultPlan.truncate_file` — cut a file at a (seeded) byte offset
+  (torn write / power loss mid-append).
+* :meth:`FaultPlan.flip_byte` — XOR one (seeded) byte (bit rot, bad
+  block; proves checksums catch silent corruption).
+* :meth:`FaultPlan.slow` — wrap a callable with a delay (stragglers;
+  proves timeouts/backoff don't change results).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from pathlib import Path
+from typing import Any, Callable, TypeVar
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+class FaultInjected(Exception):
+    """The exception raised by injected faults (never raised by real code,
+    so tests can assert it traveled through the system under test)."""
+
+
+class FaultPlan:
+    """A seeded, reproducible source of injected faults.
+
+    Args:
+        seed: drives every random choice this plan makes.  Two plans with
+            the same seed inject byte-identical faults.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        #: Human-readable log of every fault injected, for test diagnostics.
+        self.injected: list[str] = []
+
+    def _note(self, message: str) -> None:
+        self.injected.append(message)
+
+    # ------------------------------------------------------------------ #
+    # call faults
+
+    def raise_on_nth(self, func: F, n: int,
+                     exc_type: type[Exception] = FaultInjected) -> F:
+        """Wrap *func* so its *n*-th call (1-based) raises *exc_type*.
+
+        Calls before and after the *n*-th pass through unchanged, so a
+        crash "mid-save" leaves earlier writes on disk exactly as a real
+        crash would.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        calls = 0
+
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            nonlocal calls
+            calls += 1
+            if calls == n:
+                self._note(f"raise_on_nth: call {n} of "
+                           f"{getattr(func, '__name__', func)!r}")
+                raise exc_type(f"injected fault on call {n}")
+            return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    def flaky(self, func: F, fail_times: int = 1,
+              exc_type: type[Exception] = FaultInjected) -> F:
+        """Wrap *func* so its first *fail_times* calls raise, then it
+        succeeds — the canonical transient fault for retry tests."""
+        if fail_times < 0:
+            raise ValueError("fail_times must be >= 0")
+        calls = 0
+
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            nonlocal calls
+            calls += 1
+            if calls <= fail_times:
+                self._note(f"flaky: failing call {calls}/{fail_times} of "
+                           f"{getattr(func, '__name__', func)!r}")
+                raise exc_type(f"injected transient fault "
+                               f"(call {calls} of {fail_times})")
+            return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    def slow(self, func: F, seconds: float = 0.01,
+             sleep: Callable[[float], None] = time.sleep) -> F:
+        """Wrap *func* to sleep *seconds* before every call."""
+
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            self._note(f"slow: {seconds}s before "
+                       f"{getattr(func, '__name__', func)!r}")
+            sleep(seconds)
+            return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # file faults
+
+    def truncate_file(self, path: str | Path,
+                      keep_bytes: int | None = None) -> int:
+        """Truncate *path* at a seeded offset (or exactly *keep_bytes*).
+
+        Simulates a torn write / power loss mid-append.  The offset is
+        drawn uniformly from ``[0, size)``, so over seeds it lands both
+        mid-record and on record boundaries.  Returns the new size.
+        """
+        path = Path(path)
+        size = path.stat().st_size
+        if keep_bytes is None:
+            keep_bytes = self._rng.randrange(size) if size else 0
+        keep_bytes = max(0, min(keep_bytes, size))
+        with path.open("r+b") as handle:
+            handle.truncate(keep_bytes)
+        self._note(f"truncate_file: {path.name} {size} -> {keep_bytes} bytes")
+        return keep_bytes
+
+    def flip_byte(self, path: str | Path,
+                  position: int | None = None) -> int:
+        """XOR one byte of *path* with a seeded non-zero mask.
+
+        Simulates silent corruption (bit rot, bad block) that only a
+        checksum can catch.  Returns the flipped position.
+
+        Raises:
+            ValueError: if the file is empty (nothing to corrupt).
+        """
+        path = Path(path)
+        data = bytearray(path.read_bytes())
+        if not data:
+            raise ValueError(f"cannot flip a byte of empty file {path}")
+        if position is None:
+            position = self._rng.randrange(len(data))
+        mask = self._rng.randrange(1, 256)
+        data[position] ^= mask
+        path.write_bytes(bytes(data))
+        self._note(f"flip_byte: {path.name}[{position}] ^= {mask:#04x}")
+        return position
+
+    def __repr__(self) -> str:
+        return f"<FaultPlan seed={self.seed} injected={len(self.injected)}>"

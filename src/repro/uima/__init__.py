@@ -8,13 +8,16 @@ Python.
 
 from .cas import (CAS, Annotation, TypeDescriptor, TypeSystem,
                   default_type_system)
-from .engine import (AggregateEngine, AnalysisEngine, CallbackConsumer,
-                     CasConsumer, CollectingConsumer, CollectionReader,
-                     FunctionEngine, IterableReader, Pipeline)
-from .errors import AnnotationError, PipelineError, TypeSystemError, UimaError
+from .engine import (ERROR_POLICIES, AggregateEngine, AnalysisEngine,
+                     CallbackConsumer, CasConsumer, CasFailure,
+                     CollectingConsumer, CollectionReader, FunctionEngine,
+                     IterableReader, Pipeline, PipelineRunReport)
+from .errors import (AnnotationError, CasProcessingError, PipelineError,
+                     TypeSystemError, UimaError)
 from .serialize import cas_from_dict, cas_from_json, cas_to_dict, cas_to_json
 
 __all__ = [
+    "ERROR_POLICIES",
     "AggregateEngine",
     "AnalysisEngine",
     "Annotation",
@@ -22,12 +25,15 @@ __all__ = [
     "CAS",
     "CallbackConsumer",
     "CasConsumer",
+    "CasFailure",
+    "CasProcessingError",
     "CollectingConsumer",
     "CollectionReader",
     "FunctionEngine",
     "IterableReader",
     "Pipeline",
     "PipelineError",
+    "PipelineRunReport",
     "TypeDescriptor",
     "TypeSystem",
     "TypeSystemError",

@@ -9,10 +9,12 @@ consumers, reproducing the processing layout of the paper's Fig. 8.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from .cas import CAS
-from .errors import PipelineError
+from .errors import CasProcessingError, PipelineError
 
 
 class AnalysisEngine:
@@ -123,6 +125,78 @@ class CollectingConsumer(CasConsumer):
         self.cases.append(cas)
 
 
+#: Valid ``error_policy`` values for :class:`Pipeline`.
+ERROR_POLICIES = ("fail_fast", "skip", "quarantine")
+
+
+@dataclass
+class CasFailure:
+    """One CAS that could not be fully processed."""
+
+    index: int                 #: position in the collection (0-based)
+    stage: str                 #: ``"engine"`` or ``"consumer"``
+    error: str                 #: ``repr`` of the final exception
+    attempts: int              #: how many times processing was tried
+    cas: CAS | None = None     #: retained under the ``quarantine`` policy
+
+    def __repr__(self) -> str:
+        return (f"<CasFailure #{self.index} {self.stage} "
+                f"attempts={self.attempts} {self.error}>")
+
+
+class PipelineRunReport(int):
+    """The outcome of one :meth:`Pipeline.run`.
+
+    Subclasses :class:`int` (the number of successfully processed CASes)
+    so existing callers that treat the return value as a count keep
+    working; the fault-tolerance extras ride along as attributes.
+    """
+
+    failures: list[CasFailure]
+    policy: str
+
+    def __new__(cls, processed: int, failures: list[CasFailure],
+                policy: str) -> "PipelineRunReport":
+        report = super().__new__(cls, processed)
+        report.failures = failures
+        report.policy = policy
+        return report
+
+    @property
+    def processed(self) -> int:
+        """CASes that passed every engine and consumer."""
+        return int(self)
+
+    @property
+    def failed(self) -> int:
+        """CASes recorded as failed (``skip`` / ``quarantine`` policies)."""
+        return len(self.failures)
+
+    @property
+    def total(self) -> int:
+        """All CASes read from the collection."""
+        return self.processed + self.failed
+
+    @property
+    def quarantined(self) -> list[CAS]:
+        """The retained failed CASes (``quarantine`` policy only)."""
+        return [failure.cas for failure in self.failures
+                if failure.cas is not None]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run completed without a single failure."""
+        return not self.failures
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        return (f"{self.processed}/{self.total} CAS(es) processed, "
+                f"{self.failed} failed (policy={self.policy})")
+
+    def __repr__(self) -> str:
+        return f"<PipelineRunReport {self.summary()}>"
+
+
 class Pipeline:
     """Reader → engines → consumers, the backbone of QATK (Fig. 8).
 
@@ -130,30 +204,105 @@ class Pipeline:
         reader: source of CASes.
         engines: analysis engines applied to each CAS in order.
         consumers: sinks receiving each analysed CAS.
+        error_policy: what to do when an engine or consumer raises on a
+            CAS after retries are exhausted.  ``"fail_fast"`` (default,
+            the historical behavior) propagates the
+            :class:`~repro.uima.errors.PipelineError`; ``"skip"`` drops
+            the CAS and records the failure in the run report;
+            ``"quarantine"`` additionally retains the failed CAS on the
+            report for later reprocessing.
+        max_retries: additional attempts per CAS after the first failure
+            (engines must be idempotent per CAS for retries to be safe —
+            all of QATK's annotators are).
+        retry_backoff: base delay in seconds before retry *n*, growing
+            exponentially (``retry_backoff * 2**(n-1)``).
+        sleep: injection point for the backoff clock (tests pass a no-op).
     """
 
     def __init__(self, reader: CollectionReader,
                  engines: Sequence[AnalysisEngine],
-                 consumers: Sequence[CasConsumer] = ()) -> None:
+                 consumers: Sequence[CasConsumer] = (),
+                 *,
+                 error_policy: str = "fail_fast",
+                 max_retries: int = 0,
+                 retry_backoff: float = 0.0,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
         if reader is None:
             raise PipelineError("a pipeline needs a collection reader")
+        if error_policy not in ERROR_POLICIES:
+            raise PipelineError(
+                f"error_policy must be one of {ERROR_POLICIES}, "
+                f"got {error_policy!r}")
+        if max_retries < 0:
+            raise PipelineError("max_retries must be >= 0")
         self.reader = reader
         self.aggregate = AggregateEngine(engines, name="pipeline")
         self.consumers = list(consumers)
+        self.error_policy = error_policy
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self._sleep = sleep
 
-    def run(self) -> int:
-        """Process the whole collection; returns the number of CASes."""
-        count = 0
-        for cas in self.reader.read():
-            self.aggregate.process(cas)
-            for consumer in self.consumers:
-                consumer.consume(cas)
-            count += 1
+    def _analyse_with_retries(self, cas: CAS) -> tuple[Exception | None, int]:
+        """Run the engines over one CAS, retrying with exponential
+        backoff; returns (final error or None, attempts used)."""
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                self.aggregate.process(cas)
+                return None, attempts
+            except Exception as exc:
+                if attempts > self.max_retries:
+                    return exc, attempts
+                if self.retry_backoff > 0:
+                    self._sleep(self.retry_backoff * 2 ** (attempts - 1))
+
+    def run(self) -> PipelineRunReport:
+        """Process the whole collection.
+
+        Returns a :class:`PipelineRunReport` — an ``int`` equal to the
+        number of successfully processed CASes, carrying the failure list
+        for the ``skip`` / ``quarantine`` policies.
+
+        Raises:
+            PipelineError: under ``fail_fast`` (default), on the first CAS
+                whose retries are exhausted — today's behavior.
+        """
+        processed = 0
+        failures: list[CasFailure] = []
+        keep_cas = self.error_policy == "quarantine"
+        for index, cas in enumerate(self.reader.read()):
+            error, attempts = self._analyse_with_retries(cas)
+            if error is not None:
+                if self.error_policy == "fail_fast":
+                    if attempts > 1:
+                        raise CasProcessingError(
+                            f"CAS #{index} failed after {attempts} "
+                            f"attempts: {error}") from error
+                    raise error
+                failures.append(CasFailure(
+                    index=index, stage="engine", error=repr(error),
+                    attempts=attempts, cas=cas if keep_cas else None))
+                continue
+            try:
+                for consumer in self.consumers:
+                    consumer.consume(cas)
+            except Exception as exc:
+                if self.error_policy == "fail_fast":
+                    raise
+                failures.append(CasFailure(
+                    index=index, stage="consumer", error=repr(exc),
+                    attempts=attempts, cas=cas if keep_cas else None))
+                continue
+            processed += 1
         for consumer in self.consumers:
             consumer.finish()
-        return count
+        return PipelineRunReport(processed, failures, self.error_policy)
 
     def process_one(self, cas: CAS) -> CAS:
-        """Run only the engines over a single CAS (application phase)."""
+        """Run only the engines over a single CAS (application phase).
+
+        Always fail-fast: single-CAS callers handle their own errors."""
         self.aggregate.process(cas)
         return cas

@@ -17,3 +17,11 @@ class AnnotationError(UimaError):
 
 class PipelineError(UimaError):
     """A pipeline is misconfigured (e.g. no reader, engine failure)."""
+
+
+class CasProcessingError(PipelineError):
+    """One CAS failed analysis after exhausting its retries.
+
+    Raised under the ``fail_fast`` error policy; the ``skip`` and
+    ``quarantine`` policies record the failure in the run report instead.
+    """

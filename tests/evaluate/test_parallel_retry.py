@@ -1,0 +1,63 @@
+"""Fold-worker retry: one transient crash must not fail a whole CV run."""
+
+import pytest
+
+from repro.data import GeneratorConfig, generate_corpus, plan_corpus
+from repro.evaluate import (ExperimentConfig, experiment_subset,
+                            run_experiment, run_experiment_parallel)
+from repro.evaluate import parallel
+from repro.taxonomy import ConceptAnnotator
+from repro.testing import FaultInjected
+
+TINY = {
+    "bundles": 400, "part_ids": 6, "article_codes": 50,
+    "distinct_codes": 80, "singleton_codes": 25,
+    "max_codes_per_part": 25, "parts_over_10_codes": 4,
+}
+
+
+@pytest.fixture(scope="module")
+def tiny_bundles(taxonomy):
+    plan = plan_corpus(taxonomy, seed=19, parameters=TINY)
+    corpus = generate_corpus(taxonomy=taxonomy, plan=plan,
+                             config=GeneratorConfig(seed=19))
+    return experiment_subset(corpus.bundles)
+
+
+@pytest.fixture(scope="module")
+def annotator(taxonomy):
+    return ConceptAnnotator(taxonomy=taxonomy)
+
+
+class TestFoldRetry:
+    def test_transient_fold_crash_is_retried_once(self, tiny_bundles,
+                                                  taxonomy, annotator,
+                                                  monkeypatch):
+        real = parallel._evaluate_fold
+        calls = {"count": 0}
+
+        def crashes_once(task):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise FaultInjected("fold worker died")
+            return real(task)
+
+        monkeypatch.setattr(parallel, "_evaluate_fold", crashes_once)
+        config = ExperimentConfig(feature_mode="words", folds=2)
+        result = run_experiment_parallel(tiny_bundles, config, taxonomy,
+                                         annotator, max_workers=1)
+        monkeypatch.undo()
+        serial = run_experiment(tiny_bundles, config, taxonomy, annotator)
+        assert calls["count"] == 3  # 2 folds + 1 retry of the crashed one
+        assert result.accuracies == serial.accuracies
+
+    def test_persistent_fold_failure_propagates(self, tiny_bundles, taxonomy,
+                                                annotator, monkeypatch):
+        def always_crashes(task):
+            raise FaultInjected("fold worker keeps dying")
+
+        monkeypatch.setattr(parallel, "_evaluate_fold", always_crashes)
+        config = ExperimentConfig(feature_mode="words", folds=2)
+        with pytest.raises(FaultInjected):
+            run_experiment_parallel(tiny_bundles, config, taxonomy,
+                                    annotator, max_workers=1)

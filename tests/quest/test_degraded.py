@@ -1,0 +1,87 @@
+"""Degraded-mode suggestion serving: the classifier may die, QUEST may not."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.quest import DegradedServiceError, QuestError, UnknownBundleError
+from repro.testing import FaultInjected
+
+
+def break_classifier(monkeypatch, quest):
+    def broken(bundle):
+        raise FaultInjected("annotator dependency unavailable")
+    monkeypatch.setattr(quest.classifier, "classify_bundle", broken)
+
+
+class TestDegradedSuggest:
+    def test_stored_suggestion_served_when_classifier_dies(self, service,
+                                                           monkeypatch):
+        quest, held_out = service
+        ref = held_out[0].ref_no
+        healthy = quest.suggest(ref)  # persists the recommendation
+        break_classifier(monkeypatch, quest)
+        view = quest.suggest(ref)
+        assert view.degraded == "stored"
+        assert view.top10 == healthy.top10
+
+    def test_fallback_classifier_used_when_nothing_stored(self, service,
+                                                          monkeypatch):
+        quest, held_out = service
+        ref = held_out[1].ref_no
+        bow = SimpleNamespace(classify_bundle=quest.classifier.classify_bundle)
+        quest.fallback_classifier = bow
+        break_classifier(monkeypatch, quest)
+        view = quest.suggest(ref)
+        assert view.degraded == "fallback"
+        assert view.top10
+
+    def test_frequency_baseline_is_the_last_resort(self, service,
+                                                   monkeypatch):
+        quest, held_out = service
+        ref = held_out[2].ref_no
+        break_classifier(monkeypatch, quest)
+        view = quest.suggest(ref)
+        assert view.degraded == "frequency"
+        assert view.top10  # the baseline knows the part's common codes
+
+    def test_degraded_result_is_never_persisted(self, service, monkeypatch):
+        quest, held_out = service
+        ref = held_out[3].ref_no
+        break_classifier(monkeypatch, quest)
+        view = quest.suggest(ref)  # persist=True by default
+        assert view.degraded is not None
+        assert quest.stored_suggestion(ref) is None
+
+    def test_on_error_raise_propagates_the_classifier_error(self, service,
+                                                            monkeypatch):
+        quest, held_out = service
+        break_classifier(monkeypatch, quest)
+        with pytest.raises(FaultInjected):
+            quest.suggest(held_out[0].ref_no, on_error="raise")
+
+    def test_degraded_error_when_every_fallback_fails(self, service,
+                                                      monkeypatch):
+        quest, held_out = service
+        break_classifier(monkeypatch, quest)
+        monkeypatch.setattr(quest.frequency_baseline, "classify_bundle",
+                            quest.classifier.classify_bundle)  # also broken
+        with pytest.raises(DegradedServiceError, match="no fallback"):
+            quest.suggest(held_out[4].ref_no)
+
+    def test_healthy_path_is_not_marked_degraded(self, service):
+        quest, held_out = service
+        assert quest.suggest(held_out[5].ref_no).degraded is None
+
+
+class TestTypedErrors:
+    def test_unknown_bundle_error_is_typed_and_a_value_error(self, service):
+        quest, _ = service
+        with pytest.raises(UnknownBundleError) as excinfo:
+            quest.suggest("R9999999")
+        assert isinstance(excinfo.value, ValueError)
+        assert isinstance(excinfo.value, QuestError)
+
+    def test_degraded_service_error_is_a_quest_error(self):
+        assert issubclass(DegradedServiceError, QuestError)
+        assert issubclass(QuestError, ValueError)

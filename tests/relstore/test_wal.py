@@ -1,0 +1,128 @@
+"""Unit tests for the write-ahead log and Database journaling."""
+
+import json
+
+import pytest
+
+from repro.relstore import Database, Schema, WriteAheadLog
+from repro.relstore.wal import encode_record, replay_wal_file
+
+
+def make_db():
+    db = Database("journaled")
+    db.create_table("t", Schema.build([("k", "text"), ("n", "integer")]))
+    return db
+
+
+class TestWalFile:
+    def test_append_and_replay_roundtrip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        ops = [{"op": "insert", "table": "t", "id": i, "row": {"k": f"k{i}"}}
+               for i in range(3)]
+        for op in ops:
+            wal.append(op)
+        wal.close()
+        replay = wal.replay()
+        assert replay.records == ops
+        assert not replay.bad_records
+
+    def test_replay_missing_file_is_empty(self, tmp_path):
+        replay = replay_wal_file(tmp_path / "absent.jsonl")
+        assert replay.records == [] and not replay.bad_records
+
+    def test_torn_tail_discarded_not_fatal(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path) as wal:
+            wal.append({"op": "insert", "table": "t", "id": 1, "row": {}})
+            wal.append({"op": "insert", "table": "t", "id": 2, "row": {}})
+        data = path.read_bytes()
+        path.write_bytes(data[:-9])  # tear the final record
+        replay = replay_wal_file(path)
+        assert len(replay.records) == 1
+        assert replay.torn_tail
+        assert not replay.interior_corruption
+
+    def test_interior_corruption_flagged(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        good = encode_record({"op": "insert", "table": "t", "id": 2,
+                              "row": {}})
+        path.write_text('{"crc": 1, "op": {"op": "nope"}}\n' + good + "\n",
+                        encoding="utf-8")
+        replay = replay_wal_file(path)
+        assert len(replay.records) == 1
+        assert len(replay.interior_corruption) == 1
+        assert "checksum" in replay.interior_corruption[0].reason
+
+    def test_truncate_resets_log(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        wal.append({"op": "clear", "table": "t"})
+        wal.truncate()
+        wal.append({"op": "clear", "table": "u"})
+        wal.close()
+        replay = wal.replay()
+        assert [op["table"] for op in replay.records] == ["u"]
+
+    def test_every_record_is_checksummed_json(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        wal.append({"op": "insert", "table": "t", "id": 1,
+                    "row": {"k": "ü"}})
+        wal.close()
+        record = json.loads((tmp_path / "wal.jsonl").read_text("utf-8"))
+        assert set(record) == {"crc", "op"}
+        assert isinstance(record["crc"], int)
+
+
+class TestDatabaseJournal:
+    def test_table_mutations_reach_journal(self):
+        db = make_db()
+        ops = []
+        db.set_journal(ops.append)
+        table = db.table("t")
+        row_id = table.insert({"k": "a", "n": 1})
+        table.update(row_id, {"n": 2})
+        table.delete_row(row_id)
+        assert [op["op"] for op in ops] == ["insert", "update", "delete"]
+        assert ops[1]["row"]["n"] == 2
+
+    def test_create_and_drop_table_journaled(self):
+        db = make_db()
+        ops = []
+        db.set_journal(ops.append)
+        db.create_table("u", Schema.build([("x", "text")]))
+        db.table("u").create_index("ix_x", "x")
+        db.drop_table("u")
+        assert [op["op"] for op in ops] == ["create_table", "create_index",
+                                           "drop_table"]
+
+    def test_transaction_ops_flushed_on_commit(self):
+        db = make_db()
+        ops = []
+        db.set_journal(ops.append)
+        with db.transaction():
+            db.insert("t", {"k": "a", "n": 1})
+            db.insert("t", {"k": "b", "n": 2})
+            assert ops == []  # nothing durable before commit
+        assert [op["op"] for op in ops] == ["insert", "insert"]
+
+    def test_rolled_back_ops_never_reach_journal(self):
+        db = make_db()
+        ops = []
+        db.set_journal(ops.append)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert("t", {"k": "a", "n": 1})
+                raise RuntimeError("abort")
+        assert ops == []
+        assert db.table("t").count() == 0
+
+    def test_rollback_undo_is_not_journaled(self):
+        db = make_db()
+        db.table("t").insert({"k": "keep", "n": 0})
+        ops = []
+        db.set_journal(ops.append)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.delete("t")  # undo will re-insert the row
+                raise RuntimeError("abort")
+        assert ops == []
+        assert db.table("t").count() == 1

@@ -1,0 +1,92 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.testing import FaultInjected, FaultPlan
+
+
+class TestCallFaults:
+    def test_raise_on_nth_hits_exactly_once(self):
+        plan = FaultPlan(seed=1)
+        calls = []
+        func = plan.raise_on_nth(lambda x: calls.append(x) or x, 2)
+        assert func(1) == 1
+        with pytest.raises(FaultInjected):
+            func(2)
+        assert func(3) == 3
+        assert calls == [1, 3]
+
+    def test_raise_on_nth_custom_exception(self):
+        plan = FaultPlan()
+        func = plan.raise_on_nth(lambda: "ok", 1, exc_type=OSError)
+        with pytest.raises(OSError):
+            func()
+
+    def test_raise_on_nth_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            FaultPlan().raise_on_nth(lambda: None, 0)
+
+    def test_flaky_fails_then_recovers(self):
+        plan = FaultPlan()
+        func = plan.flaky(lambda: "ok", fail_times=2)
+        for _ in range(2):
+            with pytest.raises(FaultInjected):
+                func()
+        assert func() == "ok"
+        assert func() == "ok"
+
+    def test_slow_uses_injected_sleep(self):
+        plan = FaultPlan()
+        delays = []
+        func = plan.slow(lambda: 42, seconds=0.5, sleep=delays.append)
+        assert func() == 42
+        assert delays == [0.5]
+
+
+class TestFileFaults:
+    def test_truncate_is_deterministic_per_seed(self, tmp_path):
+        sizes = []
+        for _ in range(2):
+            target = tmp_path / "data.bin"
+            target.write_bytes(bytes(range(200)))
+            sizes.append(FaultPlan(seed=7).truncate_file(target))
+        assert sizes[0] == sizes[1]
+        assert 0 <= sizes[0] < 200
+
+    def test_truncate_explicit_offset(self, tmp_path):
+        target = tmp_path / "data.bin"
+        target.write_bytes(b"abcdef")
+        assert FaultPlan().truncate_file(target, keep_bytes=2) == 2
+        assert target.read_bytes() == b"ab"
+
+    def test_flip_byte_changes_exactly_one_byte(self, tmp_path):
+        target = tmp_path / "data.bin"
+        original = bytes(range(100))
+        target.write_bytes(original)
+        position = FaultPlan(seed=3).flip_byte(target)
+        mutated = target.read_bytes()
+        diffs = [i for i in range(100) if mutated[i] != original[i]]
+        assert diffs == [position]
+
+    def test_flip_byte_deterministic_per_seed(self, tmp_path):
+        outcomes = []
+        for _ in range(2):
+            target = tmp_path / "data.bin"
+            target.write_bytes(bytes(range(100)))
+            FaultPlan(seed=11).flip_byte(target)
+            outcomes.append(target.read_bytes())
+        assert outcomes[0] == outcomes[1]
+
+    def test_flip_byte_rejects_empty_file(self, tmp_path):
+        target = tmp_path / "empty.bin"
+        target.write_bytes(b"")
+        with pytest.raises(ValueError):
+            FaultPlan().flip_byte(target)
+
+    def test_injection_log(self, tmp_path):
+        plan = FaultPlan(seed=5)
+        target = tmp_path / "x.bin"
+        target.write_bytes(b"0123456789")
+        plan.truncate_file(target)
+        assert len(plan.injected) == 1
+        assert "truncate_file" in plan.injected[0]

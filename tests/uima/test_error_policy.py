@@ -1,0 +1,169 @@
+"""Fault-tolerant pipeline execution: error policies, retries, reports."""
+
+import pytest
+
+from repro.testing import FaultInjected, FaultPlan
+from repro.uima import (CasProcessingError, CollectingConsumer,
+                        FunctionEngine, IterableReader, Pipeline,
+                        PipelineError, PipelineRunReport)
+
+
+def poison_tenth(cas):
+    """Raise on every CAS whose text is a multiple of ten."""
+    if int(cas.document_text) % 10 == 0:
+        raise RuntimeError(f"poisoned CAS {cas.document_text}")
+
+
+def corpus(count):
+    return IterableReader([str(i) for i in range(count)])
+
+
+class TestErrorPolicies:
+    def test_default_policy_is_fail_fast(self):
+        pipeline = Pipeline(corpus(1), [])
+        assert pipeline.error_policy == "fail_fast"
+
+    def test_fail_fast_raises_on_first_bad_cas(self):
+        pipeline = Pipeline(corpus(50), [FunctionEngine(poison_tenth)])
+        with pytest.raises(PipelineError, match="poisoned CAS 0"):
+            pipeline.run()
+
+    def test_quarantine_completes_over_ten_percent_failures(self):
+        # The acceptance scenario: 10% of CASes raise; the run completes
+        # and the report lists every failed CAS.
+        consumer = CollectingConsumer()
+        pipeline = Pipeline(corpus(50), [FunctionEngine(poison_tenth)],
+                            [consumer], error_policy="quarantine")
+        report = pipeline.run()
+        assert report == 45  # int-compatible with the historical return
+        assert isinstance(report, PipelineRunReport)
+        assert report.processed == 45 and report.failed == 5
+        assert report.total == 50
+        assert [failure.index for failure in report.failures] == \
+            [0, 10, 20, 30, 40]
+        assert [cas.document_text for cas in report.quarantined] == \
+            ["0", "10", "20", "30", "40"]
+        assert all(failure.stage == "engine"
+                   for failure in report.failures)
+        assert len(consumer.cases) == 45
+        assert "45/50" in report.summary()
+
+    def test_skip_records_failures_without_retaining_cases(self):
+        pipeline = Pipeline(corpus(20), [FunctionEngine(poison_tenth)],
+                            error_policy="skip")
+        report = pipeline.run()
+        assert report.failed == 2
+        assert report.quarantined == []
+        assert all(failure.cas is None for failure in report.failures)
+        assert not report.ok
+
+    def test_clean_run_reports_ok(self):
+        report = Pipeline(corpus(3), [], error_policy="quarantine").run()
+        assert report.ok and report == 3 and report.failures == []
+
+    def test_consumer_failures_follow_the_policy(self):
+        class BadConsumer(CollectingConsumer):
+            def consume(self, cas):
+                if cas.document_text == "1":
+                    raise OSError("disk full")
+                super().consume(cas)
+
+        consumer = BadConsumer()
+        report = Pipeline(corpus(3), [], [consumer],
+                          error_policy="quarantine").run()
+        assert report.processed == 2
+        assert report.failures[0].stage == "consumer"
+        assert "disk full" in report.failures[0].error
+        with pytest.raises(OSError):
+            Pipeline(corpus(3), [], [BadConsumer()]).run()
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(PipelineError, match="error_policy"):
+            Pipeline(corpus(1), [], error_policy="ignore")
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(PipelineError, match="max_retries"):
+            Pipeline(corpus(1), [], max_retries=-1)
+
+
+class TestRetries:
+    def test_transient_fault_recovered_by_retry(self):
+        plan = FaultPlan(seed=0)
+        flaky = plan.flaky(lambda cas: None, fail_times=1)
+        pipeline = Pipeline(corpus(1), [FunctionEngine(flaky)],
+                            max_retries=1)
+        report = pipeline.run()
+        assert report == 1 and report.ok
+
+    def test_exhausted_retries_fail_fast_with_attempt_count(self):
+        plan = FaultPlan(seed=0)
+        flaky = plan.flaky(lambda cas: None, fail_times=5)
+        pipeline = Pipeline(corpus(1), [FunctionEngine(flaky)],
+                            max_retries=2)
+        with pytest.raises(CasProcessingError, match="after 3 attempts"):
+            pipeline.run()
+
+    def test_exhausted_retries_recorded_under_quarantine(self):
+        plan = FaultPlan(seed=0)
+        flaky = plan.flaky(lambda cas: None, fail_times=5)
+        pipeline = Pipeline(corpus(1), [FunctionEngine(flaky)],
+                            error_policy="quarantine", max_retries=2)
+        report = pipeline.run()
+        assert report.failures[0].attempts == 3
+        assert "injected transient fault" in report.failures[0].error
+
+    def test_backoff_grows_exponentially(self):
+        plan = FaultPlan(seed=0)
+        flaky = plan.flaky(lambda cas: None, fail_times=3)
+        delays = []
+        pipeline = Pipeline(corpus(1), [FunctionEngine(flaky)],
+                            max_retries=3, retry_backoff=0.5,
+                            sleep=delays.append)
+        report = pipeline.run()
+        assert report == 1
+        assert delays == [0.5, 1.0, 2.0]
+
+    def test_no_backoff_sleep_when_disabled(self):
+        plan = FaultPlan(seed=0)
+        flaky = plan.flaky(lambda cas: None, fail_times=1)
+        delays = []
+        Pipeline(corpus(1), [FunctionEngine(flaky)], max_retries=1,
+                 sleep=delays.append).run()
+        assert delays == []
+
+    def test_first_attempt_error_type_unchanged(self):
+        # Without retries, fail_fast must raise exactly what it always
+        # raised, so existing `pytest.raises(PipelineError)` callers and
+        # error-matching logic keep working.
+        def bad(cas):
+            raise ValueError("boom")
+
+        pipeline = Pipeline(corpus(1), [FunctionEngine(bad)])
+        with pytest.raises(PipelineError, match="boom"):
+            pipeline.run()
+
+
+@pytest.mark.faults
+@pytest.mark.parametrize("seed", range(5))
+class TestSeededPipelineFaults:
+    def test_quarantine_isolates_seeded_failures(self, seed):
+        plan = FaultPlan(seed=seed)
+        rng_failures = sorted(plan._rng.sample(range(40), 4))
+
+        def seeded_poison(cas):
+            if int(cas.document_text) in rng_failures:
+                raise FaultInjected(cas.document_text)
+
+        report = Pipeline(corpus(40), [FunctionEngine(seeded_poison)],
+                          error_policy="quarantine").run()
+        assert report.processed == 36
+        assert [failure.index for failure in report.failures] == \
+            rng_failures
+
+    def test_retry_beats_transient_faults_for_every_seed(self, seed):
+        plan = FaultPlan(seed=seed)
+        fail_times = plan._rng.randrange(0, 3)
+        flaky = plan.flaky(lambda cas: None, fail_times=fail_times)
+        report = Pipeline(corpus(1), [FunctionEngine(flaky)],
+                          max_retries=2).run()
+        assert report == 1 and report.ok

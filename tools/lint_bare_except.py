@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Fail when ``src/`` contains a bare ``except:`` clause.
+
+A bare ``except:`` swallows ``KeyboardInterrupt``/``SystemExit`` and hides
+the corruption and fault-injection errors the robustness layer is built to
+surface.  Run via ``make lint``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+BARE_EXCEPT = re.compile(r"^\s*except\s*:")
+
+
+def find_bare_excepts(root: Path) -> list[str]:
+    offenders = []
+    for path in sorted(root.rglob("*.py")):
+        for line_number, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            if BARE_EXCEPT.match(line):
+                offenders.append(f"{path}:{line_number}: {line.strip()}")
+    return offenders
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path("src")
+    offenders = find_bare_excepts(root)
+    for offender in offenders:
+        print(offender)
+    if offenders:
+        print(f"{len(offenders)} bare except clause(s); "
+              f"catch a specific exception type instead.")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
