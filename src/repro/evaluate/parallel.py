@@ -22,6 +22,7 @@ wall-clock fields differ run to run, exactly as they do serially.
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import Sequence
 
@@ -35,6 +36,13 @@ from .crossval import stratified_folds
 from .experiment import (ExperimentConfig, ExperimentResult, FoldOutcome,
                          build_extractor)
 from .metrics import accuracy_at_k
+
+logger = logging.getLogger(__name__)
+
+#: Exception types a retry cannot fix: they signal a deterministic bug in
+#: the fold inputs or config, not a transient fault, so re-running the
+#: fold would only repeat the failure (and double its cost).
+_NON_TRANSIENT = (ValueError, TypeError)
 
 
 class MemoizedExtractor:
@@ -106,12 +114,17 @@ def _evaluate_fold_with_retry(task: tuple) -> list[FoldOutcome]:
     Fold evaluation is deterministic, so a retry only helps against
     *transient* faults (a flaky annotator dependency, an OOM-killed
     worker, injected test faults) — exactly the cases where failing a
-    multi-minute cross-validation run outright is wasteful.  A second
-    failure propagates: it is then a real bug, not noise.
+    multi-minute cross-validation run outright is wasteful.  Exception
+    types that cannot be transient (``ValueError``/``TypeError``: bad
+    inputs or config) propagate immediately, and a second failure of any
+    kind propagates too: it is then a real bug, not noise.
     """
     try:
         return _evaluate_fold(task)
-    except Exception:
+    except _NON_TRANSIENT:
+        raise
+    except Exception as exc:
+        logger.warning("fold %s failed (%r); retrying once", task[0], exc)
         return _evaluate_fold(task)
 
 
@@ -166,11 +179,22 @@ def run_experiments_parallel(bundles: Sequence[DataBundle],
              for fold in folds]
     per_fold: list[list[FoldOutcome]] | None = None
     if max_workers > 1:
+        from concurrent.futures.process import BrokenProcessPool
         try:
             per_fold = _run_pool(tasks, min(max_workers, len(folds)))
-        except Exception:
+        except BrokenProcessPool as exc:
+            # A worker died hard (OOM-kill, segfault) and took the pool
+            # with it — distinct from "no pool possible": every fold is
+            # re-evaluated in-process, which also sidesteps whatever
+            # resource pressure killed the worker.
+            logger.warning("fold worker process died (%s); re-running all "
+                           "folds in-process", exc)
+            per_fold = None
+        except Exception as exc:
             # no usable pool (sandbox, pickling, interpreter shutdown...):
             # the serial path below computes the identical result.
+            logger.info("process pool unavailable (%r); evaluating folds "
+                        "in-process", exc)
             per_fold = None
     if per_fold is None:
         per_fold = [_evaluate_fold_with_retry(task) for task in tasks]

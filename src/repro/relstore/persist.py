@@ -39,8 +39,8 @@ from .errors import CorruptionError, PersistenceError
 from .index import InvertedIndex, UniqueIndex
 from .table import Table
 from .types import Schema
-from .wal import (WAL_NAME, WriteAheadLog, replay_wal_file,
-                  truncate_wal_file)
+from .wal import (WAL_NAME, WalReplay, WriteAheadLog, replay_wal_file,
+                  rewrite_wal_file, truncate_wal_file)
 
 CATALOG_NAME = "catalog.json"
 #: Version 2 adds per-row CRCs + durable row ids + per-file digests; version
@@ -149,11 +149,21 @@ def _quarantine(directory: Path, report: RecoveryReport, source: str,
     report.quarantined.append(record)
     stem = source[:-len(".jsonl")] if source.endswith(".jsonl") else source
     quarantine_path = directory / f"{stem}.quarantine.jsonl"
-    entry = json.dumps({"source": source, "line": line_number,
-                        "reason": reason, "raw": record.raw},
-                       ensure_ascii=False, sort_keys=True)
+    entry = {"source": source, "line": line_number,
+             "reason": reason, "raw": record.raw}
+    if quarantine_path.is_file():
+        # Recovery must be idempotent on disk: damage that cannot be
+        # scrubbed from its source file (table rows) is re-*reported* on
+        # every open but appended to the quarantine file only once.
+        for line in quarantine_path.read_text(encoding="utf-8").splitlines():
+            try:
+                if json.loads(line) == entry:
+                    return
+            except json.JSONDecodeError:
+                continue
     with quarantine_path.open("a", encoding="utf-8") as handle:
-        handle.write(entry + "\n")
+        handle.write(json.dumps(entry, ensure_ascii=False, sort_keys=True)
+                     + "\n")
 
 
 # --------------------------------------------------------------------- #
@@ -328,6 +338,11 @@ def _load(directory: Path, *, on_error: str
         raise PersistenceError(f"unsupported format version {version!r}")
     database = Database(catalog.get("name", "main"))
     tables = catalog.get("tables", {})
+    # Scanned up front: whether the WAL still holds committed ops decides
+    # below if a snapshot/catalog mismatch is a crash-mid-save in-between
+    # state (recoverable by replay) or genuine corruption.
+    wal_replay = replay_wal_file(directory / WAL_NAME)
+    wal_pending = bool(wal_replay.records)
     for table_name, entry in tables.items():
         schema = Schema.from_json(entry["schema"])
         table = database.create_table(table_name, schema)
@@ -335,7 +350,8 @@ def _load(directory: Path, *, on_error: str
             table.create_index(spec["name"], spec["column"],
                                unique=spec.get("unique", False),
                                inverted=spec.get("inverted", False))
-        _load_table_file(directory, table, entry, version, strict, report)
+        _load_table_file(directory, table, entry, version, strict, report,
+                         wal_pending=wal_pending)
         report.tables += 1
     for path in sorted(directory.glob("*.jsonl")):
         stem = path.name[:-len(".jsonl")]
@@ -343,13 +359,14 @@ def _load(directory: Path, *, on_error: str
                 and not stem.endswith(".quarantine")):
             report.orphan_files.append(path.name)
     report.wal_records_applied = _replay_wal(database, directory, report,
-                                             on_error=on_error)
+                                             on_error=on_error,
+                                             replay=wal_replay)
     return database, report
 
 
 def _load_table_file(directory: Path, table: Table, entry: dict[str, Any],
-                     version: int, strict: bool,
-                     report: RecoveryReport) -> None:
+                     version: int, strict: bool, report: RecoveryReport,
+                     *, wal_pending: bool = False) -> None:
     data_path = directory / f"{table.name}.jsonl"
     if not data_path.is_file():
         if strict:
@@ -359,15 +376,10 @@ def _load_table_file(directory: Path, table: Table, entry: dict[str, Any],
         return
     raw = data_path.read_text(encoding="utf-8", errors="replace")
     expected_digest = entry.get("digest")
-    digest_note = None
-    if expected_digest is not None and \
-            zlib.crc32(raw.encode("utf-8")) != expected_digest:
-        # Per-row problems below give more precise errors, so in strict
-        # mode this only fires when every individual row still validates.
-        digest_note = f"{data_path.name}: file digest mismatch"
-        if not strict:
-            report.checksum_failures.append(digest_note)
+    digest_mismatch = (expected_digest is not None
+                       and zlib.crc32(raw.encode("utf-8")) != expected_digest)
     loaded = 0
+    damaged = 0
     for line_number, line in enumerate(raw.splitlines(), start=1):
         if not line.strip():
             continue
@@ -375,24 +387,35 @@ def _load_table_file(directory: Path, table: Table, entry: dict[str, Any],
         if problem is None:
             loaded += 1
             continue
+        damaged += 1
         if strict:
+            # Per-row problems give more precise errors than the
+            # file-level digest, so they are raised first.
             raise CorruptionError(
                 f"{data_path.name}:{line_number}: {problem}")
         _quarantine(directory, report, data_path.name, line_number,
                     problem, line)
     report.rows_loaded += loaded
+    notes = []
+    if digest_mismatch:
+        notes.append(f"{data_path.name}: file digest mismatch")
     expected_rows = entry.get("rows")
-    if expected_rows is not None:
-        damaged = sum(1 for record in report.quarantined
-                      if record.source == data_path.name)
-        if loaded + damaged < expected_rows:
-            note = (f"{data_path.name}: {expected_rows - loaded - damaged} "
-                    f"row(s) missing (truncated file?)")
-            if strict:
-                raise CorruptionError(note)
-            report.checksum_failures.append(note)
-    if strict and digest_note is not None:
-        raise CorruptionError(digest_note)
+    if expected_rows is not None and loaded + damaged < expected_rows:
+        notes.append(f"{data_path.name}: {expected_rows - loaded - damaged} "
+                     f"row(s) missing (truncated file?)")
+    if notes and not damaged and wal_pending:
+        # save_database replaces the data files first, the catalog last,
+        # and truncates the WAL only after that.  A crash inside that
+        # window leaves a data file *newer* than the catalog describing
+        # it: every row CRC still validates and the WAL still holds the
+        # committed ops that produced the file, so replay reconciles the
+        # state.  That in-between state must stay loadable (even in
+        # strict mode) — it is a survived crash, not corruption.
+        notes = []
+    for note in notes:
+        if strict:
+            raise CorruptionError(note)
+        report.checksum_failures.append(note)
     next_row_id = entry.get("next_row_id")
     if next_row_id is not None:
         table._next_row_id = max(table._next_row_id, next_row_id)
@@ -427,9 +450,10 @@ def _load_row_line(table: Table, line: str, version: int) -> str | None:
 
 
 def _replay_wal(database: Database, directory: Path, report: RecoveryReport,
-                *, on_error: str) -> int:
+                *, on_error: str, replay: WalReplay | None = None) -> int:
     strict = on_error == "raise"
-    replay = replay_wal_file(directory / WAL_NAME)
+    if replay is None:
+        replay = replay_wal_file(directory / WAL_NAME)
     for bad in replay.bad_records:
         if bad.torn_tail:
             report.wal_torn_tail_discarded += 1
@@ -439,6 +463,13 @@ def _replay_wal(database: Database, directory: Path, report: RecoveryReport,
                 f"{WAL_NAME}:{bad.line_number}: {bad.reason}")
         _quarantine(directory, report, WAL_NAME, bad.line_number,
                     bad.reason, bad.raw)
+    if replay.bad_records and not strict:
+        # Make the repair durable: drop the torn tail and the (already
+        # quarantined) corrupt lines from the log itself, so the next
+        # open does not re-discover the same damage and — critically —
+        # the next append cannot merge an acknowledged record onto a
+        # torn partial line and lose it.
+        rewrite_wal_file(directory / WAL_NAME, replay.records)
     applied = 0
     for position, op in enumerate(replay.records, start=1):
         try:

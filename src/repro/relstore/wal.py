@@ -117,8 +117,33 @@ class WriteAheadLog:
     def _ensure_open(self):
         if self._handle is None or self._handle.closed:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._repair_torn_tail()
             self._handle = self.path.open("a", encoding="utf-8")
         return self._handle
+
+    def _repair_torn_tail(self) -> None:
+        """Truncate partial bytes left by a crash mid-append.
+
+        A log that does not end in a newline holds the tail of an append
+        whose fsync never completed — bytes that were never acknowledged.
+        Appending onto that line would merge the *next* (acknowledged,
+        fsync'd) record with the torn garbage, so that a later replay
+        discards both as one unreadable line, losing the acknowledged
+        write.  Truncating back to the last newline drops only the
+        unacknowledged partial record.
+        """
+        try:
+            with self.path.open("rb+") as handle:
+                data = handle.read()
+                if not data or data.endswith(b"\n"):
+                    return
+                handle.truncate(data.rfind(b"\n") + 1)
+                if self.sync:
+                    os.fsync(handle.fileno())
+        except FileNotFoundError:
+            return
+        except OSError as exc:
+            raise WalError(f"cannot repair {self.path}: {exc}") from exc
 
     def append(self, op: dict[str, Any]) -> None:
         """Durably append one op payload.
@@ -211,6 +236,31 @@ def replay_wal_file(path: str | Path) -> WalReplay:
         else:
             replay.records.append(decoded)
     return replay
+
+
+def rewrite_wal_file(path: str | Path, records: list[dict[str, Any]], *,
+                     sync: bool = True) -> None:
+    """Atomically replace the log with just *records*, re-encoded.
+
+    Recovery uses this to make its repairs stick on disk: a torn tail or
+    quarantined corrupt line is dropped from the file itself, so reopening
+    does not re-discover (and re-quarantine) the same damage, and a later
+    append cannot land on a torn partial line.  If the rename is lost to a
+    power failure the old log simply resurfaces and the next recovery
+    repairs it again — the rewrite is idempotent.
+    """
+    path = Path(path)
+    tmp_path = path.with_name(path.name + ".tmp")
+    try:
+        with tmp_path.open("w", encoding="utf-8") as handle:
+            for op in records:
+                handle.write(encode_record(op) + "\n")
+            handle.flush()
+            if sync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except OSError as exc:
+        raise WalError(f"cannot rewrite {path}: {exc}") from exc
 
 
 def truncate_wal_file(path: str | Path, *, sync: bool = True) -> None:

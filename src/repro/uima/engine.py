@@ -131,16 +131,25 @@ ERROR_POLICIES = ("fail_fast", "skip", "quarantine")
 
 @dataclass
 class CasFailure:
-    """One CAS that could not be fully processed."""
+    """One CAS that could not be fully processed.
+
+    When ``stage`` is ``"consumer"``, ``consumer`` names the consumer that
+    raised.  Consumers run in order and are *not* rolled back: every
+    consumer before the failing one has already consumed the CAS, so sinks
+    may be mutually inconsistent for it (e.g. ingested into one store but
+    missing from another) until the quarantined CAS is reprocessed.
+    """
 
     index: int                 #: position in the collection (0-based)
     stage: str                 #: ``"engine"`` or ``"consumer"``
     error: str                 #: ``repr`` of the final exception
     attempts: int              #: how many times processing was tried
     cas: CAS | None = None     #: retained under the ``quarantine`` policy
+    consumer: str | None = None  #: name of the failing consumer, if any
 
     def __repr__(self) -> str:
-        return (f"<CasFailure #{self.index} {self.stage} "
+        where = f"{self.stage}:{self.consumer}" if self.consumer else self.stage
+        return (f"<CasFailure #{self.index} {where} "
                 f"attempts={self.attempts} {self.error}>")
 
 
@@ -285,15 +294,18 @@ class Pipeline:
                     index=index, stage="engine", error=repr(error),
                     attempts=attempts, cas=cas if keep_cas else None))
                 continue
+            failing: CasConsumer | None = None
             try:
                 for consumer in self.consumers:
+                    failing = consumer
                     consumer.consume(cas)
             except Exception as exc:
                 if self.error_policy == "fail_fast":
                     raise
                 failures.append(CasFailure(
                     index=index, stage="consumer", error=repr(exc),
-                    attempts=attempts, cas=cas if keep_cas else None))
+                    attempts=attempts, cas=cas if keep_cas else None,
+                    consumer=type(failing).__name__))
                 continue
             processed += 1
         for consumer in self.consumers:

@@ -61,3 +61,21 @@ class TestFoldRetry:
         with pytest.raises(FaultInjected):
             run_experiment_parallel(tiny_bundles, config, taxonomy,
                                     annotator, max_workers=1)
+
+    def test_non_transient_fold_bug_is_not_retried(self, tiny_bundles,
+                                                   taxonomy, annotator,
+                                                   monkeypatch):
+        # A ValueError/TypeError is a deterministic bad-input bug; burning
+        # a retry on it would only repeat the failure and double its cost.
+        calls = {"count": 0}
+
+        def deterministic_bug(task):
+            calls["count"] += 1
+            raise ValueError("bad fold config")
+
+        monkeypatch.setattr(parallel, "_evaluate_fold", deterministic_bug)
+        config = ExperimentConfig(feature_mode="words", folds=2)
+        with pytest.raises(ValueError, match="bad fold config"):
+            run_experiment_parallel(tiny_bundles, config, taxonomy,
+                                    annotator, max_workers=1)
+        assert calls["count"] == 1  # first fold, first attempt only

@@ -99,6 +99,26 @@ class TestCorruptionRecovery:
         assert report.orphan_files == ["ghost.jsonl"]
         assert not report.clean
 
+    def test_repeated_recovery_does_not_grow_quarantine_file(self, tmp_path):
+        # Damage that cannot be scrubbed from its source file (table rows)
+        # is re-reported on every open, but the on-disk quarantine file
+        # must not accumulate duplicates — recovery is idempotent on disk.
+        directory = tmp_path / "store"
+        snapshot_with_rows(directory, sample_rows(3))
+        data_path = directory / "t.jsonl"
+        lines = data_path.read_text(encoding="utf-8").splitlines()
+        record = json.loads(lines[1])
+        record["row"]["n"] = 999  # tamper without updating the CRC
+        lines[1] = json.dumps(record, sort_keys=True, ensure_ascii=False)
+        data_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        quarantine_path = directory / "t.quarantine.jsonl"
+        reports = []
+        for _ in range(3):
+            _, report = recover_database(directory)
+            reports.append(len(report.quarantined))
+        assert reports == [1, 1, 1]  # each run still reports the damage
+        assert len(quarantine_path.read_text("utf-8").splitlines()) == 1
+
     def test_quarantine_file_preserves_damaged_raw(self, tmp_path):
         directory = tmp_path / "store"
         snapshot_with_rows(directory, sample_rows(2))
@@ -168,6 +188,78 @@ class TestWalRecovery:
         assert report.wal_records_applied == 0
         assert table_state(reopened) == table_state(db)
         reopened._wal.close()
+
+    def test_append_after_torn_tail_preserves_acknowledged_write(
+            self, tmp_path):
+        # Crash mid-append leaves a partial record with no trailing
+        # newline.  The next acknowledged (fsync'd) append must not land
+        # on that same line: merged with the torn garbage it would fail
+        # its CRC on the following recovery and the acknowledged write
+        # would be silently lost.
+        directory = tmp_path / "store"
+        db, _ = open_database(directory)
+        table = db.create_table("t", Schema.build(SCHEMA))
+        table.insert({"k": "a", "n": 1})
+        db._wal.close()
+        with (directory / WAL_NAME).open("a", encoding="utf-8") as handle:
+            handle.write('{"crc": 7, "op": {"op": "ins')  # died mid-append
+        db2, _ = open_database(directory)
+        db2.table("t").insert({"k": "b", "n": 2})  # fsync'd: acknowledged
+        db2._wal.close()
+        recovered, report = recover_database(directory)
+        assert {row["k"] for row in recovered.table("t").scan()} == {"a", "b"}
+        assert not report.quarantined
+        assert not report.wal_torn_tail_discarded  # repaired at reopen
+
+    def test_recovery_repairs_wal_file_on_disk(self, tmp_path):
+        # Quarantined interior corruption and a torn tail are dropped from
+        # wal.jsonl itself, so a second recovery sees a clean log instead
+        # of re-discovering (and re-quarantining) the same damage.
+        directory = tmp_path / "store"
+        snapshot_with_rows(directory, sample_rows(1))
+        good = encode_record({"op": "insert", "table": "t", "id": 50,
+                              "row": {"k": "late", "n": 50}})
+        (directory / WAL_NAME).write_text(
+            '{"crc": 1, "op": {"op": "clear", "table": "t"}}\n'
+            + good + "\n" + '{"crc": 2, "op": {"op": "tor',
+            encoding="utf-8")
+        db, report = recover_database(directory)
+        assert len(report.quarantined) == 1
+        assert report.wal_torn_tail_discarded == 1
+        again, second = recover_database(directory)
+        assert second.clean
+        assert not second.quarantined and not second.wal_torn_tail_discarded
+        assert table_state(again) == table_state(db)
+        quarantine_path = directory / "wal.quarantine.jsonl"
+        assert len(quarantine_path.read_text("utf-8").splitlines()) == 1
+
+    def test_crash_between_data_and_catalog_write_stays_loadable(
+            self, tmp_path, monkeypatch):
+        # save_database replaces data files first and the catalog last; a
+        # crash in between leaves t.jsonl newer than the digest/row count
+        # the old catalog describes.  Every row CRC is valid and the WAL
+        # still holds the committed ops, so even the strict loader must
+        # treat this as a survived crash, not corruption.
+        directory = tmp_path / "store"
+        snapshot_with_rows(directory, sample_rows(3))
+        db, _ = open_database(directory)
+        table = db.table("t")
+        table.insert({"k": "k3", "n": 3})
+        for row_id in sorted(table.row_ids())[:2]:
+            table.delete_row(row_id)  # shrink below the cataloged count
+        plan = FaultPlan(seed=0)
+        monkeypatch.setattr(
+            persist, "_atomic_write_text",
+            plan.raise_on_nth(persist._atomic_write_text, 2))
+        with pytest.raises(FaultInjected):
+            save_database(db, directory)  # t.jsonl written, catalog not
+        db._wal.close()
+        monkeypatch.undo()
+        strict = load_database(directory)  # must not raise
+        assert table_state(strict) == table_state(db)
+        recovered, report = recover_database(directory)
+        assert table_state(recovered) == table_state(db)
+        assert report.clean  # no spurious checksum findings either
 
     def test_corrupt_interior_wal_record_quarantined(self, tmp_path):
         directory = tmp_path / "store"

@@ -77,6 +77,27 @@ class TestErrorPolicies:
         with pytest.raises(OSError):
             Pipeline(corpus(3), [], [BadConsumer()]).run()
 
+    def test_failing_consumer_is_named_in_the_report(self):
+        # Consumers are not rolled back: the ones before the failing one
+        # already consumed the CAS, so the report must say *which*
+        # consumer failed for the sinks to be reconciled.
+        class BadConsumer(CollectingConsumer):
+            def consume(self, cas):
+                raise OSError("disk full")
+
+        before, after = CollectingConsumer(), CollectingConsumer()
+        report = Pipeline(corpus(1), [], [before, BadConsumer(), after],
+                          error_policy="skip").run()
+        failure = report.failures[0]
+        assert failure.consumer == "BadConsumer"
+        assert "BadConsumer" in repr(failure)
+        assert len(before.cases) == 1  # already consumed, no rollback
+        assert len(after.cases) == 0
+        # engine-stage failures carry no consumer attribution
+        engine_report = Pipeline(corpus(1), [FunctionEngine(poison_tenth)],
+                                 error_policy="skip").run()
+        assert engine_report.failures[0].consumer is None
+
     def test_invalid_policy_rejected(self):
         with pytest.raises(PipelineError, match="error_policy"):
             Pipeline(corpus(1), [], error_policy="ignore")
