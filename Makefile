@@ -1,19 +1,29 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-faults lint bench
+.PHONY: test test-faults test-serve lint bench serve-bench
 
 # Tier-1: the fast deterministic suite gating every change.
 test:
 	$(PYTHON) -m pytest -x -q
 
 # Tier-2: seeded fault-injection scenarios (torn WALs, bit flips,
-# crashes mid-save, poisoned CASes) across 5 seeds per scenario.
+# crashes mid-save, poisoned CASes, slow/flaky serving workers)
+# across 5 seeds per scenario.
 test-faults:
 	$(PYTHON) -m pytest -q -m faults
+
+# The serving gateway's unit + integration suite on its own.
+test-serve:
+	$(PYTHON) -m pytest tests/serve -q
 
 lint:
 	$(PYTHON) tools/lint_bare_except.py src
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# Closed-loop serving load benchmark + schema check on its JSON output.
+serve-bench:
+	$(PYTHON) -m pytest benchmarks/bench_serving.py -q
+	$(PYTHON) tools/check_bench_serving.py

@@ -1,0 +1,160 @@
+"""A7 — serving gateway: batched concurrent vs sequential throughput.
+
+Closed-loop load generator for :mod:`repro.serve`.  The baseline issues
+requests one at a time straight into ``QuestService.suggest`` — the
+pre-gateway webapp hot path, paying bundle load, feature extraction, code
+list assembly and persistence on every request.  The gateway run drives
+the same request trace from concurrent closed-loop clients through the
+micro-batching worker pool, whose version-keyed memos and batch dedup
+amortize that per-request cost across the hot working set.
+
+Acceptance floor (ISSUE PR 3): batched concurrent throughput must be at
+least 2x the sequential baseline, with p50/p95/p99 latencies reported.
+Machine-readable output lands in ``benchmarks/results/BENCH_serving.json``
+(validated by ``tools/check_bench_serving.py``); the first committed
+baseline lives in ``benchmarks/baselines/BENCH_serving.json``.
+"""
+
+import json
+import threading
+import time
+
+from conftest import RESULTS_DIR
+
+from repro.core import QATK, QatkConfig
+from repro.relstore import Database
+from repro.serve import GatewayConfig, ServeGateway
+
+REQUESTS = 240
+CLIENTS = 8
+WORKING_SET = 40  # distinct bundles cycled by the request trace
+WORKERS = 2
+MAX_BATCH = 16
+MAX_WAIT_MS = 2.0
+
+
+def _build_service(corpus, bundles):
+    qatk = QATK(corpus.taxonomy, QatkConfig(feature_mode="words"),
+                database=Database("serve-bench-kb"))
+    split = int(len(bundles) * 0.8)
+    qatk.train(bundles[:split])
+    service = qatk.make_service(Database("serve-bench-app"))
+    held_out = bundles[split:split + WORKING_SET]
+    service.register_bundles([bundle.without_label()
+                              for bundle in held_out])
+    return service, [bundle.ref_no for bundle in held_out]
+
+
+def _sequential_pass(service, trace):
+    start = time.perf_counter()
+    views = [service.suggest(ref, persist=True) for ref in trace]
+    return time.perf_counter() - start, views
+
+
+def _concurrent_pass(gateway, trace, clients):
+    shards = [trace[slot::clients] for slot in range(clients)]
+    errors: list[Exception] = []
+    barrier = threading.Barrier(clients + 1)
+
+    def client(shard):
+        barrier.wait(timeout=30)
+        for ref in shard:
+            try:
+                gateway.suggest(ref, timeout=30.0)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(shard,))
+               for shard in shards]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=30)
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    return elapsed, errors
+
+
+def test_serving_throughput(benchmark, corpus, bundles, reporter):
+    service, refs = _build_service(corpus, bundles)
+    trace = [refs[number % len(refs)] for number in range(REQUESTS)]
+    gateway = ServeGateway(service, GatewayConfig(
+        workers=WORKERS, max_queue=256, max_batch_size=MAX_BATCH,
+        max_wait_ms=MAX_WAIT_MS, default_timeout=30.0))
+
+    def run_both():
+        sequential_seconds, sequential_views = _sequential_pass(service,
+                                                                trace)
+        # warm the gateway (thread pool + first-touch memos), then measure
+        warm_start = time.perf_counter()
+        for ref in refs:
+            gateway.suggest(ref, timeout=30.0)
+        warmup_seconds = time.perf_counter() - warm_start
+        concurrent_seconds, errors = _concurrent_pass(gateway, trace,
+                                                      CLIENTS)
+        return (sequential_seconds, sequential_views, warmup_seconds,
+                concurrent_seconds, errors)
+
+    (sequential_seconds, sequential_views, warmup_seconds,
+     concurrent_seconds, errors) = benchmark.pedantic(
+        run_both, rounds=1, iterations=1)
+
+    try:
+        assert not errors, f"load generator saw errors: {errors[:3]!r}"
+        snap = gateway.stats_snapshot()
+        # the gateway answers what the bare service answers
+        spot_view = gateway.suggest(trace[0], timeout=30.0)
+        assert (spot_view.suggestions.codes
+                == sequential_views[0].suggestions.codes)
+    finally:
+        report = gateway.stop()
+    assert report.cancelled == 0
+
+    rps_sequential = REQUESTS / sequential_seconds
+    rps_concurrent = REQUESTS / concurrent_seconds
+    speedup = rps_concurrent / rps_sequential
+    reporter.row("A7 — serving: sequential suggest vs batched gateway")
+    reporter.row(f"{'path':<24}{'wall s':>10}{'req/s':>10}")
+    reporter.row(f"{'sequential (before)':<24}"
+                 f"{sequential_seconds:>10.3f}{rps_sequential:>10.1f}")
+    reporter.row(f"{'gateway (after)':<24}"
+                 f"{concurrent_seconds:>10.3f}{rps_concurrent:>10.1f}")
+    reporter.row(f"speedup: {speedup:.2f}x | {REQUESTS} requests, "
+                 f"{CLIENTS} clients, {WORKERS} workers, "
+                 f"batch<= {MAX_BATCH}, warmup {warmup_seconds:.3f}s")
+    reporter.row(f"latency ms p50/p95/p99: {snap['p50_ms']:.2f}/"
+                 f"{snap['p95_ms']:.2f}/{snap['p99_ms']:.2f} | "
+                 f"mean batch {snap['mean_batch_size']:.2f} | "
+                 f"memo hits {snap['memo_hits']} | "
+                 f"rejected {snap['rejected']} | "
+                 f"deadline_exceeded {snap['deadline_exceeded']}")
+    # the ISSUE's acceptance floor for the batched concurrent path
+    assert speedup >= 2.0
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "bench": "serving",
+        "requests": REQUESTS,
+        "clients": CLIENTS,
+        "workers": WORKERS,
+        "max_batch_size": MAX_BATCH,
+        "max_wait_ms": MAX_WAIT_MS,
+        "working_set": len(refs),
+        "warmup_seconds": round(warmup_seconds, 4),
+        "throughput_rps_sequential": round(rps_sequential, 2),
+        "throughput_rps_concurrent": round(rps_concurrent, 2),
+        "speedup": round(speedup, 3),
+        "p50_ms": round(snap["p50_ms"], 3),
+        "p95_ms": round(snap["p95_ms"], 3),
+        "p99_ms": round(snap["p99_ms"], 3),
+        "mean_batch_size": round(snap["mean_batch_size"], 3),
+        "memo_hits": snap["memo_hits"],
+        "rejected": snap["rejected"],
+        "deadline_exceeded": snap["deadline_exceeded"],
+        "model_version": snap["model_version"],
+    }
+    with open(RESULTS_DIR / "BENCH_serving.json", "w",
+              encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")

@@ -12,6 +12,7 @@ The package implements the paper's QUEST/QATK system end to end:
 * :mod:`repro.classify` — ranked-list kNN, similarity measures, baselines
 * :mod:`repro.evaluate` — stratified cross-validation and accuracy@k
 * :mod:`repro.quest` — QUEST service layer, comparison views, mini web app
+* :mod:`repro.serve` — concurrent serving gateway (queue, batcher, workers)
 * :mod:`repro.core` — the QATK pipeline facade (Fig. 8 of the paper)
 """
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..data.bundle import DataBundle, ReportSource, TEST_TIME_SOURCES
 from ..knowledge.base import KnowledgeBase
@@ -130,6 +131,29 @@ class RankedKnnClassifier:
         """Classify raw text against a part ID (used for the NHTSA source)."""
         features = self.extractor.extract_text(text)
         return self.rank_codes(part_id, features, ref_no=ref_no)
+
+    def classify_bundles(self, bundles: Iterable[DataBundle],
+                         sources: tuple[ReportSource, ...] = TEST_TIME_SOURCES,
+                         ) -> list[Recommendation]:
+        """Classify a batch, extracting each distinct document only once.
+
+        Feature extraction (tokenize, stopwords, optional annotation) is
+        pure in the document text, so within a batch identical documents —
+        duplicate refs coalesced by the serving micro-batcher, re-submitted
+        bundles — share one extraction.  Result order matches *bundles*
+        and each recommendation equals :meth:`classify_bundle`'s exactly.
+        """
+        memo: dict[str, frozenset[str]] = {}
+        recommendations = []
+        for bundle in bundles:
+            document = test_document(bundle, sources)
+            features = memo.get(document)
+            if features is None:
+                features = memo[document] = self.extractor.extract_text(
+                    document)
+            recommendations.append(self.rank_codes(bundle.part_id, features,
+                                                   ref_no=bundle.ref_no))
+        return recommendations
 
 
 class MajorityVoteKnnClassifier:

@@ -75,10 +75,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "extend", help="mine taxonomy-extension proposals from the corpus")
     extend.add_argument("--top", type=int, default=20)
 
-    serve = commands.add_parser("serve", help="run the QUEST web app")
+    serve = commands.add_parser(
+        "serve", help="run the QUEST web app behind the serving gateway")
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--train", type=int, default=2000,
                        help="bundles used to train the demo knowledge base")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="gateway worker threads")
+    serve.add_argument("--max-queue", type=int, default=64, dest="max_queue",
+                       help="admission-control bound; excess requests get 503")
+    serve.add_argument("--batch-size", type=int, default=16,
+                       dest="batch_size",
+                       help="micro-batcher: max coalesced requests per batch")
+    serve.add_argument("--batch-wait-ms", type=float, default=2.0,
+                       dest="batch_wait_ms",
+                       help="micro-batcher: max wait for stragglers (ms)")
+    serve.add_argument("--timeout", type=float, default=10.0,
+                       help="per-request deadline in seconds (504 past it)")
     add_on_error(serve)
 
     recover = commands.add_parser(
@@ -227,9 +240,12 @@ def _cmd_extend(top: int) -> int:
     return 0
 
 
-def _cmd_serve(port: int, train: int, on_error: str) -> int:
+def _cmd_serve(port: int, train: int, on_error: str, workers: int,
+               max_queue: int, batch_size: int, batch_wait_ms: float,
+               timeout: float) -> int:
     from .core import QATK, QatkConfig
     from .quest import QuestApp, QuestServer, Role, User, UserStore
+    from .serve import GatewayConfig, ServeGateway
     corpus = generate_corpus()
     bundles = experiment_subset(corpus.bundles)
     qatk = QATK(corpus.taxonomy, QatkConfig(feature_mode="words",
@@ -240,10 +256,16 @@ def _cmd_serve(port: int, train: int, on_error: str) -> int:
                               for bundle in bundles[train:train + 50]])
     users = UserStore(qatk.database)
     users.add(User("expert", Role.POWER_EXPERT, "Demo Expert"))
-    app = QuestApp(service, users, users.get("expert"))
+    gateway = ServeGateway(service, GatewayConfig(
+        workers=workers, max_queue=max_queue, max_batch_size=batch_size,
+        max_wait_ms=batch_wait_ms, default_timeout=timeout))
+    app = QuestApp(service, users, users.get("expert"), gateway=gateway)
     server = QuestServer(app, port=port)
     host, bound_port = server.address
-    print(f"QUEST running on http://{host}:{bound_port}/ — Ctrl+C to stop")
+    print(f"QUEST running on http://{host}:{bound_port}/ — "
+          f"{workers} worker(s), queue bound {max_queue}, batches up to "
+          f"{batch_size} ({batch_wait_ms:g} ms window); Ctrl+C to stop")
+    report = None
     try:
         server.start()
         import threading
@@ -251,7 +273,22 @@ def _cmd_serve(port: int, train: int, on_error: str) -> int:
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
-        server.stop()
+        try:
+            report = server.stop()
+        except KeyboardInterrupt:
+            # second Ctrl+C during the drain: force-quit without the
+            # grace period, but still reject queued work with typed
+            # errors rather than dropping it
+            print("\nforced shutdown")
+            report = app.gateway.stop(grace=0.0)
+    stats = gateway.stats_snapshot()
+    print(report.summary())
+    print(f"served {stats['completed']} requests "
+          f"({stats['rejected']} shed, {stats['deadline_exceeded']} expired, "
+          f"{stats['degraded']} degraded) — "
+          f"p50 {stats['p50_ms']:.1f} ms, p95 {stats['p95_ms']:.1f} ms, "
+          f"p99 {stats['p99_ms']:.1f} ms, "
+          f"mean batch {stats['mean_batch_size']}")
     return 0
 
 
@@ -289,7 +326,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "extend":
         return _cmd_extend(args.top)
     if args.command == "serve":
-        return _cmd_serve(args.port, args.train, args.on_error)
+        return _cmd_serve(args.port, args.train, args.on_error, args.workers,
+                          args.max_queue, args.batch_size, args.batch_wait_ms,
+                          args.timeout)
     if args.command == "recover":
         return _cmd_recover(args.directory, args.checkpoint)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -5,41 +5,68 @@ user-visible functions — bundle list, top-10 suggestion screen with
 full-list fallback, error-code assignment, custom code creation, user
 list, and the cross-source comparison — served as plain HTML.
 
-The handler delegates all logic to :class:`~repro.quest.service.QuestService`
-and the pure view functions, so it stays a thin transport layer.
+The handler delegates all logic to the serving gateway
+(:class:`~repro.serve.ServeGateway`) and the pure view functions, so it
+stays a thin transport layer.  The gateway owns queueing, micro-batching,
+deadlines and the store's reader-writer lock; overload surfaces as HTTP
+503 (queue full / shutdown) and 504 (deadline exceeded), and the live
+counters are served as JSON on ``/stats``.
 """
 
 from __future__ import annotations
 
+import json
 import threading
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
 
 from ..data.schema import load_bundles
+# Only the leaf errors module at import time: repro.serve.gateway imports
+# the quest service layer, so pulling the gateway in here would close an
+# import cycle through quest/__init__.  The gateway class itself is
+# imported lazily in QuestApp.__init__.
+from ..serve.errors import (DeadlineExceededError, GatewayStoppedError,
+                            QueueFullError)
 from .compare import ComparisonView
 from .errors import QuestError, UnknownBundleError
 from .service import QuestService
 from .users import PermissionError_, User, UserStore
 from . import views
 
+if TYPE_CHECKING:
+    from ..serve.gateway import DrainReport, ServeGateway
+
 
 class QuestApp:
-    """Bundles the service, users and (optional) comparison for serving."""
+    """Bundles the gateway, users and (optional) comparison for serving."""
 
     def __init__(self, service: QuestService, users: UserStore,
                  current_user: User,
-                 comparison: ComparisonView | None = None) -> None:
+                 comparison: ComparisonView | None = None,
+                 gateway: "ServeGateway | None" = None) -> None:
         self.service = service
         self.users = users
         self.current_user = current_user
         self.comparison = comparison
+        if gateway is None:
+            from ..serve.gateway import ServeGateway
+            gateway = ServeGateway(service)
+        #: The serving gateway all suggest/assign traffic goes through.
+        #: A default one (lazy worker pool) is built when none is given.
+        self.gateway = gateway
+
+    def close(self, grace: float | None = None) -> "DrainReport":
+        """Drain and stop the gateway; returns its drain report."""
+        return self.gateway.stop(grace)
 
     # ------------------------------------------------------------------ #
     # request-level operations (transport-independent, unit-testable)
 
     def get(self, path: str) -> tuple[int, str]:
-        """Handle a GET; returns (status, html).  *path* may carry a query
-        string (used by /search?q=...)."""
+        """Handle a GET; returns (status, body).  *path* may carry a query
+        string (used by /search?q=...).  ``/stats`` returns JSON, every
+        other route HTML."""
         parts = urllib.parse.urlsplit(path)
         path, query_string = parts.path, parts.query
         if path == "/" or path == "/bundles":
@@ -48,12 +75,21 @@ class QuestApp:
         if path.startswith("/bundle/"):
             ref_no = urllib.parse.unquote(path[len("/bundle/"):])
             try:
-                view = self.service.suggest(ref_no)
+                view = self.gateway.suggest(ref_no)
             except UnknownBundleError as exc:
                 return 404, views.render_message("Not found", str(exc))
+            except (QueueFullError, GatewayStoppedError) as exc:
+                return 503, views.render_message("Server overloaded",
+                                                 str(exc))
+            except DeadlineExceededError as exc:
+                return 504, views.render_message("Deadline exceeded",
+                                                 str(exc))
             except QuestError as exc:
                 return 503, views.render_message("Service degraded", str(exc))
             return 200, views.render_suggestions(view)
+        if path == "/stats":
+            return 200, json.dumps(self.gateway.stats_snapshot(),
+                                   sort_keys=True)
         if path == "/compare":
             if self.comparison is None:
                 return 200, views.render_message(
@@ -76,9 +112,9 @@ class QuestApp:
         """Handle a POST; returns (status, html)."""
         if path == "/assign":
             try:
-                self.service.assign_code(self.current_user,
-                                         form.get("ref_no", ""),
-                                         form.get("error_code", ""))
+                self.gateway.assign(self.current_user,
+                                    form.get("ref_no", ""),
+                                    form.get("error_code", ""))
             except PermissionError_ as exc:
                 return 403, views.render_message("Forbidden", str(exc))
             except ValueError as exc:
@@ -88,7 +124,7 @@ class QuestApp:
                             f"{form.get('ref_no')}.")
         if path == "/codes/new":
             try:
-                self.service.define_error_code(self.current_user,
+                self.gateway.define_error_code(self.current_user,
                                                form.get("error_code", ""),
                                                form.get("part_id", ""),
                                                form.get("description", ""))
@@ -101,17 +137,23 @@ class QuestApp:
 
 def _make_handler(app: QuestApp) -> type[BaseHTTPRequestHandler]:
     class Handler(BaseHTTPRequestHandler):
-        def _send(self, status: int, body: str) -> None:
+        def _send(self, status: int, body: str,
+                  content_type: str = "text/html; charset=utf-8") -> None:
             payload = body.encode("utf-8")
             self.send_response(status)
-            self.send_header("Content-Type", "text/html; charset=utf-8")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(payload)))
+            if status == 503:
+                self.send_header("Retry-After", "1")
             self.end_headers()
             self.wfile.write(payload)
 
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
             status, body = app.get(self.path)
-            self._send(status, body)
+            if urllib.parse.urlsplit(self.path).path == "/stats":
+                self._send(status, body, "application/json")
+            else:
+                self._send(status, body)
 
         def do_POST(self) -> None:  # noqa: N802 (http.server API)
             length = int(self.headers.get("Content-Length", "0"))
@@ -129,10 +171,11 @@ def _make_handler(app: QuestApp) -> type[BaseHTTPRequestHandler]:
 
 
 class QuestServer:
-    """Threaded HTTP server wrapper with clean startup/shutdown."""
+    """Threaded HTTP server wrapper with clean startup/drained shutdown."""
 
     def __init__(self, app: QuestApp, host: str = "127.0.0.1",
                  port: int = 0) -> None:
+        self.app = app
         self._server = ThreadingHTTPServer((host, port), _make_handler(app))
         self._thread: threading.Thread | None = None
 
@@ -142,18 +185,27 @@ class QuestServer:
         return self._server.server_address[:2]
 
     def start(self) -> None:
-        """Serve in a background thread."""
+        """Serve in a background thread (and warm the gateway's pool)."""
+        self.app.gateway.start()
         self._thread = threading.Thread(target=self._server.serve_forever,
                                         daemon=True)
         self._thread.start()
 
-    def stop(self) -> None:
-        """Shut the server down and join the thread."""
-        self._server.shutdown()
+    def stop(self, grace: float | None = None) -> "DrainReport":
+        """Shut down cleanly under in-flight requests.
+
+        Stops accepting connections, drains the gateway's queue with a
+        bounded grace period (queued work is completed or rejected with a
+        typed error — never dropped silently), closes the socket and joins
+        the serve thread.  Returns the gateway's drain report.
+        """
+        self._server.shutdown()          # stop accepting new connections
+        report = self.app.close(grace)   # drain queued + in-flight work
         self._server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        return report
 
     def __enter__(self) -> "QuestServer":
         self.start()

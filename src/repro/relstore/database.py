@@ -112,6 +112,14 @@ class Database:
     def __contains__(self, name: str) -> bool:
         return name in self._tables
 
+    def check_consistency(self) -> list[str]:
+        """Run :meth:`Table.check_consistency` over every table; returns
+        the concatenated problem list (empty = all indexes consistent)."""
+        problems: list[str] = []
+        for name in self.table_names():
+            problems.extend(self._tables[name].check_consistency())
+        return problems
+
     def __repr__(self) -> str:
         return f"<Database {self.name} tables={self.table_names()}>"
 

@@ -371,6 +371,40 @@ class Table:
         for row in self._rows.values():
             yield self.schema.as_dict(row)
 
+    def check_consistency(self) -> list[str]:
+        """Verify every index against a full scan; returns the problems.
+
+        Rebuilds each index's expected posting sets from the heap and
+        reports every divergence (missing row id, stale row id, stray
+        key) as a human-readable string — an empty list means the table's
+        indexes exactly mirror its rows.  Used by the concurrency
+        regression tests: unsynchronized writers corrupt exactly this
+        invariant first.
+        """
+        problems: list[str] = []
+        for index in self._indexes.values():
+            position = self.schema.index_of(index.column)
+            expected: dict[Any, set[int]] = {}
+            for row_id, row in self._rows.items():
+                value = row[position]
+                if isinstance(index, InvertedIndex):
+                    if isinstance(value, (list, tuple)):
+                        for element in value:
+                            expected.setdefault(element, set()).add(row_id)
+                elif value is not None:  # hash indexes skip NULLs
+                    expected.setdefault(HashIndex._key(value),
+                                        set()).add(row_id)
+            for key in set(index.keys()) - set(expected):
+                problems.append(f"{self.name}.{index.name}: stray key "
+                                f"{key!r} not present in any row")
+            for key, want in expected.items():
+                have = index.lookup(key)
+                if have != want:
+                    problems.append(
+                        f"{self.name}.{index.name}[{key!r}]: index has "
+                        f"rows {sorted(have)}, heap has {sorted(want)}")
+        return problems
+
     def explain(self, predicate: Predicate = ALWAYS) -> dict[str, Any]:
         """Describe how :meth:`select` would access rows for *predicate*.
 

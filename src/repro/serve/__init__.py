@@ -1,0 +1,33 @@
+"""repro.serve — the concurrent serving gateway (queue, batcher, workers).
+
+The layer between transports (web app, CLI, load generator) and the QUEST
+service: bounded admission control, dynamic micro-batching over the
+candidate-retrieval cache, a fixed worker pool with deadlines and degraded
+fallback, an atomically swappable model registry with a reader-writer lock
+around relstore mutations, and serving statistics.  See docs/serving.md.
+"""
+
+from .errors import (DeadlineExceededError, GatewayStoppedError,
+                     QueueFullError, ServeError)
+from .gateway import DrainReport, GatewayConfig, ServeGateway
+from .locks import RWLock
+from .queue import RequestQueue, SuggestRequest
+from .registry import ModelRegistry, ModelSnapshot
+from .stats import ServeStats, percentile
+
+__all__ = [
+    "DeadlineExceededError",
+    "DrainReport",
+    "GatewayConfig",
+    "GatewayStoppedError",
+    "ModelRegistry",
+    "ModelSnapshot",
+    "QueueFullError",
+    "RWLock",
+    "RequestQueue",
+    "ServeError",
+    "ServeGateway",
+    "ServeStats",
+    "SuggestRequest",
+    "percentile",
+]

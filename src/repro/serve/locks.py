@@ -1,0 +1,114 @@
+"""A writer-preferring reader-writer lock.
+
+The relstore tables are documented as "not thread-safe; QATK drives it
+from one pipeline thread".  The serving gateway keeps that contract under
+concurrency by wrapping every relstore access: classifications take the
+shared (read) side, mutations — assignments, custom codes, bundle
+registration, recommendation persistence — take the exclusive (write)
+side.  Writers are preferred so a steady stream of reads cannot starve an
+expert's assignment.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class RWLock:
+    """Many concurrent readers XOR one writer; writers go first.
+
+    Not reentrant on either side: a thread holding the write lock must not
+    re-acquire either side (the gateway never nests acquisitions).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def _wait(self, deadline: float | None) -> bool:
+        """Wait on the condition until *deadline* (monotonic); False = late."""
+        if deadline is None:
+            self._cond.wait()
+            return True
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return False
+        return self._cond.wait(remaining) or deadline > time.monotonic()
+
+    # ------------------------------------------------------------------ #
+    # read side
+
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        """Take the shared side; returns False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                if not self._wait(deadline):
+                    return False
+            self._readers += 1
+            return True
+
+    def release_read(self) -> None:
+        """Release the shared side."""
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without acquire_read")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # write side
+
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        """Take the exclusive side; returns False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    if not self._wait(deadline):
+                        return False
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+            return True
+
+    def release_write(self) -> None:
+        """Release the exclusive side."""
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without acquire_write")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # context managers
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """``with lock.read_locked(): ...`` — shared access."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """``with lock.write_locked(): ...`` — exclusive access."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:
+        return (f"<RWLock readers={self._readers} "
+                f"writer={self._writer_active} "
+                f"waiting={self._writers_waiting}>")

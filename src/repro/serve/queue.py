@@ -1,0 +1,166 @@
+"""The bounded request queue behind the gateway's admission control.
+
+Two jobs:
+
+* **Admission control** — :meth:`RequestQueue.put` never blocks and never
+  grows the backlog past ``maxsize``: a full queue raises
+  :class:`~repro.serve.errors.QueueFullError` immediately, so overload
+  turns into fast 503s instead of unbounded memory growth and collapse.
+* **Micro-batch coalescing** — :meth:`RequestQueue.get_batch` hands a
+  worker up to ``max_batch`` requests, waiting at most ``max_wait``
+  seconds after the first arrival for stragglers to coalesce.  Under load
+  batches fill instantly; when idle a lone request only pays the short
+  coalescing window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from .errors import DeadlineExceededError, GatewayStoppedError, QueueFullError
+
+
+@dataclass
+class SuggestRequest:
+    """One in-flight ``suggest`` call travelling through the gateway."""
+
+    ref_no: str
+    #: Absolute monotonic deadline, or None for no deadline.
+    deadline: float | None = None
+    enqueued_at: float = field(default_factory=time.monotonic)
+    _done: threading.Event = field(default_factory=threading.Event,
+                                   repr=False)
+    _result: Any = field(default=None, repr=False)
+    _error: BaseException | None = field(default=None, repr=False)
+    _abandoned: bool = field(default=False, repr=False)
+
+    # -------------------------------------------------------------- #
+    # worker side
+
+    @property
+    def expired(self) -> bool:
+        """Whether the deadline has already passed."""
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+    @property
+    def abandoned(self) -> bool:
+        """Whether the caller gave up waiting (worker may skip the work)."""
+        return self._abandoned
+
+    def resolve(self, result: Any) -> None:
+        """Deliver a successful result to the waiting caller."""
+        self._result = result
+        self._done.set()
+
+    def reject(self, error: BaseException) -> None:
+        """Deliver a failure to the waiting caller."""
+        self._error = error
+        self._done.set()
+
+    # -------------------------------------------------------------- #
+    # caller side
+
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block until resolved; raises the rejection error or, on a local
+        wait timeout, marks the request abandoned and raises
+        :class:`DeadlineExceededError`."""
+        if not self._done.wait(timeout):
+            self._abandoned = True
+            raise DeadlineExceededError(
+                f"suggest({self.ref_no!r}) exceeded its deadline")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class RequestQueue:
+    """A bounded FIFO of :class:`SuggestRequest` with batch dequeue."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._cond = threading.Condition(threading.Lock())
+        self._items: deque[SuggestRequest] = deque()
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the queue stopped accepting work (shutdown)."""
+        return self._closed
+
+    # -------------------------------------------------------------- #
+    # producer side
+
+    def put(self, request: SuggestRequest) -> None:
+        """Enqueue without blocking.
+
+        Raises:
+            QueueFullError: the backlog is at ``maxsize`` (load shed).
+            GatewayStoppedError: the queue is closed (shutdown).
+        """
+        with self._cond:
+            if self._closed:
+                raise GatewayStoppedError("gateway is shutting down")
+            if len(self._items) >= self.maxsize:
+                raise QueueFullError(
+                    f"request queue full ({self.maxsize} pending)")
+            self._items.append(request)
+            self._cond.notify()
+
+    # -------------------------------------------------------------- #
+    # consumer side
+
+    def get_batch(self, max_batch: int, max_wait: float,
+                  poll: float = 0.1) -> list[SuggestRequest]:
+        """Dequeue up to *max_batch* requests as one micro-batch.
+
+        Blocks up to *poll* seconds for the first request (returning an
+        empty list so the worker loop can check for shutdown), then keeps
+        coalescing arrivals for at most *max_wait* seconds or until the
+        batch is full.
+        """
+        with self._cond:
+            if not self._items:
+                self._cond.wait(poll)
+                if not self._items:
+                    return []
+            coalesce_until = time.monotonic() + max_wait
+            while len(self._items) < max_batch and not self._closed:
+                remaining = coalesce_until - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            batch = [self._items.popleft()
+                     for _ in range(min(max_batch, len(self._items)))]
+            self._cond.notify_all()
+            return batch
+
+    # -------------------------------------------------------------- #
+    # shutdown
+
+    def close(self) -> None:
+        """Stop accepting new work; wakes every waiter."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def drain(self) -> list[SuggestRequest]:
+        """Remove and return every still-queued request (for rejection)."""
+        with self._cond:
+            items = list(self._items)
+            self._items.clear()
+            self._cond.notify_all()
+            return items
+
+    def __repr__(self) -> str:
+        return (f"<RequestQueue {len(self)}/{self.maxsize}"
+                f"{' closed' if self._closed else ''}>")

@@ -1,0 +1,110 @@
+"""The model registry: versioned classifier snapshots + the store lock.
+
+Serving reads (classification) and knowledge-base writes (assignments,
+custom codes) meet here:
+
+* :class:`ModelSnapshot` is an immutable, *warm* view of the models a
+  request is served with — classifier, frequency baseline and optional
+  BoW fallback — stamped with a monotonically increasing ``version``.
+  Workers read ``registry.current()`` once per batch; a swap mid-batch
+  cannot tear a request across two model generations.
+* :meth:`ModelRegistry.swap` atomically replaces the snapshot (e.g. after
+  an offline retrain), and :meth:`ModelRegistry.bump` re-stamps the
+  current models after an in-place knowledge-base update, invalidating
+  every version-keyed cache downstream.
+* ``registry.store_lock`` is the reader-writer lock serializing relstore
+  access: the relstore tables are single-writer by contract, so every
+  mutation takes the exclusive side while classifications share the read
+  side.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+
+from ..classify.baselines import CodeFrequencyBaseline
+from ..classify.knn import RankedKnnClassifier
+from .locks import RWLock
+
+
+@dataclass(frozen=True)
+class ModelSnapshot:
+    """An immutable serving view of the models (see module docstring).
+
+    The snapshot object itself never changes; the *models* it points at
+    are only mutated under the registry's write lock, and any such
+    mutation must be followed by :meth:`ModelRegistry.bump` so readers'
+    caches drop stale derived data.
+    """
+
+    version: int
+    classifier: RankedKnnClassifier
+    frequency_baseline: CodeFrequencyBaseline
+    fallback_classifier: RankedKnnClassifier | None = None
+
+
+class ModelRegistry:
+    """Atomic snapshot holder + the relstore reader-writer lock."""
+
+    def __init__(self, snapshot: ModelSnapshot) -> None:
+        self._snapshot = snapshot
+        self._swap_lock = threading.Lock()
+        #: Reader-writer lock around the relstore-backed state; see module
+        #: docstring.  Shared by every transport that mutates the store.
+        self.store_lock = RWLock()
+
+    @classmethod
+    def from_service(cls, service) -> "ModelRegistry":
+        """Build a registry over a :class:`~repro.quest.service.QuestService`'s
+        models (version 1)."""
+        return cls(ModelSnapshot(
+            version=1,
+            classifier=service.classifier,
+            frequency_baseline=service.frequency_baseline,
+            fallback_classifier=service.fallback_classifier))
+
+    def current(self) -> ModelSnapshot:
+        """The snapshot serving new requests (a plain atomic read)."""
+        return self._snapshot
+
+    @property
+    def version(self) -> int:
+        """The current snapshot's version."""
+        return self._snapshot.version
+
+    def swap(self, classifier: RankedKnnClassifier | None = None,
+             frequency_baseline: CodeFrequencyBaseline | None = None,
+             fallback_classifier: RankedKnnClassifier | None = None,
+             ) -> ModelSnapshot:
+        """Atomically publish a new snapshot; omitted models carry over.
+
+        The caller is responsible for handing over *warm* models (built
+        and exercised off the serving path) — the swap itself is just a
+        reference assignment, so readers never wait on model construction.
+        Returns the published snapshot.
+        """
+        with self._swap_lock:
+            current = self._snapshot
+            updated = ModelSnapshot(
+                version=current.version + 1,
+                classifier=classifier or current.classifier,
+                frequency_baseline=(frequency_baseline
+                                    or current.frequency_baseline),
+                fallback_classifier=(fallback_classifier
+                                     if fallback_classifier is not None
+                                     else current.fallback_classifier))
+            self._snapshot = updated
+            return updated
+
+    def bump(self) -> ModelSnapshot:
+        """Re-version the current snapshot after an in-place model update
+        (e.g. the knowledge base learned from a confirmed assignment).
+        Version-keyed caches treat this exactly like a swap."""
+        with self._swap_lock:
+            self._snapshot = replace(self._snapshot,
+                                     version=self._snapshot.version + 1)
+            return self._snapshot
+
+    def __repr__(self) -> str:
+        return f"<ModelRegistry version={self.version}>"

@@ -1,0 +1,105 @@
+"""Serving counters and latency percentiles.
+
+One :class:`ServeStats` instance per gateway; every counter mutation takes
+a single plain lock (the counters are touched once or twice per request,
+far off the classification hot path).  Latencies go into a bounded ring so
+a long-running server reports *recent* percentiles instead of averaging
+over its whole life.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+#: How many recent request latencies feed the percentile estimates.
+LATENCY_WINDOW = 4096
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of *values* (``fraction`` in [0, 1]).
+
+    Returns 0.0 for an empty input so a cold server's ``/stats`` endpoint
+    is well-formed.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class ServeStats:
+    """Thread-safe counters + latency window for one gateway."""
+
+    def __init__(self, window: int = LATENCY_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=window)
+        self.submitted = 0          # requests offered to admission control
+        self.rejected = 0           # shed by the bounded queue (503)
+        self.completed = 0          # resolved with a suggestion view
+        self.failed = 0             # resolved with an error
+        self.deadline_exceeded = 0  # expired before/while being served (504)
+        self.cancelled = 0          # dropped by shutdown drain
+        self.batches = 0            # worker batch executions
+        self.batched_requests = 0   # requests processed inside batches
+        self.retried = 0            # per-request retries after a worker fault
+        self.degraded = 0           # served through the degraded chain
+        self.memo_hits = 0          # served from the per-version result memo
+        self.assignments = 0        # writes routed through the write lock
+        self.swaps = 0              # model-snapshot swaps/bumps observed
+
+    # ------------------------------------------------------------------ #
+    # recording
+
+    def count(self, field: str, amount: int = 1) -> None:
+        """Add *amount* to one of the counter attributes."""
+        with self._lock:
+            setattr(self, field, getattr(self, field) + amount)
+
+    def record_latency(self, seconds: float) -> None:
+        """Record one completed request's queue-to-answer latency."""
+        with self._lock:
+            self._latencies.append(seconds)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+
+    def latency_ms(self, fraction: float) -> float:
+        """A latency percentile over the recent window, in milliseconds."""
+        with self._lock:
+            values = list(self._latencies)
+        return percentile(values, fraction) * 1000.0
+
+    def snapshot(self) -> dict:
+        """A point-in-time dict of every counter plus p50/p95/p99 (ms)."""
+        with self._lock:
+            values = list(self._latencies)
+            counters = {
+                "submitted": self.submitted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+                "deadline_exceeded": self.deadline_exceeded,
+                "cancelled": self.cancelled,
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "retried": self.retried,
+                "degraded": self.degraded,
+                "memo_hits": self.memo_hits,
+                "assignments": self.assignments,
+                "swaps": self.swaps,
+            }
+        counters["mean_batch_size"] = (
+            round(counters["batched_requests"] / counters["batches"], 3)
+            if counters["batches"] else 0.0)
+        counters["p50_ms"] = round(percentile(values, 0.50) * 1000.0, 4)
+        counters["p95_ms"] = round(percentile(values, 0.95) * 1000.0, 4)
+        counters["p99_ms"] = round(percentile(values, 0.99) * 1000.0, 4)
+        return counters
+
+    def __repr__(self) -> str:
+        return (f"<ServeStats submitted={self.submitted} "
+                f"completed={self.completed} rejected={self.rejected}>")

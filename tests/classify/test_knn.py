@@ -107,6 +107,27 @@ class TestRecommendationApi:
         assert len(recommendation.top(2)) <= 2
 
 
+class TestBatchApi:
+    def test_matches_single_bundle_classification(self, classifier):
+        bundles = [bundle("fan scorched qx1", ref="R1"),
+                   bundle("fan rattle qx2", ref="R2"),
+                   bundle("fan noise", ref="R3")]
+        batched = classifier.classify_bundles(bundles)
+        assert batched == [classifier.classify_bundle(item)
+                           for item in bundles]
+
+    def test_order_matches_input_with_duplicates(self, classifier):
+        bundles = [bundle("fan scorched qx1", ref="R1"),
+                   bundle("fan scorched qx1", ref="R1"),
+                   bundle("fan rattle qx2", ref="R2")]
+        batched = classifier.classify_bundles(bundles)
+        assert [rec.ref_no for rec in batched] == ["R1", "R1", "R2"]
+        assert batched[0] == batched[1]
+
+    def test_empty_batch(self, classifier):
+        assert classifier.classify_bundles([]) == []
+
+
 class TestMajorityVote:
     def test_vote(self, kb):
         classifier = MajorityVoteKnnClassifier(kb, BagOfWordsExtractor(), k=3)

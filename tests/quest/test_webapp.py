@@ -133,6 +133,85 @@ class TestHttpServer:
         assert quest.bundle(bundle.ref_no).error_code == view.top10[0]
 
 
+class TestStatsRoute:
+    def test_stats_json(self, service, taxonomy, small_corpus, trained_qatk):
+        import json
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        _, held_out = service
+        app.get(f"/bundle/{held_out[0].ref_no}")
+        status, body = app.get("/stats")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["completed"] >= 1
+        for key in ("p50_ms", "p95_ms", "p99_ms", "queue_depth",
+                    "rejected", "model_version"):
+            assert key in payload
+
+    def test_stats_over_http(self, service, taxonomy, small_corpus,
+                             trained_qatk):
+        import json
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        with QuestServer(app) as server:
+            host, port = server.address
+            with urllib.request.urlopen(
+                    f"http://{host}:{port}/stats") as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"].startswith(
+                    "application/json")
+                payload = json.loads(response.read().decode("utf-8"))
+        assert "submitted" in payload
+
+
+class TestCleanShutdown:
+    def test_stop_drains_in_flight_requests(self, service, taxonomy,
+                                            small_corpus, trained_qatk):
+        """Satellite regression: stop() under in-flight traffic returns a
+        drain report, closes the socket and joins the server thread."""
+        import socket
+        import threading
+
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        _, held_out = service
+        server = QuestServer(app)
+        server.start()
+        host, port = server.address
+        statuses = []
+
+        def client(ref):
+            try:
+                with urllib.request.urlopen(
+                        f"http://{host}:{port}/bundle/{ref}") as response:
+                    statuses.append(response.status)
+            except Exception as exc:
+                statuses.append(exc)
+
+        threads = [threading.Thread(target=client,
+                                    args=(bundle.ref_no,))
+                   for bundle in held_out[:4]]
+        for thread in threads:
+            thread.start()
+        report = server.stop(grace=5.0)
+        for thread in threads:
+            thread.join()
+        assert report.cancelled == 0
+        assert server._thread is None  # serve thread joined
+        # the listening socket is really gone
+        with socket.socket() as probe:
+            assert probe.connect_ex((host, port)) != 0
+        # requests that got through were served fine
+        assert all(status == 200 for status in statuses
+                   if isinstance(status, int))
+
+    def test_stop_returns_gateway_drain_report(self, service, taxonomy,
+                                               small_corpus, trained_qatk):
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        server = QuestServer(app)
+        server.start()
+        report = server.stop(grace=1.0)
+        assert report.clean
+        assert "drain" in report.summary()
+
+
 class TestSearchRoute:
     def test_search_route(self, service, taxonomy, small_corpus, trained_qatk):
         app = make_app(service, taxonomy, small_corpus, trained_qatk)

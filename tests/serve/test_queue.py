@@ -1,0 +1,117 @@
+"""RequestQueue: admission control + micro-batch coalescing."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import (DeadlineExceededError, GatewayStoppedError,
+                         QueueFullError, RequestQueue, SuggestRequest)
+
+
+def request(ref="R1", deadline=None):
+    return SuggestRequest(ref_no=ref, deadline=deadline)
+
+
+class TestAdmissionControl:
+    def test_put_beyond_bound_sheds(self):
+        queue = RequestQueue(maxsize=2)
+        queue.put(request("R1"))
+        queue.put(request("R2"))
+        with pytest.raises(QueueFullError):
+            queue.put(request("R3"))
+        # shedding left the queue intact
+        assert len(queue) == 2
+
+    def test_put_never_blocks(self):
+        queue = RequestQueue(maxsize=1)
+        queue.put(request())
+        started = time.monotonic()
+        with pytest.raises(QueueFullError):
+            queue.put(request())
+        assert time.monotonic() - started < 0.5
+
+    def test_closed_queue_rejects_with_typed_error(self):
+        queue = RequestQueue(maxsize=4)
+        queue.close()
+        with pytest.raises(GatewayStoppedError):
+            queue.put(request())
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            RequestQueue(maxsize=0)
+
+
+class TestBatching:
+    def test_batch_respects_max_batch(self):
+        queue = RequestQueue(maxsize=16)
+        for number in range(10):
+            queue.put(request(f"R{number}"))
+        batch = queue.get_batch(max_batch=4, max_wait=0.0)
+        assert [item.ref_no for item in batch] == ["R0", "R1", "R2", "R3"]
+        assert len(queue) == 6
+
+    def test_batch_coalesces_stragglers(self):
+        queue = RequestQueue(maxsize=16)
+        queue.put(request("R0"))
+
+        def late_arrival():
+            time.sleep(0.02)
+            queue.put(request("R1"))
+
+        thread = threading.Thread(target=late_arrival)
+        thread.start()
+        batch = queue.get_batch(max_batch=8, max_wait=0.5)
+        thread.join()
+        assert {item.ref_no for item in batch} == {"R0", "R1"}
+
+    def test_empty_poll_returns_no_batch(self):
+        queue = RequestQueue(maxsize=4)
+        assert queue.get_batch(max_batch=4, max_wait=0.0, poll=0.01) == []
+
+    def test_fifo_order_across_batches(self):
+        queue = RequestQueue(maxsize=16)
+        for number in range(6):
+            queue.put(request(f"R{number}"))
+        first = queue.get_batch(max_batch=3, max_wait=0.0)
+        second = queue.get_batch(max_batch=3, max_wait=0.0)
+        assert [item.ref_no for item in first + second] == [
+            f"R{number}" for number in range(6)]
+
+
+class TestDrain:
+    def test_drain_empties_and_returns_everything(self):
+        queue = RequestQueue(maxsize=8)
+        for number in range(5):
+            queue.put(request(f"R{number}"))
+        queue.close()
+        drained = queue.drain()
+        assert [item.ref_no for item in drained] == [
+            f"R{number}" for number in range(5)]
+        assert len(queue) == 0
+
+
+class TestSuggestRequest:
+    def test_resolve_delivers_result(self):
+        item = request()
+        item.resolve("the-view")
+        assert item.wait(timeout=1) == "the-view"
+
+    def test_reject_raises_in_waiter(self):
+        item = request()
+        item.reject(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            item.wait(timeout=1)
+
+    def test_wait_timeout_abandons(self):
+        item = request()
+        with pytest.raises(DeadlineExceededError):
+            item.wait(timeout=0.01)
+        assert item.abandoned
+
+    def test_expiry_tracks_deadline(self):
+        item = request(deadline=time.monotonic() - 1)
+        assert item.expired
+        fresh = request(deadline=time.monotonic() + 60)
+        assert not fresh.expired
+        assert not request(deadline=None).expired

@@ -1,0 +1,71 @@
+"""ServeStats counters, latency window and percentiles."""
+
+import threading
+
+import pytest
+
+from repro.serve import ServeStats, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.99) == 0.0
+
+    def test_nearest_rank(self):
+        values = [float(value) for value in range(1, 11)]  # 1..10
+        assert percentile(values, 0.50) == 5.0
+        assert percentile(values, 0.95) == 10.0
+        assert percentile(values, 0.99) == 10.0
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 10.0
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestServeStats:
+    def test_counters_and_snapshot(self):
+        stats = ServeStats()
+        stats.count("submitted", 3)
+        stats.count("completed", 2)
+        stats.count("batches")
+        stats.count("batched_requests", 2)
+        snap = stats.snapshot()
+        assert snap["submitted"] == 3
+        assert snap["completed"] == 2
+        assert snap["mean_batch_size"] == 2.0
+
+    def test_latency_percentiles_in_ms(self):
+        stats = ServeStats()
+        for value in (0.001, 0.002, 0.003, 0.004):
+            stats.record_latency(value)
+        snap = stats.snapshot()
+        assert snap["p50_ms"] == pytest.approx(2.0)
+        assert snap["p99_ms"] == pytest.approx(4.0)
+        assert stats.latency_ms(0.5) == pytest.approx(2.0)
+
+    def test_window_keeps_recent(self):
+        stats = ServeStats(window=4)
+        for value in (1.0, 1.0, 1.0, 1.0, 0.002, 0.002, 0.002, 0.002):
+            stats.record_latency(value)
+        # the four 1-second outliers fell out of the window
+        assert stats.snapshot()["p99_ms"] == pytest.approx(2.0)
+
+    def test_thread_safety_of_counters(self):
+        stats = ServeStats()
+
+        def bump():
+            for _ in range(1000):
+                stats.count("submitted")
+                stats.record_latency(0.001)
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert stats.snapshot()["submitted"] == 8000

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Validate the serving benchmark's machine-readable output.
+
+``make serve-bench`` runs this after ``benchmarks/bench_serving.py`` to
+fail the build when ``BENCH_serving.json`` is missing, unparsable, or
+short of the latency/throughput keys downstream tooling depends on.
+
+Usage::
+
+    python tools/check_bench_serving.py [path/to/BENCH_serving.json]
+
+Default path: ``benchmarks/results/BENCH_serving.json``.  Exit status 0
+when every required key is present with a sane value, 1 otherwise.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_PATH = (Path(__file__).resolve().parent.parent
+                / "benchmarks" / "results" / "BENCH_serving.json")
+
+#: Keys every serving bench payload must carry, with the type family
+#: and (optionally) a lower bound the value must satisfy.
+REQUIRED = {
+    "requests": (int, 1),
+    "clients": (int, 1),
+    "workers": (int, 1),
+    "max_batch_size": (int, 1),
+    "throughput_rps_sequential": ((int, float), 0.0),
+    "throughput_rps_concurrent": ((int, float), 0.0),
+    "speedup": ((int, float), 0.0),
+    "p50_ms": ((int, float), 0.0),
+    "p95_ms": ((int, float), 0.0),
+    "p99_ms": ((int, float), 0.0),
+}
+
+
+def check(path: Path) -> list[str]:
+    """Return a list of problems (empty when the payload is valid)."""
+    if not path.exists():
+        return [f"{path}: missing (run `make serve-bench` first)"]
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"{path}: unreadable JSON ({exc})"]
+    if not isinstance(payload, dict):
+        return [f"{path}: expected a JSON object, got {type(payload).__name__}"]
+    problems = []
+    for key, (kind, minimum) in REQUIRED.items():
+        if key not in payload:
+            problems.append(f"{path}: missing required key {key!r}")
+            continue
+        value = payload[key]
+        if isinstance(value, bool) or not isinstance(value, kind):
+            problems.append(f"{path}: key {key!r} has non-numeric value "
+                            f"{value!r}")
+            continue
+        if value <= minimum and key not in ("p50_ms", "p95_ms", "p99_ms"):
+            problems.append(f"{path}: key {key!r} must be > {minimum}, "
+                            f"got {value!r}")
+        elif value < minimum:
+            problems.append(f"{path}: key {key!r} must be >= {minimum}, "
+                            f"got {value!r}")
+    percentiles = [payload.get(key) for key in ("p50_ms", "p95_ms", "p99_ms")]
+    if all(isinstance(value, (int, float)) and not isinstance(value, bool)
+           for value in percentiles):
+        p50, p95, p99 = percentiles
+        if not p50 <= p95 <= p99:
+            problems.append(f"{path}: percentiles not monotonic "
+                            f"(p50={p50}, p95={p95}, p99={p99})")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+    problems = check(path)
+    for problem in problems:
+        print(f"check_bench_serving: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"check_bench_serving: OK ({path})")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
