@@ -1,21 +1,34 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-faults test-serve lint bench serve-bench
+.PHONY: test test-faults test-serve test-parity coverage lint bench serve-bench
 
-# Tier-1: the fast deterministic suite gating every change.
+# Tier-1: the fast deterministic suite gating every change, plus the
+# cross-executor parity contract and the serving-layer coverage gate.
 test:
 	$(PYTHON) -m pytest -x -q
+	$(MAKE) test-parity
+	$(MAKE) coverage
 
 # Tier-2: seeded fault-injection scenarios (torn WALs, bit flips,
-# crashes mid-save, poisoned CASes, slow/flaky serving workers)
-# across 5 seeds per scenario.
+# crashes mid-save, poisoned CASes, slow/flaky serving workers,
+# killed worker processes) across 5 seeds per scenario.
 test-faults:
 	$(PYTHON) -m pytest -q -m faults
 
 # The serving gateway's unit + integration suite on its own.
 test-serve:
 	$(PYTHON) -m pytest tests/serve -q
+
+# Cross-executor parity: in-process vs thread gateway vs process
+# gateway must produce byte-identical ranked lists across 5 seeds.
+test-parity:
+	$(PYTHON) -m pytest tests/serve/test_parity.py -q
+
+# Line-coverage gate for src/repro/serve/ (pytest-cov when installed,
+# stdlib settrace fallback otherwise; floor in tools/coverage_serve.py).
+coverage:
+	$(PYTHON) tools/coverage_serve.py tests/serve -q
 
 lint:
 	$(PYTHON) tools/lint_bare_except.py src

@@ -82,6 +82,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="bundles used to train the demo knowledge base")
     serve.add_argument("--workers", type=int, default=2,
                        help="gateway worker threads")
+    serve.add_argument("--worker-mode", choices=["thread", "process"],
+                       default="thread", dest="worker_mode",
+                       help="run classification on batcher threads or in "
+                            "snapshot-seeded worker processes")
+    serve.add_argument("--worker-procs", type=int, default=None,
+                       dest="worker_procs",
+                       help="worker-process count for --worker-mode="
+                            "process (default: sized from CPU count)")
     serve.add_argument("--max-queue", type=int, default=64, dest="max_queue",
                        help="admission-control bound; excess requests get 503")
     serve.add_argument("--batch-size", type=int, default=16,
@@ -242,7 +250,8 @@ def _cmd_extend(top: int) -> int:
 
 def _cmd_serve(port: int, train: int, on_error: str, workers: int,
                max_queue: int, batch_size: int, batch_wait_ms: float,
-               timeout: float) -> int:
+               timeout: float, worker_mode: str = "thread",
+               worker_procs: int | None = None) -> int:
     from .core import QATK, QatkConfig
     from .quest import QuestApp, QuestServer, Role, User, UserStore
     from .serve import GatewayConfig, ServeGateway
@@ -258,13 +267,20 @@ def _cmd_serve(port: int, train: int, on_error: str, workers: int,
     users.add(User("expert", Role.POWER_EXPERT, "Demo Expert"))
     gateway = ServeGateway(service, GatewayConfig(
         workers=workers, max_queue=max_queue, max_batch_size=batch_size,
-        max_wait_ms=batch_wait_ms, default_timeout=timeout))
+        max_wait_ms=batch_wait_ms, default_timeout=timeout,
+        worker_mode=worker_mode, worker_procs=worker_procs))
     app = QuestApp(service, users, users.get("expert"), gateway=gateway)
     server = QuestServer(app, port=port)
     host, bound_port = server.address
+    gateway.start()
+    pool_note = ""
+    if worker_mode == "process":
+        pool_note = (" + process pool" if gateway.pool_active
+                     else " (process pool unavailable; thread fallback)")
     print(f"QUEST running on http://{host}:{bound_port}/ — "
-          f"{workers} worker(s), queue bound {max_queue}, batches up to "
-          f"{batch_size} ({batch_wait_ms:g} ms window); Ctrl+C to stop")
+          f"{workers} worker(s){pool_note}, queue bound {max_queue}, "
+          f"batches up to {batch_size} ({batch_wait_ms:g} ms window); "
+          f"Ctrl+C to stop")
     report = None
     try:
         server.start()
@@ -328,7 +344,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "serve":
         return _cmd_serve(args.port, args.train, args.on_error, args.workers,
                           args.max_queue, args.batch_size, args.batch_wait_ms,
-                          args.timeout)
+                          args.timeout, args.worker_mode, args.worker_procs)
     if args.command == "recover":
         return _cmd_recover(args.directory, args.checkpoint)
     raise AssertionError(f"unhandled command {args.command!r}")

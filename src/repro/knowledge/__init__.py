@@ -1,6 +1,7 @@
 """Knowledge nodes, feature extraction and the knowledge base (§4.3-4.4)."""
 
-from .base import NODE_SCHEMA, KnowledgeBase, NodeCache
+from .base import (NODE_SCHEMA, FrozenKnowledgeView, KnowledgeBase,
+                   KnowledgeRow, NodeCache)
 from .extractor import (BagOfConceptsExtractor, BagOfWordsExtractor,
                         FeatureExtractor, complaint_document,
                         extract_test_features, extract_training_features,
@@ -11,7 +12,9 @@ __all__ = [
     "BagOfConceptsExtractor",
     "BagOfWordsExtractor",
     "FeatureExtractor",
+    "FrozenKnowledgeView",
     "KnowledgeBase",
+    "KnowledgeRow",
     "KnowledgeNode",
     "NODE_SCHEMA",
     "NodeCache",

@@ -150,6 +150,59 @@ class NodeCache:
         return shared
 
 
+#: One exported knowledge row: (row id, part id, error code, sorted
+#: feature tuple, support).  Row ids are preserved across export/import so
+#: candidate ordering — and therefore every ranked list — is identical on
+#: both sides of a process boundary.
+KnowledgeRow = tuple[int, str, str, tuple[str, ...], int]
+
+
+class FrozenKnowledgeView:
+    """A read-only knowledge base rebuilt from exported rows.
+
+    Serving worker processes classify against this view: it answers
+    :meth:`candidates` exactly like :class:`KnowledgeBase.candidates`
+    (same :class:`NodeCache` machinery, same row ids, same ordering) but
+    carries no relstore, no indexes and no write paths — nothing a worker
+    could mutate behind the primary's back.
+    """
+
+    def __init__(self, rows: Iterable[KnowledgeRow],
+                 feature_kind: str = "features") -> None:
+        self.feature_kind = feature_kind
+        self._cache = NodeCache()
+        self._rows: list[KnowledgeRow] = []
+        for row_id, part_id, error_code, features, support in sorted(rows):
+            node = KnowledgeNode(part_id, error_code, frozenset(features),
+                                 support)
+            self._cache.put(row_id, node)
+            self._rows.append((row_id, part_id, error_code,
+                               tuple(sorted(features)), support))
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def nodes(self) -> Iterator[KnowledgeNode]:
+        """All nodes in row-id order."""
+        return self._cache.nodes()
+
+    def candidates(self, part_id: str,
+                   features: frozenset[str] | set[str]) -> list[KnowledgeNode]:
+        """Fig. 5 candidate retrieval, identical to the live base's."""
+        node_of = self._cache.node
+        return [node_of(row_id)
+                for row_id in sorted(self._cache.candidate_rows(part_id,
+                                                                features))]
+
+    def export_rows(self) -> list[KnowledgeRow]:
+        """The rows this view was built from (round-trip support)."""
+        return list(self._rows)
+
+    def __repr__(self) -> str:
+        return (f"<FrozenKnowledgeView kind={self.feature_kind!r} "
+                f"nodes={len(self)}>")
+
+
 class KnowledgeBase:
     """Deduplicated knowledge nodes with index-backed candidate retrieval."""
 
@@ -272,6 +325,22 @@ class KnowledgeBase:
         if predicate is None:
             return {str(v) for v in self._table.distinct("error_code")}
         return {str(v) for v in self._table.distinct("error_code", predicate)}
+
+    def export_rows(self) -> list[KnowledgeRow]:
+        """Every node as a plain picklable row, sorted by row id.
+
+        The exported rows (with their original row ids) are what a
+        :class:`ModelSnapshot` payload ships to serving worker processes;
+        :class:`FrozenKnowledgeView` rebuilds candidate retrieval from
+        them with byte-identical ordering.
+        """
+        rows: list[KnowledgeRow] = []
+        for key, row_id in self._row_ids.items():
+            node = self._cache.node(row_id)
+            rows.append((row_id, node.part_id, node.error_code,
+                         tuple(sorted(node.features)), node.support))
+        rows.sort()
+        return rows
 
     def code_frequencies(self, part_id: str) -> dict[str, int]:
         """Support-weighted error-code frequencies for *part_id*.

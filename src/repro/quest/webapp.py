@@ -44,16 +44,19 @@ class QuestApp:
     def __init__(self, service: QuestService, users: UserStore,
                  current_user: User,
                  comparison: ComparisonView | None = None,
-                 gateway: "ServeGateway | None" = None) -> None:
+                 gateway: "ServeGateway | None" = None,
+                 gateway_config=None) -> None:
         self.service = service
         self.users = users
         self.current_user = current_user
         self.comparison = comparison
         if gateway is None:
             from ..serve.gateway import ServeGateway
-            gateway = ServeGateway(service)
+            gateway = ServeGateway(service, gateway_config)
         #: The serving gateway all suggest/assign traffic goes through.
-        #: A default one (lazy worker pool) is built when none is given.
+        #: A default one (lazy worker pool) is built when none is given;
+        #: *gateway_config* tunes it (e.g. ``worker_mode="process"``)
+        #: without the caller having to construct the gateway itself.
         self.gateway = gateway
 
     def close(self, grace: float | None = None) -> "DrainReport":

@@ -8,26 +8,40 @@ around relstore mutations, and serving statistics.  See docs/serving.md.
 """
 
 from .errors import (DeadlineExceededError, GatewayStoppedError,
-                     QueueFullError, ServeError)
-from .gateway import DrainReport, GatewayConfig, ServeGateway
+                     QueueFullError, ServeError, SnapshotPayloadError,
+                     StaleSnapshotError, WorkerCrashError)
+from .gateway import DrainReport, GatewayConfig, ServeGateway, WORKER_MODES
 from .locks import RWLock
+from .procpool import (BrokenProcessPool, PoolStats, ProcessWorkerPool,
+                       WorkItem)
 from .queue import RequestQueue, SuggestRequest
-from .registry import ModelRegistry, ModelSnapshot
+from .registry import (ModelRegistry, ModelSnapshot, apply_payload_delta,
+                       diff_payloads)
 from .stats import ServeStats, percentile
 
 __all__ = [
+    "BrokenProcessPool",
     "DeadlineExceededError",
     "DrainReport",
     "GatewayConfig",
     "GatewayStoppedError",
     "ModelRegistry",
     "ModelSnapshot",
+    "PoolStats",
+    "ProcessWorkerPool",
     "QueueFullError",
     "RWLock",
     "RequestQueue",
     "ServeError",
     "ServeGateway",
     "ServeStats",
+    "SnapshotPayloadError",
+    "StaleSnapshotError",
     "SuggestRequest",
+    "WORKER_MODES",
+    "WorkItem",
+    "WorkerCrashError",
+    "apply_payload_delta",
+    "diff_payloads",
     "percentile",
 ]

@@ -25,6 +25,8 @@ and :class:`~repro.quest.service.QuestService`:
 
 from __future__ import annotations
 
+import dataclasses
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -35,10 +37,15 @@ from ..knowledge.extractor import test_document
 from ..quest.errors import DegradedServiceError, UnknownBundleError
 from ..quest.service import QuestService, SuggestionView
 from ..quest.users import User
-from .errors import DeadlineExceededError, GatewayStoppedError
+from .errors import (DeadlineExceededError, GatewayStoppedError,
+                     WorkerCrashError)
+from .procpool import BrokenProcessPool, ProcessWorkerPool, WorkItem
 from .queue import RequestQueue, SuggestRequest
 from .registry import ModelRegistry, ModelSnapshot
 from .stats import ServeStats
+
+#: Recognised values of :attr:`GatewayConfig.worker_mode`.
+WORKER_MODES = ("thread", "process")
 
 
 @dataclass(frozen=True)
@@ -65,6 +72,15 @@ class GatewayConfig:
     #: Persist freshly computed (healthy) recommendations, as the bare
     #: service's ``suggest(persist=True)`` does.
     persist: bool = True
+    #: ``"thread"`` serves batches on the batcher threads themselves;
+    #: ``"process"`` dispatches the CPU-heavy classification half to a
+    #: snapshot-seeded :class:`~repro.serve.procpool.ProcessWorkerPool`
+    #: (real cores instead of GIL time-slices), falling back to the
+    #: thread path whenever the pool cannot answer.
+    worker_mode: str = "thread"
+    #: Worker-process count for ``worker_mode="process"``; ``None`` sizes
+    #: the pool from the machine's CPU count.
+    worker_procs: int | None = None
 
 
 @dataclass(frozen=True)
@@ -94,9 +110,14 @@ class ServeGateway:
                  registry: ModelRegistry | None = None) -> None:
         self.service = service
         self.config = config or GatewayConfig()
+        if self.config.worker_mode not in WORKER_MODES:
+            raise ValueError(f"worker_mode must be one of {WORKER_MODES}, "
+                             f"not {self.config.worker_mode!r}")
         self.registry = (registry if registry is not None
                          else ModelRegistry.from_service(service))
         self.stats = ServeStats()
+        self._pool: ProcessWorkerPool | None = None
+        self._pool_lock = threading.Lock()
         self._queue = RequestQueue(self.config.max_queue)
         self._threads: list[threading.Thread] = []
         self._start_lock = threading.Lock()
@@ -131,6 +152,8 @@ class ServeGateway:
         with self._start_lock:
             if self._threads or self._stopped:
                 return
+            if self.config.worker_mode == "process":
+                self._pool = self._make_pool()
             for number in range(self.config.workers):
                 thread = threading.Thread(
                     target=self._worker_loop, daemon=True,
@@ -153,7 +176,7 @@ class ServeGateway:
         self._queue.close()
         if already_stopped:
             return DrainReport(0, 0, grace, clean=True)
-        completed_before = self.stats.completed + self.stats.failed
+        completed_before = self.stats.resolved_total()
         deadline = time.monotonic() + grace
         while time.monotonic() < deadline:
             with self._inflight_lock:
@@ -170,8 +193,11 @@ class ServeGateway:
         for thread in self._threads:
             thread.join(timeout=max(grace, 1.0))
         self._threads.clear()
-        drained = (self.stats.completed + self.stats.failed
-                   - completed_before)
+        pool = self._pool
+        if pool is not None:
+            self._pool = None
+            pool.stop()
+        drained = self.stats.resolved_total() - completed_before
         return DrainReport(drained=drained, cancelled=len(leftovers),
                            grace_seconds=grace, clean=not leftovers)
 
@@ -228,6 +254,7 @@ class ServeGateway:
         self.stats.count("assignments")
         self.registry.bump()
         self.stats.count("swaps")
+        self._publish_snapshot()
 
     def define_error_code(self, actor: User, error_code: str, part_id: str,
                           description: str) -> None:
@@ -237,6 +264,7 @@ class ServeGateway:
                                            description)
         self.registry.bump()
         self.stats.count("swaps")
+        self._publish_snapshot()
 
     def register_bundles(self, bundles: list[DataBundle]) -> int:
         """Intake new bundles under the write lock."""
@@ -244,13 +272,128 @@ class ServeGateway:
             count = self.service.register_bundles(bundles)
         self.registry.bump()
         self.stats.count("swaps")
+        self._publish_snapshot()
         return count
 
     def swap_models(self, **models) -> ModelSnapshot:
         """Publish retrained models (see :meth:`ModelRegistry.swap`)."""
         snapshot = self.registry.swap(**models)
         self.stats.count("swaps")
+        self._publish_snapshot()
         return snapshot
+
+    # ------------------------------------------------------------------ #
+    # process worker pool
+
+    @property
+    def pool_active(self) -> bool:
+        """Whether a process worker pool is currently serving."""
+        return self._pool is not None
+
+    def _make_pool(self) -> ProcessWorkerPool | None:
+        """Build + start the process pool, or fall back to thread mode.
+        Any startup failure (missing ``fork``/``spawn``, an unpicklable
+        model, a dead child) degrades to the in-process path instead of
+        taking the gateway down."""
+        procs = self.config.worker_procs or min(8, max(2, os.cpu_count()
+                                                       or 2))
+        try:
+            with self.registry.store_lock.read_locked():
+                payload = self.registry.current().to_payload()
+            pool = ProcessWorkerPool(payload, procs=procs)
+            pool.start()
+            return pool
+        except Exception:
+            self.stats.count("pool_fallbacks")
+            return None
+
+    def _publish_snapshot(self) -> None:
+        """Ship the current snapshot to the worker pool after a write.
+
+        On any export/publish failure the workers keep their previous
+        payload and stale-reject batches for the new version — the
+        gateway then serves those in-process, so a failed publish can
+        never produce a stale answer."""
+        pool = self._pool
+        if pool is None:
+            return
+        try:
+            with self.registry.store_lock.read_locked():
+                payload = self.registry.current().to_payload()
+            pool.publish(payload)
+        except Exception:
+            return
+        self.stats.count("publishes")
+
+    def _disable_pool(self, pool: ProcessWorkerPool) -> None:
+        """Fall back to thread mode permanently — but only when the pool
+        really is broken; a transient :class:`BrokenProcessPool` during a
+        respawn window just means *this* batch serves in-process."""
+        if not pool.broken:
+            return
+        with self._pool_lock:
+            if self._pool is not pool:
+                return
+            self._pool = None
+        self.stats.count("pool_fallbacks")
+        try:
+            pool.stop()
+        except Exception:
+            pass
+
+    def _pool_classify(self, snapshot: ModelSnapshot,
+                       live: list[SuggestRequest],
+                       bundles: dict) -> dict:
+        """Classify the batch's un-memoized refs on the process pool.
+
+        Returns ``{ref_no: Recommendation}`` for whatever the pool
+        answered healthily; every ref it could not answer (stale worker,
+        crash, expiry in transit, classification error) is simply absent
+        and falls through to the in-process retry/degraded path.
+        """
+        pool = self._pool
+        if pool is None:
+            return {}
+        deadlines: dict[str, float | None] = {}
+        for request in live:
+            bundle = bundles.get(request.ref_no)
+            if bundle is None or isinstance(bundle, Exception):
+                continue
+            if self._recall_recommendation(snapshot,
+                                           request.ref_no) is not None:
+                continue
+            previous = deadlines.get(request.ref_no)
+            deadlines[request.ref_no] = (request.deadline
+                                         if previous is None
+                                         else max(previous,
+                                                  request.deadline))
+        if not deadlines:
+            return {}
+        items = [WorkItem(ref_no=ref, part_id=bundles[ref].part_id,
+                          document=test_document(
+                              bundles[ref].without_label()),
+                          deadline=deadline)
+                 for ref, deadline in deadlines.items()]
+        try:
+            outcomes = pool.classify_batch(items, version=snapshot.version)
+        except WorkerCrashError:
+            self.stats.count("worker_crashes")
+            return {}
+        except BrokenProcessPool:
+            self._disable_pool(pool)
+            return {}
+        self.stats.count("proc_batches")
+        precomputed, stale = {}, 0
+        for item, outcome in zip(items, outcomes):
+            if outcome[0] == "ok":
+                precomputed[item.ref_no] = outcome[1]
+            elif outcome[0] == "stale":
+                stale += 1
+        if stale:
+            self.stats.count("stale_rejected", stale)
+        if precomputed:
+            self.stats.count("proc_requests", len(precomputed))
+        return precomputed
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -263,6 +406,12 @@ class ServeGateway:
         payload["workers"] = self.config.workers
         payload["max_batch_size"] = self.config.max_batch_size
         payload["model_version"] = self.registry.version
+        payload["worker_mode"] = self.config.worker_mode
+        pool = self._pool
+        payload["pool_active"] = pool is not None
+        if pool is not None:
+            payload["pool"] = dict(dataclasses.asdict(pool.stats),
+                                   procs=pool.procs)
         return payload
 
     # ------------------------------------------------------------------ #
@@ -311,14 +460,21 @@ class ServeGateway:
                     bundles[ref] = self._load_bundle(snapshot, ref)
                 except Exception as exc:
                     bundles[ref] = exc
+        precomputed = self._pool_classify(snapshot, live, bundles)
         for request in live:
             bundle = bundles[request.ref_no]
             if isinstance(bundle, Exception):
                 request.reject(bundle)
                 self.stats.count("failed")
                 continue
+            if request.expired:  # e.g. while the pool batch was in flight
+                request.reject(DeadlineExceededError(
+                    f"suggest({request.ref_no!r}) expired while batched"))
+                self.stats.count("deadline_exceeded")
+                continue
             try:
-                view = self._serve_one(snapshot, bundle, features, codes)
+                view = self._serve_one(snapshot, bundle, features, codes,
+                                       precomputed.get(request.ref_no))
             except Exception as exc:
                 request.reject(exc)
                 self.stats.count("failed")
@@ -327,8 +483,8 @@ class ServeGateway:
                     and self._should_persist(snapshot, bundle.ref_no)):
                 persist_views.append(view)
             request.resolve(view)
-            self.stats.count("completed")
-            self.stats.record_latency(time.monotonic() - request.enqueued_at)
+            self.stats.record_completion(time.monotonic()
+                                         - request.enqueued_at)
         if persist_views:
             with self.registry.store_lock.write_locked():
                 store_recommendations(
@@ -339,27 +495,35 @@ class ServeGateway:
     # per-request classification with retry + degraded fallback
 
     def _serve_one(self, snapshot: ModelSnapshot, bundle: DataBundle,
-                   features: dict, codes: dict) -> SuggestionView:
+                   features: dict, codes: dict,
+                   precomputed=None) -> SuggestionView:
         """Classify one live request; retry once, then degrade.
 
         *features*/*codes* are the batch-local views of the memo tables —
         duplicate refs and same-part requests in the batch reuse them.
+        *precomputed* is a recommendation the process pool already
+        produced under this snapshot version (byte-identical to what
+        :meth:`_classify_one` would compute); when present the in-process
+        classification is skipped entirely.
         """
         degraded = None
         recommendation = self._recall_recommendation(snapshot, bundle.ref_no)
         if recommendation is None:
-            try:
-                recommendation = self._classify_one(snapshot, bundle,
-                                                    features)
-            except Exception as first:
-                self.stats.count("retried")
+            if precomputed is not None:
+                recommendation = precomputed
+            else:
                 try:
                     recommendation = self._classify_one(snapshot, bundle,
                                                         features)
-                except Exception:
-                    recommendation, degraded = self._degraded_one(
-                        snapshot, bundle, first)
-                    self.stats.count("degraded")
+                except Exception as first:
+                    self.stats.count("retried")
+                    try:
+                        recommendation = self._classify_one(snapshot, bundle,
+                                                            features)
+                    except Exception:
+                        recommendation, degraded = self._degraded_one(
+                            snapshot, bundle, first)
+                        self.stats.count("degraded")
             if degraded is None:
                 # Healthy answers are deterministic per snapshot version
                 # (writes bump the version, resetting this memo), so

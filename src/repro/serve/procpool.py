@@ -1,0 +1,516 @@
+"""The process-based serving worker pool (real cores for classification).
+
+The gateway's batcher threads are great at overlapping I/O-ish work, but
+classification is pure Python: under the GIL a thread pool never uses
+more than one core.  ``ProcessWorkerPool`` moves the CPU-heavy half of a
+micro-batch — feature extraction + candidate scoring — into worker
+*processes*:
+
+* **Snapshot seeding, not re-forking.**  Each worker is seeded once with
+  a pickled read-only :meth:`ModelSnapshot.to_payload` export (knowledge
+  rows with their row ids, the feature extractor, classifier config and
+  frequency table).  On every version bump the primary ships only a
+  **delta** (row upserts/removals + the small frequency table) — or a
+  full payload when the delta would not be smaller or the worker's base
+  does not match — so publishing a write costs kilobytes, not a fork.
+* **Absolute deadlines.**  Every work item carries its request's
+  monotonic deadline; workers skip items that expired in transit
+  (``CLOCK_MONOTONIC`` is system-wide on Linux, so the comparison is
+  valid across processes).
+* **Stale-version rejection.**  A task names the snapshot version it must
+  be served under.  A worker that has not (yet) received that version
+  answers ``stale`` instead of serving old models; the primary then
+  re-serves in-process against the current snapshot — stale answers are
+  structurally impossible.
+* **Crash containment.**  Worker death is detected via its process
+  sentinel; in-flight tasks fail with :class:`WorkerCrashError` (the
+  gateway retries in-process, then degrades — requests are never lost),
+  and the worker is respawned and re-seeded.  When the pool cannot
+  recover it raises :class:`BrokenProcessPool` and the gateway falls back
+  to the in-process thread path for good.
+
+Transport is one duplex :func:`multiprocessing.Pipe` per worker (plus the
+process sentinel) — no semaphore is shared *between* workers, so killing
+one worker can never wedge the others' queues.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import connection
+
+from .errors import WorkerCrashError
+from .registry import ModelSnapshot, apply_payload_delta, diff_payloads
+
+__all__ = ["BrokenProcessPool", "PoolStats", "ProcessWorkerPool", "WorkItem"]
+
+#: How long :meth:`ProcessWorkerPool.stop` waits for a worker to exit
+#: voluntarily before terminating it.
+STOP_GRACE = 2.0
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One classification item of a dispatched batch (all picklable)."""
+
+    ref_no: str
+    part_id: str
+    #: The pre-built test document (the primary owns bundle loading; the
+    #: worker owns extraction + scoring).
+    document: str
+    #: Absolute monotonic deadline, or None.
+    deadline: float | None = None
+
+
+@dataclass
+class PoolStats:
+    """Counters the gateway folds into its ``/stats`` payload."""
+
+    dispatched_batches: int = 0
+    dispatched_items: int = 0
+    stale_rejections: int = 0
+    worker_crashes: int = 0
+    respawns: int = 0
+    publishes: int = 0
+    delta_publishes: int = 0
+    full_publishes: int = 0
+
+
+class _Worker:
+    """Primary-side handle of one worker process."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process: multiprocessing.process.BaseProcess | None = None
+        self.conn: connection.Connection | None = None
+        self.send_lock = threading.Lock()
+        #: The payload version last shipped to this worker (deltas are
+        #: only valid against it).
+        self.shipped_version: int | None = None
+        self.dead = False
+
+    def alive(self) -> bool:
+        return (not self.dead and self.process is not None
+                and self.process.is_alive())
+
+
+@dataclass
+class _PendingTask:
+    """One dispatched batch awaiting its result."""
+
+    worker_index: int
+    done: threading.Event = field(default_factory=threading.Event)
+    #: ("done", version, outcomes) | ("stale", version) | ("crash",)
+    result: tuple | None = None
+
+
+class ProcessWorkerPool:
+    """A fixed pool of snapshot-seeded classification worker processes.
+
+    Args:
+        payload: the initial full snapshot payload every worker is seeded
+            with (see :meth:`ModelSnapshot.to_payload`).
+        procs: number of worker processes.
+        start_method: multiprocessing start method; the default prefers
+            ``fork`` (cheap seeding) and falls back to ``spawn``.
+    """
+
+    def __init__(self, payload: dict, procs: int = 2,
+                 start_method: str | None = None) -> None:
+        if procs < 1:
+            raise ValueError("procs must be >= 1")
+        if payload.get("kind") != "full":
+            raise ValueError("pool must be seeded with a full payload")
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._payload = payload
+        self._workers = [_Worker(index) for index in range(procs)]
+        self._task_ids = itertools.count(1)
+        self._pending: dict[int, _PendingTask] = {}
+        self._lock = threading.Lock()        # workers + pending + rr state
+        self._publish_lock = threading.Lock()
+        self._rr = 0
+        self._started = False
+        self._stopping = False
+        self._broken = False
+        self._collector: threading.Thread | None = None
+        self.stats = PoolStats()
+        #: Test hook: worker indexes that version publishes skip (models a
+        #: worker cut off from the replication stream).
+        self.suppress_updates_to: set[int] = set()
+        #: Test hook: milliseconds every worker sleeps before serving a
+        #: batch (lets fault tests kill a worker provably mid-batch).
+        self.debug_slow_ms: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    @property
+    def procs(self) -> int:
+        return len(self._workers)
+
+    @property
+    def broken(self) -> bool:
+        """True once the pool lost a worker it could not respawn."""
+        return self._broken
+
+    def start(self) -> None:
+        """Spawn and seed the workers, and start the result collector."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            try:
+                for worker in self._workers:
+                    self._spawn(worker)
+            except Exception as exc:
+                self._broken = True
+                raise BrokenProcessPool(
+                    f"could not start worker pool: {exc!r}") from exc
+        self._collector = threading.Thread(target=self._collect_loop,
+                                           daemon=True,
+                                           name="procpool-collector")
+        self._collector.start()
+
+    def _spawn(self, worker: _Worker) -> None:
+        """(Re)start one worker and seed it with the current payload.
+        Caller holds ``_lock``."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(target=_worker_main,
+                                    args=(worker.index, child_conn),
+                                    daemon=True,
+                                    name=f"serve-proc-{worker.index}")
+        process.start()
+        child_conn.close()  # the child owns its end now
+        worker.process = process
+        worker.conn = parent_conn
+        worker.dead = False
+        worker.conn.send(("snapshot", self._payload))
+        worker.shipped_version = self._payload["version"]
+
+    def stop(self) -> None:
+        """Stop every worker (politely, then by force) and the collector."""
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+            workers = list(self._workers)
+        for worker in workers:
+            if worker.conn is not None:
+                try:
+                    with worker.send_lock:
+                        worker.conn.send(("stop",))
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+        deadline = time.monotonic() + STOP_GRACE
+        for worker in workers:
+            if worker.process is None:
+                continue
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+        for worker in workers:
+            if worker.conn is not None:
+                worker.conn.close()
+        if self._collector is not None:
+            self._collector.join(timeout=2.0)
+        # whatever was still pending can never complete
+        with self._lock:
+            for pending in self._pending.values():
+                pending.result = ("crash",)
+                pending.done.set()
+            self._pending.clear()
+
+    def __enter__(self) -> "ProcessWorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # snapshot replication
+
+    def publish(self, payload: dict) -> None:
+        """Ship a new snapshot payload to every worker.
+
+        Workers whose last-shipped version matches the delta's base get
+        the delta; everyone else (fresh respawns, workers that missed an
+        update) gets the full payload.  FIFO pipes guarantee a worker
+        applies the update before any batch dispatched after this call.
+        """
+        if payload.get("kind") != "full":
+            raise ValueError("publish() takes a full payload")
+        with self._publish_lock:
+            previous = self._payload
+            self._payload = payload
+            delta = None
+            if previous is not None and previous["version"] != payload["version"]:
+                delta = diff_payloads(previous, payload)
+            self.stats.publishes += 1
+            with self._lock:
+                live = [(worker, worker.conn) for worker in self._workers
+                        if worker.alive() and worker.conn is not None]
+            for worker, conn in live:
+                if worker.index in self.suppress_updates_to:
+                    continue
+                if (delta is not None
+                        and worker.shipped_version == delta["base_version"]):
+                    message = ("delta", delta)
+                    self.stats.delta_publishes += 1
+                else:
+                    message = ("snapshot", payload)
+                    self.stats.full_publishes += 1
+                try:
+                    with worker.send_lock:
+                        conn.send(message)
+                    worker.shipped_version = payload["version"]
+                except (OSError, ValueError, BrokenPipeError):
+                    worker.dead = True  # collector will respawn + reseed
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+
+    def classify_batch(self, items: list[WorkItem], version: int,
+                       timeout: float | None = None) -> list[tuple]:
+        """Classify *items* on one worker under snapshot *version*.
+
+        Returns one outcome tuple per item, aligned with *items*:
+        ``("ok", Recommendation)``, ``("expired",)`` (deadline passed),
+        ``("stale", worker_version)`` (the worker does not hold *version*
+        — the caller must re-serve in-process) or ``("error", message)``.
+
+        Raises:
+            BrokenProcessPool: the pool is broken or stopped.
+            WorkerCrashError: the worker died holding this batch (the
+                caller should retry in-process; the pool respawns).
+        """
+        if not items:
+            return []
+        if not self._started:
+            self.start()
+        task_id = next(self._task_ids)
+        with self._lock:
+            if self._broken or self._stopping:
+                raise BrokenProcessPool("worker pool is not serving")
+            worker = self._pick_worker()
+            conn = worker.conn
+            pending = _PendingTask(worker_index=worker.index)
+            self._pending[task_id] = pending
+            self.stats.dispatched_batches += 1
+            self.stats.dispatched_items += len(items)
+        payload_items = [(item.ref_no, item.part_id, item.document,
+                          item.deadline) for item in items]
+        try:
+            if conn is None:
+                raise BrokenPipeError("worker connection gone")
+            with worker.send_lock:
+                conn.send(("batch", task_id, version, payload_items,
+                           self.debug_slow_ms))
+        except (OSError, ValueError, BrokenPipeError):
+            with self._lock:
+                worker.dead = True
+                self._pending.pop(task_id, None)
+            raise WorkerCrashError(
+                f"worker {worker.index} died before accepting the batch")
+        if timeout is None:
+            deadlines = [item.deadline for item in items
+                         if item.deadline is not None]
+            timeout = (max(deadlines) - time.monotonic() + 0.25
+                       if deadlines else 30.0)
+        if not pending.done.wait(max(0.05, timeout)):
+            with self._lock:
+                self._pending.pop(task_id, None)
+            return [("error", "pool task timed out")] * len(items)
+        result = pending.result
+        if result is None or result[0] == "crash":
+            raise WorkerCrashError(
+                f"worker {pending.worker_index} died mid-batch")
+        if result[0] == "stale":
+            self.stats.stale_rejections += 1
+            return [("stale", result[1])] * len(items)
+        outcomes = result[2]
+        if len(outcomes) != len(items):  # defensive; should never happen
+            return [("error", "worker returned a malformed batch")] * len(items)
+        return outcomes
+
+    def _pick_worker(self) -> _Worker:
+        """Round-robin over live workers.  Caller holds ``_lock``."""
+        for _ in range(len(self._workers)):
+            worker = self._workers[self._rr % len(self._workers)]
+            self._rr += 1
+            if worker.alive():
+                return worker
+        raise BrokenProcessPool("no live worker process")
+
+    # ------------------------------------------------------------------ #
+    # result collection + crash handling
+
+    def _collect_loop(self) -> None:
+        while not self._stopping:
+            with self._lock:
+                conn_of = {worker.conn: worker for worker in self._workers
+                           if worker.alive() and worker.conn is not None}
+                sentinel_of = {worker.process.sentinel: worker
+                               for worker in self._workers
+                               if worker.alive() and worker.process is not None}
+                suspects = [worker for worker in self._workers
+                            if worker.dead or
+                            (worker.process is not None
+                             and not worker.process.is_alive())]
+            for worker in suspects:
+                self._handle_crash(worker)
+            if not conn_of and not sentinel_of:
+                time.sleep(0.02)
+                continue
+            try:
+                ready = connection.wait(list(conn_of) + list(sentinel_of),
+                                        timeout=0.1)
+            except OSError:
+                continue
+            for obj in ready:
+                if self._stopping:
+                    return
+                worker = conn_of.get(obj)
+                if worker is not None:
+                    try:
+                        message = obj.recv()
+                    except (EOFError, OSError):
+                        self._handle_crash(worker)
+                        continue
+                    self._resolve(message)
+                else:
+                    crashed = sentinel_of.get(obj)
+                    if crashed is not None and not crashed.process.is_alive():
+                        self._handle_crash(crashed)
+
+    def _resolve(self, message: tuple) -> None:
+        kind = message[0]
+        if kind == "done":
+            _, task_id, version, outcomes = message
+            result = ("done", version, outcomes)
+        elif kind == "stale":
+            _, task_id, version = message
+            result = ("stale", version)
+        else:
+            return
+        with self._lock:
+            pending = self._pending.pop(task_id, None)
+        if pending is not None:
+            pending.result = result
+            pending.done.set()
+
+    def _handle_crash(self, worker: _Worker) -> None:
+        """Fail the dead worker's in-flight tasks and respawn it."""
+        with self._lock:
+            if self._stopping or worker.alive():
+                return
+            worker.dead = True
+            self.stats.worker_crashes += 1
+            for task_id, pending in list(self._pending.items()):
+                if pending.worker_index == worker.index:
+                    del self._pending[task_id]
+                    pending.result = ("crash",)
+                    pending.done.set()
+            if worker.conn is not None:
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+                worker.conn = None
+            # _spawn reads self._payload once (an atomic reference read);
+            # racing a concurrent publish() at worst seeds the respawn
+            # with the newer payload or double-ships one full payload.
+            try:
+                self._spawn(worker)
+                self.stats.respawns += 1
+            except Exception:
+                self._broken = True
+                for task_id, pending in list(self._pending.items()):
+                    del self._pending[task_id]
+                    pending.result = ("crash",)
+                    pending.done.set()
+
+    def __repr__(self) -> str:
+        state = ("broken" if self._broken
+                 else "stopping" if self._stopping
+                 else "started" if self._started else "new")
+        return (f"<ProcessWorkerPool procs={self.procs} {state} "
+                f"version={self._payload['version']}>")
+
+
+# ---------------------------------------------------------------------- #
+# worker process
+
+
+def _worker_main(index: int, conn) -> None:
+    """Worker loop: hold a payload-built snapshot, serve batches.
+
+    Messages (all tuples, first element is the kind):
+    ``("snapshot", payload)`` full reseed; ``("delta", delta)`` applied
+    only when the base version matches (otherwise the worker keeps its
+    old payload and stale-rejects until a full payload arrives);
+    ``("batch", task_id, version, items, slow_ms)`` classify;
+    ``("stop",)`` exit.
+    """
+    payload: dict | None = None
+    snapshot: ModelSnapshot | None = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        kind = message[0]
+        if kind == "stop":
+            return
+        if kind == "snapshot":
+            payload = message[1]
+            snapshot = ModelSnapshot.from_payload(payload)
+            continue
+        if kind == "delta":
+            delta = message[1]
+            if (payload is not None
+                    and payload["version"] == delta["base_version"]):
+                payload = apply_payload_delta(payload, delta)
+                snapshot = ModelSnapshot.from_payload(payload)
+            # else: base mismatch — keep the old snapshot; tasks for the
+            # new version will be stale-rejected, never served stale.
+            continue
+        if kind != "batch":
+            continue
+        _, task_id, version, items, slow_ms = message
+        if slow_ms:
+            time.sleep(slow_ms / 1000.0)
+        if snapshot is None or snapshot.version != version:
+            held = 0 if snapshot is None else snapshot.version
+            try:
+                conn.send(("stale", task_id, held))
+            except (OSError, BrokenPipeError):
+                return
+            continue
+        classifier = snapshot.classifier
+        feature_memo: dict[str, frozenset[str]] = {}
+        outcomes: list[tuple] = []
+        for ref_no, part_id, document, deadline in items:
+            if deadline is not None and time.monotonic() > deadline:
+                outcomes.append(("expired",))
+                continue
+            try:
+                recommendation = classifier.classify_documents(
+                    [(ref_no, part_id, document)], feature_memo)[0]
+            except Exception as exc:
+                outcomes.append(("error", repr(exc)))
+            else:
+                outcomes.append(("ok", recommendation))
+        try:
+            conn.send(("done", task_id, snapshot.version, outcomes))
+        except (OSError, BrokenPipeError):
+            return

@@ -25,7 +25,150 @@ from dataclasses import dataclass, replace
 
 from ..classify.baselines import CodeFrequencyBaseline
 from ..classify.knn import RankedKnnClassifier
+from ..classify.similarity import SIMILARITIES
+from ..knowledge.base import FrozenKnowledgeView
+from .errors import SnapshotPayloadError
 from .locks import RWLock
+
+#: Version tag of the snapshot payload wire format.
+PAYLOAD_FORMAT = 1
+
+
+def _classifier_to_payload(classifier: RankedKnnClassifier) -> dict:
+    """One classifier as a picklable dict (rows + feature space + config)."""
+    knowledge = classifier.knowledge_base
+    export = getattr(knowledge, "export_rows", None)
+    if export is None:
+        raise SnapshotPayloadError(
+            f"knowledge base {type(knowledge).__name__} cannot export rows; "
+            f"snapshot payloads need a KnowledgeBase or FrozenKnowledgeView")
+    similarity = next((name for name, fn in SIMILARITIES.items()
+                       if fn is classifier.similarity), None)
+    return {
+        "rows": export(),
+        "feature_kind": getattr(knowledge, "feature_kind", "features"),
+        # The extractor object itself (BagOfWords / BagOfConcepts incl.
+        # its annotator trie) rides along — it IS the feature space.
+        "extractor": classifier.extractor,
+        # Registered measures travel by name; custom callables must be
+        # picklable themselves.
+        "similarity": similarity if similarity is not None
+                      else classifier.similarity,
+        "node_cutoff": classifier.node_cutoff,
+    }
+
+
+def _classifier_from_payload(payload: dict) -> RankedKnnClassifier:
+    """Rebuild a classifier over a read-only frozen knowledge view."""
+    knowledge = FrozenKnowledgeView(payload["rows"],
+                                    feature_kind=payload["feature_kind"])
+    return RankedKnnClassifier(knowledge, payload["extractor"],
+                               payload["similarity"],
+                               payload["node_cutoff"])
+
+
+def _classifier_config_equal(old: dict, new: dict) -> bool:
+    """Whether two classifier payloads differ only in their rows."""
+    return (old["feature_kind"] == new["feature_kind"]
+            and old["similarity"] == new["similarity"]
+            and old["node_cutoff"] == new["node_cutoff"]
+            and old["extractor"] is new["extractor"])
+
+
+def _rows_delta(old_rows: list, new_rows: list) -> dict | None:
+    """Upserts/removals turning *old_rows* into *new_rows* (by row id).
+
+    Returns None when the delta would not be smaller than shipping the
+    full row list.
+    """
+    old_by_id = {row[0]: row for row in old_rows}
+    new_by_id = {row[0]: row for row in new_rows}
+    upserts = [row for row_id, row in new_by_id.items()
+               if old_by_id.get(row_id) != row]
+    removed = sorted(row_id for row_id in old_by_id
+                     if row_id not in new_by_id)
+    if len(upserts) + len(removed) >= len(new_rows):
+        return None
+    return {"upserts": sorted(upserts), "removed": removed}
+
+
+def diff_payloads(old: dict, new: dict) -> dict | None:
+    """A delta payload turning *old* into *new*, or None when only a full
+    payload is safe/worthwhile (config changed, or the delta would be as
+    large as the full row list).
+
+    The delta carries row upserts/removals per classifier plus the full
+    (small) frequency table; the extractor and classifier config are
+    never re-shipped — a config change forces a full payload.
+    """
+    if old.get("format") != PAYLOAD_FORMAT or new.get("format") != PAYLOAD_FORMAT:
+        raise SnapshotPayloadError("can only diff format-1 full payloads")
+    if old.get("kind") != "full" or new.get("kind") != "full":
+        raise SnapshotPayloadError("can only diff full payloads")
+    if not _classifier_config_equal(old["classifier"], new["classifier"]):
+        return None
+    if (new["fallback"] is None) != (old["fallback"] is None):
+        return None
+    fallback_delta = None
+    if new["fallback"] is not None:
+        if not _classifier_config_equal(old["fallback"], new["fallback"]):
+            return None
+        if old["fallback"]["rows"] != new["fallback"]["rows"]:
+            fallback_delta = _rows_delta(old["fallback"]["rows"],
+                                         new["fallback"]["rows"])
+            if fallback_delta is None:
+                return None
+    classifier_delta = _rows_delta(old["classifier"]["rows"],
+                                   new["classifier"]["rows"])
+    if classifier_delta is None:
+        return None
+    return {
+        "format": PAYLOAD_FORMAT,
+        "kind": "delta",
+        "version": new["version"],
+        "base_version": old["version"],
+        "classifier": classifier_delta,
+        "fallback": fallback_delta,
+        "frequency": new["frequency"],
+    }
+
+
+def _apply_rows_delta(rows: list, delta: dict) -> list:
+    by_id = {row[0]: row for row in rows}
+    for row_id in delta["removed"]:
+        by_id.pop(row_id, None)
+    for row in delta["upserts"]:
+        by_id[row[0]] = row
+    return sorted(by_id.values())
+
+
+def apply_payload_delta(base: dict, delta: dict) -> dict:
+    """Apply a :func:`diff_payloads` delta to a full *base* payload.
+
+    Raises:
+        SnapshotPayloadError: when *delta* was produced against a
+            different base version — the caller must request a full
+            payload instead of serving from a wrong reconstruction.
+    """
+    if delta.get("kind") != "delta" or base.get("kind") != "full":
+        raise SnapshotPayloadError("apply_payload_delta needs (full, delta)")
+    if delta["base_version"] != base["version"]:
+        raise SnapshotPayloadError(
+            f"delta targets base version {delta['base_version']}, "
+            f"payload is version {base['version']}")
+    updated = dict(base)
+    updated["version"] = delta["version"]
+    classifier = dict(base["classifier"])
+    classifier["rows"] = _apply_rows_delta(classifier["rows"],
+                                           delta["classifier"])
+    updated["classifier"] = classifier
+    if delta["fallback"] is not None:
+        fallback = dict(base["fallback"])
+        fallback["rows"] = _apply_rows_delta(fallback["rows"],
+                                             delta["fallback"])
+        updated["fallback"] = fallback
+    updated["frequency"] = delta["frequency"]
+    return updated
 
 
 @dataclass(frozen=True)
@@ -42,6 +185,55 @@ class ModelSnapshot:
     classifier: RankedKnnClassifier
     frequency_baseline: CodeFrequencyBaseline
     fallback_classifier: RankedKnnClassifier | None = None
+
+    # -------------------------------------------------------------- #
+    # process-boundary export/import
+
+    def to_payload(self) -> dict:
+        """Export this snapshot as one picklable payload dict.
+
+        The payload is a *copy* of everything classification needs —
+        knowledge rows (with their row ids, so candidate ordering is
+        preserved exactly), the feature extractor, the classifier config
+        and the frequency table.  No relstore handle, no locks and no
+        mutable shared state cross the boundary: mutating the live models
+        after export cannot change what a payload-built snapshot answers.
+        """
+        return {
+            "format": PAYLOAD_FORMAT,
+            "kind": "full",
+            "version": self.version,
+            "classifier": _classifier_to_payload(self.classifier),
+            "frequency": self.frequency_baseline.frequency_table(),
+            "fallback": (_classifier_to_payload(self.fallback_classifier)
+                         if self.fallback_classifier is not None else None),
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "ModelSnapshot":
+        """Rebuild a serving snapshot from :meth:`to_payload` output.
+
+        The result classifies byte-identically to the snapshot that was
+        exported: same rows under the same row ids, same extractor, same
+        similarity and cutoff — only the knowledge base is a read-only
+        :class:`~repro.knowledge.base.FrozenKnowledgeView` instead of the
+        relstore-backed original.
+        """
+        if payload.get("format") != PAYLOAD_FORMAT:
+            raise SnapshotPayloadError(
+                f"unsupported payload format {payload.get('format')!r}")
+        if payload.get("kind") != "full":
+            raise SnapshotPayloadError(
+                "from_payload needs a full payload; apply deltas with "
+                "apply_payload_delta first")
+        return ModelSnapshot(
+            version=payload["version"],
+            classifier=_classifier_from_payload(payload["classifier"]),
+            frequency_baseline=CodeFrequencyBaseline.from_frequencies(
+                payload["frequency"]),
+            fallback_classifier=(
+                _classifier_from_payload(payload["fallback"])
+                if payload["fallback"] is not None else None))
 
 
 class ModelRegistry:

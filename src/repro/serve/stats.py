@@ -50,6 +50,12 @@ class ServeStats:
         self.memo_hits = 0          # served from the per-version result memo
         self.assignments = 0        # writes routed through the write lock
         self.swaps = 0              # model-snapshot swaps/bumps observed
+        self.proc_batches = 0       # batches dispatched to worker processes
+        self.proc_requests = 0      # requests classified by worker processes
+        self.stale_rejected = 0     # stale-version worker answers rejected
+        self.worker_crashes = 0     # worker-process deaths absorbed
+        self.publishes = 0          # snapshot payloads shipped to the pool
+        self.pool_fallbacks = 0     # broken-pool fallbacks to thread mode
 
     # ------------------------------------------------------------------ #
     # recording
@@ -63,6 +69,26 @@ class ServeStats:
         """Record one completed request's queue-to-answer latency."""
         with self._lock:
             self._latencies.append(seconds)
+
+    def record_completion(self, seconds: float) -> None:
+        """Count one completed request and its latency under ONE lock hold.
+
+        Worker callbacks must use this instead of a ``count("completed")``
+        + ``record_latency(...)`` pair: with two separate acquisitions a
+        concurrent :meth:`snapshot` (or the drain accounting in
+        ``ServeGateway.stop``) can observe the counter without the
+        latency — exactly the torn read the stats hammer test pins down.
+        """
+        with self._lock:
+            self.completed += 1
+            self._latencies.append(seconds)
+
+    def resolved_total(self) -> int:
+        """``completed + failed`` read atomically (drain accounting uses
+        this; reading the attributes back-to-back without the lock can
+        tear against a concurrent worker callback)."""
+        with self._lock:
+            return self.completed + self.failed
 
     # ------------------------------------------------------------------ #
     # reporting
@@ -91,6 +117,12 @@ class ServeStats:
                 "memo_hits": self.memo_hits,
                 "assignments": self.assignments,
                 "swaps": self.swaps,
+                "proc_batches": self.proc_batches,
+                "proc_requests": self.proc_requests,
+                "stale_rejected": self.stale_rejected,
+                "worker_crashes": self.worker_crashes,
+                "publishes": self.publishes,
+                "pool_fallbacks": self.pool_fallbacks,
             }
         counters["mean_batch_size"] = (
             round(counters["batched_requests"] / counters["batches"], 3)

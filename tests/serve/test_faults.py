@@ -224,6 +224,105 @@ def test_no_lost_acknowledged_assignments_under_faults(service, power_user,
 
 
 @pytest.mark.parametrize("seed", range(5))
+def test_killed_worker_process_never_loses_requests(service, seed):
+    """SIGKILL a worker process while it holds a batch: every in-flight
+    request is still answered (retried in-process, degraded at worst —
+    never lost, never hung), the crash is counted, and the respawned
+    worker pool serves again."""
+    quest, held_out = service
+    rng = random.Random(seed)
+    gw = make_gateway(quest, workers=2, max_queue=32, default_timeout=10.0,
+                      worker_mode="process", worker_procs=2)
+    gw.start()
+    assert gw.pool_active, "process pool failed to start"
+    pool = gw._pool
+    pool.debug_slow_ms = 300.0  # park batches long enough to kill into
+    refs = [held_out[rng.randrange(len(held_out))].ref_no
+            for _ in range(4)]
+    views, errors = [], []
+
+    def client(ref):
+        try:
+            views.append(gw.suggest(ref, timeout=10.0))
+        except Exception as exc:  # pragma: no cover - the assertion
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(ref,))
+               for ref in refs]
+    try:
+        for thread in threads:
+            thread.start()
+        time.sleep(0.1)
+        for worker in list(pool._workers):
+            if worker.process is not None:
+                worker.process.kill()
+        for thread in threads:
+            thread.join(timeout=15.0)
+        pool.debug_slow_ms = 0.0
+        assert not errors, f"requests lost to the crash: {errors!r}"
+        assert len(views) == len(refs)
+        for view in views:
+            assert view.suggestions.codes
+        deadline = time.monotonic() + 5.0
+        while (time.monotonic() < deadline
+               and pool.stats.worker_crashes < 1):
+            time.sleep(0.02)
+        assert pool.stats.worker_crashes >= 1
+        # respawned + re-seeded workers pick the pool path back up
+        before = gw.stats_snapshot()["proc_requests"]
+        fresh = next(bundle.ref_no for bundle in held_out
+                     if bundle.ref_no not in refs)
+        view = gw.suggest(fresh, timeout=10.0)
+        assert view.suggestions.codes
+        assert gw.stats_snapshot()["proc_requests"] >= before + 1
+    finally:
+        report = gw.stop()
+    assert report.cancelled == 0
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_stale_worker_rejects_instead_of_answering_stale(service,
+                                                         power_user, seed):
+    """A worker cut off from snapshot replication must stale-reject: the
+    caller still gets the *current* model's answer (served in-process),
+    never the cut-off worker's old one."""
+    quest, held_out = service
+    gw = make_gateway(quest, workers=2, default_timeout=10.0,
+                      worker_mode="process", worker_procs=1)
+    gw.start()
+    assert gw.pool_active, "process pool failed to start"
+    pool = gw._pool
+    ref = held_out[seed % len(held_out)].ref_no
+    try:
+        view = gw.suggest(ref)
+        warm = gw.stats_snapshot()
+        assert warm["proc_requests"] >= 1
+        # cut the only worker off the replication stream, then write
+        pool.suppress_updates_to.add(0)
+        gw.assign(power_user, ref, view.all_codes[0])
+        fresh = quest.suggest(ref, persist=False)
+        view2 = gw.suggest(ref)
+        assert view2.degraded is None
+        assert ([(code.error_code, code.score, code.support)
+                 for code in view2.suggestions.codes]
+                == [(code.error_code, code.score, code.support)
+                    for code in fresh.suggestions.codes])
+        snap = gw.stats_snapshot()
+        assert snap["stale_rejected"] >= 1
+        # the stale worker never served the new version
+        assert snap["proc_requests"] == warm["proc_requests"]
+        # once replication resumes, the pool serves the new version again
+        pool.suppress_updates_to.clear()
+        gw._publish_snapshot()
+        other = next(bundle.ref_no for bundle in held_out
+                     if bundle.ref_no != ref)
+        gw.suggest(other)
+        assert gw.stats_snapshot()["proc_requests"] > snap["proc_requests"]
+    finally:
+        gw.stop()
+
+
+@pytest.mark.parametrize("seed", range(5))
 def test_fault_free_control(service, seed):
     """Control arm: without injected faults the same storm serves
     everything healthily (guards against the faults masking real bugs)."""

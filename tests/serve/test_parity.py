@@ -1,0 +1,156 @@
+"""Cross-executor parity: the ranked lists must be byte-identical.
+
+Three executors answer the same ``suggest`` requests over one shared
+service + model registry:
+
+1. the bare in-process ``QuestService.suggest``,
+2. a thread-mode :class:`ServeGateway` (batcher threads classify),
+3. a process-mode :class:`ServeGateway` (classification runs in
+   snapshot-seeded worker processes).
+
+For five corpus seeds, every executor must produce byte-identical ranked
+recommendation lists — including *after* a mid-run write that bumps the
+snapshot version and ships a payload delta to the worker processes.
+
+Comparison serializes each view through JSON, not pickle: pickle output
+depends on object *identity* (strings shared between the ranked list and
+the code list serialize as memo backreferences locally but not after a
+pipe transfer), while JSON bytes are a pure function of the values —
+which is exactly the parity being claimed.
+"""
+
+import json
+
+import pytest
+
+from repro.core import QATK, QatkConfig
+from repro.data import GeneratorConfig, generate_corpus, plan_corpus
+from repro.evaluate import experiment_subset
+from repro.quest import Role, User
+from repro.relstore import Database
+from repro.serve import GatewayConfig, ModelRegistry, ServeGateway
+
+#: The five corpus seeds the parity contract is pinned on.
+PARITY_SEEDS = (11, 23, 37, 41, 53)
+
+PARITY_PARAMS = {
+    "bundles": 240, "part_ids": 4, "article_codes": 30,
+    "distinct_codes": 60, "singleton_codes": 20,
+    "max_codes_per_part": 25, "parts_over_10_codes": 3,
+}
+
+
+def ranked_bytes(view) -> bytes:
+    """One suggestion view's ranked list as canonical bytes.
+
+    Covers the full contract: ranked codes with exact scores and support
+    counts, the merged code list, and that the answer was healthy.
+    """
+    return json.dumps(
+        {"codes": [(code.error_code, repr(code.score), code.support)
+                   for code in view.suggestions.codes],
+         "all_codes": list(view.all_codes),
+         "degraded": view.degraded}).encode()
+
+
+@pytest.fixture(scope="module", params=PARITY_SEEDS)
+def parity_setup(request, taxonomy):
+    """One trained service + registered held-out bundles per seed."""
+    seed = request.param
+    plan = plan_corpus(taxonomy, seed=seed, parameters=PARITY_PARAMS)
+    corpus = generate_corpus(taxonomy=taxonomy, plan=plan,
+                             config=GeneratorConfig(seed=seed))
+    qatk = QATK(taxonomy, QatkConfig(feature_mode="words"),
+                database=Database(f"parity-{seed}"))
+    bundles = experiment_subset(corpus.bundles)
+    split = int(len(bundles) * 0.8)
+    qatk.train(bundles[:split])
+    service = qatk.make_service(Database(f"parity-app-{seed}"))
+    held = bundles[split:][:10]
+    service.register_bundles([bundle.without_label() for bundle in held])
+    return seed, service, held
+
+
+def make_gateways(service):
+    """A thread-mode and a process-mode gateway over ONE shared registry
+    (so a write through either bumps the version both serve under)."""
+    registry = ModelRegistry.from_service(service)
+    config = dict(workers=2, max_queue=64, max_batch_size=8,
+                  max_wait_ms=1.0, default_timeout=10.0, drain_grace=2.0,
+                  persist=False)
+    thread_gw = ServeGateway(service, GatewayConfig(**config),
+                             registry=registry)
+    process_gw = ServeGateway(
+        service, GatewayConfig(worker_mode="process", worker_procs=2,
+                               **config),
+        registry=registry)
+    return thread_gw, process_gw
+
+
+def test_three_executors_agree_across_a_write(parity_setup):
+    seed, service, held = parity_setup
+    refs = [bundle.ref_no for bundle in held]
+    thread_gw, process_gw = make_gateways(service)
+    try:
+        process_gw.start()
+        assert process_gw.pool_active, "process pool failed to start"
+
+        # ---- phase 1: a cold read pass through all three executors ----
+        baseline = {ref: ranked_bytes(service.suggest(ref, persist=False))
+                    for ref in refs}
+        for ref in refs:
+            assert ranked_bytes(thread_gw.suggest(ref)) == baseline[ref], \
+                f"seed {seed}: thread gateway diverged on {ref}"
+        for ref in refs:
+            assert ranked_bytes(process_gw.suggest(ref)) == baseline[ref], \
+                f"seed {seed}: process gateway diverged on {ref}"
+        phase1 = process_gw.stats_snapshot()
+        assert phase1["proc_requests"] >= len(refs), \
+            "the process pool never actually served"
+        assert phase1["stale_rejected"] == 0
+
+        # ---- phase 2: a write bumps the version mid-run ----
+        view = service.suggest(refs[0], persist=False)
+        code = view.all_codes[0]
+        process_gw.assign(User("parity-power", Role.POWER_EXPERT),
+                          refs[0], code)
+        assert process_gw.registry.version == 2
+        assert process_gw.stats_snapshot()["publishes"] == 1
+
+        baseline2 = {ref: ranked_bytes(service.suggest(ref, persist=False))
+                     for ref in refs}
+        for ref in refs:
+            assert ranked_bytes(thread_gw.suggest(ref)) == baseline2[ref], \
+                f"seed {seed}: thread gateway diverged post-write on {ref}"
+        for ref in refs:
+            assert ranked_bytes(process_gw.suggest(ref)) == baseline2[ref], \
+                f"seed {seed}: process gateway diverged post-write on {ref}"
+
+        # the post-write pass was still served by the (delta-updated)
+        # pool, not silently by the in-process fallback
+        phase2 = process_gw.stats_snapshot()
+        assert phase2["proc_requests"] >= phase1["proc_requests"] + len(refs)
+        assert phase2["stale_rejected"] == 0
+        assert phase2["pool"]["delta_publishes"] >= 1
+    finally:
+        thread_report = thread_gw.stop(grace=2.0)
+        process_report = process_gw.stop(grace=2.0)
+    assert thread_report.cancelled == 0
+    assert process_report.cancelled == 0
+
+
+def test_duplicate_refs_agree_within_one_batch(parity_setup):
+    """Duplicate refs inside one micro-batch coalesce on the memo and the
+    pool path alike — every copy gets the identical ranked list."""
+    seed, service, held = parity_setup
+    ref = held[0].ref_no
+    expected = ranked_bytes(service.suggest(ref, persist=False))
+    _, process_gw = make_gateways(service)
+    try:
+        process_gw.start()
+        assert process_gw.pool_active
+        for _ in range(6):
+            assert ranked_bytes(process_gw.suggest(ref)) == expected, \
+                f"seed {seed}: repeat suggest diverged"
+    finally:
+        process_gw.stop(grace=2.0)

@@ -1,0 +1,145 @@
+"""ProcessWorkerPool unit tests: seeding, dispatch, replication, crashes.
+
+Gateway-level behaviour (fallbacks, retry chains) lives in
+``test_faults.py``; this file exercises the pool in isolation.
+"""
+
+import pickle
+import time
+
+import pytest
+
+from repro.knowledge.extractor import test_document as build_test_document
+from repro.serve import (BrokenProcessPool, ModelRegistry, ProcessWorkerPool,
+                         WorkItem, WorkerCrashError)
+
+
+@pytest.fixture
+def seeded(service):
+    """A registry + started 2-proc pool over the shared test service."""
+    quest, held_out = service
+    registry = ModelRegistry.from_service(quest)
+    pool = ProcessWorkerPool(registry.current().to_payload(), procs=2)
+    pool.start()
+    yield registry, pool, quest, held_out
+    pool.stop()
+
+
+def work_items(bundles):
+    return [WorkItem(bundle.ref_no, bundle.part_id,
+                     build_test_document(bundle.without_label()))
+            for bundle in bundles]
+
+
+def test_batch_matches_in_process_classification(seeded):
+    registry, pool, quest, held_out = seeded
+    snapshot = registry.current()
+    items = work_items(held_out[:8])
+    expected = snapshot.classifier.classify_documents(
+        [(item.ref_no, item.part_id, item.document) for item in items])
+    outcomes = pool.classify_batch(items, version=snapshot.version)
+    assert [outcome[0] for outcome in outcomes] == ["ok"] * len(items)
+    assert all(pickle.dumps(outcome[1]) == pickle.dumps(recommendation)
+               for outcome, recommendation in zip(outcomes, expected))
+    assert pool.stats.dispatched_batches == 1
+    assert pool.stats.dispatched_items == len(items)
+
+
+def test_unpublished_version_is_stale_rejected(seeded):
+    registry, pool, quest, held_out = seeded
+    bumped = registry.bump()  # never published to the pool
+    outcomes = pool.classify_batch(work_items(held_out[:2]),
+                                   version=bumped.version)
+    assert outcomes == [("stale", bumped.version - 1)] * 2
+    assert pool.stats.stale_rejections == 1
+
+
+def test_publish_ships_delta_then_serves_new_version(seeded):
+    registry, pool, quest, held_out = seeded
+    history = quest.suggest(held_out[0].ref_no, persist=False)
+    from repro.quest import Role, User
+    quest.assign_code(User("p", Role.POWER_EXPERT), held_out[0].ref_no,
+                      history.all_codes[0])
+    bumped = registry.bump()
+    pool.publish(bumped.to_payload())
+    outcomes = pool.classify_batch(work_items(held_out[:3]),
+                                   version=bumped.version)
+    assert [outcome[0] for outcome in outcomes] == ["ok"] * 3
+    assert pool.stats.publishes == 1
+    assert pool.stats.delta_publishes == 2  # one per worker
+    assert pool.stats.full_publishes == 0
+
+
+def test_suppressed_worker_stale_rejects_until_republished(seeded):
+    registry, pool, quest, held_out = seeded
+    pool.suppress_updates_to.add(0)
+    bumped = registry.bump()
+    pool.publish(bumped.to_payload())
+    kinds = {pool.classify_batch(work_items(held_out[:1]),
+                                 version=bumped.version)[0][0]
+             for _ in range(4)}
+    # round-robin alternates between the updated and the suppressed
+    # worker: the suppressed one answers stale, never a stale answer
+    assert kinds == {"ok", "stale"}
+    pool.suppress_updates_to.clear()
+    pool.publish(bumped.to_payload())
+    kinds = {pool.classify_batch(work_items(held_out[:1]),
+                                 version=bumped.version)[0][0]
+             for _ in range(4)}
+    assert kinds == {"ok"}
+
+
+def test_expired_items_are_skipped_not_classified(seeded):
+    registry, pool, quest, held_out = seeded
+    items = work_items(held_out[:3])
+    expired = [WorkItem(item.ref_no, item.part_id, item.document,
+                        deadline=time.monotonic() - 1.0) for item in items]
+    outcomes = pool.classify_batch(expired, version=registry.version,
+                                   timeout=5.0)
+    assert outcomes == [("expired",)] * 3
+
+
+def test_killed_worker_raises_crash_and_respawns(seeded):
+    registry, pool, quest, held_out = seeded
+    import threading
+    pool.debug_slow_ms = 400.0
+    caught = []
+
+    def dispatch():
+        try:
+            pool.classify_batch(work_items(held_out[:2]),
+                                version=registry.version, timeout=10.0)
+        except WorkerCrashError as exc:
+            caught.append(exc)
+
+    thread = threading.Thread(target=dispatch)
+    thread.start()
+    time.sleep(0.15)
+    for worker in pool._workers:
+        worker.process.kill()
+    thread.join(timeout=10.0)
+    pool.debug_slow_ms = 0.0
+    assert caught, "mid-batch worker death must raise WorkerCrashError"
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline and pool.stats.respawns < 2:
+        time.sleep(0.02)
+    assert pool.stats.worker_crashes >= 1
+    # the respawned (re-seeded) workers keep serving
+    outcomes = pool.classify_batch(work_items(held_out[:2]),
+                                   version=registry.version, timeout=10.0)
+    assert [outcome[0] for outcome in outcomes] == ["ok", "ok"]
+    assert not pool.broken
+
+
+def test_stop_is_idempotent_and_refuses_new_work(seeded):
+    registry, pool, quest, held_out = seeded
+    pool.stop()
+    pool.stop()
+    with pytest.raises(BrokenProcessPool):
+        pool.classify_batch(work_items(held_out[:1]),
+                            version=registry.version)
+
+
+def test_rejects_non_full_payload():
+    with pytest.raises(ValueError):
+        ProcessWorkerPool({"kind": "delta"})

@@ -1,6 +1,7 @@
 """ServeStats counters, latency window and percentiles."""
 
 import threading
+import time
 
 import pytest
 
@@ -69,3 +70,48 @@ class TestServeStats:
         for thread in threads:
             thread.join()
         assert stats.snapshot()["submitted"] == 8000
+
+    def test_completion_and_latency_are_atomic_under_hammer(self):
+        """Concurrent readers must never observe a completion without its
+        latency.  With a separate ``count("completed")`` +
+        ``record_latency`` pair a reader can land between the two lock
+        holds and see ``completed > 0`` with an empty window (p50 of 0) —
+        :meth:`ServeStats.record_completion` closes that gap."""
+        stats = ServeStats()
+        stop = threading.Event()
+        torn: list[dict] = []
+        counted = [0, 0, 0]  # per-thread slots: completer x2, failer
+
+        def completer(slot):
+            while not stop.is_set():
+                stats.record_completion(0.002)
+                counted[slot] += 1
+
+        def failer():
+            while not stop.is_set():
+                stats.count("failed")
+                counted[2] += 1
+
+        def reader():
+            while not stop.is_set():
+                snap = stats.snapshot()
+                if snap["completed"] > 0 and snap["p50_ms"] == 0.0:
+                    torn.append(snap)
+                total = stats.resolved_total()
+                assert total >= 0
+
+        threads = ([threading.Thread(target=completer, args=(slot,))
+                    for slot in range(2)]
+                   + [threading.Thread(target=failer)]
+                   + [threading.Thread(target=reader) for _ in range(3)])
+        for thread in threads:
+            thread.start()
+        time.sleep(0.4)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not torn, f"torn read observed: {torn[0]}"
+        final = stats.snapshot()
+        assert final["completed"] == counted[0] + counted[1]
+        assert final["failed"] == counted[2]
+        assert stats.resolved_total() == sum(counted)

@@ -33,6 +33,13 @@ REQUIRED = {
     "p50_ms": ((int, float), 0.0),
     "p95_ms": ((int, float), 0.0),
     "p99_ms": ((int, float), 0.0),
+    # worker-mode comparison phase (thread batchers vs process pool)
+    "mode_requests": (int, 1),
+    "worker_procs": (int, 1),
+    "cpus": (int, 0),
+    "thread_rps": ((int, float), 0.0),
+    "process_rps": ((int, float), 0.0),
+    "proc_speedup": ((int, float), 0.0),
 }
 
 
@@ -69,6 +76,12 @@ def check(path: Path) -> list[str]:
         if not p50 <= p95 <= p99:
             problems.append(f"{path}: percentiles not monotonic "
                             f"(p50={p50}, p95={p95}, p99={p99})")
+    speedup = payload.get("proc_speedup")
+    if (payload.get("proc_speedup_floor_enforced")
+            and isinstance(speedup, (int, float))
+            and not isinstance(speedup, bool) and speedup < 1.5):
+        problems.append(f"{path}: proc_speedup {speedup!r} below the "
+                        f"1.5x floor claimed enforced on this host")
     return problems
 
 
