@@ -25,7 +25,6 @@ and :class:`~repro.quest.service.QuestService`:
 
 from __future__ import annotations
 
-import dataclasses
 import os
 import threading
 import time
@@ -356,17 +355,19 @@ class ServeGateway:
             return {}
         deadlines: dict[str, float | None] = {}
         for request in live:
-            bundle = bundles.get(request.ref_no)
+            ref = request.ref_no
+            bundle = bundles.get(ref)
             if bundle is None or isinstance(bundle, Exception):
                 continue
-            if self._recall_recommendation(snapshot,
-                                           request.ref_no) is not None:
+            if self._recall_recommendation(snapshot, ref) is not None:
                 continue
-            previous = deadlines.get(request.ref_no)
-            deadlines[request.ref_no] = (request.deadline
-                                         if previous is None
-                                         else max(previous,
-                                                  request.deadline))
+            if ref not in deadlines:
+                deadlines[ref] = request.deadline
+            elif deadlines[ref] is not None:
+                # None means "no deadline" — it absorbs any finite value,
+                # so duplicate refs get the *loosest* deadline in the batch.
+                deadlines[ref] = (None if request.deadline is None
+                                  else max(deadlines[ref], request.deadline))
         if not deadlines:
             return {}
         items = [WorkItem(ref_no=ref, part_id=bundles[ref].part_id,
@@ -410,8 +411,7 @@ class ServeGateway:
         pool = self._pool
         payload["pool_active"] = pool is not None
         if pool is not None:
-            payload["pool"] = dict(dataclasses.asdict(pool.stats),
-                                   procs=pool.procs)
+            payload["pool"] = dict(pool.stats_snapshot(), procs=pool.procs)
         return payload
 
     # ------------------------------------------------------------------ #
@@ -429,6 +429,16 @@ class ServeGateway:
                 self._inflight += len(batch)
             try:
                 self._process_batch(batch)
+            except Exception as exc:
+                # A batcher thread must survive anything _process_batch
+                # throws: reject whatever the batch left unresolved (the
+                # callers would otherwise block until their timeout) and
+                # keep serving.
+                self.stats.count("batch_failures")
+                for request in batch:
+                    if not request.resolved:
+                        request.reject(exc)
+                        self.stats.count("failed")
             finally:
                 with self._inflight_lock:
                     self._inflight -= len(batch)
@@ -460,7 +470,13 @@ class ServeGateway:
                     bundles[ref] = self._load_bundle(snapshot, ref)
                 except Exception as exc:
                     bundles[ref] = exc
-        precomputed = self._pool_classify(snapshot, live, bundles)
+        try:
+            precomputed = self._pool_classify(snapshot, live, bundles)
+        except Exception:
+            # A pool-path surprise must degrade to in-process serving for
+            # this batch, never escape and kill the batcher thread.
+            self.stats.count("pool_errors")
+            precomputed = {}
         for request in live:
             bundle = bundles[request.ref_no]
             if isinstance(bundle, Exception):

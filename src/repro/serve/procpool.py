@@ -36,6 +36,7 @@ one worker can never wedge the others' queues.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import multiprocessing
 import threading
@@ -117,7 +118,14 @@ class ProcessWorkerPool:
             with (see :meth:`ModelSnapshot.to_payload`).
         procs: number of worker processes.
         start_method: multiprocessing start method; the default prefers
-            ``fork`` (cheap seeding) and falls back to ``spawn``.
+            ``forkserver`` (workers fork from a single-threaded server
+            process) and falls back to ``spawn``, then ``fork``.  Plain
+            ``fork`` is avoided because crashed workers are respawned
+            from a primary that is multi-threaded by then (batcher
+            threads + collector), and forking a multi-threaded CPython
+            process can deadlock the child on an internal lock held at
+            fork time.  Seeding is payload-based (shipped over the
+            pipe), so the safe methods only cost interpreter startup.
     """
 
     def __init__(self, payload: dict, procs: int = 2,
@@ -128,7 +136,9 @@ class ProcessWorkerPool:
             raise ValueError("pool must be seeded with a full payload")
         methods = multiprocessing.get_all_start_methods()
         if start_method is None:
-            start_method = "fork" if "fork" in methods else "spawn"
+            start_method = next(method for method
+                                in ("forkserver", "spawn", "fork")
+                                if method in methods)
         self._ctx = multiprocessing.get_context(start_method)
         self._payload = payload
         self._workers = [_Worker(index) for index in range(procs)]
@@ -251,30 +261,44 @@ class ProcessWorkerPool:
             raise ValueError("publish() takes a full payload")
         with self._publish_lock:
             previous = self._payload
+            if payload["version"] < previous["version"]:
+                # Two racing gateway writes can export out of order; the
+                # newer payload already landed, so installing this one
+                # would pin the pool (and every respawn seed) on a stale
+                # version and stale-reject all future batches.
+                return
+            # An equal-version call re-exports to workers that missed the
+            # update (suppressed replication, respawn races); a newer one
+            # also becomes the seed for future respawns.
+            delta = (diff_payloads(previous, payload)
+                     if payload["version"] > previous["version"] else None)
             self._payload = payload
-            delta = None
-            if previous is not None and previous["version"] != payload["version"]:
-                delta = diff_payloads(previous, payload)
-            self.stats.publishes += 1
             with self._lock:
+                self.stats.publishes += 1
                 live = [(worker, worker.conn) for worker in self._workers
                         if worker.alive() and worker.conn is not None]
+            delta_sends = full_sends = 0
             for worker, conn in live:
                 if worker.index in self.suppress_updates_to:
                     continue
+                if worker.shipped_version == payload["version"]:
+                    continue  # already holds this version
                 if (delta is not None
                         and worker.shipped_version == delta["base_version"]):
                     message = ("delta", delta)
-                    self.stats.delta_publishes += 1
+                    delta_sends += 1
                 else:
                     message = ("snapshot", payload)
-                    self.stats.full_publishes += 1
+                    full_sends += 1
                 try:
                     with worker.send_lock:
                         conn.send(message)
                     worker.shipped_version = payload["version"]
                 except (OSError, ValueError, BrokenPipeError):
                     worker.dead = True  # collector will respawn + reseed
+            with self._lock:
+                self.stats.delta_publishes += delta_sends
+                self.stats.full_publishes += full_sends
 
     # ------------------------------------------------------------------ #
     # dispatch
@@ -335,12 +359,20 @@ class ProcessWorkerPool:
             raise WorkerCrashError(
                 f"worker {pending.worker_index} died mid-batch")
         if result[0] == "stale":
-            self.stats.stale_rejections += 1
+            with self._lock:
+                self.stats.stale_rejections += 1
             return [("stale", result[1])] * len(items)
         outcomes = result[2]
         if len(outcomes) != len(items):  # defensive; should never happen
             return [("error", "worker returned a malformed batch")] * len(items)
         return outcomes
+
+    def stats_snapshot(self) -> dict:
+        """A consistent copy of the counters.  Every :class:`PoolStats`
+        mutation happens under ``_lock``, so reading them under the same
+        lock can never observe a torn or half-applied update."""
+        with self._lock:
+            return dataclasses.asdict(self.stats)
 
     def _pick_worker(self) -> _Worker:
         """Round-robin over live workers.  Caller holds ``_lock``."""

@@ -51,6 +51,11 @@ class SuggestRequest:
         """Whether the caller gave up waiting (worker may skip the work)."""
         return self._abandoned
 
+    @property
+    def resolved(self) -> bool:
+        """Whether an answer (result or error) has been delivered."""
+        return self._done.is_set()
+
     def resolve(self, result: Any) -> None:
         """Deliver a successful result to the waiting caller."""
         self._result = result

@@ -56,6 +56,8 @@ class ServeStats:
         self.worker_crashes = 0     # worker-process deaths absorbed
         self.publishes = 0          # snapshot payloads shipped to the pool
         self.pool_fallbacks = 0     # broken-pool fallbacks to thread mode
+        self.pool_errors = 0        # unexpected pool-path errors absorbed
+        self.batch_failures = 0     # batches rejected by the catch-all guard
 
     # ------------------------------------------------------------------ #
     # recording
@@ -123,6 +125,8 @@ class ServeStats:
                 "worker_crashes": self.worker_crashes,
                 "publishes": self.publishes,
                 "pool_fallbacks": self.pool_fallbacks,
+                "pool_errors": self.pool_errors,
+                "batch_failures": self.batch_failures,
             }
         counters["mean_batch_size"] = (
             round(counters["batched_requests"] / counters["batches"], 3)

@@ -1,13 +1,15 @@
 """Gateway integration: equivalence, batching, deadlines, writes, drain."""
 
 import threading
+import time
 
 import pytest
 
 from repro.quest import QuestError
 from repro.relstore import col
 from repro.serve import (DeadlineExceededError, GatewayConfig,
-                         GatewayStoppedError, QueueFullError, ServeGateway)
+                         GatewayStoppedError, QueueFullError, ServeGateway,
+                         SuggestRequest)
 from repro.quest.errors import UnknownBundleError
 
 
@@ -156,8 +158,74 @@ class TestAdmission:
         assert gw.stats_snapshot()["rejected"] == outcomes.count("shed")
 
 
+class TestBatcherResilience:
+    def test_duplicate_refs_merge_none_deadline_as_no_deadline(self, gateway):
+        """Regression: merging a finite deadline with a no-deadline
+        duplicate of the same ref used to raise TypeError (None vs float)
+        and kill the batcher thread; the merge must widen to the loosest
+        deadline in the batch instead."""
+        gw, quest, held_out = gateway
+        ref_a, ref_b, ref_c = (bundle.ref_no for bundle in held_out[:3])
+        dispatched = {}
+
+        class StubPool:
+            def classify_batch(self, items, version):
+                for item in items:
+                    dispatched[item.ref_no] = item.deadline
+                return [("ok", object())] * len(items)
+
+        gw._pool = StubPool()
+        try:
+            now = time.monotonic()
+            live = [  # finite-then-None, None-then-finite, finite-only
+                SuggestRequest(ref_no=ref_a, deadline=now + 5.0),
+                SuggestRequest(ref_no=ref_a, deadline=None),
+                SuggestRequest(ref_no=ref_b, deadline=None),
+                SuggestRequest(ref_no=ref_b, deadline=now + 2.0),
+                SuggestRequest(ref_no=ref_c, deadline=now + 1.0),
+                SuggestRequest(ref_no=ref_c, deadline=now + 9.0),
+            ]
+            bundles = {ref: quest.bundle(ref)
+                       for ref in (ref_a, ref_b, ref_c)}
+            precomputed = gw._pool_classify(gw.registry.current(), live,
+                                            bundles)
+        finally:
+            gw._pool = None
+        assert dispatched[ref_a] is None
+        assert dispatched[ref_b] is None
+        assert dispatched[ref_c] == pytest.approx(now + 9.0)
+        assert set(precomputed) == {ref_a, ref_b, ref_c}
+
+    def test_batcher_thread_survives_process_batch_crash(self, gateway):
+        """Regression: an unexpected exception escaping _process_batch
+        used to kill the batcher thread permanently (callers of that
+        batch hung until timeout); now the batch's requests are rejected
+        with the error and the thread keeps serving."""
+        gw, _, held_out = gateway
+        original = gw.registry.current
+        armed = threading.Event()
+        armed.set()
+
+        def exploding():
+            if armed.is_set():
+                armed.clear()
+                raise RuntimeError("injected batch fault")
+            return original()
+
+        gw.registry.current = exploding
+        try:
+            with pytest.raises(RuntimeError):
+                gw.suggest(held_out[0].ref_no, timeout=5.0)
+        finally:
+            gw.registry.current = original
+        view = gw.suggest(held_out[1].ref_no, timeout=10.0)
+        assert view.suggestions.codes
+        snap = gw.stats_snapshot()
+        assert snap["batch_failures"] >= 1
+        assert snap["failed"] >= 1
+
+
 def _request(ref):
-    from repro.serve import SuggestRequest
     return SuggestRequest(ref_no=ref)
 
 

@@ -131,6 +131,21 @@ def test_killed_worker_raises_crash_and_respawns(seeded):
     assert not pool.broken
 
 
+def test_out_of_order_publish_keeps_newer_payload(seeded):
+    """The losing (older) side of a publish race must not regress the
+    pool's payload: batches for the newer version keep serving and
+    respawn seeds stay pinned on the newer version."""
+    registry, pool, quest, held_out = seeded
+    old_payload = registry.current().to_payload()
+    bumped = registry.bump()
+    pool.publish(bumped.to_payload())
+    pool.publish(old_payload)  # arrives late, out of order
+    assert pool._payload["version"] == bumped.version
+    outcomes = pool.classify_batch(work_items(held_out[:2]),
+                                   version=bumped.version, timeout=10.0)
+    assert [outcome[0] for outcome in outcomes] == ["ok", "ok"]
+
+
 def test_stop_is_idempotent_and_refuses_new_work(seeded):
     registry, pool, quest, held_out = seeded
     pool.stop()
