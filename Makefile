@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-faults test-serve test-parity coverage lint bench serve-bench
+.PHONY: test test-faults test-serve test-parity test-http coverage lint bench serve-bench
 
 # Tier-1: the fast deterministic suite gating every change, plus the
 # cross-executor parity contract and the serving-layer coverage gate.
@@ -24,6 +24,11 @@ test-serve:
 # gateway must produce byte-identical ranked lists across 5 seeds.
 test-parity:
 	$(PYTHON) -m pytest tests/serve/test_parity.py -q
+
+# The HTTP transport on its own: webapp routes, keep-alive wire
+# behavior, and the pooled client.
+test-http:
+	$(PYTHON) -m pytest tests/quest/test_webapp.py tests/quest/test_keepalive.py tests/serve/test_httpclient.py -q
 
 # Line-coverage gate for src/repro/serve/ (pytest-cov when installed,
 # stdlib settrace fallback otherwise; floor in tools/coverage_serve.py).

@@ -21,6 +21,14 @@ on the batcher threads under the GIL, process mode dispatches it to
 snapshot-seeded worker processes.  Floor: process mode at least 1.5x
 thread mode — enforced only on hosts with >= 2 CPU cores, since a
 single-core host has no parallelism for the pool to unlock.
+
+The third phase (ISSUE PR 5, bench A8) measures the HTTP transport
+itself: the same trace over ``/api/suggest/<ref>`` against a running
+``QuestServer``, once with ``Connection: close`` on every request
+(connection-per-request, the urllib-era behavior) and once over
+persistent HTTP/1.1 connections via :class:`repro.serve.PooledHTTPClient`.
+Floor: keep-alive at least 1.5x connection-per-request throughput at
+concurrency >= 8, p95 latency reported for both arms.
 """
 
 import json
@@ -31,8 +39,10 @@ import time
 from conftest import RESULTS_DIR
 
 from repro.core import QATK, QatkConfig
+from repro.quest import QuestApp, QuestServer, Role, User, UserStore
 from repro.relstore import Database
-from repro.serve import GatewayConfig, ServeGateway
+from repro.serve import (GatewayConfig, PooledHTTPClient, ServeGateway,
+                         percentile)
 
 REQUESTS = 240
 CLIENTS = 8
@@ -47,6 +57,13 @@ MODE_REQUESTS = 96
 MODE_WORKERS = 4
 #: Floor for process-over-thread throughput on multi-core hosts.
 PROC_SPEEDUP_FLOOR = 1.5
+
+# HTTP transport phase (A8): enough requests that per-connection setup
+# dominates the per-request arm, at the concurrency the ISSUE names.
+HTTP_REQUESTS = 320
+HTTP_CLIENTS = 8
+#: Floor for keep-alive over connection-per-request throughput.
+KEEPALIVE_SPEEDUP_FLOOR = 1.5
 
 
 def _build_service(corpus, bundles):
@@ -265,6 +282,145 @@ def test_worker_mode_process_vs_thread(benchmark, corpus, bundles, reporter):
         "proc_requests": process_snap["proc_requests"],
         "proc_stale_rejected": process_snap["stale_rejected"],
         "proc_speedup_floor_enforced": cpus >= 2,
+    })
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(results_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
+def _http_pass(base_url, trace, clients, keep_alive):
+    """Closed-loop HTTP load through a shared :class:`PooledHTTPClient`.
+
+    Returns (elapsed seconds, per-request latencies, errors, client
+    stats).  The elapsed clock starts when the barrier releases the
+    client threads, so connection setup inside the first requests is
+    charged to the arm that pays it.
+    """
+    client = PooledHTTPClient(max_per_host=clients, timeout=30.0,
+                              keep_alive=keep_alive)
+    shards = [trace[slot::clients] for slot in range(clients)]
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[Exception] = []
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(slot, shard):
+        barrier.wait(timeout=30)
+        for path in shard:
+            started = time.perf_counter()
+            try:
+                response = client.get(base_url + path)
+                if response.status != 200:
+                    raise AssertionError(
+                        f"{path} -> {response.status}")
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+            latencies[slot].append(time.perf_counter() - started)
+
+    threads = [threading.Thread(target=worker, args=(slot, shard))
+               for slot, shard in enumerate(shards)]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=30)
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    stats = client.stats_snapshot()
+    client.close()
+    flat = [value for shard in latencies for value in shard]
+    return elapsed, flat, errors, stats
+
+
+def test_keepalive_vs_connection_per_request(benchmark, corpus, bundles,
+                                             reporter):
+    """A8 — the HTTP transport: keep-alive vs connection-per-request."""
+    service, refs = _build_service(corpus, bundles)
+    gateway = ServeGateway(service, GatewayConfig(
+        workers=MODE_WORKERS, max_queue=512, max_batch_size=MAX_BATCH,
+        max_wait_ms=0.0, default_timeout=30.0))
+    users = UserStore()
+    users.add(User("bench", Role.POWER_EXPERT, "Benchmarks"))
+    app = QuestApp(service, users, users.get("bench"), gateway=gateway)
+    server = QuestServer(app)
+    server.start()
+    host, port = server.address
+    base_url = f"http://{host}:{port}"
+    trace = [f"/api/suggest/{refs[number % len(refs)]}"
+             for number in range(HTTP_REQUESTS)]
+
+    try:
+        # warm the gateway memos over the transport itself, and check the
+        # pooled client returns byte-identical bodies to the app layer
+        with PooledHTTPClient(max_per_host=1) as warm:
+            for ref in refs:
+                response = warm.get(f"{base_url}/api/suggest/{ref}")
+                assert response.status == 200
+            for route in ("/", f"/bundle/{refs[0]}", "/stats",
+                          "/search?q=the", "/nonsense"):
+                over_http = warm.get(base_url + route)
+                status, body = app.get(route)
+                assert over_http.status == status
+                assert over_http.body == body.encode("utf-8")
+
+        def run_both():
+            per_request = _http_pass(base_url, trace, HTTP_CLIENTS,
+                                     keep_alive=False)
+            keepalive = _http_pass(base_url, trace, HTTP_CLIENTS,
+                                   keep_alive=True)
+            return per_request, keepalive
+
+        per_request, keepalive = benchmark.pedantic(run_both, rounds=1,
+                                                    iterations=1)
+    finally:
+        report = server.stop(grace=30.0)
+    assert report.cancelled == 0
+
+    pr_seconds, pr_latencies, pr_errors, pr_stats = per_request
+    ka_seconds, ka_latencies, ka_errors, ka_stats = keepalive
+    assert not pr_errors, f"per-request arm errors: {pr_errors[:3]!r}"
+    assert not ka_errors, f"keep-alive arm errors: {ka_errors[:3]!r}"
+    # the arms exercised the transports they claim to
+    assert pr_stats["reused"] == 0
+    assert ka_stats["reused"] >= HTTP_REQUESTS - HTTP_CLIENTS
+    assert ka_stats["created"] <= HTTP_CLIENTS
+
+    per_request_rps = HTTP_REQUESTS / pr_seconds
+    keepalive_rps = HTTP_REQUESTS / ka_seconds
+    speedup = keepalive_rps / per_request_rps
+    per_request_p95 = percentile(pr_latencies, 0.95) * 1000.0
+    keepalive_p95 = percentile(ka_latencies, 0.95) * 1000.0
+    reporter.row("A8 — HTTP transport: connection-per-request vs "
+                 "keep-alive")
+    reporter.row(f"{'transport':<24}{'wall s':>10}{'req/s':>10}"
+                 f"{'p95 ms':>10}")
+    reporter.row(f"{'per-request (before)':<24}{pr_seconds:>10.3f}"
+                 f"{per_request_rps:>10.1f}{per_request_p95:>10.2f}")
+    reporter.row(f"{'keep-alive (after)':<24}{ka_seconds:>10.3f}"
+                 f"{keepalive_rps:>10.1f}{keepalive_p95:>10.2f}")
+    reporter.row(f"speedup: {speedup:.2f}x | {HTTP_REQUESTS} requests, "
+                 f"{HTTP_CLIENTS} clients | connections "
+                 f"{pr_stats['created']} vs {ka_stats['created']} "
+                 f"(reused {ka_stats['reused']})")
+    # the ISSUE's acceptance floor for the keep-alive transport
+    assert speedup >= KEEPALIVE_SPEEDUP_FLOOR, (
+        f"keep-alive {speedup:.2f}x < {KEEPALIVE_SPEEDUP_FLOOR}x floor")
+
+    results_path = RESULTS_DIR / "BENCH_serving.json"
+    payload = {}
+    if results_path.exists():
+        payload = json.loads(results_path.read_text(encoding="utf-8"))
+    payload.update({
+        "ka_requests": HTTP_REQUESTS,
+        "ka_clients": HTTP_CLIENTS,
+        "per_request_rps": round(per_request_rps, 2),
+        "keepalive_rps": round(keepalive_rps, 2),
+        "keepalive_speedup": round(speedup, 3),
+        "per_request_p95_ms": round(per_request_p95, 3),
+        "keepalive_p95_ms": round(keepalive_p95, 3),
+        "ka_connections_created": ka_stats["created"],
+        "ka_connections_reused": ka_stats["reused"],
+        "per_request_connections": pr_stats["created"],
     })
     RESULTS_DIR.mkdir(exist_ok=True)
     with open(results_path, "w", encoding="utf-8") as fh:

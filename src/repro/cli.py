@@ -100,6 +100,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="micro-batcher: max wait for stragglers (ms)")
     serve.add_argument("--timeout", type=float, default=10.0,
                        help="per-request deadline in seconds (504 past it)")
+    serve.add_argument("--keepalive-idle-timeout", type=float, default=30.0,
+                       dest="keepalive_idle_timeout",
+                       help="seconds a keep-alive connection may idle "
+                            "between requests before the server closes it")
+    serve.add_argument("--keepalive-max-requests", type=int, default=1000,
+                       dest="keepalive_max_requests",
+                       help="requests served per keep-alive connection "
+                            "before the server sends Connection: close")
     add_on_error(serve)
 
     recover = commands.add_parser(
@@ -251,7 +259,9 @@ def _cmd_extend(top: int) -> int:
 def _cmd_serve(port: int, train: int, on_error: str, workers: int,
                max_queue: int, batch_size: int, batch_wait_ms: float,
                timeout: float, worker_mode: str = "thread",
-               worker_procs: int | None = None) -> int:
+               worker_procs: int | None = None,
+               keepalive_idle_timeout: float = 30.0,
+               keepalive_max_requests: int = 1000) -> int:
     from .core import QATK, QatkConfig
     from .quest import QuestApp, QuestServer, Role, User, UserStore
     from .serve import GatewayConfig, ServeGateway
@@ -270,7 +280,9 @@ def _cmd_serve(port: int, train: int, on_error: str, workers: int,
         max_wait_ms=batch_wait_ms, default_timeout=timeout,
         worker_mode=worker_mode, worker_procs=worker_procs))
     app = QuestApp(service, users, users.get("expert"), gateway=gateway)
-    server = QuestServer(app, port=port)
+    server = QuestServer(
+        app, port=port, idle_timeout=keepalive_idle_timeout,
+        max_requests_per_connection=keepalive_max_requests)
     host, bound_port = server.address
     gateway.start()
     pool_note = ""
@@ -344,7 +356,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "serve":
         return _cmd_serve(args.port, args.train, args.on_error, args.workers,
                           args.max_queue, args.batch_size, args.batch_wait_ms,
-                          args.timeout, args.worker_mode, args.worker_procs)
+                          args.timeout, args.worker_mode, args.worker_procs,
+                          args.keepalive_idle_timeout,
+                          args.keepalive_max_requests)
     if args.command == "recover":
         return _cmd_recover(args.directory, args.checkpoint)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -3,14 +3,27 @@
 Substitute for the paper's PrimeFaces/WSO2 stack (§4.5.4): the same
 user-visible functions — bundle list, top-10 suggestion screen with
 full-list fallback, error-code assignment, custom code creation, user
-list, and the cross-source comparison — served as plain HTML.
+list, and the cross-source comparison — served as plain HTML, plus a
+machine-readable JSON API (``/api/suggest/<ref>``, ``/api/assign``,
+``/api/stats``) for programmatic clients.
+
+The transport speaks **HTTP/1.1 with keep-alive**: connections persist
+across requests (bounded by a per-connection request cap and an idle
+timeout), every response carries an exact ``Content-Length`` — error
+pages included — and a draining server answers with ``Connection:
+close`` so ``stop()`` converges instead of waiting out idle sockets.
+Because a desynchronized connection under keep-alive corrupts the *next*
+request, the handler always consumes a POST's declared body (or closes
+the connection when the declared length is unusable) before answering.
 
 The handler delegates all logic to the serving gateway
 (:class:`~repro.serve.ServeGateway`) and the pure view functions, so it
 stays a thin transport layer.  The gateway owns queueing, micro-batching,
-deadlines and the store's reader-writer lock; overload surfaces as HTTP
-503 (queue full / shutdown) and 504 (deadline exceeded), and the live
-counters are served as JSON on ``/stats``.
+deadlines and the store's reader-writer lock; read-only screens take the
+gateway's read guard so a concurrent write can never produce a torn
+read.  Overload surfaces as HTTP 503 (queue full / shutdown) and 504
+(deadline exceeded), both with ``Retry-After``, and the live counters
+are served as JSON on ``/stats`` and ``/api/stats``.
 """
 
 from __future__ import annotations
@@ -22,20 +35,69 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING
 
 from ..data.schema import load_bundles
+from ..relstore.errors import IntegrityError
 # Only the leaf errors module at import time: repro.serve.gateway imports
 # the quest service layer, so pulling the gateway in here would close an
 # import cycle through quest/__init__.  The gateway class itself is
 # imported lazily in QuestApp.__init__.
 from ..serve.errors import (DeadlineExceededError, GatewayStoppedError,
-                            QueueFullError)
+                            QueueFullError, ServeError)
 from .compare import ComparisonView
-from .errors import QuestError, UnknownBundleError
-from .service import QuestService
+from .errors import DegradedServiceError, UnknownBundleError
+from .service import SUGGESTION_COUNT, QuestService
 from .users import PermissionError_, User, UserStore
 from . import views
 
 if TYPE_CHECKING:
     from ..serve.gateway import DrainReport, ServeGateway
+
+#: Upper bound on an accepted POST body.  Longer declared bodies are
+#: refused with 413 before reading, so one oversized upload cannot pin a
+#: keep-alive handler thread.
+MAX_BODY_BYTES = 1 << 20
+
+#: Default cap on requests served over one keep-alive connection; the
+#: response that hits the cap carries ``Connection: close``.
+MAX_REQUESTS_PER_CONNECTION = 1000
+
+#: Default seconds a keep-alive connection may idle between requests.
+KEEPALIVE_IDLE_TIMEOUT = 30.0
+
+
+def _failure_response(exc: Exception) -> tuple[int, str]:
+    """Map a service/gateway failure to ``(HTTP status, title)``.
+
+    One mapping for every route — GET and POST, HTML and JSON — so an
+    error that the suggestion screen answers with 503 can no longer
+    escape an assignment POST as a raw 500 (or a dropped connection).
+    """
+    if isinstance(exc, PermissionError_):
+        return 403, "Forbidden"
+    if isinstance(exc, UnknownBundleError):
+        return 404, "Not found"
+    if isinstance(exc, (QueueFullError, GatewayStoppedError)):
+        return 503, "Server overloaded"
+    if isinstance(exc, DeadlineExceededError):
+        return 504, "Deadline exceeded"
+    if isinstance(exc, DegradedServiceError):
+        return 503, "Service degraded"
+    if isinstance(exc, IntegrityError):
+        return 409, "Conflict"
+    if isinstance(exc, ValueError):  # QuestError subclasses ValueError
+        return 400, "Bad request"
+    return 500, "Internal error"
+
+
+def _json_error(title: str, exc: Exception) -> str:
+    """The JSON API's error body."""
+    return json.dumps({"error": title, "exception": type(exc).__name__,
+                       "message": str(exc)}, sort_keys=True)
+
+
+def _is_json_path(path: str) -> bool:
+    """Whether *path* is served as ``application/json``."""
+    path = urllib.parse.urlsplit(path).path
+    return path == "/stats" or path.startswith("/api/")
 
 
 class QuestApp:
@@ -68,27 +130,26 @@ class QuestApp:
 
     def get(self, path: str) -> tuple[int, str]:
         """Handle a GET; returns (status, body).  *path* may carry a query
-        string (used by /search?q=...).  ``/stats`` returns JSON, every
-        other route HTML."""
+        string (used by /search?q=...).  ``/stats`` and ``/api/...``
+        return JSON, every other route HTML."""
         parts = urllib.parse.urlsplit(path)
         path, query_string = parts.path, parts.query
         if path == "/" or path == "/bundles":
-            bundles = load_bundles(self.service.database)
+            # Read-only screens share the store's read lock (the same
+            # lock suggest batches and writers take) so a concurrent
+            # POST /assign cannot produce a torn bundle list.
+            with self.gateway.read_locked():
+                bundles = load_bundles(self.service.database)
             return 200, views.render_bundle_list(bundles)
+        if path.startswith("/api/"):
+            return self._api_get(path)
         if path.startswith("/bundle/"):
             ref_no = urllib.parse.unquote(path[len("/bundle/"):])
             try:
                 view = self.gateway.suggest(ref_no)
-            except UnknownBundleError as exc:
-                return 404, views.render_message("Not found", str(exc))
-            except (QueueFullError, GatewayStoppedError) as exc:
-                return 503, views.render_message("Server overloaded",
-                                                 str(exc))
-            except DeadlineExceededError as exc:
-                return 504, views.render_message("Deadline exceeded",
-                                                 str(exc))
-            except QuestError as exc:
-                return 503, views.render_message("Service degraded", str(exc))
+            except (ValueError, ServeError) as exc:
+                status, title = _failure_response(exc)
+                return status, views.render_message(title, str(exc))
             return 200, views.render_suggestions(view)
         if path == "/stats":
             return 200, json.dumps(self.gateway.stats_snapshot(),
@@ -103,69 +164,202 @@ class QuestApp:
             return 200, views.render_users(self.users.all_users())
         if path == "/search":
             query = urllib.parse.parse_qs(query_string).get("q", [""])[0]
-            matches = self.service.search_bundles(query)
+            with self.gateway.read_locked():
+                matches = self.service.search_bundles(query)
             return 200, views.render_bundle_list(matches)
         if path.startswith("/history/"):
             ref_no = urllib.parse.unquote(path[len("/history/"):])
-            rows = self.service.assignment_history(ref_no)
+            with self.gateway.read_locked():
+                rows = self.service.assignment_history(ref_no)
             return 200, views.render_history(ref_no, rows)
         return 404, views.render_message("Not found", f"no page {path!r}")
 
-    def post(self, path: str, form: dict[str, str]) -> tuple[int, str]:
-        """Handle a POST; returns (status, html)."""
-        if path == "/assign":
+    def _api_get(self, path: str) -> tuple[int, str]:
+        """The JSON API's GET routes (bodies are JSON on every path)."""
+        if path == "/api/stats":
+            return 200, json.dumps(self.gateway.stats_snapshot(),
+                                   sort_keys=True)
+        if path.startswith("/api/suggest/"):
+            ref_no = urllib.parse.unquote(path[len("/api/suggest/"):])
             try:
-                self.gateway.assign(self.current_user,
-                                    form.get("ref_no", ""),
-                                    form.get("error_code", ""))
-            except PermissionError_ as exc:
-                return 403, views.render_message("Forbidden", str(exc))
-            except ValueError as exc:
-                return 400, views.render_message("Bad request", str(exc))
+                view = self.gateway.suggest(ref_no)
+            except (ValueError, ServeError) as exc:
+                status, title = _failure_response(exc)
+                return status, _json_error(title, exc)
+            payload = {
+                "ref_no": view.bundle.ref_no,
+                "part_id": view.bundle.part_id,
+                "degraded": view.degraded,
+                "top10": view.top10,
+                "suggestions": [
+                    {"error_code": scored.error_code,
+                     "score": round(scored.score, 6)}
+                    for scored in view.suggestions.top(SUGGESTION_COUNT)],
+                "all_codes": view.all_codes,
+            }
+            return 200, json.dumps(payload, sort_keys=True)
+        return 404, _json_error("Not found",
+                                ValueError(f"no API route {path!r}"))
+
+    def post(self, path: str, form: dict[str, str]) -> tuple[int, str]:
+        """Handle a POST; returns (status, body) — JSON for ``/api/...``
+        routes, HTML otherwise.  Every failure the gateway or service can
+        raise maps through :func:`_failure_response`, the same table the
+        GET routes use."""
+        if path == "/assign" or path == "/api/assign":
+            as_json = path.startswith("/api/")
+            ref_no = form.get("ref_no", "")
+            error_code = form.get("error_code", "")
+            try:
+                self.gateway.assign(self.current_user, ref_no, error_code)
+            except (PermissionError_, ValueError, ServeError,
+                    IntegrityError) as exc:
+                status, title = _failure_response(exc)
+                if as_json:
+                    return status, _json_error(title, exc)
+                return status, views.render_message(title, str(exc))
+            if as_json:
+                return 200, json.dumps(
+                    {"status": "assigned", "ref_no": ref_no,
+                     "error_code": error_code}, sort_keys=True)
             return 200, views.render_message(
-                "Assigned", f"{form.get('error_code')} assigned to "
-                            f"{form.get('ref_no')}.")
+                "Assigned", f"{error_code} assigned to {ref_no}.")
         if path == "/codes/new":
             try:
                 self.gateway.define_error_code(self.current_user,
                                                form.get("error_code", ""),
                                                form.get("part_id", ""),
                                                form.get("description", ""))
-            except PermissionError_ as exc:
-                return 403, views.render_message("Forbidden", str(exc))
+            except (PermissionError_, ValueError, ServeError,
+                    IntegrityError) as exc:
+                status, title = _failure_response(exc)
+                return status, views.render_message(title, str(exc))
             return 200, views.render_message(
                 "Created", f"error code {form.get('error_code')} created.")
         return 404, views.render_message("Not found", f"no action {path!r}")
 
 
-def _make_handler(app: QuestApp) -> type[BaseHTTPRequestHandler]:
+def _make_handler(app: QuestApp, draining: threading.Event,
+                  max_requests: int,
+                  idle_timeout: float) -> type[BaseHTTPRequestHandler]:
     class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        #: Without TCP_NODELAY a persistent connection stalls ~40ms per
+        #: response: headers and body go out as two small segments and
+        #: Nagle holds the second until the delayed ACK arrives.  The
+        #: connection-per-request mode never showed this because closing
+        #: the socket flushed on FIN.
+        disable_nagle_algorithm = True
+        #: Socket timeout while waiting for the next request on a
+        #: keep-alive connection; hitting it closes the connection.
+        timeout = idle_timeout
+
+        def setup(self) -> None:
+            super().setup()
+            self._requests_served = 0
+
+        def _draining(self) -> bool:
+            return draining.is_set() or app.gateway.stopping
+
         def _send(self, status: int, body: str,
                   content_type: str = "text/html; charset=utf-8") -> None:
             payload = body.encode("utf-8")
+            self._requests_served += 1
+            if self._requests_served >= max_requests or self._draining():
+                self.close_connection = True
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(payload)))
-            if status == 503:
+            if status in (503, 504):
                 self.send_header("Retry-After", "1")
+            # Advertise the connection's fate explicitly; keep-alive is
+            # only promised when the request's protocol allows it
+            # (close_connection is already True for plain HTTP/1.0).
+            if self.close_connection:
+                self.send_header("Connection", "close")
+            else:
+                self.send_header("Connection", "keep-alive")
             self.end_headers()
             self.wfile.write(payload)
 
+        def _content_type(self) -> str:
+            if _is_json_path(self.path):
+                return "application/json"
+            return "text/html; charset=utf-8"
+
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
-            status, body = app.get(self.path)
-            if urllib.parse.urlsplit(self.path).path == "/stats":
-                self._send(status, body, "application/json")
-            else:
-                self._send(status, body)
+            try:
+                status, body = app.get(self.path)
+            except Exception as exc:
+                # An unexpected error must still produce a well-formed,
+                # Content-Length'd response; the connection is closed
+                # because the failure point is unknown.
+                self.close_connection = True
+                self._send(500, views.render_message("Internal error",
+                                                     str(exc)))
+                return
+            self._send(status, body, self._content_type())
 
         def do_POST(self) -> None:  # noqa: N802 (http.server API)
-            length = int(self.headers.get("Content-Length", "0"))
-            raw = self.rfile.read(length).decode("utf-8")
+            form, problem = self._read_form()
+            as_json = _is_json_path(self.path)
+            if problem is not None:
+                status, title, message = problem
+                body = (_json_error(title, ValueError(message)) if as_json
+                        else views.render_message(title, message))
+                self._send(status, body, self._content_type())
+                return
+            try:
+                status, body = app.post(
+                    urllib.parse.urlsplit(self.path).path, form)
+            except Exception as exc:
+                self.close_connection = True
+                self._send(500, views.render_message("Internal error",
+                                                     str(exc)))
+                return
+            self._send(status, body, self._content_type())
+
+        def _read_form(self):
+            """Read and parse the urlencoded request body.
+
+            Returns ``(form, None)`` on success, else ``(None, (status,
+            title, message))``.  Under keep-alive the declared body is
+            always consumed before answering, so a bad request cannot
+            desynchronize the connection; when the declared length is
+            missing, malformed or unusable the connection is marked for
+            close instead — the framing is unknowable, and serving
+            another request off this socket would read garbage.
+            """
+            raw_length = self.headers.get("Content-Length")
+            try:
+                length = int(raw_length) if raw_length is not None else None
+            except ValueError:
+                length = None
+            if length is None or length < 0:
+                self.close_connection = True
+                return None, (400, "Bad request",
+                              "missing or malformed Content-Length")
+            if length > MAX_BODY_BYTES:
+                self.close_connection = True
+                return None, (413, "Payload too large",
+                              f"declared body of {length} bytes exceeds "
+                              f"the {MAX_BODY_BYTES}-byte limit")
+            raw = self.rfile.read(length)
+            if len(raw) < length:
+                self.close_connection = True
+                return None, (400, "Bad request",
+                              "request body shorter than its "
+                              "Content-Length")
+            try:
+                text = raw.decode("utf-8")
+            except UnicodeDecodeError:
+                # The body was fully consumed, so the connection stays
+                # in sync and can serve the next request.
+                return None, (400, "Bad request",
+                              "request body is not valid UTF-8")
             form = {key: values[0] for key, values
-                    in urllib.parse.parse_qs(raw).items()}
-            status, body = app.post(urllib.parse.urlsplit(self.path).path,
-                                    form)
-            self._send(status, body)
+                    in urllib.parse.parse_qs(text).items()}
+            return form, None
 
         def log_message(self, format: str, *args) -> None:
             pass  # keep test output clean
@@ -173,13 +367,31 @@ def _make_handler(app: QuestApp) -> type[BaseHTTPRequestHandler]:
     return Handler
 
 
+class _QuestHTTPServer(ThreadingHTTPServer):
+    #: The stdlib default listen backlog of 5 drops SYNs when a pooled
+    #: client opens its connections in one burst; the dropped SYN is
+    #: retransmitted a full second later, which reads as a mysterious
+    #: ~1000ms tail latency on an otherwise idle server.
+    request_queue_size = 128
+
+
 class QuestServer:
-    """Threaded HTTP server wrapper with clean startup/drained shutdown."""
+    """Threaded HTTP/1.1 server wrapper with keep-alive connections and
+    clean startup/drained shutdown."""
 
     def __init__(self, app: QuestApp, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0, *,
+                 max_requests_per_connection: int =
+                 MAX_REQUESTS_PER_CONNECTION,
+                 idle_timeout: float = KEEPALIVE_IDLE_TIMEOUT) -> None:
         self.app = app
-        self._server = ThreadingHTTPServer((host, port), _make_handler(app))
+        #: Set at the start of ``stop()``: every response sent from then
+        #: on carries ``Connection: close``, so persistent connections
+        #: fall away instead of pinning the drain on their idle timeout.
+        self._draining = threading.Event()
+        handler = _make_handler(app, self._draining,
+                                max_requests_per_connection, idle_timeout)
+        self._server = _QuestHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
 
     @property
@@ -197,11 +409,16 @@ class QuestServer:
     def stop(self, grace: float | None = None) -> "DrainReport":
         """Shut down cleanly under in-flight requests.
 
-        Stops accepting connections, drains the gateway's queue with a
+        Signals the drain (responses switch to ``Connection: close``),
+        stops accepting connections, drains the gateway's queue with a
         bounded grace period (queued work is completed or rejected with a
         typed error — never dropped silently), closes the socket and joins
-        the serve thread.  Returns the gateway's drain report.
+        the serve thread.  Keep-alive connections that stay idle through
+        the drain are handled by daemon handler threads and die with
+        their idle timeout; they cannot delay this method.  Returns the
+        gateway's drain report.
         """
+        self._draining.set()             # new responses say Connection: close
         self._server.shutdown()          # stop accepting new connections
         report = self.app.close(grace)   # drain queued + in-flight work
         self._server.server_close()

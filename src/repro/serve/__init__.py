@@ -11,6 +11,7 @@ from .errors import (DeadlineExceededError, GatewayStoppedError,
                      QueueFullError, ServeError, SnapshotPayloadError,
                      StaleSnapshotError, WorkerCrashError)
 from .gateway import DrainReport, GatewayConfig, ServeGateway, WORKER_MODES
+from .httpclient import ClientResponse, HTTPClientError, PooledHTTPClient
 from .locks import RWLock
 from .procpool import (BrokenProcessPool, PoolStats, ProcessWorkerPool,
                        WorkItem)
@@ -21,10 +22,13 @@ from .stats import ServeStats, percentile
 
 __all__ = [
     "BrokenProcessPool",
+    "ClientResponse",
     "DeadlineExceededError",
     "DrainReport",
     "GatewayConfig",
     "GatewayStoppedError",
+    "HTTPClientError",
+    "PooledHTTPClient",
     "ModelRegistry",
     "ModelSnapshot",
     "PoolStats",

@@ -28,6 +28,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from ..classify.results import store_recommendations
@@ -145,6 +146,28 @@ class ServeGateway:
     def started(self) -> bool:
         """Whether the worker pool is running."""
         return bool(self._threads)
+
+    @property
+    def stopping(self) -> bool:
+        """True once :meth:`stop` has begun (or finished).  Transports
+        use this as the drain signal: the web app answers with
+        ``Connection: close`` from this point on, so persistent
+        connections converge instead of idling through the grace
+        period."""
+        return self._stopped
+
+    @contextmanager
+    def read_locked(self):
+        """Shared read access to the service's store.
+
+        Read-only screens that bypass the suggest queue (bundle list,
+        search, assignment history) take this guard so they observe the
+        relstore under the same writer-preferring lock the batchers and
+        writers use — a concurrent ``assign`` can never hand them a torn
+        row set.  Not reentrant; do not nest with other lock holders.
+        """
+        with self.registry.store_lock.read_locked():
+            yield
 
     def start(self) -> None:
         """Spawn the worker pool (idempotent; also called lazily)."""

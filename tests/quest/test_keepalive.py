@@ -1,0 +1,422 @@
+"""HTTP/1.1 keep-alive transport tests for the QUEST web app.
+
+Raw-socket tests observe the wire contract directly (N requests on one
+socket, ``Connection: close`` on drain/cap, malformed-body handling that
+cannot desynchronize the connection); pooled-client tests pin the
+client/server pair end to end; and a concurrency regression drives
+read-only screens against parallel assigns under the gateway's read
+guard.
+"""
+
+import json
+import socket
+import threading
+import urllib.parse
+
+import pytest
+
+from repro.quest import QuestApp, QuestServer, Role, User, UserStore
+from repro.serve import PooledHTTPClient
+from repro.serve.errors import (DeadlineExceededError, GatewayStoppedError,
+                                QueueFullError)
+
+
+def make_app(service_pair):
+    quest, _ = service_pair
+    users = UserStore()
+    users.add(User("expert", Role.POWER_EXPERT, "Test Expert"))
+    return QuestApp(quest, users, users.get("expert"))
+
+
+@pytest.fixture()
+def running_server(service):
+    app = make_app(service)
+    server = QuestServer(app)
+    server.start()
+    yield server, app, service[1]
+    server.stop(grace=5.0)
+
+
+# --------------------------------------------------------------------- #
+# raw-socket helpers
+
+
+def _connect(server):
+    host, port = server.address
+    sock = socket.create_connection((host, port), timeout=10)
+    return sock, host, port
+
+
+def _send_get(sock, host, path):
+    sock.sendall(f"GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n"
+                 .encode("ascii"))
+    return _read_response(sock)
+
+
+def _send_post(sock, host, path, body=b"", content_length=None,
+               send_length=True):
+    lines = [f"POST {path} HTTP/1.1", f"Host: {host}",
+             "Content-Type: application/x-www-form-urlencoded"]
+    if send_length:
+        length = len(body) if content_length is None else content_length
+        lines.append(f"Content-Length: {length}")
+    request = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+    sock.sendall(request)
+    return _read_response(sock)
+
+
+def _read_response(sock):
+    """Parse one HTTP response; returns (status, headers, body-bytes)."""
+    buffer = b""
+    while b"\r\n\r\n" not in buffer:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise AssertionError("connection closed before headers arrived")
+        buffer += chunk
+    head, _, body = buffer.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        key, _, value = line.partition(":")
+        headers[key.strip().lower()] = value.strip()
+    length = int(headers["content-length"])  # every path must declare it
+    while len(body) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        body += chunk
+    assert len(body) == length, "body shorter than its Content-Length"
+    return status, headers, body[:length]
+
+
+def _connection_is_closed(sock):
+    """True when the server has closed its side (EOF on a short read)."""
+    sock.settimeout(5.0)
+    try:
+        return sock.recv(1) == b""
+    except OSError:
+        return True
+
+
+# --------------------------------------------------------------------- #
+# keep-alive wire behavior
+
+
+class TestKeepAliveWire:
+    def test_sequential_requests_share_one_socket(self, running_server):
+        server, _, held_out = running_server
+        sock, host, _ = _connect(server)
+        try:
+            for number in range(4):
+                status, headers, body = _send_get(sock, host, "/stats")
+                assert status == 200
+                assert headers["connection"] == "keep-alive"
+                payload = json.loads(body)
+                assert "submitted" in payload
+            status, headers, body = _send_get(
+                sock, host, f"/bundle/{held_out[0].ref_no}")
+            assert status == 200
+            assert held_out[0].ref_no.encode() in body
+        finally:
+            sock.close()
+
+    def test_content_length_exact_on_error_pages(self, running_server):
+        server, _, _ = running_server
+        sock, host, _ = _connect(server)
+        try:
+            # _read_response asserts body length == Content-Length
+            status, headers, body = _send_get(sock, host, "/bundle/R404")
+            assert status == 404
+            assert headers["connection"] == "keep-alive"
+            # the connection survives the error page
+            status, _, _ = _send_get(sock, host, "/stats")
+            assert status == 200
+        finally:
+            sock.close()
+
+    def test_max_requests_per_connection_cap(self, service):
+        app = make_app(service)
+        server = QuestServer(app, max_requests_per_connection=2)
+        server.start()
+        try:
+            sock, host, _ = _connect(server)
+            status, headers, _ = _send_get(sock, host, "/stats")
+            assert status == 200 and headers["connection"] == "keep-alive"
+            status, headers, _ = _send_get(sock, host, "/stats")
+            assert status == 200 and headers["connection"] == "close"
+            assert _connection_is_closed(sock)
+            sock.close()
+        finally:
+            server.stop(grace=2.0)
+
+    def test_idle_timeout_closes_connection(self, service):
+        app = make_app(service)
+        server = QuestServer(app, idle_timeout=0.2)
+        server.start()
+        try:
+            sock, host, _ = _connect(server)
+            status, headers, _ = _send_get(sock, host, "/stats")
+            assert status == 200 and headers["connection"] == "keep-alive"
+            # no second request: the server must hang up on its own
+            assert _connection_is_closed(sock)
+            sock.close()
+        finally:
+            server.stop(grace=2.0)
+
+    def test_drain_sends_connection_close(self, running_server):
+        server, _, _ = running_server
+        sock, host, _ = _connect(server)
+        try:
+            status, headers, _ = _send_get(sock, host, "/stats")
+            assert status == 200 and headers["connection"] == "keep-alive"
+            server._draining.set()  # what stop() does first
+            status, headers, _ = _send_get(sock, host, "/stats")
+            assert status == 200
+            assert headers["connection"] == "close"
+            assert _connection_is_closed(sock)
+        finally:
+            sock.close()
+            server._draining.clear()
+
+    def test_http10_client_still_served(self, running_server):
+        server, _, _ = running_server
+        sock, host, _ = _connect(server)
+        try:
+            sock.sendall(f"GET /stats HTTP/1.0\r\nHost: {host}\r\n\r\n"
+                         .encode("ascii"))
+            status, headers, _ = _read_response(sock)
+            assert status == 200
+            assert headers["connection"] == "close"
+            assert _connection_is_closed(sock)
+        finally:
+            sock.close()
+
+
+# --------------------------------------------------------------------- #
+# malformed POST bodies must never desynchronize the connection
+
+
+class TestMalformedBodies:
+    def test_missing_content_length_is_400_and_close(self, running_server):
+        server, _, _ = running_server
+        sock, host, _ = _connect(server)
+        try:
+            status, headers, _ = _send_post(sock, host, "/assign",
+                                            send_length=False)
+            assert status == 400
+            assert headers["connection"] == "close"
+            assert _connection_is_closed(sock)
+        finally:
+            sock.close()
+
+    def test_malformed_content_length_is_400_and_close(self, running_server):
+        server, _, _ = running_server
+        sock, host, _ = _connect(server)
+        try:
+            status, headers, _ = _send_post(sock, host, "/assign",
+                                            content_length="not-a-number")
+            assert status == 400
+            assert headers["connection"] == "close"
+            assert _connection_is_closed(sock)
+        finally:
+            sock.close()
+
+    def test_bad_utf8_body_keeps_connection_in_sync(self, running_server):
+        server, _, _ = running_server
+        sock, host, _ = _connect(server)
+        try:
+            status, headers, _ = _send_post(sock, host, "/assign",
+                                            body=b"\xff\xfe\xfd")
+            assert status == 400
+            assert headers["connection"] == "keep-alive"
+            # the declared body was consumed: the next request on the
+            # same socket is parsed cleanly, not as leftover garbage
+            status, _, body = _send_get(sock, host, "/stats")
+            assert status == 200
+            json.loads(body)
+        finally:
+            sock.close()
+
+    def test_oversized_declared_body_is_413_and_close(self, running_server):
+        server, _, _ = running_server
+        sock, host, _ = _connect(server)
+        try:
+            status, headers, _ = _send_post(sock, host, "/assign",
+                                            content_length=(1 << 20) + 1)
+            assert status == 413
+            assert headers["connection"] == "close"
+            assert _connection_is_closed(sock)
+        finally:
+            sock.close()
+
+    def test_unit_level_post_error_mapping(self, service):
+        """The app maps gateway/service failures the same way on POST as
+        the suggestion screen does on GET (the old code let these escape
+        as raw 500s)."""
+        app = make_app(service)
+        _, held_out = service
+        # unknown bundle -> 404 (was 400 via the blanket ValueError catch)
+        assert app.post("/assign", {"ref_no": "R404",
+                                    "error_code": "E1"})[0] == 404
+        for exc, expected in ((QueueFullError("full"), 503),
+                              (GatewayStoppedError("stopped"), 503),
+                              (DeadlineExceededError("late"), 504)):
+            def raiser(*args, _exc=exc, **kwargs):
+                raise _exc
+            app.gateway.assign = raiser
+            status, _ = app.post("/assign", {"ref_no": held_out[0].ref_no,
+                                             "error_code": "E1"})
+            assert status == expected, exc
+        app.gateway.define_error_code = raiser
+        assert app.post("/codes/new", {"error_code": "EX",
+                                       "part_id": "P1",
+                                       "description": "d"})[0] == 504
+        app.close(grace=1.0)
+
+    def test_duplicate_custom_code_is_conflict(self, service):
+        app = make_app(service)
+        form = {"error_code": "EDUP", "part_id": "P1", "description": "dup"}
+        assert app.post("/codes/new", form)[0] == 200
+        assert app.post("/codes/new", form)[0] == 409
+        app.close(grace=1.0)
+
+    def test_retry_after_on_503_and_504(self, running_server):
+        server, app, held_out = running_server
+
+        def slow(*args, **kwargs):
+            raise DeadlineExceededError("too slow")
+
+        original = app.gateway.suggest
+        app.gateway.suggest = slow
+        try:
+            sock, host, _ = _connect(server)
+            status, headers, _ = _send_get(
+                sock, host, f"/bundle/{held_out[0].ref_no}")
+            assert status == 504
+            assert headers["retry-after"] == "1"
+            sock.close()
+        finally:
+            app.gateway.suggest = original
+
+
+# --------------------------------------------------------------------- #
+# pooled client against the QUEST server + JSON API
+
+
+class TestPooledClientIntegration:
+    def test_client_reuses_and_api_answers(self, running_server):
+        server, _, held_out = running_server
+        host, port = server.address
+        base = f"http://{host}:{port}"
+        with PooledHTTPClient() as client:
+            for _ in range(3):
+                response = client.get(
+                    f"{base}/api/suggest/{held_out[0].ref_no}")
+                assert response.status == 200
+                assert response.header("Content-Type") == "application/json"
+                payload = response.json()
+                assert payload["ref_no"] == held_out[0].ref_no
+                assert 1 <= len(payload["top10"]) <= 10
+                assert payload["degraded"] is None
+                assert [s["error_code"] for s in payload["suggestions"]] \
+                    == payload["top10"]
+            stats = client.stats_snapshot()
+            assert stats["created"] == 1
+            assert stats["reused"] == 2
+
+    def test_api_assign_and_errors(self, running_server):
+        server, app, held_out = running_server
+        host, port = server.address
+        base = f"http://{host}:{port}"
+        with PooledHTTPClient() as client:
+            view = client.get(
+                f"{base}/api/suggest/{held_out[3].ref_no}").json()
+            response = client.post_form(f"{base}/api/assign", {
+                "ref_no": held_out[3].ref_no,
+                "error_code": view["top10"][0]})
+            assert response.status == 200
+            assert response.json()["status"] == "assigned"
+            # JSON error bodies with mapped statuses
+            missing = client.get(f"{base}/api/suggest/R404")
+            assert missing.status == 404
+            assert missing.json()["exception"] == "UnknownBundleError"
+            bad = client.post_form(f"{base}/api/assign", {
+                "ref_no": held_out[3].ref_no, "error_code": "BOGUS"})
+            assert bad.status == 400
+            assert bad.json()["error"] == "Bad request"
+            unknown = client.get(f"{base}/api/nope")
+            assert unknown.status == 404
+        assert app.service.bundle(held_out[3].ref_no).error_code \
+            == view["top10"][0]
+
+    def test_api_stats_route(self, running_server):
+        server, _, _ = running_server
+        host, port = server.address
+        with PooledHTTPClient() as client:
+            payload = client.get(f"http://{host}:{port}/api/stats").json()
+        assert "submitted" in payload and "model_version" in payload
+
+    def test_responses_byte_identical_to_app_layer(self, running_server):
+        """The HTTP/1.1 transport serves exactly what the transport-less
+        app layer produces for every existing route."""
+        server, app, held_out = running_server
+        host, port = server.address
+        base = f"http://{host}:{port}"
+        ref = held_out[0].ref_no
+        routes = ["/", "/users", f"/bundle/{ref}", f"/history/{ref}",
+                  "/compare", "/search?q=" + urllib.parse.quote("the"),
+                  "/nonsense"]
+        with PooledHTTPClient() as client:
+            for route in routes:
+                over_http = client.get(base + route)
+                status, body = app.get(route)
+                assert over_http.status == status, route
+                assert over_http.body == body.encode("utf-8"), route
+
+
+# --------------------------------------------------------------------- #
+# read-only screens under concurrent writes (gateway read guard)
+
+
+class TestReadGuardRegression:
+    def test_concurrent_assigns_and_reads_stay_consistent(self, service):
+        quest, held_out = service
+        app = make_app(service)
+        errors = []
+        done = threading.Event()
+
+        def writer():
+            try:
+                for bundle in held_out[:8]:
+                    view = app.gateway.suggest(bundle.ref_no, timeout=30.0)
+                    status, _ = app.post("/assign", {
+                        "ref_no": bundle.ref_no,
+                        "error_code": view.top10[0]})
+                    assert status == 200
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+            finally:
+                done.set()
+
+        def reader():
+            try:
+                while not done.is_set():
+                    assert app.get("/")[0] == 200
+                    assert app.get("/search?q=the")[0] == 200
+                    assert app.get(
+                        f"/history/{held_out[0].ref_no}")[0] == 200
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + \
+            [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert quest.database.check_consistency() == []
+        for bundle in held_out[:8]:
+            assert quest.bundle(bundle.ref_no).error_code is not None
+        app.close(grace=2.0)

@@ -40,7 +40,26 @@ REQUIRED = {
     "thread_rps": ((int, float), 0.0),
     "process_rps": ((int, float), 0.0),
     "proc_speedup": ((int, float), 0.0),
+    # HTTP transport phase (A8: keep-alive vs connection-per-request);
+    # ka_clients must clear the ISSUE's "concurrency >= 8" bar.
+    "ka_requests": (int, 1),
+    "ka_clients": (int, 7),
+    "per_request_rps": ((int, float), 0.0),
+    "keepalive_rps": ((int, float), 0.0),
+    "keepalive_speedup": ((int, float), 0.0),
+    "per_request_p95_ms": ((int, float), 0.0),
+    "keepalive_p95_ms": ((int, float), 0.0),
 }
+
+#: Latency keys: allowed to equal their minimum (a 0.0ms percentile is
+#: merely suspicious, not structurally invalid).
+_PERCENTILE_KEYS = ("p50_ms", "p95_ms", "p99_ms",
+                    "per_request_p95_ms", "keepalive_p95_ms")
+
+#: The keep-alive transport floor (mirrors bench A8's assertion; the
+#: bench fails before writing a payload below it, so a violation here
+#: means the JSON was edited or stale).
+KEEPALIVE_SPEEDUP_FLOOR = 1.5
 
 
 def check(path: Path) -> list[str]:
@@ -63,7 +82,7 @@ def check(path: Path) -> list[str]:
             problems.append(f"{path}: key {key!r} has non-numeric value "
                             f"{value!r}")
             continue
-        if value <= minimum and key not in ("p50_ms", "p95_ms", "p99_ms"):
+        if value <= minimum and key not in _PERCENTILE_KEYS:
             problems.append(f"{path}: key {key!r} must be > {minimum}, "
                             f"got {value!r}")
         elif value < minimum:
@@ -82,6 +101,12 @@ def check(path: Path) -> list[str]:
             and not isinstance(speedup, bool) and speedup < 1.5):
         problems.append(f"{path}: proc_speedup {speedup!r} below the "
                         f"1.5x floor claimed enforced on this host")
+    ka_speedup = payload.get("keepalive_speedup")
+    if (isinstance(ka_speedup, (int, float))
+            and not isinstance(ka_speedup, bool)
+            and ka_speedup < KEEPALIVE_SPEEDUP_FLOOR):
+        problems.append(f"{path}: keepalive_speedup {ka_speedup!r} below "
+                        f"the {KEEPALIVE_SPEEDUP_FLOOR}x floor")
     return problems
 
 

@@ -18,6 +18,10 @@ same thing with nothing beyond the standard library:
   in ``SUBPROCESS_EXEMPT`` and excluded from the denominator, the same
   way ``# pragma: no cover`` would be.
 
+The target directory is globbed, so new serving modules join the
+denominator automatically — ``httpclient.py`` (the pooled keep-alive
+client) is covered by ``tests/serve/test_httpclient.py``.
+
 Usage::
 
     python tools/coverage_serve.py [--fail-under PCT] [pytest args...]
