@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-faults test-serve test-parity test-http coverage lint bench serve-bench
+.PHONY: test test-faults test-serve test-parity test-http test-replication coverage lint bench serve-bench
 
 # Tier-1: the fast deterministic suite gating every change, plus the
 # cross-executor parity contract and the serving-layer coverage gate.
@@ -29,6 +29,11 @@ test-parity:
 # behavior, and the pooled client.
 test-http:
 	$(PYTHON) -m pytest tests/quest/test_webapp.py tests/quest/test_keepalive.py tests/serve/test_httpclient.py -q
+
+# Snapshot replication: the primary's /api/replicate endpoint, replica
+# catch-up/partition behavior, and the replicated-executor parity test.
+test-replication:
+	$(PYTHON) -m pytest tests/serve/test_replication.py "tests/serve/test_parity.py::test_replica_converges_byte_identical" -q
 
 # Line-coverage gate for src/repro/serve/ (pytest-cov when installed,
 # stdlib settrace fallback otherwise; floor in tools/coverage_serve.py).

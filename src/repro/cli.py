@@ -108,6 +108,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        dest="keepalive_max_requests",
                        help="requests served per keep-alive connection "
                             "before the server sends Connection: close")
+    serve.add_argument("--replica-of", default=None, dest="replica_of",
+                       metavar="URL",
+                       help="run as a read replica of the primary at URL: "
+                            "poll its /api/replicate for model snapshots, "
+                            "serve reads, refuse writes with 405")
+    serve.add_argument("--replication-interval", type=float, default=1.0,
+                       dest="replication_interval",
+                       help="seconds between replica polls of the primary "
+                            "(with --replica-of)")
     add_on_error(serve)
 
     recover = commands.add_parser(
@@ -261,10 +270,12 @@ def _cmd_serve(port: int, train: int, on_error: str, workers: int,
                timeout: float, worker_mode: str = "thread",
                worker_procs: int | None = None,
                keepalive_idle_timeout: float = 30.0,
-               keepalive_max_requests: int = 1000) -> int:
+               keepalive_max_requests: int = 1000,
+               replica_of: str | None = None,
+               replication_interval: float = 1.0) -> int:
     from .core import QATK, QatkConfig
     from .quest import QuestApp, QuestServer, Role, User, UserStore
-    from .serve import GatewayConfig, ServeGateway
+    from .serve import GatewayConfig, ServeGateway, SnapshotReplicator
     corpus = generate_corpus()
     bundles = experiment_subset(corpus.bundles)
     qatk = QATK(corpus.taxonomy, QatkConfig(feature_mode="words",
@@ -278,8 +289,16 @@ def _cmd_serve(port: int, train: int, on_error: str, workers: int,
     gateway = ServeGateway(service, GatewayConfig(
         workers=workers, max_queue=max_queue, max_batch_size=batch_size,
         max_wait_ms=batch_wait_ms, default_timeout=timeout,
-        worker_mode=worker_mode, worker_procs=worker_procs))
-    app = QuestApp(service, users, users.get("expert"), gateway=gateway)
+        worker_mode=worker_mode, worker_procs=worker_procs,
+        # A replica's recommendations are the primary's business to
+        # persist; writing them locally would just diverge the stores.
+        persist=replica_of is None))
+    replicator = None
+    if replica_of is not None:
+        replicator = SnapshotReplicator(gateway.registry, replica_of,
+                                        interval=replication_interval)
+    app = QuestApp(service, users, users.get("expert"), gateway=gateway,
+                   replica_of=replica_of, replicator=replicator)
     server = QuestServer(
         app, port=port, idle_timeout=keepalive_idle_timeout,
         max_requests_per_connection=keepalive_max_requests)
@@ -289,18 +308,25 @@ def _cmd_serve(port: int, train: int, on_error: str, workers: int,
     if worker_mode == "process":
         pool_note = (" + process pool" if gateway.pool_active
                      else " (process pool unavailable; thread fallback)")
+    replica_note = (f", replica of {replicator.primary_url} "
+                    f"(poll every {replication_interval:g}s)"
+                    if replicator is not None else "")
     print(f"QUEST running on http://{host}:{bound_port}/ — "
           f"{workers} worker(s){pool_note}, queue bound {max_queue}, "
-          f"batches up to {batch_size} ({batch_wait_ms:g} ms window); "
-          f"Ctrl+C to stop")
+          f"batches up to {batch_size} ({batch_wait_ms:g} ms window)"
+          f"{replica_note}; Ctrl+C to stop")
     report = None
     try:
         server.start()
+        if replicator is not None:
+            replicator.start()
         import threading
         threading.Event().wait()
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
+        if replicator is not None:
+            replicator.stop()
         try:
             report = server.stop()
         except KeyboardInterrupt:
@@ -317,6 +343,14 @@ def _cmd_serve(port: int, train: int, on_error: str, workers: int,
           f"p50 {stats['p50_ms']:.1f} ms, p95 {stats['p95_ms']:.1f} ms, "
           f"p99 {stats['p99_ms']:.1f} ms, "
           f"mean batch {stats['mean_batch_size']}")
+    if replicator is not None:
+        repl = replicator.stats_snapshot()
+        print(f"replication: v{repl['replica_version']} of primary "
+              f"v{repl['primary_version']}, "
+              f"{repl['replication_full']} full / "
+              f"{repl['replication_delta']} delta / "
+              f"{repl['replication_failed']} failed polls, "
+              f"staleness {repl['staleness_seconds']:.1f}s")
     return 0
 
 
@@ -358,7 +392,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                           args.max_queue, args.batch_size, args.batch_wait_ms,
                           args.timeout, args.worker_mode, args.worker_procs,
                           args.keepalive_idle_timeout,
-                          args.keepalive_max_requests)
+                          args.keepalive_max_requests,
+                          args.replica_of, args.replication_interval)
     if args.command == "recover":
         return _cmd_recover(args.directory, args.checkpoint)
     raise AssertionError(f"unhandled command {args.command!r}")

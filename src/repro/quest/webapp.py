@@ -29,6 +29,7 @@ are served as JSON on ``/stats`` and ``/api/stats``.
 from __future__ import annotations
 
 import json
+import pickle
 import threading
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -41,7 +42,7 @@ from ..relstore.errors import IntegrityError
 # import cycle through quest/__init__.  The gateway class itself is
 # imported lazily in QuestApp.__init__.
 from ..serve.errors import (DeadlineExceededError, GatewayStoppedError,
-                            QueueFullError, ServeError)
+                            QueueFullError, ReplicaWriteError, ServeError)
 from .compare import ComparisonView
 from .errors import DegradedServiceError, UnknownBundleError
 from .service import SUGGESTION_COUNT, QuestService
@@ -75,6 +76,8 @@ def _failure_response(exc: Exception) -> tuple[int, str]:
         return 403, "Forbidden"
     if isinstance(exc, UnknownBundleError):
         return 404, "Not found"
+    if isinstance(exc, ReplicaWriteError):
+        return 405, "Method not allowed"
     if isinstance(exc, (QueueFullError, GatewayStoppedError)):
         return 503, "Server overloaded"
     if isinstance(exc, DeadlineExceededError):
@@ -107,7 +110,9 @@ class QuestApp:
                  current_user: User,
                  comparison: ComparisonView | None = None,
                  gateway: "ServeGateway | None" = None,
-                 gateway_config=None) -> None:
+                 gateway_config=None,
+                 replica_of: str | None = None,
+                 replicator=None) -> None:
         self.service = service
         self.users = users
         self.current_user = current_user
@@ -120,6 +125,12 @@ class QuestApp:
         #: *gateway_config* tunes it (e.g. ``worker_mode="process"``)
         #: without the caller having to construct the gateway itself.
         self.gateway = gateway
+        #: When set, this app is a **read replica** of the primary at
+        #: that URL: every POST is refused with 405 pointing there.
+        self.replica_of = replica_of
+        #: The replica's :class:`~repro.serve.SnapshotReplicator`, when
+        #: one is attached; its counters merge into ``/api/stats``.
+        self.replicator = replicator
 
     def close(self, grace: float | None = None) -> "DrainReport":
         """Drain and stop the gateway; returns its drain report."""
@@ -128,10 +139,11 @@ class QuestApp:
     # ------------------------------------------------------------------ #
     # request-level operations (transport-independent, unit-testable)
 
-    def get(self, path: str) -> tuple[int, str]:
+    def get(self, path: str) -> tuple[int, str | bytes]:
         """Handle a GET; returns (status, body).  *path* may carry a query
-        string (used by /search?q=...).  ``/stats`` and ``/api/...``
-        return JSON, every other route HTML."""
+        string (used by /search?q=... and /api/replicate?base=...).
+        ``/stats`` and ``/api/...`` return JSON (``/api/replicate`` a
+        pickled payload), every other route HTML."""
         parts = urllib.parse.urlsplit(path)
         path, query_string = parts.path, parts.query
         if path == "/" or path == "/bundles":
@@ -142,7 +154,7 @@ class QuestApp:
                 bundles = load_bundles(self.service.database)
             return 200, views.render_bundle_list(bundles)
         if path.startswith("/api/"):
-            return self._api_get(path)
+            return self._api_get(path, query_string)
         if path.startswith("/bundle/"):
             ref_no = urllib.parse.unquote(path[len("/bundle/"):])
             try:
@@ -152,8 +164,7 @@ class QuestApp:
                 return status, views.render_message(title, str(exc))
             return 200, views.render_suggestions(view)
         if path == "/stats":
-            return 200, json.dumps(self.gateway.stats_snapshot(),
-                                   sort_keys=True)
+            return 200, json.dumps(self._stats_payload(), sort_keys=True)
         if path == "/compare":
             if self.comparison is None:
                 return 200, views.render_message(
@@ -174,11 +185,32 @@ class QuestApp:
             return 200, views.render_history(ref_no, rows)
         return 404, views.render_message("Not found", f"no page {path!r}")
 
-    def _api_get(self, path: str) -> tuple[int, str]:
-        """The JSON API's GET routes (bodies are JSON on every path)."""
+    def _stats_payload(self) -> dict:
+        """Gateway counters, plus replication state when a replicator is
+        attached (``replica_version``/``primary_version``/staleness)."""
+        payload = self.gateway.stats_snapshot()
+        if self.replicator is not None:
+            payload.update(self.replicator.stats_snapshot())
+            payload["replica_of"] = self.replica_of
+        return payload
+
+    def _api_get(self, path: str,
+                 query_string: str = "") -> tuple[int, str | bytes]:
+        """The JSON API's GET routes (bodies are JSON on every path,
+        except ``/api/replicate`` which answers with a pickled snapshot
+        payload for replica polls)."""
         if path == "/api/stats":
-            return 200, json.dumps(self.gateway.stats_snapshot(),
-                                   sort_keys=True)
+            return 200, json.dumps(self._stats_payload(), sort_keys=True)
+        if path == "/api/replicate":
+            query = urllib.parse.parse_qs(query_string)
+            base: int | None = None
+            if "base" in query:
+                try:
+                    base = int(query["base"][0])
+                except ValueError as exc:
+                    return 400, _json_error("Bad request", exc)
+            return 200, pickle.dumps(
+                self.gateway.replication_payload(base))
         if path.startswith("/api/suggest/"):
             ref_no = urllib.parse.unquote(path[len("/api/suggest/"):])
             try:
@@ -206,6 +238,17 @@ class QuestApp:
         routes, HTML otherwise.  Every failure the gateway or service can
         raise maps through :func:`_failure_response`, the same table the
         GET routes use."""
+        if self.replica_of is not None:
+            # Read replicas own no authoritative state: every write is
+            # refused up front, before touching the gateway, and the
+            # caller is pointed at the primary.
+            exc = ReplicaWriteError(
+                f"read replica: writes must go to the primary at "
+                f"{self.replica_of}")
+            status, title = _failure_response(exc)
+            if _is_json_path(path):
+                return status, _json_error(title, exc)
+            return status, views.render_message(title, str(exc))
         if path == "/assign" or path == "/api/assign":
             as_json = path.startswith("/api/")
             ref_no = form.get("ref_no", "")
@@ -261,9 +304,10 @@ def _make_handler(app: QuestApp, draining: threading.Event,
         def _draining(self) -> bool:
             return draining.is_set() or app.gateway.stopping
 
-        def _send(self, status: int, body: str,
+        def _send(self, status: int, body: str | bytes,
                   content_type: str = "text/html; charset=utf-8") -> None:
-            payload = body.encode("utf-8")
+            payload = body if isinstance(body, bytes) else \
+                body.encode("utf-8")
             self._requests_served += 1
             if self._requests_served >= max_requests or self._draining():
                 self.close_connection = True
@@ -272,6 +316,8 @@ def _make_handler(app: QuestApp, draining: threading.Event,
             self.send_header("Content-Length", str(len(payload)))
             if status in (503, 504):
                 self.send_header("Retry-After", "1")
+            if status == 405:
+                self.send_header("Allow", "GET")
             # Advertise the connection's fate explicitly; keep-alive is
             # only promised when the request's protocol allows it
             # (close_connection is already True for plain HTTP/1.0).
@@ -282,7 +328,10 @@ def _make_handler(app: QuestApp, draining: threading.Event,
             self.end_headers()
             self.wfile.write(payload)
 
-        def _content_type(self) -> str:
+        def _content_type(self, body: str | bytes = "") -> str:
+            if isinstance(body, bytes):
+                # Only /api/replicate answers bytes: a pickled payload.
+                return "application/octet-stream"
             if _is_json_path(self.path):
                 return "application/json"
             return "text/html; charset=utf-8"
@@ -298,7 +347,7 @@ def _make_handler(app: QuestApp, draining: threading.Event,
                 self._send(500, views.render_message("Internal error",
                                                      str(exc)))
                 return
-            self._send(status, body, self._content_type())
+            self._send(status, body, self._content_type(body))
 
         def do_POST(self) -> None:  # noqa: N802 (http.server API)
             form, problem = self._read_form()

@@ -8,16 +8,19 @@ around relstore mutations, and serving statistics.  See docs/serving.md.
 """
 
 from .errors import (DeadlineExceededError, GatewayStoppedError,
-                     QueueFullError, ServeError, SnapshotPayloadError,
-                     StaleSnapshotError, WorkerCrashError)
+                     QueueFullError, ReplicaWriteError, ServeError,
+                     SnapshotPayloadError, StaleSnapshotError,
+                     WorkerCrashError)
 from .gateway import DrainReport, GatewayConfig, ServeGateway, WORKER_MODES
 from .httpclient import ClientResponse, HTTPClientError, PooledHTTPClient
 from .locks import RWLock
 from .procpool import (BrokenProcessPool, PoolStats, ProcessWorkerPool,
                        WorkItem)
 from .queue import RequestQueue, SuggestRequest
-from .registry import (ModelRegistry, ModelSnapshot, apply_payload_delta,
-                       diff_payloads)
+from .registry import (PAYLOAD_RETENTION, ModelRegistry, ModelSnapshot,
+                       apply_payload_delta, diff_payloads)
+from .replica import (REPLICATION_INTERVAL, REPLICATION_TIMEOUT,
+                      SnapshotReplicator)
 from .stats import ServeStats, percentile
 
 __all__ = [
@@ -31,15 +34,20 @@ __all__ = [
     "PooledHTTPClient",
     "ModelRegistry",
     "ModelSnapshot",
+    "PAYLOAD_RETENTION",
     "PoolStats",
     "ProcessWorkerPool",
     "QueueFullError",
+    "REPLICATION_INTERVAL",
+    "REPLICATION_TIMEOUT",
     "RWLock",
+    "ReplicaWriteError",
     "RequestQueue",
     "ServeError",
     "ServeGateway",
     "ServeStats",
     "SnapshotPayloadError",
+    "SnapshotReplicator",
     "StaleSnapshotError",
     "SuggestRequest",
     "WORKER_MODES",

@@ -38,10 +38,11 @@ from ..quest.errors import DegradedServiceError, UnknownBundleError
 from ..quest.service import QuestService, SuggestionView
 from ..quest.users import User
 from .errors import (DeadlineExceededError, GatewayStoppedError,
-                     WorkerCrashError)
+                     SnapshotPayloadError, WorkerCrashError)
 from .procpool import BrokenProcessPool, ProcessWorkerPool, WorkItem
 from .queue import RequestQueue, SuggestRequest
-from .registry import ModelRegistry, ModelSnapshot
+from .registry import (PAYLOAD_FORMAT, ModelRegistry, ModelSnapshot,
+                       diff_payloads)
 from .stats import ServeStats
 
 #: Recognised values of :attr:`GatewayConfig.worker_mode`.
@@ -125,14 +126,16 @@ class ServeGateway:
         self._stopped = False
         self._inflight = 0
         self._inflight_lock = threading.Lock()
-        # Per-snapshot-version memos (all guarded by _memo_lock): bundles,
+        # Per-snapshot memos (all guarded by _memo_lock): bundles,
         # extracted features, per-part code lists and healthy
-        # recommendations survive across batches until a write bumps the
-        # version.  persisted_refs keeps
-        # the batcher from re-writing an identical recommendation row set
-        # for every repeat request within one version.
+        # recommendations survive across batches until a write installs a
+        # new snapshot.  Keyed by snapshot *identity*, not version number:
+        # a replica's install() adopts the primary's version, which can
+        # repeat across different models (e.g. after a primary restart).
+        # persisted_refs keeps the batcher from re-writing an identical
+        # recommendation row set for every repeat request per snapshot.
         self._memo_lock = threading.Lock()
-        self._memo_version: int | None = None
+        self._memo_snapshot: ModelSnapshot | None = None
         self._bundle_memo: dict[str, DataBundle] = {}
         self._feature_memo: dict[str, frozenset[str]] = {}
         self._codes_memo: dict[str, list[str]] = {}
@@ -322,6 +325,7 @@ class ServeGateway:
         try:
             with self.registry.store_lock.read_locked():
                 payload = self.registry.current().to_payload()
+            self.registry.retain_payload(payload)
             pool = ProcessWorkerPool(payload, procs=procs)
             pool.start()
             return pool
@@ -342,10 +346,45 @@ class ServeGateway:
         try:
             with self.registry.store_lock.read_locked():
                 payload = self.registry.current().to_payload()
+            self.registry.retain_payload(payload)
             pool.publish(payload)
         except Exception:
             return
         self.stats.count("publishes")
+
+    # ------------------------------------------------------------------ #
+    # replication (primary side)
+
+    def replication_payload(self, base_version: int | None) -> dict:
+        """Answer one replica poll: a delta against *base_version* when
+        possible, a full payload otherwise, or a ``"current"`` marker
+        when the replica is already caught up.
+
+        Exports are made on demand (and retained in the registry) at poll
+        time, so thread-mode primaries — which never export on the write
+        path — pay the export cost at most once per version per poll
+        cycle; the previous poll's retained export is the next delta
+        base.
+        """
+        registry = self.registry
+        full = registry.retained_payload(registry.version)
+        if full is None:
+            with registry.store_lock.read_locked():
+                full = registry.current().to_payload()
+            registry.retain_payload(full)
+        if base_version == full["version"]:
+            return {"format": PAYLOAD_FORMAT, "kind": "current",
+                    "version": full["version"]}
+        if base_version is not None and base_version < full["version"]:
+            base = registry.retained_payload(base_version)
+            if base is not None:
+                try:
+                    delta = diff_payloads(base, full)
+                except SnapshotPayloadError:
+                    delta = None
+                if delta is not None:
+                    return delta
+        return full
 
     def _disable_pool(self, pool: ProcessWorkerPool) -> None:
         """Fall back to thread mode permanently — but only when the pool
@@ -564,11 +603,11 @@ class ServeGateway:
                             snapshot, bundle, first)
                         self.stats.count("degraded")
             if degraded is None:
-                # Healthy answers are deterministic per snapshot version
-                # (writes bump the version, resetting this memo), so
-                # repeat traffic skips classification entirely.
+                # Healthy answers are deterministic per snapshot (writes
+                # install a new one, resetting this memo), so repeat
+                # traffic skips classification entirely.
                 with self._memo_lock:
-                    if self._memo_version == snapshot.version:
+                    if self._memo_snapshot is snapshot:
                         self._rec_memo[bundle.ref_no] = recommendation
         else:
             self.stats.count("memo_hits")
@@ -624,11 +663,11 @@ class ServeGateway:
     # version-keyed memos
 
     def _memo_tables(self, snapshot: ModelSnapshot):
-        """The memo dicts for *snapshot*, resetting them on version change
+        """The memo dicts for *snapshot*, resetting them on snapshot change
         or overflow.  Caller must hold no memo references across writes."""
         with self._memo_lock:
-            if self._memo_version != snapshot.version:
-                self._memo_version = snapshot.version
+            if self._memo_snapshot is not snapshot:
+                self._memo_snapshot = snapshot
                 self._bundle_memo = {}
                 self._feature_memo = {}
                 self._codes_memo = {}
@@ -649,7 +688,7 @@ class ServeGateway:
         transient and recomputed on every request."""
         self._memo_tables(snapshot)
         with self._memo_lock:
-            if self._memo_version != snapshot.version:
+            if self._memo_snapshot is not snapshot:
                 return None
             return self._rec_memo.get(ref_no)
 
@@ -694,9 +733,9 @@ class ServeGateway:
         return all_codes
 
     def _should_persist(self, snapshot: ModelSnapshot, ref_no: str) -> bool:
-        """Persist each ref's healthy recommendation once per version."""
+        """Persist each ref's healthy recommendation once per snapshot."""
         with self._memo_lock:
-            if self._memo_version != snapshot.version:
+            if self._memo_snapshot is not snapshot:
                 return True  # a write raced this batch; persist to be safe
             if ref_no in self._persisted_refs:
                 return False

@@ -228,8 +228,12 @@ class PooledHTTPClient:
     # pool management
 
     def _split(self, url: str) -> tuple[str, int, str]:
-        if self._closed:
-            raise HTTPClientError("client is closed")
+        # _closed is only ever written under _lock (close()); reading it
+        # unlocked here could miss a concurrent close and hand a request
+        # a connection that close() will never see to shut down.
+        with self._lock:
+            if self._closed:
+                raise HTTPClientError("client is closed")
         parts = urllib.parse.urlsplit(url)
         if parts.scheme != "http":
             raise HTTPClientError(
@@ -244,16 +248,26 @@ class PooledHTTPClient:
         if not self.keep_alive:
             return None
         now = time.monotonic()
+        key = (host, port)
         with self._lock:
-            pool = self._pools.get((host, port))
+            pool = self._pools.get(key)
+            if pool is None:
+                return None
+            entry = None
             while pool:
-                entry = pool.pop()  # LIFO: the warmest socket first
-                if now - entry.idle_since > self.idle_timeout:
-                    entry.conn.close()
+                candidate = pool.pop()  # LIFO: the warmest socket first
+                if now - candidate.idle_since > self.idle_timeout:
+                    candidate.conn.close()
                     self._stats["reaped"] += 1
                     continue
-                return entry
-        return None
+                entry = candidate
+                break
+            if not pool:
+                # Drop the emptied deque: a client polling many hosts
+                # (the replication pattern) would otherwise grow _pools
+                # by one dead entry per host it ever contacted.
+                del self._pools[key]
+            return entry
 
     def _release(self, host: str, port: int,
                  conn: http.client.HTTPConnection) -> None:
@@ -274,7 +288,8 @@ class PooledHTTPClient:
         now = time.monotonic()
         reaped = 0
         with self._lock:
-            for pool in self._pools.values():
+            for key in list(self._pools):
+                pool = self._pools[key]
                 keep: deque[_PooledConnection] = deque()
                 while pool:
                     entry = pool.popleft()
@@ -284,6 +299,8 @@ class PooledHTTPClient:
                     else:
                         keep.append(entry)
                 pool.extend(keep)
+                if not pool:
+                    del self._pools[key]  # see _acquire: no empty deques
             self._stats["reaped"] += reaped
         return reaped
 

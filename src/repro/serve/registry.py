@@ -21,6 +21,7 @@ custom codes) meet here:
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 
 from ..classify.baselines import CodeFrequencyBaseline
@@ -32,6 +33,16 @@ from .locks import RWLock
 
 #: Version tag of the snapshot payload wire format.
 PAYLOAD_FORMAT = 1
+
+#: How many exported full payloads a registry retains (newest-first).
+#: Replicas polling with one of these versions as their base are served
+#: a row-level delta instead of a full payload (see repro.serve.replica).
+PAYLOAD_RETENTION = 8
+
+#: Sentinel distinguishing "argument omitted" from an explicit ``None``
+#: in :meth:`ModelRegistry.swap` — ``fallback_classifier=None`` must
+#: *clear* the fallback, not carry the old one over.
+_UNSET = object()
 
 
 def _classifier_to_payload(classifier: RankedKnnClassifier) -> dict:
@@ -105,6 +116,13 @@ def diff_payloads(old: dict, new: dict) -> dict | None:
         raise SnapshotPayloadError("can only diff format-1 full payloads")
     if old.get("kind") != "full" or new.get("kind") != "full":
         raise SnapshotPayloadError("can only diff full payloads")
+    if new["version"] <= old["version"]:
+        # A self- or backward-targeted delta can only come from a caller
+        # bug (e.g. diffing a payload against itself); applying one would
+        # silently re-stamp stale rows with a bogus version.
+        raise SnapshotPayloadError(
+            f"delta versions must be strictly increasing, got "
+            f"{old['version']} -> {new['version']}")
     if not _classifier_config_equal(old["classifier"], new["classifier"]):
         return None
     if (new["fallback"] is None) != (old["fallback"] is None):
@@ -239,22 +257,33 @@ class ModelSnapshot:
 class ModelRegistry:
     """Atomic snapshot holder + the relstore reader-writer lock."""
 
-    def __init__(self, snapshot: ModelSnapshot) -> None:
+    def __init__(self, snapshot: ModelSnapshot, *,
+                 retain_payloads: int = PAYLOAD_RETENTION) -> None:
         self._snapshot = snapshot
         self._swap_lock = threading.Lock()
         #: Reader-writer lock around the relstore-backed state; see module
         #: docstring.  Shared by every transport that mutates the store.
         self.store_lock = RWLock()
+        # Recently exported full payloads by version (bounded LRU).  The
+        # replication endpoint diffs the current export against whichever
+        # of these a replica reports as its base, so deltas are always
+        # computed against bytes a replica can actually hold.
+        self._payload_lock = threading.Lock()
+        self._retain = max(1, retain_payloads)
+        self._payloads: OrderedDict[int, dict] = OrderedDict()
 
     @classmethod
-    def from_service(cls, service) -> "ModelRegistry":
+    def from_service(cls, service, *,
+                     retain_payloads: int = PAYLOAD_RETENTION,
+                     ) -> "ModelRegistry":
         """Build a registry over a :class:`~repro.quest.service.QuestService`'s
         models (version 1)."""
         return cls(ModelSnapshot(
             version=1,
             classifier=service.classifier,
             frequency_baseline=service.frequency_baseline,
-            fallback_classifier=service.fallback_classifier))
+            fallback_classifier=service.fallback_classifier),
+            retain_payloads=retain_payloads)
 
     def current(self) -> ModelSnapshot:
         """The snapshot serving new requests (a plain atomic read)."""
@@ -267,13 +296,15 @@ class ModelRegistry:
 
     def swap(self, classifier: RankedKnnClassifier | None = None,
              frequency_baseline: CodeFrequencyBaseline | None = None,
-             fallback_classifier: RankedKnnClassifier | None = None,
-             ) -> ModelSnapshot:
+             fallback_classifier=_UNSET) -> ModelSnapshot:
         """Atomically publish a new snapshot; omitted models carry over.
 
         The caller is responsible for handing over *warm* models (built
         and exercised off the serving path) — the swap itself is just a
         reference assignment, so readers never wait on model construction.
+        ``fallback_classifier=None`` explicitly *clears* the fallback
+        (an ``is not None`` carry-over test used to make that impossible);
+        leaving the argument out keeps the current one.
         Returns the published snapshot.
         """
         with self._swap_lock:
@@ -284,10 +315,53 @@ class ModelRegistry:
                 frequency_baseline=(frequency_baseline
                                     or current.frequency_baseline),
                 fallback_classifier=(fallback_classifier
-                                     if fallback_classifier is not None
+                                     if fallback_classifier is not _UNSET
                                      else current.fallback_classifier))
             self._snapshot = updated
             return updated
+
+    def install(self, snapshot: ModelSnapshot) -> ModelSnapshot:
+        """Atomically adopt *snapshot* exactly as given.
+
+        Unlike :meth:`swap`, the version comes from the snapshot itself —
+        this is the replication path: a replica must serve under the
+        *primary's* version number, or staleness accounting and
+        version-keyed caches would compare apples to oranges.
+        """
+        with self._swap_lock:
+            self._snapshot = snapshot
+            return snapshot
+
+    # -------------------------------------------------------------- #
+    # retained payload exports (the replication endpoint's diff bases)
+
+    def retain_payload(self, payload: dict) -> None:
+        """Remember one exported full payload for later delta service.
+
+        Bounded LRU per version: replicas that poll with a retained
+        version as their base get a row-level delta; everyone else gets
+        the full payload.
+        """
+        if payload.get("kind") != "full":
+            raise SnapshotPayloadError("can only retain full payloads")
+        with self._payload_lock:
+            self._payloads[payload["version"]] = payload
+            self._payloads.move_to_end(payload["version"])
+            while len(self._payloads) > self._retain:
+                self._payloads.popitem(last=False)
+
+    def retained_payload(self, version: int) -> dict | None:
+        """The retained full payload for *version*, or ``None``."""
+        with self._payload_lock:
+            payload = self._payloads.get(version)
+            if payload is not None:
+                self._payloads.move_to_end(version)
+            return payload
+
+    def retained_versions(self) -> tuple[int, ...]:
+        """Versions with a retained payload, oldest first."""
+        with self._payload_lock:
+            return tuple(self._payloads)
 
     def bump(self) -> ModelSnapshot:
         """Re-version the current snapshot after an in-place model update

@@ -175,6 +175,70 @@ class TestKeepAliveDisabled:
         client.close()
 
 
+class TestPoolDictCleanup:
+    """Regression: emptied per-host deques must leave ``_pools`` — a
+    client polling many hosts (the replication pattern) would otherwise
+    grow the dict by one dead entry per host it ever contacted."""
+
+    def test_acquire_drops_emptied_host_entry(self, echo_server):
+        client = PooledHTTPClient()
+        client.get(f"{echo_server}/")
+        assert len(client._pools) == 1
+        client.get(f"{echo_server}/")  # reuses (and re-pools) the socket
+        assert len(client._pools) == 1
+        # exhaust the pool without releasing back: acquire directly
+        host, port, _ = client._split(f"{echo_server}/")
+        entry = client._acquire(host, port)
+        assert entry is not None
+        assert client._pools == {}  # emptied deque was dropped
+        entry.conn.close()
+        client.close()
+
+    def test_acquire_drops_entry_emptied_by_reaping(self, echo_server):
+        client = PooledHTTPClient(idle_timeout=0.05)
+        client.get(f"{echo_server}/")
+        time.sleep(0.15)
+        host, port, _ = client._split(f"{echo_server}/")
+        # the only pooled socket is stale: acquire reaps it, finds the
+        # deque empty, and must drop the host entry too
+        assert client._acquire(host, port) is None
+        assert client._pools == {}
+        client.close()
+
+    def test_reap_idle_drops_emptied_host_entries(self, echo_server):
+        client = PooledHTTPClient(idle_timeout=0.05)
+        client.get(f"{echo_server}/")
+        assert len(client._pools) == 1
+        time.sleep(0.15)
+        assert client.reap_idle() == 1
+        assert client._pools == {}
+        client.close()
+
+    def test_closed_check_holds_the_lock(self):
+        # _split must observe a concurrent close() atomically; this
+        # pins the code path (reading _closed under _lock) by racing
+        # close() against requests and requiring a clean typed error.
+        client = PooledHTTPClient()
+        errors = []
+
+        def caller():
+            for _ in range(50):
+                try:
+                    client._split("http://127.0.0.1:1/")
+                except HTTPClientError:
+                    return  # closed — the only acceptable failure
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+        thread = threading.Thread(target=caller)
+        thread.start()
+        client.close()
+        thread.join()
+        assert not errors
+        with pytest.raises(HTTPClientError):
+            client._split("http://127.0.0.1:1/")
+
+
 class TestIdleReaping:
     def test_stale_idle_socket_not_reused(self, echo_server):
         client = PooledHTTPClient(idle_timeout=0.05)

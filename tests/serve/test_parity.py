@@ -26,9 +26,10 @@ import pytest
 from repro.core import QATK, QatkConfig
 from repro.data import GeneratorConfig, generate_corpus, plan_corpus
 from repro.evaluate import experiment_subset
-from repro.quest import Role, User
+from repro.quest import (QuestApp, QuestServer, Role, User, UserStore)
 from repro.relstore import Database
-from repro.serve import GatewayConfig, ModelRegistry, ServeGateway
+from repro.serve import (GatewayConfig, ModelRegistry, ServeGateway,
+                         SnapshotReplicator)
 
 #: The five corpus seeds the parity contract is pinned on.
 PARITY_SEEDS = (11, 23, 37, 41, 53)
@@ -137,6 +138,61 @@ def test_three_executors_agree_across_a_write(parity_setup):
         process_report = process_gw.stop(grace=2.0)
     assert thread_report.cancelled == 0
     assert process_report.cancelled == 0
+
+
+def test_replica_converges_byte_identical(parity_setup):
+    """A fourth executor joins the parity contract: a *replicated*
+    gateway — its snapshot shipped over HTTP as a full payload, then
+    advanced by a delta — must produce the same ranked bytes as the bare
+    service, before and after a primary write."""
+    seed, service, held = parity_setup
+    refs = [bundle.ref_no for bundle in held]
+    registry = ModelRegistry.from_service(service)
+    primary_gw = ServeGateway(
+        service, GatewayConfig(workers=2, max_queue=64, max_batch_size=8,
+                               drain_grace=2.0, persist=False),
+        registry=registry)
+    users = UserStore()
+    users.add(User("expert", Role.POWER_EXPERT, "Parity Expert"))
+    app = QuestApp(service, users, users.get("expert"), gateway=primary_gw)
+    replica_gw, replicator = None, None
+    try:
+        with QuestServer(app) as server:
+            host, port = server.address
+            replica_registry = ModelRegistry.from_service(service)
+            replica_gw = ServeGateway(
+                service, GatewayConfig(workers=2, max_queue=64,
+                                       max_batch_size=8, drain_grace=2.0,
+                                       persist=False),
+                registry=replica_registry)
+            replicator = SnapshotReplicator(replica_registry,
+                                            f"http://{host}:{port}",
+                                            interval=30.0)
+            assert replicator.poll_once() == "full"
+            baseline = {ref: ranked_bytes(service.suggest(ref,
+                                                          persist=False))
+                        for ref in refs}
+            for ref in refs:
+                assert ranked_bytes(replica_gw.suggest(ref)) == \
+                    baseline[ref], f"seed {seed}: replica diverged on {ref}"
+
+            # a primary write later, the replica catches up via a delta
+            code = service.suggest(refs[0], persist=False).all_codes[0]
+            primary_gw.assign(users.get("expert"), refs[0], code)
+            assert replicator.poll_once() == "delta"
+            assert replica_registry.version == registry.version == 2
+            baseline2 = {ref: ranked_bytes(service.suggest(ref,
+                                                           persist=False))
+                         for ref in refs}
+            for ref in refs:
+                assert ranked_bytes(replica_gw.suggest(ref)) == \
+                    baseline2[ref], \
+                    f"seed {seed}: replica diverged post-write on {ref}"
+    finally:
+        if replicator is not None:
+            replicator.stop()
+        if replica_gw is not None:
+            replica_gw.stop(grace=2.0)
 
 
 def test_duplicate_refs_agree_within_one_batch(parity_setup):

@@ -5,7 +5,8 @@ import time
 
 import pytest
 
-from repro.serve import ModelRegistry, ModelSnapshot, RWLock
+from repro.serve import (ModelRegistry, ModelSnapshot, RWLock,
+                         SnapshotPayloadError)
 
 
 def snapshot(version=1, classifier="clf", baseline="freq", fallback=None):
@@ -34,6 +35,46 @@ class TestModelRegistry:
         snap = snapshot()
         with pytest.raises(Exception):
             snap.version = 99
+
+    def test_swap_can_clear_fallback_to_none(self):
+        """Regression: swap(fallback_classifier=None) must *remove* the
+        fallback, not silently carry the old one over (the old code used
+        ``is not None`` as the carry-over test, making None unsettable)."""
+        registry = ModelRegistry(snapshot(fallback="bow"))
+        published = registry.swap(fallback_classifier=None)
+        assert published.fallback_classifier is None
+        # and omitting the argument still carries the current one over
+        registry = ModelRegistry(snapshot(fallback="bow"))
+        published = registry.swap(classifier="clf2")
+        assert published.fallback_classifier == "bow"
+
+    def test_install_adopts_foreign_snapshot_verbatim(self):
+        """install() publishes a replicated snapshot under *its own*
+        version (the primary's), unlike swap() which re-versions."""
+        registry = ModelRegistry(snapshot(version=1))
+        replicated = snapshot(version=7, classifier="primary-clf")
+        installed = registry.install(replicated)
+        assert installed is replicated
+        assert registry.current() is replicated
+        assert registry.version == 7
+
+    def test_payload_retention_is_a_bounded_lru(self):
+        registry = ModelRegistry(snapshot(), retain_payloads=2)
+        for version in (1, 2, 3):
+            registry.retain_payload({"format": 1, "kind": "full",
+                                     "version": version})
+        assert registry.retained_versions() == (2, 3)
+        assert registry.retained_payload(1) is None
+        # touching 2 makes it most-recent, so retaining 4 evicts 3
+        assert registry.retained_payload(2)["version"] == 2
+        registry.retain_payload({"format": 1, "kind": "full", "version": 4})
+        assert registry.retained_versions() == (2, 4)
+
+    def test_retain_refuses_non_full_payloads(self):
+        registry = ModelRegistry(snapshot())
+        with pytest.raises(SnapshotPayloadError):
+            registry.retain_payload({"format": 1, "kind": "delta",
+                                     "version": 2})
 
     def test_readers_never_see_a_torn_snapshot(self):
         """Concurrent swaps: every observed snapshot is internally

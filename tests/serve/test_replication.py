@@ -1,0 +1,384 @@
+"""Snapshot replication: primary endpoint, replica catch-up, degradation.
+
+Covers the primary's ``/api/replicate`` endpoint (full / delta /
+"current" responses keyed on the caller's base version), the
+``SnapshotReplicator`` state machine (first sync, incremental catch-up,
+convergence after a restart, partition tolerance), the replica web app's
+write refusal (405 pointing at the primary), and the merged replication
+stats on ``/api/stats``.
+"""
+
+import pickle
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.quest import QuestApp, QuestServer, Role, User, UserStore
+from repro.serve import (GatewayConfig, ModelRegistry, PooledHTTPClient,
+                         ServeGateway, SnapshotPayloadError,
+                         SnapshotReplicator)
+
+
+@pytest.fixture
+def primary(service):
+    """A primary QuestServer over the shared test service."""
+    quest, held_out = service
+    gateway = ServeGateway(quest, GatewayConfig(
+        workers=2, max_queue=32, max_batch_size=8, drain_grace=2.0))
+    users = UserStore()
+    users.add(User("expert", Role.POWER_EXPERT, "Test Expert"))
+    app = QuestApp(quest, users, users.get("expert"), gateway=gateway)
+    server = QuestServer(app)
+    server.start()
+    host, port = server.address
+    node = SimpleNamespace(gateway=gateway, app=app, server=server,
+                           service=quest, user=users.get("expert"),
+                           url=f"http://{host}:{port}",
+                           refs=[bundle.ref_no for bundle in held_out])
+    yield node
+    server.stop(grace=2.0)
+
+
+def make_replica(primary_node, interval=30.0):
+    """A replica gateway + replicator over the same (deterministic)
+    service build.  The long default interval keeps the background loop
+    out of the way — tests drive poll_once() explicitly unless they
+    start() it on purpose."""
+    registry = ModelRegistry.from_service(primary_node.service)
+    gateway = ServeGateway(
+        primary_node.service,
+        GatewayConfig(workers=2, max_queue=32, max_batch_size=8,
+                      drain_grace=2.0, persist=False),
+        registry=registry)
+    replicator = SnapshotReplicator(registry, primary_node.url,
+                                    interval=interval)
+    return gateway, replicator
+
+
+def primary_write(node):
+    """One assignment on the primary; returns the new model version."""
+    ref = node.refs[0]
+    view = node.gateway.suggest(ref)
+    node.gateway.assign(node.user, ref, view.top10[0])
+    return node.gateway.registry.version
+
+
+class TestPollSequence:
+    def test_full_then_current_then_delta(self, primary):
+        gateway, replicator = make_replica(primary)
+        try:
+            # first contact: no base to offer, so a full payload lands
+            assert replicator.poll_once() == "full"
+            assert (replicator.synced_version()
+                    == primary.gateway.registry.version)
+            assert gateway.registry.version == replicator.synced_version()
+            # caught up: the next poll is a cheap "current" marker
+            assert replicator.poll_once() == "current"
+            # a primary write later, the retained base yields a delta
+            new_version = primary_write(primary)
+            assert replicator.poll_once() == "delta"
+            assert replicator.synced_version() == new_version
+            assert gateway.registry.version == new_version
+            stats = replicator.stats_snapshot()
+            assert stats["replication_full"] == 1
+            assert stats["replication_current"] == 1
+            assert stats["replication_delta"] == 1
+            assert stats["replication_failed"] == 0
+            assert stats["primary_version"] == new_version
+        finally:
+            replicator.stop()
+
+    def test_base_version_mismatch_forces_full(self, primary):
+        # a base the primary never retained cannot produce a delta
+        payload = primary.gateway.replication_payload(999)
+        assert payload["kind"] == "full"
+        payload = primary.gateway.replication_payload(None)
+        assert payload["kind"] == "full"
+        current = primary.gateway.registry.version
+        assert primary.gateway.replication_payload(current)["kind"] == \
+            "current"
+
+    def test_restarted_replica_converges(self, primary):
+        # writes happen while no replica is listening...
+        first_gateway, first_replicator = make_replica(primary)
+        first_replicator.poll_once()
+        first_replicator.stop()
+        first_gateway.stop(grace=1.0)
+        primary_write(primary)
+        # ...then a brand-new replica (simulating a restart: all state
+        # gone) comes up and converges with one full payload
+        gateway, replicator = make_replica(primary)
+        try:
+            assert replicator.poll_once() == "full"
+            assert (replicator.synced_version()
+                    == primary.gateway.registry.version)
+        finally:
+            replicator.stop()
+            gateway.stop(grace=1.0)
+
+    def test_converged_replica_suggests_byte_identically(self, primary):
+        gateway, replicator = make_replica(primary)
+        client = PooledHTTPClient()
+        try:
+            assert replicator.poll_once() == "full"
+            users = UserStore()
+            users.add(User("reader", Role.VIEWER, "Replica Reader"))
+            app = QuestApp(primary.service, users, users.get("reader"),
+                           gateway=gateway, replica_of=primary.url,
+                           replicator=replicator)
+            with QuestServer(app) as replica_server:
+                host, port = replica_server.address
+                for ref in primary.refs[:5]:
+                    from_primary = client.get(
+                        f"{primary.url}/api/suggest/{ref}")
+                    from_replica = client.get(
+                        f"http://{host}:{port}/api/suggest/{ref}")
+                    assert from_primary.status == 200
+                    assert from_replica.status == 200
+                    assert from_primary.body == from_replica.body
+        finally:
+            client.close()
+            replicator.stop()
+
+
+class TestPartitionTolerance:
+    def test_unreachable_primary_keeps_serving_stale(self, primary):
+        gateway, replicator = make_replica(primary)
+        try:
+            assert replicator.poll_once() == "full"
+            synced = replicator.synced_version()
+            ref = primary.refs[0]
+            before = pickle.dumps([
+                (code.error_code, code.score)
+                for code in gateway.suggest(ref).suggestions.codes])
+            # partition: the primary vanishes (nothing listens on port 1)
+            replicator.primary_url = "http://127.0.0.1:1"
+            assert replicator.poll_once() == "failed"
+            stats = replicator.stats_snapshot()
+            assert stats["replication_failed"] >= 1
+            assert stats["staleness_seconds"] > 0.0
+            # the replica still answers, from the snapshot it last held
+            assert replicator.synced_version() == synced
+            after = pickle.dumps([
+                (code.error_code, code.score)
+                for code in gateway.suggest(ref).suggestions.codes])
+            assert after == before
+        finally:
+            replicator.stop()
+            gateway.stop(grace=1.0)
+
+    def test_never_synced_replica_counts_failures(self):
+        registry_stub = SimpleNamespace(install=lambda snapshot: snapshot)
+        replicator = SnapshotReplicator(registry_stub, "http://127.0.0.1:1",
+                                        interval=0.05, timeout=0.2)
+        try:
+            assert replicator.poll_once() == "failed"
+            stats = replicator.stats_snapshot()
+            assert stats["replication_failed"] == 1
+            assert stats["replica_version"] == 0
+            assert stats["primary_version"] == 0
+        finally:
+            replicator.stop()
+
+
+class TestReplicaWriteRefusal:
+    @pytest.fixture
+    def replica_server(self, primary):
+        gateway, replicator = make_replica(primary)
+        replicator.poll_once()
+        users = UserStore()
+        users.add(User("reader", Role.VIEWER, "Replica Reader"))
+        app = QuestApp(primary.service, users, users.get("reader"),
+                       gateway=gateway, replica_of=primary.url,
+                       replicator=replicator)
+        server = QuestServer(app)
+        server.start()
+        host, port = server.address
+        yield SimpleNamespace(app=app, url=f"http://{host}:{port}",
+                              replicator=replicator)
+        replicator.stop()
+        server.stop(grace=2.0)
+
+    def test_api_write_returns_405_pointing_at_primary(self, primary,
+                                                       replica_server):
+        with PooledHTTPClient() as client:
+            response = client.post_form(
+                f"{replica_server.url}/api/assign",
+                {"ref_no": primary.refs[0], "error_code": "E1"})
+        assert response.status == 405
+        assert response.header("Allow") == "GET"
+        payload = response.json()
+        assert payload["error"] == "Method not allowed"
+        assert primary.url in payload["message"]
+
+    def test_html_write_returns_405_html(self, primary, replica_server):
+        with PooledHTTPClient() as client:
+            response = client.post_form(
+                f"{replica_server.url}/assign",
+                {"ref_no": primary.refs[0], "error_code": "E1"})
+        assert response.status == 405
+        assert response.header("Content-Type").startswith("text/html")
+        assert primary.url in response.text
+
+    def test_reads_still_served(self, primary, replica_server):
+        with PooledHTTPClient() as client:
+            response = client.get(
+                f"{replica_server.url}/api/suggest/{primary.refs[0]}")
+            assert response.status == 200
+            stats = client.get(f"{replica_server.url}/api/stats").json()
+        assert stats["replica_of"] == primary.url
+        assert stats["replica_version"] == primary.gateway.registry.version
+        assert "staleness_seconds" in stats
+        assert "replication_full" in stats
+
+
+class TestReplicationWire:
+    def test_replicate_endpoint_serves_pickled_payloads(self, primary):
+        with PooledHTTPClient() as client:
+            response = client.get(f"{primary.url}/api/replicate")
+            assert response.status == 200
+            assert response.header("Content-Type") == \
+                "application/octet-stream"
+            payload = pickle.loads(response.body)
+            assert payload["kind"] == "full"
+            version = payload["version"]
+            current = client.get(
+                f"{primary.url}/api/replicate?base={version}")
+            assert pickle.loads(current.body)["kind"] == "current"
+
+    def test_malformed_base_is_a_json_400(self, primary):
+        with PooledHTTPClient() as client:
+            response = client.get(f"{primary.url}/api/replicate?base=oops")
+        assert response.status == 400
+        assert response.header("Content-Type") == "application/json"
+        assert response.json()["error"] == "Bad request"
+
+
+class TestEndToEndLoop:
+    def test_write_visible_within_one_interval(self, primary):
+        interval = 0.1
+        gateway, replicator = make_replica(primary, interval=interval)
+        users = UserStore()
+        users.add(User("reader", Role.VIEWER, "Replica Reader"))
+        app = QuestApp(primary.service, users, users.get("reader"),
+                       gateway=gateway, replica_of=primary.url,
+                       replicator=replicator)
+        client = PooledHTTPClient()
+        try:
+            with QuestServer(app) as replica_server:
+                host, port = replica_server.address
+                replica_url = f"http://{host}:{port}"
+                replicator.start()
+                assert replicator.running
+                new_version = primary_write(primary)
+                deadline = time.monotonic() + max(1.0, 10 * interval)
+                while time.monotonic() < deadline:
+                    stats = client.get(f"{replica_url}/api/stats").json()
+                    if stats["replica_version"] == new_version:
+                        break
+                    time.sleep(interval / 4)
+                else:
+                    pytest.fail(f"replica never reached v{new_version}: "
+                                f"{stats}")
+                assert stats["primary_version"] == new_version
+                assert stats["replication_running"] is True
+        finally:
+            client.close()
+            replicator.stop()
+        assert not replicator.running
+
+
+class _StubClient:
+    """A PooledHTTPClient stand-in answering canned pickles."""
+
+    def __init__(self, responses):
+        self._responses = list(responses)
+        self.closed = False
+
+    def get(self, url, timeout=None):
+        status, message = self._responses.pop(0)
+        return SimpleNamespace(status=status, body=pickle.dumps(message))
+
+    def close(self):
+        self.closed = True
+
+
+class TestReplicatorStateMachine:
+    def make(self, responses, **kwargs):
+        registry = SimpleNamespace(install=lambda snapshot: snapshot)
+        return SnapshotReplicator(registry, "http://primary:1/",
+                                  client=_StubClient(responses), **kwargs)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            self.make([], interval=0.0)
+
+    def test_unexpected_kind_counts_as_failure(self):
+        replicator = self.make([(200, {"kind": "mystery", "version": 2})])
+        assert replicator.poll_once() == "failed"
+        assert replicator.stats_snapshot()["replication_failed"] == 1
+
+    def test_non_dict_response_counts_as_failure(self):
+        replicator = self.make([(200, ["not", "a", "payload"])])
+        assert replicator.poll_once() == "failed"
+
+    def test_http_error_counts_as_failure(self):
+        replicator = self.make([(503, {"kind": "full"})])
+        assert replicator.poll_once() == "failed"
+
+    def test_delta_without_base_drops_to_full_request(self):
+        with pytest.raises(SnapshotPayloadError):
+            self.make([])._apply_message(
+                {"kind": "delta", "version": 2, "base_version": 1})
+
+    def test_bad_delta_clears_base_so_next_poll_goes_full(self):
+        # a delta arriving when no base is held is a protocol violation:
+        # the poll fails, and the held payload stays cleared so the next
+        # poll advertises no base (forcing a full payload)
+        replicator = self.make([(200, {"kind": "delta", "version": 2,
+                                       "base_version": 1})])
+        assert replicator.poll_once() == "failed"
+        assert replicator.synced_version() == 0
+
+    def test_current_marker_updates_primary_version(self):
+        replicator = self.make([(200, {"kind": "current", "version": 9})])
+        assert replicator.poll_once() == "current"
+        stats = replicator.stats_snapshot()
+        assert stats["primary_version"] == 9
+        assert stats["replica_version"] == 0  # nothing ever applied
+
+    def test_trailing_slash_is_stripped_and_repr_reads(self):
+        replicator = self.make([])
+        assert replicator.primary_url == "http://primary:1"
+        assert "http://primary:1" in repr(replicator)
+
+    def test_stop_closes_an_owned_client_only(self):
+        stub = _StubClient([])
+        registry = SimpleNamespace(install=lambda snapshot: snapshot)
+        shared = SnapshotReplicator(registry, "http://primary:1",
+                                    client=stub)
+        shared.stop()
+        assert stub.closed is False  # caller-provided client is theirs
+
+    def test_context_manager_runs_the_loop(self):
+        # enough canned "current" responses for a few firings
+        responses = [(200, {"kind": "current", "version": 1})] * 50
+        replicator = self.make(responses, interval=0.01)
+        with replicator:
+            assert replicator.running
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline:
+                if replicator.stats_snapshot()["replication_current"] >= 2:
+                    break
+                time.sleep(0.01)
+        assert not replicator.running
+        assert replicator.stats_snapshot()["replication_current"] >= 2
+
+    def test_staleness_grows_until_a_sync_lands(self):
+        replicator = self.make([(200, {"kind": "current", "version": 1})])
+        time.sleep(0.02)
+        before = replicator.staleness_seconds()
+        assert before > 0.0
+        replicator.poll_once()
+        assert replicator.staleness_seconds() < before

@@ -105,6 +105,33 @@ def test_delta_equals_full_payload(old_rows, new_rows, documents):
             == classify_all(ModelSnapshot.from_payload(new), documents))
 
 
+def test_diff_requires_strictly_increasing_versions():
+    """Equal (or regressing) versions must be rejected: a self-targeted
+    delta would make a replica believe it advanced when it did not."""
+    rows = [(1, "P1", "E01", ("leak",), 2)]
+    for old_version, new_version in ((3, 3), (3, 2)):
+        old = payload_from_rows(rows, version=old_version)
+        new = payload_from_rows(rows, version=new_version)
+        with pytest.raises(SnapshotPayloadError):
+            diff_payloads(old, new)
+
+
+@settings(max_examples=30, deadline=None)
+@given(old_rows=rows_strategy, new_rows=rows_strategy)
+def test_delta_round_trip_is_byte_identical(old_rows, new_rows):
+    """What replication rests on: a delta-reconstructed payload is
+    *byte-identical* (pickled) to the full payload it stands in for, so
+    a replica that catches up via deltas serves exactly what a
+    full-payload replica would."""
+    old = payload_from_rows(old_rows, version=1)
+    new = payload_from_rows(new_rows, version=2)
+    delta = diff_payloads(old, new)
+    if delta is None:  # not smaller than the full row list — allowed
+        return
+    reconstructed = apply_payload_delta(old, delta)
+    assert pickle.dumps(reconstructed) == pickle.dumps(new)
+
+
 @settings(max_examples=20, deadline=None)
 @given(rows=rows_strategy)
 def test_delta_against_wrong_base_is_refused(rows):
