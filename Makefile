@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-faults test-serve test-parity test-http test-replication coverage lint bench serve-bench
+.PHONY: test test-faults test-serve test-parity test-http test-replication test-triage coverage lint bench serve-bench
 
 # Tier-1: the fast deterministic suite gating every change, plus the
 # cross-executor parity contract and the serving-layer coverage gate.
@@ -35,10 +35,16 @@ test-http:
 test-replication:
 	$(PYTHON) -m pytest tests/serve/test_replication.py "tests/serve/test_parity.py::test_replica_converges_byte_identical" -q
 
-# Line-coverage gate for src/repro/serve/ (pytest-cov when installed,
-# stdlib settrace fallback otherwise; floor in tools/coverage_serve.py).
+# Human-in-the-loop triage on its own: confidence scoring, the override
+# store, the review queue, per-part profiles and calibration.
+test-triage:
+	$(PYTHON) -m pytest tests/triage -q
+
+# Line-coverage gate for src/repro/serve/ + src/repro/triage/
+# (pytest-cov when installed, stdlib settrace fallback otherwise; floor
+# in tools/coverage_serve.py).
 coverage:
-	$(PYTHON) tools/coverage_serve.py tests/serve -q
+	$(PYTHON) tools/coverage_serve.py tests/serve tests/triage -q
 
 lint:
 	$(PYTHON) tools/lint_bare_except.py src

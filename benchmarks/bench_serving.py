@@ -43,6 +43,14 @@ correctness half of the ISSUE: converged replicas answer
 becomes visible on every replica within one replication interval (via
 ``replica_version`` in ``/api/stats``), and replica writes are refused
 with 405.
+
+The fifth phase (ISSUE PR 7, bench A10) prices the triage layer's
+confidence scoring: the same sequential suggest trace runs once with
+``with_confidence=False`` (the plain ranked list) and once with
+``with_confidence=True`` (margin/agreement/pool-size signals attached to
+every answer).  Floor: the confidence arm keeps at least 90% of plain
+throughput — scoring reads signals the ranker already computed, so its
+overhead must stay under ``CONFIDENCE_OVERHEAD_CEILING_PCT``.
 """
 
 import json
@@ -89,6 +97,15 @@ REPLICATION_INTERVAL_BENCH = 0.25
 #: Per-node scaling floor: fanout must reach at least this fraction of
 #: linear scaling over the single-gateway arm (0.6 x 3 nodes = 1.8x).
 REPLICATION_FLOOR_PER_NODE = 0.6
+
+# Triage phase (A10): plain suggest vs confidence-scored suggest on the
+# bare service, best-of-N sequential passes per arm (arm order alternates
+# each round) to damp timer noise on a near-free computation.
+TRIAGE_REQUESTS = 200
+TRIAGE_ROUNDS = 5
+#: Ceiling on confidence scoring's throughput cost relative to a plain
+#: suggest (percent of plain wall time).
+CONFIDENCE_OVERHEAD_CEILING_PCT = 10.0
 
 
 def _build_service(corpus, bundles):
@@ -659,6 +676,92 @@ def test_replica_read_scaling(benchmark, corpus, bundles, reporter):
         "replication_floor_enforced": floor_enforced,
         "replica_write_visibility_seconds": round(visibility_seconds, 4),
         "replica_staleness_seconds": round(staleness, 4),
+    })
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(results_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
+def test_triage_confidence_overhead(benchmark, corpus, bundles, reporter):
+    """A10 — triage: confidence scoring priced against a plain suggest.
+
+    Both arms run the identical sequential trace through the bare
+    service with ``persist=False`` (no stores, no review enqueues), so
+    the only difference is :func:`repro.triage.score_confidence` reading
+    the ranked list's already-computed signals.  Best-of-N passes per
+    arm, arms interleaved, to keep timer drift out of the comparison.
+    """
+    qatk = QATK(corpus.taxonomy, QatkConfig(feature_mode="words"),
+                database=Database("serve-bench-triage-kb"))
+    split = int(len(bundles) * 0.8)
+    qatk.train(bundles[:split])
+    service = qatk.make_service(Database("serve-bench-triage-app"))
+    held_out = bundles[split:split + WORKING_SET]
+    service.register_bundles([bundle.without_label()
+                              for bundle in held_out])
+    refs = [bundle.ref_no for bundle in held_out]
+    trace = [refs[number % len(refs)] for number in range(TRIAGE_REQUESTS)]
+    # warm the bundle/code-list caches once so neither arm pays them
+    for ref in refs:
+        service.suggest(ref, persist=False)
+
+    def timed_pass(with_confidence):
+        start = time.perf_counter()
+        for ref in trace:
+            service.suggest(ref, persist=False,
+                            with_confidence=with_confidence)
+        return time.perf_counter() - start
+
+    def run_both():
+        plain_times, scored_times = [], []
+        for round_no in range(TRIAGE_ROUNDS):
+            arms = ((False, plain_times), (True, scored_times))
+            if round_no % 2:
+                arms = tuple(reversed(arms))
+            for with_confidence, sink in arms:
+                sink.append(timed_pass(with_confidence))
+        return min(plain_times), min(scored_times)
+
+    plain_seconds, scored_seconds = benchmark.pedantic(
+        run_both, rounds=1, iterations=1)
+
+    # the arms really differ only in the confidence attachment
+    plain_view = service.suggest(refs[0], persist=False,
+                                 with_confidence=False)
+    scored_view = service.suggest(refs[0], persist=False)
+    assert plain_view.confidence is None
+    assert scored_view.confidence is not None
+    assert scored_view.source == "classifier"
+    assert plain_view.suggestions.codes == scored_view.suggestions.codes
+
+    plain_rps = TRIAGE_REQUESTS / plain_seconds
+    scored_rps = TRIAGE_REQUESTS / scored_seconds
+    overhead_pct = (scored_seconds - plain_seconds) / plain_seconds * 100.0
+    reporter.row("A10 — triage: plain suggest vs confidence-scored suggest")
+    reporter.row(f"{'arm':<24}{'wall s':>10}{'req/s':>10}")
+    reporter.row(f"{'plain suggest':<24}{plain_seconds:>10.3f}"
+                 f"{plain_rps:>10.1f}")
+    reporter.row(f"{'with confidence':<24}{scored_seconds:>10.3f}"
+                 f"{scored_rps:>10.1f}")
+    reporter.row(f"confidence overhead: {overhead_pct:+.2f}% "
+                 f"(ceiling {CONFIDENCE_OVERHEAD_CEILING_PCT:.0f}%) | "
+                 f"{TRIAGE_REQUESTS} requests x best-of-{TRIAGE_ROUNDS}")
+    assert overhead_pct <= CONFIDENCE_OVERHEAD_CEILING_PCT, (
+        f"confidence scoring cost {overhead_pct:.2f}% of plain suggest "
+        f"throughput, over the {CONFIDENCE_OVERHEAD_CEILING_PCT}% ceiling")
+
+    results_path = RESULTS_DIR / "BENCH_serving.json"
+    payload = {}
+    if results_path.exists():
+        payload = json.loads(results_path.read_text(encoding="utf-8"))
+    payload.update({
+        "triage_requests": TRIAGE_REQUESTS,
+        "triage_rounds": TRIAGE_ROUNDS,
+        "plain_suggest_rps": round(plain_rps, 2),
+        "confidence_suggest_rps": round(scored_rps, 2),
+        "confidence_overhead_pct": round(overhead_pct, 3),
+        "confidence_overhead_ceiling_pct": CONFIDENCE_OVERHEAD_CEILING_PCT,
     })
     RESULTS_DIR.mkdir(exist_ok=True)
     with open(results_path, "w", encoding="utf-8") as fh:

@@ -94,7 +94,14 @@ class RankedKnnClassifier:
 
     def rank_codes(self, part_id: str, features: frozenset[str],
                    ref_no: str = "") -> Recommendation:
-        """The ranked error-code list for a feature set (Fig. 7)."""
+        """The ranked error-code list for a feature set (Fig. 7).
+
+        Besides the ranked codes, the recommendation carries the
+        confidence signals the triage layer scores: the candidate-pool
+        size, how many pool nodes voted for the winner, and whether the
+        part ID was known (an unknown part fires the Fig. 5 global
+        fallback, which dilutes the pool's meaning).
+        """
         scored_nodes = self.score_candidates(part_id, features)
         top_nodes = scored_nodes[:self.node_cutoff]
         best: dict[str, ScoredCode] = {}
@@ -108,7 +115,17 @@ class RankedKnnClassifier:
                                         existing.support + item.node.support)
         ranked = sorted(best.values(),
                         key=lambda scored: (-scored.score, scored.error_code))
-        return Recommendation(ref_no=ref_no, part_id=part_id, codes=ranked)
+        winner_nodes = 0
+        if ranked:
+            winner = ranked[0].error_code
+            winner_nodes = sum(1 for item in top_nodes
+                               if item.node.error_code == winner)
+        has_part = getattr(self.knowledge_base, "has_part", None)
+        part_known = bool(has_part(part_id)) if has_part is not None else True
+        return Recommendation(ref_no=ref_no, part_id=part_id, codes=ranked,
+                              pool_size=len(top_nodes),
+                              winner_nodes=winner_nodes,
+                              part_known=part_known)
 
     # ------------------------------------------------------------------ #
     # bundle-level API

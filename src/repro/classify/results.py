@@ -18,6 +18,11 @@ RECOMMENDATION_SCHEMA = Schema.build(
         Column("score", ColumnType.REAL, nullable=False),
         Column("rank", ColumnType.INTEGER, nullable=False),
         Column("support", ColumnType.INTEGER, nullable=False),
+        # Confidence signals (denormalized onto every row of the list so a
+        # stored recommendation round-trips them; see repro.triage).
+        Column("pool_size", ColumnType.INTEGER, nullable=False),
+        Column("winner_nodes", ColumnType.INTEGER, nullable=False),
+        Column("part_known", ColumnType.BOOLEAN, nullable=False),
     ],
 )
 
@@ -38,17 +43,34 @@ class Recommendation:
     ref_no: str
     part_id: str
     codes: list[ScoredCode] = field(default_factory=list)
+    #: Confidence signals observed while ranking (see repro.triage):
+    #: how many candidate nodes were scored, how many of them voted for
+    #: the winning code, and whether the part ID was known to the
+    #: knowledge base (False means the global-candidate fallback fired).
+    pool_size: int = 0
+    winner_nodes: int = 0
+    part_known: bool = True
 
     def top(self, k: int) -> list[ScoredCode]:
         """The first *k* recommendations (the UI shows 10 by default)."""
         return self.codes[:k]
 
     def rank_of(self, error_code: str) -> int | None:
-        """1-based rank of *error_code* in the list, or None if absent."""
-        for position, scored in enumerate(self.codes, start=1):
-            if scored.error_code == error_code:
-                return position
-        return None
+        """1-based rank of *error_code*, or None if absent.
+
+        Deterministic under score ties: the rank is defined by the total
+        order (score desc, error_code asc) regardless of the insertion
+        order of ``codes``, so confidence margins and hit rates are stable
+        across runs even when a caller builds the list unsorted.
+        """
+        target = next((scored for scored in self.codes
+                       if scored.error_code == error_code), None)
+        if target is None:
+            return None
+        return 1 + sum(
+            1 for scored in self.codes
+            if (-scored.score, scored.error_code)
+            < (-target.score, target.error_code))
 
     def hit_at(self, error_code: str, k: int) -> bool:
         """Whether *error_code* appears within the first *k* entries."""
@@ -81,6 +103,9 @@ def store_recommendations(database: Database,
                 "score": scored.score,
                 "rank": rank,
                 "support": scored.support,
+                "pool_size": recommendation.pool_size,
+                "winner_nodes": recommendation.winner_nodes,
+                "part_known": recommendation.part_known,
             })
             rows += 1
     return rows
@@ -97,4 +122,9 @@ def load_recommendation(database: Database, ref_no: str,
         return None
     codes = [ScoredCode(row["error_code"], row["score"], row["support"])
              for row in rows]
-    return Recommendation(ref_no=ref_no, part_id=part_id, codes=codes)
+    head = rows[0]
+    return Recommendation(
+        ref_no=ref_no, part_id=part_id, codes=codes,
+        pool_size=head.get("pool_size", 0),
+        winner_nodes=head.get("winner_nodes", 0),
+        part_known=head.get("part_known", True))

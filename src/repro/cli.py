@@ -8,6 +8,8 @@ Subcommands::
     python -m repro compare [--top N]     # Fig. 14 distributions
     python -m repro annotators            # §4.5.3 coverage comparison
     python -m repro serve [--port P]      # run the QUEST web app
+    python -m repro review                # triage demo: the review queue
+    python -m repro override [--ref R]    # triage demo: pin an error code
     python -m repro recover DIR           # crash-recover a database dir
 
 ``fieldstudy`` and ``serve`` accept ``--on-error={fail_fast,skip,quarantine}``
@@ -118,6 +120,38 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seconds between replica polls of the primary "
                             "(with --replica-of)")
     add_on_error(serve)
+
+    review = commands.add_parser(
+        "review",
+        help="demo the triage review queue: classify unlabeled bundles and "
+             "print the weakest suggestions first")
+    review.add_argument("--train", type=int, default=2000,
+                        help="bundles used to train the demo knowledge base")
+    review.add_argument("--incoming", type=int, default=50,
+                        help="unlabeled bundles classified for triage")
+    review.add_argument("--threshold", type=float, default=None,
+                        help="review threshold: suggestions below this "
+                             "confidence are queued (default: the service's)")
+    review.add_argument("--limit", type=int, default=20,
+                        help="queue entries printed")
+
+    override = commands.add_parser(
+        "override",
+        help="demo a triage override: pin an error code on one bundle and "
+             "show the pinned re-suggest")
+    override.add_argument("--train", type=int, default=2000,
+                          help="bundles used to train the demo knowledge base")
+    override.add_argument("--incoming", type=int, default=50,
+                          help="unlabeled bundles registered in the demo")
+    override.add_argument("--ref", default=None,
+                          help="reference number to pin (default: the first "
+                               "unlabeled bundle)")
+    override.add_argument("--code", default=None,
+                          help="error code to pin (default: the runner-up "
+                               "suggestion, so the pin visibly changes the "
+                               "answer)")
+    override.add_argument("--reason", default="demo override",
+                          help="reason recorded with the override")
 
     recover = commands.add_parser(
         "recover",
@@ -354,6 +388,66 @@ def _cmd_serve(port: int, train: int, on_error: str, workers: int,
     return 0
 
 
+def _demo_triage_service(train: int, incoming: int):
+    """Build the deterministic triage demo: a trained service with
+    *incoming* unlabeled bundles registered.  Returns (service, refs)."""
+    from .core import QATK, QatkConfig
+    corpus = generate_corpus()
+    bundles = experiment_subset(corpus.bundles)
+    qatk = QATK(corpus.taxonomy, QatkConfig(feature_mode="words"))
+    qatk.train(bundles[:train])
+    service = qatk.make_service()
+    unlabeled = [bundle.without_label()
+                 for bundle in bundles[train:train + incoming]]
+    service.register_bundles(unlabeled)
+    return service, [bundle.ref_no for bundle in unlabeled]
+
+
+def _cmd_review(train: int, incoming: int, threshold: float | None,
+                limit: int) -> int:
+    service, refs = _demo_triage_service(train, incoming)
+    if threshold is not None:
+        service.review_threshold = threshold
+    print(f"classifying {len(refs)} unlabeled bundles "
+          f"(review threshold {service.review_threshold:g})")
+    for ref_no in refs:
+        service.suggest(ref_no)
+    counts = service.review_queue.counts()
+    print(f"queue: {counts['pending']} pending, {counts['claimed']} claimed, "
+          f"{counts['resolved']} resolved")
+    for entry in service.pending_reviews(limit=limit):
+        print(f"  {entry['ref_no']:<12} part {entry['part_id']:<10} "
+              f"confidence {entry['confidence']:.3f}")
+    return 0
+
+
+def _cmd_override(train: int, incoming: int, ref: str | None,
+                  code: str | None, reason: str) -> int:
+    from .quest import Role, User, UserStore
+    service, refs = _demo_triage_service(train, incoming)
+    users = UserStore(service.database)
+    users.add(User("expert", Role.POWER_EXPERT, "Demo Expert"))
+    ref_no = ref or refs[0]
+    before = service.suggest(ref_no, persist=False)
+    top = before.suggestions.top(3)
+    print(f"before: {ref_no} -> "
+          + ", ".join(f"{s.error_code} ({s.score:.3f})" for s in top)
+          + (f" [confidence {before.confidence.score:.3f}]"
+             if before.confidence else ""))
+    if code is None:
+        # Pin the runner-up (or the winner when there is only one
+        # candidate) so the demo visibly changes the served answer.
+        code = top[1].error_code if len(top) > 1 else top[0].error_code
+    record = service.apply_override(users.get("expert"), ref_no, code, reason)
+    print(f"pinned {ref_no} to {code} "
+          f"(override #{record['override_id']}, reason: {reason!r})")
+    after = service.suggest(ref_no)
+    winner = after.suggestions.codes[0].error_code
+    print(f"after:  {ref_no} -> {winner} (source={after.source}, "
+          f"confidence {after.confidence.score:.3f})")
+    return 0
+
+
 def _cmd_recover(directory: str, do_checkpoint: bool) -> int:
     from .relstore import PersistenceError, recover_database, save_database
     try:
@@ -394,6 +488,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                           args.keepalive_idle_timeout,
                           args.keepalive_max_requests,
                           args.replica_of, args.replication_interval)
+    if args.command == "review":
+        return _cmd_review(args.train, args.incoming, args.threshold,
+                           args.limit)
+    if args.command == "override":
+        return _cmd_override(args.train, args.incoming, args.ref, args.code,
+                             args.reason)
     if args.command == "recover":
         return _cmd_recover(args.directory, args.checkpoint)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,5 +1,7 @@
 """Evaluation harness: stratified CV, accuracy@k, experiment runner (§5)."""
 
+from .calibration import (CalibrationBucket, confidence_calibration,
+                          override_aware_accuracy)
 from .crossval import Fold, experiment_subset, stratified_folds
 from .experiment import (FEATURE_MODES, ExperimentConfig, ExperimentResult,
                          FoldOutcome, build_extractor,
@@ -20,6 +22,7 @@ from .report import (PartBreakdown, RankBreakdown, breakdown_by_part,
 __all__ = [
     "DEFAULT_KS",
     "DEFAULT_SIZES",
+    "CalibrationBucket",
     "ExperimentConfig",
     "ExperimentResult",
     "FEATURE_MODES",
@@ -33,11 +36,13 @@ __all__ = [
     "accuracy_at_k",
     "breakdown_by_part",
     "compare_variants",
+    "confidence_calibration",
     "curve_row",
     "build_extractor",
     "experiment_subset",
     "mean_reciprocal_rank",
     "merge_fold_accuracies",
+    "override_aware_accuracy",
     "paired_bootstrap",
     "rank_breakdown",
     "run_learning_curve",

@@ -1,0 +1,109 @@
+"""Confidence calibration and override-aware accuracy.
+
+The triage layer (``repro.triage``) attaches a confidence score to every
+suggestion.  That score is only useful for routing work to engineers if
+it is *calibrated*: higher-confidence deciles should hit the true code
+more often than lower ones.  :func:`confidence_calibration` measures
+exactly that — accuracy@1 per equal-count confidence bucket — and the
+report is what the review-threshold default is tuned against.
+
+:func:`override_aware_accuracy` scores a recommendation set the way the
+serving stack answers: a pinned override replaces the classifier's
+ranking outright, so an override whose code matches the truth counts as
+a rank-1 hit regardless of what the classifier would have said.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..classify.results import Recommendation
+from ..triage import override_recommendation, score_confidence
+from .metrics import DEFAULT_KS, accuracy_at_k
+
+
+@dataclass(frozen=True)
+class CalibrationBucket:
+    """One confidence bucket of the calibration report."""
+
+    index: int                #: 0 = least confident bucket
+    size: int                 #: recommendations in the bucket
+    min_confidence: float
+    max_confidence: float
+    mean_confidence: float
+    accuracy_at_1: float
+
+    def row(self) -> str:
+        """One aligned report line."""
+        return (f"bucket {self.index:>2}  n={self.size:>4}  "
+                f"confidence {self.min_confidence:.3f}–"
+                f"{self.max_confidence:.3f} "
+                f"(mean {self.mean_confidence:.3f})  "
+                f"acc@1 {self.accuracy_at_1:.3f}")
+
+
+def confidence_calibration(recommendations: Sequence[Recommendation],
+                           truths: Sequence[str],
+                           buckets: int = 10) -> list[CalibrationBucket]:
+    """Accuracy@1 per equal-count confidence bucket, ascending confidence.
+
+    Ties on confidence are broken by position so every run of equal
+    scores lands in a deterministic bucket.  Buckets differ in size by
+    at most one; fewer recommendations than *buckets* yields fewer,
+    single-item buckets rather than empty ones.
+
+    Raises:
+        ValueError: on length mismatch, an empty test set, or a
+            non-positive bucket count.
+    """
+    if len(recommendations) != len(truths):
+        raise ValueError("recommendations and truths must align")
+    if not truths:
+        raise ValueError("empty test set")
+    if buckets <= 0:
+        raise ValueError("buckets must be positive")
+    scored = sorted(
+        ((score_confidence(rec).score, position, rec, truth)
+         for position, (rec, truth) in enumerate(zip(recommendations,
+                                                     truths))),
+        key=lambda item: (item[0], item[1]))
+    buckets = min(buckets, len(scored))
+    report = []
+    for index in range(buckets):
+        lo = index * len(scored) // buckets
+        hi = (index + 1) * len(scored) // buckets
+        chunk = scored[lo:hi]
+        confidences = [confidence for confidence, _, _, _ in chunk]
+        hits = sum(1 for _, _, rec, truth in chunk
+                   if rec.rank_of(truth) == 1)
+        report.append(CalibrationBucket(
+            index=index, size=len(chunk),
+            min_confidence=round(min(confidences), 6),
+            max_confidence=round(max(confidences), 6),
+            mean_confidence=round(sum(confidences) / len(chunk), 6),
+            accuracy_at_1=round(hits / len(chunk), 6)))
+    return report
+
+
+def override_aware_accuracy(recommendations: Sequence[Recommendation],
+                            truths: Sequence[str],
+                            overrides: Mapping[str, str],
+                            ks: Iterable[int] = DEFAULT_KS,
+                            ) -> dict[int, float]:
+    """Accuracy@k with engineer overrides applied, as the gateway serves.
+
+    *overrides* maps ``ref_no`` to the pinned error code (the shape of
+    :meth:`repro.triage.OverrideStore.active_map`).  A pinned bundle is
+    scored against the pin alone — the override is the served answer.
+
+    Raises:
+        ValueError: on length mismatch or an empty test set (via
+            :func:`accuracy_at_k`).
+    """
+    effective = [
+        override_recommendation(rec.ref_no, rec.part_id,
+                                overrides[rec.ref_no])
+        if rec.ref_no in overrides else rec
+        for rec in recommendations]
+    return accuracy_at_k(effective, truths, ks)

@@ -127,6 +127,11 @@ class NodeCache:
         self._feature_rows.clear()
         self._feature_pool.clear()
 
+    def has_part(self, part_id: str) -> bool:
+        """Whether any cached node carries *part_id* (Fig. 5 step 2)."""
+        return (part_id in self._part_rows
+                or part_id in self._part_feature_rows)
+
     def candidate_rows(self, part_id: str,
                        features: Iterable[str]) -> set[int]:
         """Row ids matching Fig. 5 for (*part_id*, *features*).
@@ -185,6 +190,10 @@ class FrozenKnowledgeView:
     def nodes(self) -> Iterator[KnowledgeNode]:
         """All nodes in row-id order."""
         return self._cache.nodes()
+
+    def has_part(self, part_id: str) -> bool:
+        """Whether the view holds any node for *part_id*."""
+        return self._cache.has_part(part_id)
 
     def candidates(self, part_id: str,
                    features: frozenset[str] | set[str]) -> list[KnowledgeNode]:
@@ -317,6 +326,10 @@ class KnowledgeBase:
     def part_ids(self) -> set[str]:
         """All part IDs with at least one node."""
         return {str(value) for value in self._table.distinct("part_id")}
+
+    def has_part(self, part_id: str) -> bool:
+        """Whether the base holds any node for *part_id* (cache-backed)."""
+        return self._cache.has_part(part_id)
 
     def error_codes(self, part_id: str | None = None) -> set[str]:
         """Error codes known to the base, optionally for one part ID."""

@@ -20,6 +20,9 @@ from ..classify.results import (Recommendation, load_recommendation,
 from ..data.bundle import DataBundle
 from ..data.schema import create_raw_tables, load_bundle, store_bundles
 from ..relstore import Column, ColumnType, Database, Schema, col
+from ..triage import (DEFAULT_REVIEW_THRESHOLD, OVERRIDE_CONFIDENCE,
+                      Confidence, OverrideStore, ReviewQueue,
+                      override_recommendation, score_confidence)
 from .errors import DegradedServiceError, QuestError, UnknownBundleError
 from .users import PermissionError_, User
 
@@ -34,6 +37,8 @@ ASSIGNMENT_SCHEMA = Schema.build(
         Column("assigned_by", ColumnType.TEXT, nullable=False),
         Column("from_suggestions", ColumnType.BOOLEAN, nullable=False),
         Column("sequence", ColumnType.INTEGER, nullable=False),
+        # True on every history row except the bundle's current decision.
+        Column("superseded", ColumnType.BOOLEAN, nullable=False),
     ],
 )
 
@@ -59,6 +64,11 @@ class SuggestionView:
     #: the suggestions ("stored", "fallback" or "frequency") after the
     #: primary classifier failed.
     degraded: str | None = None
+    #: Calibrated confidence for the ranked list (see repro.triage).
+    confidence: Confidence | None = None
+    #: ``"classifier"`` for a computed ranked list; ``"override"`` when an
+    #: engineer's pin answered instead of the classifier.
+    source: str = "classifier"
 
     @property
     def top10(self) -> list[str]:
@@ -73,7 +83,8 @@ class QuestService:
     def __init__(self, database: Database,
                  classifier: RankedKnnClassifier,
                  frequency_baseline: CodeFrequencyBaseline,
-                 fallback_classifier: RankedKnnClassifier | None = None) -> None:
+                 fallback_classifier: RankedKnnClassifier | None = None,
+                 review_threshold: float = DEFAULT_REVIEW_THRESHOLD) -> None:
         self.database = database
         self.classifier = classifier
         self.frequency_baseline = frequency_baseline
@@ -89,6 +100,12 @@ class QuestService:
         self._custom_codes = database.create_table(
             "custom_codes", CUSTOM_CODE_SCHEMA, if_not_exists=True)
         self._sequence = itertools.count(1)
+        #: Persisted suggests scoring under this enter the review queue.
+        self.review_threshold = review_threshold
+        #: Engineer pins; they always win over the classifier.
+        self.overrides = OverrideStore(database)
+        #: Low-confidence suggestions awaiting a human decision.
+        self.review_queue = ReviewQueue(database)
 
     # ------------------------------------------------------------------ #
     # intake
@@ -105,18 +122,28 @@ class QuestService:
     # suggestions (§4.4 step 3c + §4.5.4)
 
     def suggest(self, ref_no: str, *, persist: bool = True,
-                on_error: str = "degrade") -> SuggestionView:
+                on_error: str = "degrade",
+                with_confidence: bool = True) -> SuggestionView:
         """Classify a bundle and build the assignment screen's data.
+
+        An active engineer override short-circuits the classifier
+        entirely: the pinned code comes back as the sole suggestion with
+        ``source="override"`` and full confidence, and nothing is
+        persisted or enqueued — a pin is never clobbered by re-runs.
 
         Args:
             ref_no: the bundle's reference number.
-            persist: store the freshly computed recommendation.
+            persist: store the freshly computed recommendation (and
+                enqueue it for review when its confidence falls under
+                ``review_threshold``).
             on_error: ``"degrade"`` (default) falls back when the primary
                 classifier raises — first to a previously stored
                 suggestion, then to the BoW ``fallback_classifier`` (if
                 configured), then to the code-frequency baseline — and
                 labels the view's ``degraded`` field accordingly.
                 ``"raise"`` propagates the classifier's error.
+            with_confidence: score the ranked list's confidence (skipped
+                only by callers benchmarking the plain suggest path).
 
         Raises:
             UnknownBundleError: if the bundle is unknown.
@@ -126,6 +153,16 @@ class QuestService:
         bundle = self.bundle(ref_no)
         if bundle is None:
             raise UnknownBundleError(f"no bundle {ref_no!r}")
+        override = self.overrides.active(ref_no)
+        if override is not None:
+            return SuggestionView(
+                bundle=bundle,
+                suggestions=override_recommendation(
+                    ref_no, bundle.part_id, override["error_code"]),
+                all_codes=self.full_code_list(bundle.part_id),
+                degraded=None,
+                confidence=OVERRIDE_CONFIDENCE if with_confidence else None,
+                source="override")
         degraded = None
         try:
             recommendation = self.classifier.classify_bundle(
@@ -134,13 +171,20 @@ class QuestService:
             if on_error == "raise":
                 raise
             recommendation, degraded = self._degraded_suggestion(bundle, exc)
+        confidence = (score_confidence(recommendation)
+                      if with_confidence else None)
         # A degraded answer never overwrites a previously stored (healthy)
         # recommendation.
         if persist and degraded is None:
             store_recommendations(self.database, [recommendation])
+            if (confidence is not None
+                    and confidence.score < self.review_threshold):
+                self.review_queue.enqueue(ref_no, bundle.part_id,
+                                          confidence.score)
         return SuggestionView(bundle=bundle, suggestions=recommendation,
                               all_codes=self.full_code_list(bundle.part_id),
-                              degraded=degraded)
+                              degraded=degraded, confidence=confidence,
+                              source="classifier")
 
     def _degraded_suggestion(self, bundle: DataBundle,
                              cause: Exception,
@@ -202,6 +246,11 @@ class QuestService:
     def assign_code(self, actor: User, ref_no: str, error_code: str) -> None:
         """Record the expert's final error-code decision.
 
+        Idempotent: re-assigning the code the bundle already carries (per
+        its latest history row) is a no-op — no duplicate history row, no
+        double-counted knowledge evidence.  A *different* code appends a
+        new history row and marks every earlier row ``superseded``.
+
         Raises:
             PermissionError_: if *actor* may not assign codes.
             UnknownBundleError: unknown bundle.
@@ -218,6 +267,9 @@ class QuestService:
         if error_code not in available:
             raise QuestError(f"code {error_code!r} is not available for part "
                              f"{bundle.part_id}")
+        history = self.assignment_history(ref_no)
+        if history and history[-1]["error_code"] == error_code:
+            return  # repeated decision: nothing new to record
         suggestion = self.stored_suggestion(ref_no)
         from_suggestions = bool(
             suggestion and suggestion.hit_at(error_code, SUGGESTION_COUNT))
@@ -230,12 +282,20 @@ class QuestService:
                 f"the raw store is inconsistent")
         previous_code = bundles.get(row_id)["error_code"]
         bundles.update(row_id, {"error_code": error_code})
+        index = self._assignments.index_for("ref_no")
+        earlier = (index.lookup(ref_no) if index is not None
+                   else [rid for rid in self._assignments.row_ids()
+                         if self._assignments.get(rid)["ref_no"] == ref_no])
+        for rid in earlier:
+            if not self._assignments.get(rid)["superseded"]:
+                self._assignments.update(rid, {"superseded": True})
         self._assignments.insert({
             "ref_no": ref_no,
             "error_code": error_code,
             "assigned_by": actor.name,
             "from_suggestions": from_suggestions,
             "sequence": next(self._sequence),
+            "superseded": False,
         })
         # Feed the decision back into the knowledge base (application phase
         # keeps learning from confirmed assignments).  On a re-assignment
@@ -260,6 +320,77 @@ class QuestService:
         if not rows:
             return 0.0
         return sum(1 for row in rows if row["from_suggestions"]) / len(rows)
+
+    # ------------------------------------------------------------------ #
+    # triage: overrides and the review queue
+
+    def apply_override(self, actor: User, ref_no: str, error_code: str,
+                       reason: str = "") -> dict:
+        """Pin *error_code* to *ref_no*; the pin wins over the classifier.
+
+        Any open review entry for the bundle is resolved as
+        ``override`` (forced — a pin is decisive regardless of who holds
+        the claim).  Returns the stored override row.
+
+        Raises:
+            PermissionError_: if *actor* may not assign codes.
+            UnknownBundleError: unknown bundle.
+            QuestError: the code is not available for the bundle's part.
+        """
+        if not actor.can("assign"):
+            raise PermissionError_(f"{actor.name} may not override "
+                                   f"suggestions")
+        bundle = self.bundle(ref_no)
+        if bundle is None:
+            raise UnknownBundleError(f"no bundle {ref_no!r}")
+        available = set(self.full_code_list(bundle.part_id))
+        if error_code not in available:
+            raise QuestError(f"code {error_code!r} is not available for part "
+                             f"{bundle.part_id}")
+        record = self.overrides.pin(actor.name, ref_no, error_code, reason)
+        if self.review_queue.entry(ref_no) is not None:
+            self.review_queue.resolve(actor.name, ref_no, "override",
+                                      force=True)
+        return record
+
+    def claim_review(self, actor: User, ref_no: str | None = None,
+                     ) -> dict | None:
+        """Claim a review entry (the weakest pending one by default).
+
+        Raises:
+            PermissionError_: if *actor* may not assign codes.
+            UnknownBundleError: *ref_no* has no open review entry.
+            IntegrityError: the entry is claimed by someone else.
+        """
+        if not actor.can("assign"):
+            raise PermissionError_(f"{actor.name} may not review "
+                                   f"suggestions")
+        return self.review_queue.claim(actor.name, ref_no)
+
+    def resolve_review(self, actor: User, ref_no: str, resolution: str,
+                       error_code: str | None = None,
+                       reason: str = "") -> dict:
+        """Resolve a review entry; ``override`` also pins *error_code*.
+
+        Raises:
+            PermissionError_: if *actor* may not assign codes.
+            QuestError: resolution ``override`` without an *error_code*.
+            UnknownBundleError / IntegrityError / ValueError: as raised
+                by the queue (no open entry / foreign claim / unknown
+                resolution).
+        """
+        if not actor.can("assign"):
+            raise PermissionError_(f"{actor.name} may not review "
+                                   f"suggestions")
+        if resolution == "override":
+            if not error_code:
+                raise QuestError("resolution 'override' needs an error_code")
+            return self.apply_override(actor, ref_no, error_code, reason)
+        return self.review_queue.resolve(actor.name, ref_no, resolution)
+
+    def pending_reviews(self, limit: int | None = None) -> list[dict]:
+        """Open review entries in drain order (weakest first)."""
+        return self.review_queue.pending(limit)
 
     # ------------------------------------------------------------------ #
     # custom error codes

@@ -35,6 +35,7 @@ _PAGE = """<!DOCTYPE html>
 </head>
 <body>
 <nav><a href="/">bundles</a><a href="/compare">source comparison</a>
+<a href="/review">review</a><a href="/profiles">profiles</a>
 <a href="/users">users</a></nav>
 <h1>{title}</h1>
 {body}
@@ -82,9 +83,24 @@ def render_suggestions(view: SuggestionView) -> str:
         for scored in view.suggestions.top(10))
     fallback = "".join(f"<option>{html.escape(code)}</option>"
                        for code in view.all_codes)
+    banner = ""
+    if view.source == "override":
+        pinned = view.suggestions.codes[0].error_code if view.suggestions.codes else ""
+        banner = (f"<p class='override'>Pinned by an engineer override: "
+                  f"<strong>{html.escape(pinned)}</strong></p>")
+    confidence = ""
+    if view.confidence is not None:
+        part_note = "" if view.confidence.part_known else ", part unknown"
+        confidence = (f"<p class='confidence'>Confidence "
+                      f"{view.confidence.score:.3f} (margin "
+                      f"{view.confidence.margin:.3f}, agreement "
+                      f"{view.confidence.agreement:.3f}, pool "
+                      f"{view.confidence.pool_size}"
+                      f"{html.escape(part_note)})</p>")
     body = (f"<h2>Bundle {html.escape(bundle.ref_no)} "
             f"(part {html.escape(bundle.part_id)})</h2>"
             f"<p>{html.escape(bundle.part_description)}</p>"
+            f"{banner}{confidence}"
             f"{reports}"
             f"<h3>Suggested error codes</h3><ol>{shortlist}</ol>"
             f"<h3>All codes for this part</h3>"
@@ -147,12 +163,73 @@ def render_history(ref_no: str, rows: list[dict]) -> str:
         f"<td>{html.escape(row['error_code'])}</td>"
         f"<td>{html.escape(row['assigned_by'])}</td>"
         f"<td>{'shortlist' if row['from_suggestions'] else 'full list'}</td>"
+        f"<td>{'superseded' if row.get('superseded') else 'current'}</td>"
         f"</tr>"
         for row in rows)
     table = ("<table><tr><th>#</th><th>Error code</th><th>Assigned by</th>"
-             "<th>Via</th></tr>" + body_rows + "</table>"
+             "<th>Via</th><th>Status</th></tr>" + body_rows + "</table>"
              if rows else "<p>No assignments recorded.</p>")
     return page(f"Assignment history — {ref_no}", table)
+
+
+def render_review(entries: list[dict], counts: dict[str, int]) -> str:
+    """The review-queue screen: weakest suggestions first.
+
+    Each open entry carries a claim form and a resolve form (accept /
+    escalate; overrides go through the bundle screen's assign-with-pin).
+    """
+    rows = []
+    for entry in entries:
+        ref = html.escape(entry["ref_no"])
+        claimed = html.escape(entry.get("claimed_by") or "—")
+        actions = (
+            f"<form method='post' action='/review' style='display:inline'>"
+            f"<input type='hidden' name='action' value='claim'>"
+            f"<input type='hidden' name='ref_no' value='{ref}'>"
+            f"<button>Claim</button></form> "
+            f"<form method='post' action='/review' style='display:inline'>"
+            f"<input type='hidden' name='action' value='resolve'>"
+            f"<input type='hidden' name='ref_no' value='{ref}'>"
+            f"<select name='resolution'><option>accept</option>"
+            f"<option>escalate</option></select>"
+            f"<button>Resolve</button></form>")
+        rows.append(
+            f"<tr><td><a href='/bundle/{ref}'>{ref}</a></td>"
+            f"<td>{html.escape(entry['part_id'])}</td>"
+            f"<td>{entry['confidence']:.3f}</td>"
+            f"<td>{html.escape(entry['status'])}</td>"
+            f"<td>{claimed}</td><td>{actions}</td></tr>")
+    summary = (f"<p>{counts.get('pending', 0)} pending, "
+               f"{counts.get('claimed', 0)} claimed, "
+               f"{counts.get('resolved', 0)} resolved.</p>")
+    table = ("<table><tr><th>Reference</th><th>Part ID</th>"
+             "<th>Confidence</th><th>Status</th><th>Claimed by</th>"
+             "<th>Actions</th></tr>" + "".join(rows) + "</table>"
+             if rows else "<p>The review queue is empty.</p>")
+    return page("Review queue", summary + table)
+
+
+def render_profiles(profiles: list) -> str:
+    """The per-part drift screen: override/hit rates and confidence."""
+    rows = "".join(
+        f"<tr><td>{html.escape(profile.part_id)}</td>"
+        f"<td>{profile.bundles}</td>"
+        f"<td>{profile.assignments}</td>"
+        f"<td>{profile.overrides}</td>"
+        f"<td>{profile.reviews_open}</td>"
+        f"<td>{profile.override_rate:.3f}</td>"
+        f"<td>{profile.hit_rate:.3f}</td>"
+        f"<td>{profile.mean_confidence:.3f}</td>"
+        f"<td>{profile.min_confidence:.3f} – {profile.max_confidence:.3f}"
+        f"</td></tr>"
+        for profile in profiles)
+    table = ("<table><tr><th>Part ID</th><th>Bundles</th>"
+             "<th>Assignments</th><th>Overrides</th><th>Open reviews</th>"
+             "<th>Override rate</th><th>Hit rate</th>"
+             "<th>Mean confidence</th><th>Confidence range</th></tr>"
+             + rows + "</table>"
+             if rows else "<p>No parts with bundles yet.</p>")
+    return page("Part profiles", table)
 
 
 def render_users(users: list) -> str:

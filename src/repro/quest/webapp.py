@@ -43,6 +43,7 @@ from ..relstore.errors import IntegrityError
 # imported lazily in QuestApp.__init__.
 from ..serve.errors import (DeadlineExceededError, GatewayStoppedError,
                             QueueFullError, ReplicaWriteError, ServeError)
+from ..triage import part_profiles
 from .compare import ComparisonView
 from .errors import DegradedServiceError, UnknownBundleError
 from .service import SUGGESTION_COUNT, QuestService
@@ -178,6 +179,15 @@ class QuestApp:
             with self.gateway.read_locked():
                 matches = self.service.search_bundles(query)
             return 200, views.render_bundle_list(matches)
+        if path == "/review":
+            with self.gateway.read_locked():
+                entries = self.service.pending_reviews()
+                counts = self.service.review_queue.counts()
+            return 200, views.render_review(entries, counts)
+        if path == "/profiles":
+            with self.gateway.read_locked():
+                profiles = part_profiles(self.service.database)
+            return 200, views.render_profiles(profiles)
         if path.startswith("/history/"):
             ref_no = urllib.parse.unquote(path[len("/history/"):])
             with self.gateway.read_locked():
@@ -228,8 +238,32 @@ class QuestApp:
                      "score": round(scored.score, 6)}
                     for scored in view.suggestions.top(SUGGESTION_COUNT)],
                 "all_codes": view.all_codes,
+                "confidence": (view.confidence.to_payload()
+                               if view.confidence is not None else None),
+                "source": view.source,
             }
             return 200, json.dumps(payload, sort_keys=True)
+        if path == "/api/review":
+            with self.gateway.read_locked():
+                entries = self.service.pending_reviews()
+                counts = self.service.review_queue.counts()
+            payload = {
+                "counts": counts,
+                "pending": [
+                    {"ref_no": entry["ref_no"],
+                     "part_id": entry["part_id"],
+                     "confidence": round(entry["confidence"], 6),
+                     "status": entry["status"],
+                     "claimed_by": entry["claimed_by"]}
+                    for entry in entries],
+            }
+            return 200, json.dumps(payload, sort_keys=True)
+        if path == "/api/profiles":
+            with self.gateway.read_locked():
+                profiles = part_profiles(self.service.database)
+            return 200, json.dumps(
+                {"profiles": [profile.to_payload()
+                              for profile in profiles]}, sort_keys=True)
         return 404, _json_error("Not found",
                                 ValueError(f"no API route {path!r}"))
 
@@ -267,6 +301,60 @@ class QuestApp:
                      "error_code": error_code}, sort_keys=True)
             return 200, views.render_message(
                 "Assigned", f"{error_code} assigned to {ref_no}.")
+        if path == "/override" or path == "/api/override":
+            as_json = path.startswith("/api/")
+            ref_no = form.get("ref_no", "")
+            error_code = form.get("error_code", "")
+            try:
+                record = self.gateway.override(self.current_user, ref_no,
+                                               error_code,
+                                               form.get("reason", ""))
+            except (PermissionError_, ValueError, ServeError,
+                    IntegrityError) as exc:
+                status, title = _failure_response(exc)
+                if as_json:
+                    return status, _json_error(title, exc)
+                return status, views.render_message(title, str(exc))
+            if as_json:
+                return 200, json.dumps(
+                    {"status": "overridden", "ref_no": ref_no,
+                     "error_code": error_code,
+                     "override_id": record["override_id"]}, sort_keys=True)
+            return 200, views.render_message(
+                "Overridden", f"{ref_no} pinned to {error_code}.")
+        if path == "/review" or path == "/api/review":
+            as_json = path.startswith("/api/")
+            action = form.get("action", "")
+            ref_no = form.get("ref_no", "")
+            try:
+                if action == "claim":
+                    entry = self.gateway.claim_review(self.current_user,
+                                                      ref_no or None)
+                    result = {"status": "claimed",
+                              "ref_no": entry["ref_no"] if entry else None}
+                elif action == "resolve":
+                    self.gateway.resolve_review(self.current_user, ref_no,
+                                                form.get("resolution", ""),
+                                                form.get("error_code")
+                                                or None,
+                                                form.get("reason", ""))
+                    result = {"status": "resolved", "ref_no": ref_no}
+                else:
+                    raise ValueError(f"unknown review action {action!r}")
+            except (PermissionError_, ValueError, ServeError,
+                    IntegrityError) as exc:
+                status, title = _failure_response(exc)
+                if as_json:
+                    return status, _json_error(title, exc)
+                return status, views.render_message(title, str(exc))
+            if as_json:
+                return 200, json.dumps(result, sort_keys=True)
+            if result["ref_no"] is None:
+                return 200, views.render_message(
+                    "Review queue", "No pending reviews to claim.")
+            return 200, views.render_message(
+                "Review queue",
+                f"{result['ref_no']} {result['status']}.")
         if path == "/codes/new":
             try:
                 self.gateway.define_error_code(self.current_user,

@@ -40,6 +40,8 @@ from ..quest.users import User
 from .errors import (DeadlineExceededError, GatewayStoppedError,
                      SnapshotPayloadError, WorkerCrashError)
 from .procpool import BrokenProcessPool, ProcessWorkerPool, WorkItem
+from ..triage import (OVERRIDE_CONFIDENCE, override_recommendation,
+                      score_confidence)
 from .queue import RequestQueue, SuggestRequest
 from .registry import (PAYLOAD_FORMAT, ModelRegistry, ModelSnapshot,
                        diff_payloads)
@@ -307,6 +309,48 @@ class ServeGateway:
         self._publish_snapshot()
         return snapshot
 
+    def override(self, actor: User, ref_no: str, error_code: str,
+                 reason: str = "") -> dict:
+        """Pin an error code to a bundle under the write lock.
+
+        The new snapshot carries the refreshed override map, so worker
+        processes and replicas serve the pin from the next version on.
+        """
+        with self.registry.store_lock.write_locked():
+            record = self.service.apply_override(actor, ref_no, error_code,
+                                                 reason)
+            overrides = self.service.overrides.active_map()
+        self.stats.count("overrides")
+        self.registry.bump(overrides=overrides)
+        self.stats.count("swaps")
+        self._publish_snapshot()
+        return record
+
+    def claim_review(self, actor: User,
+                     ref_no: str | None = None) -> dict | None:
+        """Claim a review entry (queue state changes; models do not)."""
+        with self.registry.store_lock.write_locked():
+            entry = self.service.claim_review(actor, ref_no)
+        self.stats.count("reviews")
+        return entry
+
+    def resolve_review(self, actor: User, ref_no: str, resolution: str,
+                       error_code: str | None = None,
+                       reason: str = "") -> dict:
+        """Resolve a review entry; an ``override`` resolution pins the
+        code and republishes the snapshot like :meth:`override`."""
+        with self.registry.store_lock.write_locked():
+            outcome = self.service.resolve_review(actor, ref_no, resolution,
+                                                  error_code, reason)
+            overrides = self.service.overrides.active_map()
+        self.stats.count("reviews")
+        if resolution == "override":
+            self.stats.count("overrides")
+            self.registry.bump(overrides=overrides)
+            self.stats.count("swaps")
+            self._publish_snapshot()
+        return outcome
+
     # ------------------------------------------------------------------ #
     # process worker pool
 
@@ -421,6 +465,8 @@ class ServeGateway:
             bundle = bundles.get(ref)
             if bundle is None or isinstance(bundle, Exception):
                 continue
+            if ref in snapshot.overrides:
+                continue  # the pin answers; no classification needed
             if self._recall_recommendation(snapshot, ref) is not None:
                 continue
             if ref not in deadlines:
@@ -558,6 +604,7 @@ class ServeGateway:
                 self.stats.count("failed")
                 continue
             if (self.config.persist and view.degraded is None
+                    and view.source != "override"
                     and self._should_persist(snapshot, bundle.ref_no)):
                 persist_views.append(view)
             request.resolve(view)
@@ -568,6 +615,15 @@ class ServeGateway:
                 store_recommendations(
                     self.service.database,
                     [view.suggestions for view in persist_views])
+                # Low-confidence suggestions enter the review queue, as
+                # the bare service's persisting suggest() does.
+                threshold = self.service.review_threshold
+                for view in persist_views:
+                    if (view.confidence is not None
+                            and view.confidence.score < threshold):
+                        self.service.review_queue.enqueue(
+                            view.bundle.ref_no, view.bundle.part_id,
+                            view.confidence.score)
 
     # ------------------------------------------------------------------ #
     # per-request classification with retry + degraded fallback
@@ -585,39 +641,56 @@ class ServeGateway:
         classification is skipped entirely.
         """
         degraded = None
-        recommendation = self._recall_recommendation(snapshot, bundle.ref_no)
-        if recommendation is None:
-            if precomputed is not None:
-                recommendation = precomputed
-            else:
-                try:
-                    recommendation = self._classify_one(snapshot, bundle,
-                                                        features)
-                except Exception as first:
-                    self.stats.count("retried")
+        pinned = snapshot.overrides.get(bundle.ref_no)
+        if pinned is not None:
+            # An engineer's pin wins over the classifier: no memo, no
+            # classification, no persistence — exactly what the bare
+            # service's suggest() answers for an overridden bundle.
+            recommendation = override_recommendation(bundle.ref_no,
+                                                     bundle.part_id, pinned)
+            self.stats.count("override_hits")
+        else:
+            recommendation = self._recall_recommendation(snapshot,
+                                                         bundle.ref_no)
+            if recommendation is None:
+                if precomputed is not None:
+                    recommendation = precomputed
+                else:
                     try:
                         recommendation = self._classify_one(snapshot, bundle,
                                                             features)
-                    except Exception:
-                        recommendation, degraded = self._degraded_one(
-                            snapshot, bundle, first)
-                        self.stats.count("degraded")
-            if degraded is None:
-                # Healthy answers are deterministic per snapshot (writes
-                # install a new one, resetting this memo), so repeat
-                # traffic skips classification entirely.
-                with self._memo_lock:
-                    if self._memo_snapshot is snapshot:
-                        self._rec_memo[bundle.ref_no] = recommendation
-        else:
-            self.stats.count("memo_hits")
+                    except Exception as first:
+                        self.stats.count("retried")
+                        try:
+                            recommendation = self._classify_one(
+                                snapshot, bundle, features)
+                        except Exception:
+                            recommendation, degraded = self._degraded_one(
+                                snapshot, bundle, first)
+                            self.stats.count("degraded")
+                if degraded is None:
+                    # Healthy answers are deterministic per snapshot (writes
+                    # install a new one, resetting this memo), so repeat
+                    # traffic skips classification entirely.
+                    with self._memo_lock:
+                        if self._memo_snapshot is snapshot:
+                            self._rec_memo[bundle.ref_no] = recommendation
+            else:
+                self.stats.count("memo_hits")
         all_codes = codes.get(bundle.part_id)
         if all_codes is None:
             with self.registry.store_lock.read_locked():
                 all_codes = self._full_code_list(snapshot, bundle.part_id)
             codes[bundle.part_id] = all_codes
+        if pinned is not None:
+            return SuggestionView(bundle=bundle, suggestions=recommendation,
+                                  all_codes=all_codes, degraded=None,
+                                  confidence=OVERRIDE_CONFIDENCE,
+                                  source="override")
         return SuggestionView(bundle=bundle, suggestions=recommendation,
-                              all_codes=all_codes, degraded=degraded)
+                              all_codes=all_codes, degraded=degraded,
+                              confidence=score_confidence(recommendation),
+                              source="classifier")
 
     def _classify_one(self, snapshot: ModelSnapshot, bundle: DataBundle,
                       features: dict):

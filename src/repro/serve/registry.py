@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from ..classify.baselines import CodeFrequencyBaseline
 from ..classify.knn import RankedKnnClassifier
@@ -140,7 +140,7 @@ def diff_payloads(old: dict, new: dict) -> dict | None:
                                    new["classifier"]["rows"])
     if classifier_delta is None:
         return None
-    return {
+    delta = {
         "format": PAYLOAD_FORMAT,
         "kind": "delta",
         "version": new["version"],
@@ -149,6 +149,11 @@ def diff_payloads(old: dict, new: dict) -> dict | None:
         "fallback": fallback_delta,
         "frequency": new["frequency"],
     }
+    if "overrides" in new or "overrides" in old:
+        # The override map is tiny (one ref/code pair per active pin), so
+        # deltas ship it whole, like the frequency table.
+        delta["overrides"] = dict(new.get("overrides") or {})
+    return delta
 
 
 def _apply_rows_delta(rows: list, delta: dict) -> list:
@@ -186,6 +191,8 @@ def apply_payload_delta(base: dict, delta: dict) -> dict:
                                              delta["fallback"])
         updated["fallback"] = fallback
     updated["frequency"] = delta["frequency"]
+    if "overrides" in delta:
+        updated["overrides"] = dict(delta["overrides"])
     return updated
 
 
@@ -203,6 +210,10 @@ class ModelSnapshot:
     classifier: RankedKnnClassifier
     frequency_baseline: CodeFrequencyBaseline
     fallback_classifier: RankedKnnClassifier | None = None
+    #: Active engineer overrides (``{ref_no: error_code}``).  Part of the
+    #: snapshot so every executor — in-process, worker process, replica —
+    #: serves the same pins for the same version.
+    overrides: dict[str, str] = field(default_factory=dict)
 
     # -------------------------------------------------------------- #
     # process-boundary export/import
@@ -225,6 +236,7 @@ class ModelSnapshot:
             "frequency": self.frequency_baseline.frequency_table(),
             "fallback": (_classifier_to_payload(self.fallback_classifier)
                          if self.fallback_classifier is not None else None),
+            "overrides": dict(self.overrides),
         }
 
     @staticmethod
@@ -251,7 +263,8 @@ class ModelSnapshot:
                 payload["frequency"]),
             fallback_classifier=(
                 _classifier_from_payload(payload["fallback"])
-                if payload["fallback"] is not None else None))
+                if payload["fallback"] is not None else None),
+            overrides=dict(payload.get("overrides") or {}))
 
 
 class ModelRegistry:
@@ -277,12 +290,17 @@ class ModelRegistry:
                      retain_payloads: int = PAYLOAD_RETENTION,
                      ) -> "ModelRegistry":
         """Build a registry over a :class:`~repro.quest.service.QuestService`'s
-        models (version 1)."""
+        models (version 1).  The service's active override pins seed the
+        snapshot's override map."""
+        override_store = getattr(service, "overrides", None)
+        overrides = (override_store.active_map()
+                     if override_store is not None else {})
         return cls(ModelSnapshot(
             version=1,
             classifier=service.classifier,
             frequency_baseline=service.frequency_baseline,
-            fallback_classifier=service.fallback_classifier),
+            fallback_classifier=service.fallback_classifier,
+            overrides=overrides),
             retain_payloads=retain_payloads)
 
     def current(self) -> ModelSnapshot:
@@ -296,7 +314,7 @@ class ModelRegistry:
 
     def swap(self, classifier: RankedKnnClassifier | None = None,
              frequency_baseline: CodeFrequencyBaseline | None = None,
-             fallback_classifier=_UNSET) -> ModelSnapshot:
+             fallback_classifier=_UNSET, overrides=_UNSET) -> ModelSnapshot:
         """Atomically publish a new snapshot; omitted models carry over.
 
         The caller is responsible for handing over *warm* models (built
@@ -304,7 +322,8 @@ class ModelRegistry:
         reference assignment, so readers never wait on model construction.
         ``fallback_classifier=None`` explicitly *clears* the fallback
         (an ``is not None`` carry-over test used to make that impossible);
-        leaving the argument out keeps the current one.
+        leaving the argument out keeps the current one.  *overrides*
+        replaces the snapshot's override map when given.
         Returns the published snapshot.
         """
         with self._swap_lock:
@@ -316,7 +335,9 @@ class ModelRegistry:
                                     or current.frequency_baseline),
                 fallback_classifier=(fallback_classifier
                                      if fallback_classifier is not _UNSET
-                                     else current.fallback_classifier))
+                                     else current.fallback_classifier),
+                overrides=(dict(overrides) if overrides is not _UNSET
+                           else current.overrides))
             self._snapshot = updated
             return updated
 
@@ -363,13 +384,20 @@ class ModelRegistry:
         with self._payload_lock:
             return tuple(self._payloads)
 
-    def bump(self) -> ModelSnapshot:
+    def bump(self, overrides=_UNSET) -> ModelSnapshot:
         """Re-version the current snapshot after an in-place model update
         (e.g. the knowledge base learned from a confirmed assignment).
-        Version-keyed caches treat this exactly like a swap."""
+        Version-keyed caches treat this exactly like a swap.  *overrides*
+        replaces the snapshot's override map when given — write paths
+        that pin/supersede overrides pass the store's fresh active map."""
         with self._swap_lock:
-            self._snapshot = replace(self._snapshot,
-                                     version=self._snapshot.version + 1)
+            if overrides is _UNSET:
+                self._snapshot = replace(self._snapshot,
+                                         version=self._snapshot.version + 1)
+            else:
+                self._snapshot = replace(self._snapshot,
+                                         version=self._snapshot.version + 1,
+                                         overrides=dict(overrides))
             return self._snapshot
 
     def __repr__(self) -> str:

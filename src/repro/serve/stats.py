@@ -49,6 +49,9 @@ class ServeStats:
         self.degraded = 0           # served through the degraded chain
         self.memo_hits = 0          # served from the per-version result memo
         self.assignments = 0        # writes routed through the write lock
+        self.overrides = 0          # engineer override pins recorded
+        self.override_hits = 0      # suggests answered by a pinned override
+        self.reviews = 0            # review-queue claims/resolves routed
         self.swaps = 0              # model-snapshot swaps/bumps observed
         self.proc_batches = 0       # batches dispatched to worker processes
         self.proc_requests = 0      # requests classified by worker processes
@@ -118,6 +121,9 @@ class ServeStats:
                 "degraded": self.degraded,
                 "memo_hits": self.memo_hits,
                 "assignments": self.assignments,
+                "overrides": self.overrides,
+                "override_hits": self.override_hits,
+                "reviews": self.reviews,
                 "swaps": self.swaps,
                 "proc_batches": self.proc_batches,
                 "proc_requests": self.proc_requests,

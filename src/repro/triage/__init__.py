@@ -1,0 +1,36 @@
+"""Human-in-the-loop triage over ranked suggestions.
+
+The paper's QUEST is an engineer-facing tool (§4.5.4, Fig. 14): the
+classifier proposes, the quality engineer decides.  This package adds the
+machinery that makes that loop workable at scale:
+
+* :func:`score_confidence` — a calibrated confidence per ranked list,
+  from observable signals only (no ground truth needed at serve time);
+* :class:`OverrideStore` — durable engineer pins that always win over
+  the classifier and survive re-runs and crash recovery;
+* :class:`ReviewQueue` — a claim/resolve queue that routes the weakest
+  suggestions to a human, lowest confidence first;
+* :func:`part_profiles` — per-part aggregates (override rate, hit rate,
+  confidence distribution) for drift detection.
+"""
+
+from .confidence import (DEFAULT_REVIEW_THRESHOLD, OVERRIDE_CONFIDENCE,
+                         Confidence, score_confidence)
+from .profiles import PartProfile, part_profiles
+from .queue import RESOLUTIONS, REVIEW_SCHEMA, ReviewQueue
+from .store import OVERRIDE_SCHEMA, OverrideStore, override_recommendation
+
+__all__ = [
+    "Confidence",
+    "DEFAULT_REVIEW_THRESHOLD",
+    "OVERRIDE_CONFIDENCE",
+    "OVERRIDE_SCHEMA",
+    "OverrideStore",
+    "PartProfile",
+    "RESOLUTIONS",
+    "REVIEW_SCHEMA",
+    "ReviewQueue",
+    "override_recommendation",
+    "part_profiles",
+    "score_confidence",
+]

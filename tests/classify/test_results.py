@@ -23,6 +23,40 @@ class TestRecommendation:
         assert not recommendation.hit_at("E3", 2)
 
 
+class TestDeterministicRanks:
+    def test_equal_scores_tie_break_on_error_code(self):
+        # Inserted out of code order on purpose: the tie-break is
+        # (score desc, error_code asc), not list position.
+        recommendation = Recommendation(ref_no="R1", part_id="P1", codes=[
+            ScoredCode("E2", 0.7, 1),
+            ScoredCode("E1", 0.7, 2),
+            ScoredCode("E3", 0.4, 1),
+        ])
+        assert recommendation.rank_of("E1") == 1
+        assert recommendation.rank_of("E2") == 2
+        assert recommendation.rank_of("E3") == 3
+
+    def test_hit_at_uses_the_same_tie_break(self):
+        recommendation = Recommendation(ref_no="R1", part_id="P1", codes=[
+            ScoredCode("E2", 0.7, 1),
+            ScoredCode("E1", 0.7, 2),
+        ])
+        assert recommendation.hit_at("E1", 1)
+        assert not recommendation.hit_at("E2", 1)
+        assert recommendation.hit_at("E2", 2)
+
+    def test_all_equal_scores_rank_fully_by_code(self):
+        codes = [ScoredCode(f"E{i}", 0.5, 1) for i in (4, 2, 9, 1)]
+        recommendation = Recommendation(ref_no="R1", part_id="P1",
+                                        codes=codes)
+        ranks = {code: recommendation.rank_of(code)
+                 for code in ("E1", "E2", "E4", "E9")}
+        assert ranks == {"E1": 1, "E2": 2, "E4": 3, "E9": 4}
+
+    def test_unknown_code_has_no_rank(self):
+        assert sample().rank_of("E404") is None
+
+
 class TestPersistence:
     def test_store_and_load(self):
         db = Database()

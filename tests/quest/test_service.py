@@ -153,3 +153,30 @@ class TestReassignment:
         # code may legitimately exist from training)
         wrong_config = [n for n in matching if n.features == features]
         assert wrong_config == []
+
+    def test_repeated_assignment_is_idempotent(self, service, expert):
+        quest, held_out = service
+        bundle = held_out[7]
+        view = quest.suggest(bundle.ref_no)
+        code = view.top10[0]
+        kb = quest.classifier.knowledge_base
+        quest.assign_code(expert, bundle.ref_no, code)
+        nodes_after_first = len(list(kb.nodes()))
+        for _ in range(3):  # double-submits: no new rows, no new evidence
+            quest.assign_code(expert, bundle.ref_no, code)
+        history = quest.assignment_history(bundle.ref_no)
+        assert len(history) == 1
+        assert history[0]["superseded"] is False
+        assert len(list(kb.nodes())) == nodes_after_first
+
+    def test_reassignment_marks_earlier_rows_superseded(self, service,
+                                                        expert):
+        quest, held_out = service
+        bundle = held_out[8]
+        view = quest.suggest(bundle.ref_no)
+        first, second = view.top10[0], view.top10[1]
+        quest.assign_code(expert, bundle.ref_no, first)
+        quest.assign_code(expert, bundle.ref_no, second)
+        history = quest.assignment_history(bundle.ref_no)
+        assert [(row["error_code"], row["superseded"])
+                for row in history] == [(first, True), (second, False)]

@@ -212,6 +212,151 @@ class TestCleanShutdown:
         assert "drain" in report.summary()
 
 
+class TestTriageRoutes:
+    def test_review_and_profiles_screens(self, service, taxonomy,
+                                         small_corpus, trained_qatk):
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        quest, held_out = service
+        quest.review_threshold = 1.1
+        try:
+            quest.suggest(held_out[0].ref_no)
+        finally:
+            quest.review_threshold = 0.35
+        status, body = app.get("/review")
+        assert status == 200
+        assert held_out[0].ref_no in body
+        status, body = app.get("/profiles")
+        assert status == 200
+        assert held_out[0].part_id in body
+
+    def test_api_suggest_carries_confidence_and_source(
+            self, service, taxonomy, small_corpus, trained_qatk):
+        import json
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        _, held_out = service
+        status, body = app.get(f"/api/suggest/{held_out[0].ref_no}")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["source"] == "classifier"
+        assert set(payload["confidence"]) == {"score", "margin", "agreement",
+                                              "pool_size", "part_known"}
+
+    def test_api_override_pins_and_resuggests(self, service, taxonomy,
+                                              small_corpus, trained_qatk):
+        import json
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        quest, held_out = service
+        ref_no = held_out[1].ref_no
+        view = quest.suggest(ref_no, persist=False)
+        pinned = next(code for code in view.all_codes
+                      if code != view.suggestions.codes[0].error_code)
+        status, body = app.post("/api/override",
+                                {"ref_no": ref_no, "error_code": pinned,
+                                 "reason": "field feedback"})
+        assert status == 200
+        assert json.loads(body)["status"] == "overridden"
+        status, body = app.get(f"/api/suggest/{ref_no}")
+        payload = json.loads(body)
+        assert payload["source"] == "override"
+        assert payload["suggestions"][0]["error_code"] == pinned
+        assert payload["confidence"]["score"] == 1.0
+        # and the HTML screen shows the pin banner
+        _, html = app.get(f"/bundle/{ref_no}")
+        assert "override" in html
+
+    def test_api_override_errors(self, service, taxonomy, small_corpus,
+                                 trained_qatk):
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        _, held_out = service
+        assert app.post("/api/override",
+                        {"ref_no": "R404", "error_code": "E1"})[0] == 404
+        assert app.post("/api/override",
+                        {"ref_no": held_out[0].ref_no,
+                         "error_code": "BOGUS"})[0] == 400
+        app.current_user = User("viewer", Role.VIEWER)
+        assert app.post("/api/override",
+                        {"ref_no": held_out[0].ref_no,
+                         "error_code": "E1"})[0] == 403
+
+    def test_api_review_claim_conflict_is_409(self, service, taxonomy,
+                                              small_corpus, trained_qatk):
+        import json
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        quest, held_out = service
+        ref_no = held_out[2].ref_no
+        quest.review_threshold = 1.1
+        try:
+            quest.suggest(ref_no)
+        finally:
+            quest.review_threshold = 0.35
+        status, body = app.post("/api/review",
+                                {"action": "claim", "ref_no": ref_no})
+        assert status == 200
+        assert json.loads(body)["status"] == "claimed"
+        app.current_user = User("rival", Role.EXPERT)
+        status, _ = app.post("/api/review",
+                             {"action": "claim", "ref_no": ref_no})
+        assert status == 409
+
+    def test_api_review_resolve_and_errors(self, service, taxonomy,
+                                           small_corpus, trained_qatk):
+        import json
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        quest, held_out = service
+        ref_no = held_out[3].ref_no
+        quest.review_threshold = 1.1
+        try:
+            quest.suggest(ref_no)
+        finally:
+            quest.review_threshold = 0.35
+        status, body = app.post("/api/review",
+                                {"action": "resolve", "ref_no": ref_no,
+                                 "resolution": "accept"})
+        assert status == 200
+        assert json.loads(body)["status"] == "resolved"
+        # no open entry any more -> 404; bad action -> 400
+        assert app.post("/api/review",
+                        {"action": "resolve", "ref_no": ref_no,
+                         "resolution": "accept"})[0] == 404
+        assert app.post("/api/review", {"action": "dance"})[0] == 400
+        # claim with no pending entries answers cleanly
+        status, body = app.post("/api/review", {"action": "claim"})
+        assert status == 200
+        assert json.loads(body)["ref_no"] is None
+
+    def test_api_review_and_profiles_json(self, service, taxonomy,
+                                          small_corpus, trained_qatk):
+        import json
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        quest, held_out = service
+        quest.review_threshold = 1.1
+        try:
+            quest.suggest(held_out[4].ref_no)
+        finally:
+            quest.review_threshold = 0.35
+        status, body = app.get("/api/review")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["counts"]["pending"] >= 1
+        assert any(entry["ref_no"] == held_out[4].ref_no
+                   for entry in payload["pending"])
+        status, body = app.get("/api/profiles")
+        assert status == 200
+        profiles = json.loads(body)["profiles"]
+        assert profiles
+        assert {"part_id", "override_rate", "hit_rate"} <= set(profiles[0])
+
+    def test_replica_refuses_triage_writes(self, service, taxonomy,
+                                           small_corpus, trained_qatk):
+        app = make_app(service, taxonomy, small_corpus, trained_qatk)
+        app.replica_of = "http://primary:8080"
+        _, held_out = service
+        assert app.post("/api/override",
+                        {"ref_no": held_out[0].ref_no,
+                         "error_code": "E1"})[0] == 405
+        assert app.post("/review", {"action": "claim"})[0] == 405
+
+
 class TestSearchRoute:
     def test_search_route(self, service, taxonomy, small_corpus, trained_qatk):
         app = make_app(service, taxonomy, small_corpus, trained_qatk)

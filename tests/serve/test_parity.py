@@ -45,13 +45,24 @@ def ranked_bytes(view) -> bytes:
     """One suggestion view's ranked list as canonical bytes.
 
     Covers the full contract: ranked codes with exact scores and support
-    counts, the merged code list, and that the answer was healthy.
+    counts, the merged code list, that the answer was healthy, where it
+    came from (classifier vs override pin), and the triage confidence
+    with every exact component score.
     """
+    confidence = None
+    if view.confidence is not None:
+        payload = view.confidence.to_payload()
+        payload["score"] = repr(payload["score"])
+        payload["margin"] = repr(payload["margin"])
+        payload["agreement"] = repr(payload["agreement"])
+        confidence = payload
     return json.dumps(
         {"codes": [(code.error_code, repr(code.score), code.support)
                    for code in view.suggestions.codes],
          "all_codes": list(view.all_codes),
-         "degraded": view.degraded}).encode()
+         "degraded": view.degraded,
+         "source": view.source,
+         "confidence": confidence}).encode()
 
 
 @pytest.fixture(scope="module", params=PARITY_SEEDS)
@@ -140,6 +151,39 @@ def test_three_executors_agree_across_a_write(parity_setup):
     assert process_report.cancelled == 0
 
 
+def test_override_parity_across_executors(parity_setup):
+    """An engineer pin through one gateway is served byte-identically —
+    ``source="override"``, full confidence, single pinned code — by the
+    bare service, the thread gateway and the worker-process pool."""
+    seed, service, held = parity_setup
+    refs = [bundle.ref_no for bundle in held]
+    pinned_ref = refs[1]
+    thread_gw, process_gw = make_gateways(service)
+    try:
+        process_gw.start()
+        assert process_gw.pool_active, "process pool failed to start"
+        pin = next(code for code in
+                   service.suggest(pinned_ref, persist=False).all_codes)
+        thread_gw.override(User("parity-power", Role.POWER_EXPERT),
+                           pinned_ref, pin, reason="parity pin")
+
+        expected = {ref: ranked_bytes(service.suggest(ref, persist=False))
+                    for ref in refs}
+        pinned_view = service.suggest(pinned_ref, persist=False)
+        assert pinned_view.source == "override"
+        assert pinned_view.suggestions.codes[0].error_code == pin
+        for gw, label in ((thread_gw, "thread"), (process_gw, "process")):
+            for ref in refs:
+                assert ranked_bytes(gw.suggest(ref)) == expected[ref], \
+                    f"seed {seed}: {label} gateway diverged on {ref} " \
+                    f"after the pin"
+        assert thread_gw.stats_snapshot()["override_hits"] >= 1
+        assert process_gw.stats_snapshot()["override_hits"] >= 1
+    finally:
+        thread_gw.stop(grace=2.0)
+        process_gw.stop(grace=2.0)
+
+
 def test_replica_converges_byte_identical(parity_setup):
     """A fourth executor joins the parity contract: a *replicated*
     gateway — its snapshot shipped over HTTP as a full payload, then
@@ -188,6 +232,19 @@ def test_replica_converges_byte_identical(parity_setup):
                 assert ranked_bytes(replica_gw.suggest(ref)) == \
                     baseline2[ref], \
                     f"seed {seed}: replica diverged post-write on {ref}"
+
+            # an override pin on the primary reaches the replica on its
+            # next poll and is served byte-identically (source included)
+            pin_ref = refs[2]
+            pin = service.suggest(pin_ref, persist=False).all_codes[0]
+            primary_gw.override(users.get("expert"), pin_ref, pin,
+                                reason="replica parity pin")
+            assert replicator.poll_once() == "delta"
+            pinned_view = replica_gw.suggest(pin_ref)
+            assert pinned_view.source == "override"
+            assert ranked_bytes(pinned_view) == \
+                ranked_bytes(service.suggest(pin_ref, persist=False)), \
+                f"seed {seed}: replica served a different pin on {pin_ref}"
     finally:
         if replicator is not None:
             replicator.stop()

@@ -1,0 +1,57 @@
+"""Shared triage fixtures: a small trained toolkit + service (the same
+SMALL plan the QUEST suite trains on, so suite timings stay comparable)."""
+
+import pytest
+
+from repro.core import QATK, QatkConfig
+from repro.data import GeneratorConfig, generate_corpus, plan_corpus
+from repro.evaluate import experiment_subset
+from repro.quest import Role, User
+from repro.relstore import Database
+
+SMALL = {
+    "bundles": 600, "part_ids": 5, "article_codes": 40,
+    "distinct_codes": 90, "singleton_codes": 30,
+    "max_codes_per_part": 30, "parts_over_10_codes": 4,
+}
+
+
+@pytest.fixture(scope="module")
+def small_corpus(taxonomy):
+    plan = plan_corpus(taxonomy, seed=23, parameters=SMALL)
+    return generate_corpus(taxonomy=taxonomy, plan=plan,
+                           config=GeneratorConfig(seed=23))
+
+
+@pytest.fixture(scope="module")
+def trained_qatk(taxonomy, small_corpus):
+    qatk = QATK(taxonomy, QatkConfig(feature_mode="words"),
+                database=Database("triage-test"))
+    bundles = experiment_subset(small_corpus.bundles)
+    split = int(len(bundles) * 0.8)
+    qatk.train(bundles[:split])
+    return qatk, bundles[split:]
+
+
+@pytest.fixture
+def service(trained_qatk):
+    qatk, held_out = trained_qatk
+    service = qatk.make_service(Database("triage-app"))
+    service.register_bundles([bundle.without_label()
+                              for bundle in held_out[:20]])
+    return service, held_out[:20]
+
+
+@pytest.fixture
+def expert():
+    return User("expert", Role.EXPERT)
+
+
+@pytest.fixture
+def second_expert():
+    return User("expert2", Role.EXPERT)
+
+
+@pytest.fixture
+def viewer():
+    return User("viewer", Role.VIEWER)

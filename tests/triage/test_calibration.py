@@ -1,0 +1,85 @@
+"""Calibration-report tests, including the acceptance bar: accuracy@1
+must rise with the confidence decile on the seeded corpus."""
+
+import pytest
+
+from repro.classify.results import Recommendation, ScoredCode
+from repro.evaluate import (confidence_calibration, override_aware_accuracy)
+
+
+def rec(ref_no, code, score=0.8, pool_size=20, winner_nodes=12):
+    return Recommendation(ref_no=ref_no, part_id="P1",
+                          codes=[ScoredCode(code, score, 3),
+                                 ScoredCode("E-other", score / 2, 1)],
+                          pool_size=pool_size, winner_nodes=winner_nodes)
+
+
+class TestConfidenceCalibration:
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError, match="align"):
+            confidence_calibration([rec("R1", "E1")], [])
+        with pytest.raises(ValueError, match="empty"):
+            confidence_calibration([], [])
+        with pytest.raises(ValueError, match="buckets"):
+            confidence_calibration([rec("R1", "E1")], ["E1"], buckets=0)
+
+    def test_buckets_are_equal_count_and_ascending(self):
+        recommendations = [rec(f"R{i}", "E1", winner_nodes=i)
+                           for i in range(20)]
+        truths = ["E1"] * 20
+        report = confidence_calibration(recommendations, truths, buckets=4)
+        assert [bucket.size for bucket in report] == [5, 5, 5, 5]
+        assert [bucket.index for bucket in report] == [0, 1, 2, 3]
+        maxima = [bucket.max_confidence for bucket in report]
+        assert maxima == sorted(maxima)
+        for bucket in report:
+            assert bucket.min_confidence <= bucket.mean_confidence \
+                <= bucket.max_confidence
+
+    def test_small_sets_yield_fewer_buckets_not_empty_ones(self):
+        report = confidence_calibration(
+            [rec("R1", "E1"), rec("R2", "E2")], ["E1", "E1"], buckets=10)
+        assert len(report) == 2
+        assert all(bucket.size == 1 for bucket in report)
+        # one hit, one miss
+        assert sorted(bucket.accuracy_at_1 for bucket in report) == [0.0, 1.0]
+
+    def test_row_renders(self):
+        report = confidence_calibration([rec("R1", "E1")], ["E1"], buckets=1)
+        row = report[0].row()
+        assert "acc@1 1.000" in row
+        assert "n=   1" in row
+
+    def test_accuracy_rises_with_confidence_on_the_seeded_corpus(
+            self, trained_qatk):
+        """The acceptance bar: the top confidence bucket's accuracy@1 is
+        strictly above the bottom bucket's on held-out seeded bundles."""
+        qatk, held_out = trained_qatk
+        classifier = qatk.classifier
+        recommendations = classifier.classify_bundles(held_out)
+        truths = [bundle.error_code for bundle in held_out]
+        report = confidence_calibration(recommendations, truths, buckets=10)
+        assert len(report) == 10
+        assert report[-1].accuracy_at_1 > report[0].accuracy_at_1
+
+
+class TestOverrideAwareAccuracy:
+    def test_matches_plain_accuracy_without_overrides(self):
+        recommendations = [rec("R1", "E1"), rec("R2", "E2")]
+        truths = ["E1", "E-miss"]
+        plain = override_aware_accuracy(recommendations, truths, {}, ks=(1,))
+        assert plain[1] == 0.5
+
+    def test_correct_override_counts_as_rank_one(self):
+        recommendations = [rec("R1", "E-wrong"), rec("R2", "E2")]
+        truths = ["E-true", "E2"]
+        scored = override_aware_accuracy(recommendations, truths,
+                                         {"R1": "E-true"}, ks=(1,))
+        assert scored[1] == 1.0
+
+    def test_wrong_override_replaces_a_would_be_hit(self):
+        recommendations = [rec("R1", "E-true")]
+        scored = override_aware_accuracy(recommendations, ["E-true"],
+                                         {"R1": "E-bad"}, ks=(1, 5))
+        assert scored[1] == 0.0
+        assert scored[5] == 0.0  # the pin is the whole served list

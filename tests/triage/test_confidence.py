@@ -1,0 +1,96 @@
+"""Unit tests for the confidence scorer: pure, deterministic, bounded."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.classify.results import Recommendation, ScoredCode
+from repro.triage import OVERRIDE_CONFIDENCE, Confidence, score_confidence
+
+
+def rec(codes, pool_size=0, winner_nodes=0, part_known=True):
+    return Recommendation(ref_no="R1", part_id="P1", codes=codes,
+                          pool_size=pool_size, winner_nodes=winner_nodes,
+                          part_known=part_known)
+
+
+def test_empty_ranking_scores_zero():
+    confidence = score_confidence(rec([], pool_size=0))
+    assert confidence == Confidence(score=0.0, margin=0.0, agreement=0.0,
+                                    pool_size=0, part_known=True)
+
+
+def test_single_code_has_full_margin():
+    confidence = score_confidence(
+        rec([ScoredCode("E1", 0.4, 2)], pool_size=2, winner_nodes=2))
+    assert confidence.margin == 1.0
+    assert confidence.agreement == 1.0
+
+
+def test_weighted_sum_is_exact():
+    # agreement 12/20 = 0.6, margin (0.8-0.4)/0.8 = 0.5, pool factor 1.0
+    # -> 0.5*0.6 + 0.3*0.5 + 0.2*1.0 = 0.65
+    confidence = score_confidence(
+        rec([ScoredCode("E1", 0.8, 3), ScoredCode("E2", 0.4, 2)],
+            pool_size=20, winner_nodes=12))
+    assert confidence.score == 0.65
+    assert confidence.margin == 0.5
+    assert confidence.agreement == 0.6
+    assert confidence.pool_size == 20
+
+
+def test_zero_top_score_means_zero_margin():
+    confidence = score_confidence(
+        rec([ScoredCode("E1", 0.0, 1), ScoredCode("E2", 0.0, 1)],
+            pool_size=2, winner_nodes=1))
+    assert confidence.margin == 0.0
+
+
+def test_unknown_part_halves_the_score():
+    codes = [ScoredCode("E1", 0.8, 3), ScoredCode("E2", 0.4, 2)]
+    known = score_confidence(rec(codes, pool_size=20, winner_nodes=12))
+    unknown = score_confidence(rec(codes, pool_size=20, winner_nodes=12,
+                                   part_known=False))
+    assert unknown.score == pytest.approx(known.score / 2)
+    assert not unknown.part_known
+
+
+def test_small_pool_caps_the_pool_factor():
+    # pool of 5: factor 0.5 -> 0.2 weight contributes only 0.1
+    confidence = score_confidence(
+        rec([ScoredCode("E1", 0.8, 3)], pool_size=5, winner_nodes=5))
+    assert confidence.score == pytest.approx(0.5 * 1.0 + 0.3 * 1.0 + 0.1)
+
+
+def test_override_confidence_is_absolute():
+    assert OVERRIDE_CONFIDENCE.score == 1.0
+    assert OVERRIDE_CONFIDENCE.margin == 1.0
+    assert OVERRIDE_CONFIDENCE.part_known
+
+
+def test_payload_round_trip_keys():
+    payload = OVERRIDE_CONFIDENCE.to_payload()
+    assert set(payload) == {"score", "margin", "agreement", "pool_size",
+                            "part_known"}
+
+
+@given(scores=st.lists(st.floats(min_value=0.0, max_value=1.0),
+                       min_size=0, max_size=6),
+       pool=st.integers(min_value=0, max_value=40),
+       winners=st.integers(min_value=0, max_value=40),
+       known=st.booleans())
+def test_score_is_always_bounded(scores, pool, winners, known):
+    ordered = sorted(scores, reverse=True)
+    codes = [ScoredCode(f"E{i}", score, 1)
+             for i, score in enumerate(ordered)]
+    confidence = score_confidence(
+        rec(codes, pool_size=pool, winner_nodes=min(winners, pool),
+            part_known=known))
+    assert 0.0 <= confidence.score <= 1.0
+    assert 0.0 <= confidence.margin <= 1.0
+    assert 0.0 <= confidence.agreement <= 1.0
+    # pure function: same recommendation, same confidence
+    again = score_confidence(
+        rec(codes, pool_size=pool, winner_nodes=min(winners, pool),
+            part_known=known))
+    assert again == confidence

@@ -1,0 +1,96 @@
+"""Tier-2 fault injection for the override store (``make test-faults``).
+
+The durability bar from the issue: a pin acknowledged before a crash is
+served after recovery, a crash *between the WAL append and the next
+checkpoint* loses nothing, and recovery can never resurrect a superseded
+override — the row that superseded it rides the same log.
+"""
+
+import pytest
+
+from repro.relstore import checkpoint, open_database, recover_database
+from repro.relstore.wal import WAL_NAME
+from repro.testing.faults import FaultPlan
+from repro.triage import OverrideStore
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_pin_survives_crash_before_checkpoint(tmp_path, seed):
+    """Acknowledged pins live in the WAL only; the crash happens before
+    any checkpoint folds them into a snapshot."""
+    directory = tmp_path / "store"
+    db, _ = open_database(directory)
+    store = OverrideStore(db)
+    refs = [f"R{seed}{i}" for i in range(4)]
+    for i, ref_no in enumerate(refs):
+        store.pin("expert", ref_no, f"E{i}")
+    db._wal.close()  # simulated crash: no checkpoint ever ran
+    recovered, report = recover_database(directory)
+    assert not report.quarantined
+    survivors = OverrideStore(recovered)
+    assert survivors.active_map() == {ref_no: f"E{i}"
+                                      for i, ref_no in enumerate(refs)}
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_recovery_never_resurrects_a_superseded_pin(tmp_path, seed):
+    """Pin A then pin B (superseding A), crash, recover: B is active and
+    A stays superseded — replaying the log cannot un-supersede it."""
+    directory = tmp_path / "store"
+    db, _ = open_database(directory)
+    store = OverrideStore(db)
+    store.pin("expert", "R1", "E-OLD")
+    checkpoint(db, directory)  # the old pin is in the snapshot...
+    store.pin("expert2", "R1", "E-NEW")  # ...its supersession WAL-only
+    db._wal.close()
+    recovered, report = recover_database(directory)
+    assert not report.quarantined
+    survivors = OverrideStore(recovered)
+    assert survivors.active("R1")["error_code"] == "E-NEW"
+    history = survivors.history("R1")
+    assert [row["error_code"] for row in history] == ["E-OLD", "E-NEW"]
+    assert history[0]["superseded_by"] is not None
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_torn_wal_tail_loses_only_the_unacknowledged_pin(tmp_path, seed):
+    """A crash mid-append tears the last WAL record.  Recovery drops the
+    torn (never-acknowledged) write and keeps every earlier pin."""
+    directory = tmp_path / "store"
+    db, _ = open_database(directory)
+    store = OverrideStore(db)
+    store.pin("expert", "R1", "E1")
+    store.pin("expert", "R2", "E2")
+    db._wal.close()
+    plan = FaultPlan(seed)
+    wal_path = directory / WAL_NAME
+    plan.truncate_file(wal_path,
+                       keep_bytes=wal_path.stat().st_size - (9 + seed))
+    recovered, report = recover_database(directory)
+    survivors = OverrideStore(recovered)
+    # R1's pin was acknowledged well before the torn tail: it must live.
+    assert survivors.active("R1")["error_code"] == "E1"
+    # The torn record is dropped or quarantined, never half-applied.
+    r2 = survivors.active("R2")
+    assert r2 is None or r2["error_code"] == "E2"
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_fault_free_control(tmp_path, seed):
+    """Control arm: the same pin sequence without a crash recovers clean
+    and identical (guards the fault tests against masking real bugs)."""
+    directory = tmp_path / "store"
+    db, _ = open_database(directory)
+    store = OverrideStore(db)
+    store.pin("expert", "R1", "E1")
+    store.pin("expert", "R1", "E2")
+    store.pin("expert", "R3", "E3")
+    expected = store.active_map()
+    checkpoint(db, directory)
+    db._wal.close()
+    recovered, report = recover_database(directory)
+    assert report.clean
+    assert OverrideStore(recovered).active_map() == expected == \
+        {"R1": "E2", "R3": "E3"}

@@ -1,0 +1,60 @@
+"""Per-part profile tests: aggregation over the durable tables."""
+
+from repro.relstore import Database
+from repro.triage import part_profiles
+
+
+def test_empty_database_has_no_profiles():
+    assert part_profiles(Database("t")) == []
+
+
+def test_profiles_aggregate_the_triage_tables(service, expert):
+    quest, held_out = service
+    quest.review_threshold = 1.1  # force review entries
+    try:
+        refs = [bundle.ref_no for bundle in held_out[:6]]
+        views = {ref_no: quest.suggest(ref_no) for ref_no in refs}
+        # one override, one assignment
+        pinned_ref = refs[0]
+        quest.apply_override(expert, pinned_ref,
+                             views[pinned_ref].all_codes[0])
+        assigned_ref = refs[1]
+        quest.assign_code(expert, assigned_ref,
+                          views[assigned_ref].suggestions.codes[0].error_code)
+    finally:
+        quest.review_threshold = 0.35
+    profiles = {profile.part_id: profile
+                for profile in part_profiles(quest.database)}
+    assert profiles  # the registered bundles span at least one part
+    parts = {bundle.part_id: bundle for bundle in held_out[:20]}
+    assert set(profiles) == set(parts)
+    pinned_part = next(bundle.part_id for bundle in held_out
+                       if bundle.ref_no == pinned_ref)
+    pinned = profiles[pinned_part]
+    assert pinned.overrides == 1
+    assert 0.0 < pinned.override_rate <= 1.0
+    assigned_part = next(bundle.part_id for bundle in held_out
+                         if bundle.ref_no == assigned_ref)
+    assigned = profiles[assigned_part]
+    assert assigned.assignments >= 1
+    assert assigned.suggestion_hits >= 1
+    assert assigned.hit_rate > 0.0
+    # suggest persisted recommendations, so confidence stats are live
+    with_scores = [profile for profile in profiles.values()
+                   if profile.mean_confidence > 0.0]
+    assert with_scores
+    for profile in with_scores:
+        assert profile.min_confidence <= profile.mean_confidence \
+            <= profile.max_confidence
+
+
+def test_profiles_sorted_and_payload_ready(service):
+    quest, held_out = service
+    quest.suggest(held_out[0].ref_no)
+    profiles = part_profiles(quest.database)
+    assert [profile.part_id for profile in profiles] \
+        == sorted(profile.part_id for profile in profiles)
+    payload = profiles[0].to_payload()
+    assert payload["part_id"] == profiles[0].part_id
+    assert set(payload) >= {"bundles", "override_rate", "hit_rate",
+                            "mean_confidence", "reviews_open"}

@@ -1,0 +1,152 @@
+"""Service-level triage behaviour: override-aware suggest, the review
+loop, and the pin-always-wins invariant."""
+
+import pytest
+
+from repro.quest.errors import QuestError, UnknownBundleError
+from repro.quest.users import PermissionError_
+from repro.relstore import IntegrityError
+
+
+def test_suggest_carries_confidence_and_source(service):
+    quest, held_out = service
+    view = quest.suggest(held_out[0].ref_no)
+    assert view.source == "classifier"
+    assert view.confidence is not None
+    assert 0.0 <= view.confidence.score <= 1.0
+    assert view.confidence.pool_size == view.suggestions.pool_size
+
+
+def test_with_confidence_false_skips_scoring(service):
+    quest, held_out = service
+    view = quest.suggest(held_out[0].ref_no, persist=False,
+                         with_confidence=False)
+    assert view.confidence is None
+    assert view.source == "classifier"
+
+
+def test_override_wins_over_the_classifier(service, expert):
+    quest, held_out = service
+    ref_no = held_out[0].ref_no
+    before = quest.suggest(ref_no, persist=False)
+    pinned_code = next(code for code in before.all_codes
+                       if code != before.suggestions.codes[0].error_code)
+    quest.apply_override(expert, ref_no, pinned_code, reason="field check")
+    after = quest.suggest(ref_no)
+    assert after.source == "override"
+    assert after.suggestions.codes[0].error_code == pinned_code
+    assert after.confidence.score == 1.0
+    # other bundles are untouched
+    other = quest.suggest(held_out[1].ref_no, persist=False)
+    assert other.source == "classifier"
+
+
+def test_resuggest_never_clobbers_an_override_or_the_stored_rank(
+        service, expert):
+    quest, held_out = service
+    ref_no = held_out[2].ref_no
+    healthy = quest.suggest(ref_no)  # persists the classifier ranking
+    stored_before = quest.stored_suggestion(ref_no)
+    pinned_code = healthy.all_codes[0]
+    quest.apply_override(expert, ref_no, pinned_code)
+    for _ in range(3):  # re-running classification keeps the pin
+        view = quest.suggest(ref_no)
+        assert view.source == "override"
+    stored_after = quest.stored_suggestion(ref_no)
+    # the override is served, never written over the stored ranking
+    assert [code.error_code for code in stored_after.codes] \
+        == [code.error_code for code in stored_before.codes]
+    assert quest.overrides.active(ref_no)["error_code"] == pinned_code
+
+
+def test_override_requires_assign_capability(service, viewer):
+    quest, held_out = service
+    with pytest.raises(PermissionError_):
+        quest.apply_override(viewer, held_out[0].ref_no, "E1")
+
+
+def test_override_validates_bundle_and_code(service, expert):
+    quest, held_out = service
+    with pytest.raises(UnknownBundleError):
+        quest.apply_override(expert, "R404", "E1")
+    with pytest.raises(QuestError):
+        quest.apply_override(expert, held_out[0].ref_no,
+                             "NOT-A-CODE-FOR-THIS-PART")
+
+
+def test_low_confidence_suggestions_enqueue_for_review(service):
+    quest, held_out = service
+    quest.review_threshold = 1.1  # everything is below threshold
+    try:
+        refs = [bundle.ref_no for bundle in held_out[:5]]
+        for ref_no in refs:
+            quest.suggest(ref_no)
+        pending = {entry["ref_no"] for entry in quest.pending_reviews()}
+        assert set(refs) <= pending
+        # drain order is ascending confidence
+        confidences = [entry["confidence"]
+                       for entry in quest.pending_reviews()]
+        assert confidences == sorted(confidences)
+    finally:
+        quest.review_threshold = 0.35
+
+
+def test_confident_suggestions_stay_out_of_the_queue(service):
+    quest, held_out = service
+    quest.review_threshold = -1.0  # nothing is below threshold
+    try:
+        ref_no = held_out[6].ref_no
+        quest.suggest(ref_no)
+        assert quest.review_queue.entry(ref_no) is None
+    finally:
+        quest.review_threshold = 0.35
+
+
+def test_claim_and_resolve_through_the_service(service, expert,
+                                               second_expert):
+    quest, held_out = service
+    quest.review_threshold = 1.1
+    try:
+        ref_no = held_out[7].ref_no
+        quest.suggest(ref_no)
+        entry = quest.claim_review(expert, ref_no)
+        assert entry["claimed_by"] == "expert"
+        with pytest.raises(IntegrityError):
+            quest.claim_review(second_expert, ref_no)
+        resolved = quest.resolve_review(expert, ref_no, "accept")
+        assert resolved["resolution"] == "accept"
+    finally:
+        quest.review_threshold = 0.35
+
+
+def test_review_resolution_override_pins_the_code(service, expert):
+    quest, held_out = service
+    quest.review_threshold = 1.1
+    try:
+        ref_no = held_out[8].ref_no
+        view = quest.suggest(ref_no)
+        with pytest.raises(QuestError):
+            quest.resolve_review(expert, ref_no, "override")  # no code
+        quest.resolve_review(expert, ref_no, "override",
+                             error_code=view.all_codes[0])
+        assert quest.review_queue.entry(ref_no) is None
+        assert quest.suggest(ref_no).source == "override"
+    finally:
+        quest.review_threshold = 0.35
+
+
+def test_pin_force_resolves_an_entry_claimed_by_someone_else(
+        service, expert, second_expert):
+    quest, held_out = service
+    quest.review_threshold = 1.1
+    try:
+        ref_no = held_out[9].ref_no
+        view = quest.suggest(ref_no)
+        quest.claim_review(second_expert, ref_no)
+        quest.apply_override(expert, ref_no, view.all_codes[0])
+        assert quest.review_queue.entry(ref_no) is None
+        resolved = [row for row in quest.review_queue._table.scan()
+                    if row["ref_no"] == ref_no]
+        assert resolved[0]["resolution"] == "override"
+    finally:
+        quest.review_threshold = 0.35

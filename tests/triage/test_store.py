@@ -1,0 +1,82 @@
+"""Override-store tests: pins, supersession, history, durability."""
+
+from repro.relstore import Database, checkpoint, open_database
+from repro.triage import OverrideStore, override_recommendation
+
+
+def test_pin_and_active():
+    store = OverrideStore(Database("t"))
+    record = store.pin("expert", "R1", "E7", reason="field feedback")
+    assert record["override_id"] >= 0
+    active = store.active("R1")
+    assert active["error_code"] == "E7"
+    assert active["actor"] == "expert"
+    assert active["reason"] == "field feedback"
+    assert store.active("R2") is None
+
+
+def test_new_pin_supersedes_the_old_one():
+    store = OverrideStore(Database("t"))
+    first = store.pin("expert", "R1", "E7")
+    second = store.pin("expert2", "R1", "E9")
+    assert store.active("R1")["error_code"] == "E9"
+    history = store.history("R1")
+    assert [row["error_code"] for row in history] == ["E7", "E9"]
+    assert history[0]["superseded_by"] == second["override_id"]
+    assert history[1]["superseded_by"] is None
+    assert first["override_id"] != second["override_id"]
+
+
+def test_active_map_covers_only_live_pins():
+    store = OverrideStore(Database("t"))
+    store.pin("expert", "R1", "E7")
+    store.pin("expert", "R1", "E9")
+    store.pin("expert", "R2", "E3")
+    assert store.active_map() == {"R1": "E9", "R2": "E3"}
+    assert len(store) == 2
+
+
+def test_store_survives_reconstruction_on_the_same_database():
+    database = Database("t")
+    OverrideStore(database).pin("expert", "R1", "E7")
+    again = OverrideStore(database)
+    assert again.active("R1")["error_code"] == "E7"
+
+
+def test_pins_are_wal_durable_without_a_checkpoint(tmp_path):
+    directory = tmp_path / "store"
+    db, _ = open_database(directory)
+    store = OverrideStore(db)
+    store.pin("expert", "R1", "E7")
+    store.pin("expert", "R1", "E9")  # supersedes E7
+    db._wal.close()  # crash: no checkpoint was ever written
+    reopened, report = open_database(directory)
+    assert not report.quarantined
+    recovered = OverrideStore(reopened)
+    assert recovered.active("R1")["error_code"] == "E9"
+    assert [row["error_code"] for row in recovered.history("R1")] \
+        == ["E7", "E9"]
+    reopened._wal.close()
+
+
+def test_checkpoint_then_more_pins_round_trips(tmp_path):
+    directory = tmp_path / "store"
+    db, _ = open_database(directory)
+    store = OverrideStore(db)
+    store.pin("expert", "R1", "E7")
+    checkpoint(db, directory)
+    store.pin("expert", "R2", "E3")  # WAL-only tail after the checkpoint
+    db._wal.close()
+    reopened, _ = open_database(directory)
+    recovered = OverrideStore(reopened)
+    assert recovered.active_map() == {"R1": "E7", "R2": "E3"}
+    reopened._wal.close()
+
+
+def test_override_recommendation_shape():
+    recommendation = override_recommendation("R1", "P1", "E7")
+    assert recommendation.ref_no == "R1"
+    assert recommendation.part_id == "P1"
+    assert [(code.error_code, code.score)
+            for code in recommendation.codes] == [("E7", 1.0)]
+    assert recommendation.rank_of("E7") == 1

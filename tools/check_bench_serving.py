@@ -57,6 +57,13 @@ REQUIRED = {
     "replicated_rps": ((int, float), 0.0),
     "replication_speedup": ((int, float), 0.0),
     "replica_write_visibility_seconds": ((int, float), 0.0),
+    # triage phase (A10: confidence scoring priced vs a plain suggest);
+    # the overhead can legitimately be negative (timer noise on a
+    # near-free computation), so its lower bound is a loose sanity rail.
+    "triage_requests": (int, 1),
+    "plain_suggest_rps": ((int, float), 0.0),
+    "confidence_suggest_rps": ((int, float), 0.0),
+    "confidence_overhead_pct": ((int, float), -100.0),
 }
 
 #: Latency keys: allowed to equal their minimum (a 0.0ms percentile is
@@ -73,6 +80,10 @@ KEEPALIVE_SPEEDUP_FLOOR = 1.5
 #: A9's per-node scaling floor (mirrors bench_serving.py); checked only
 #: when the payload claims the floor was enforced on its host.
 REPLICATION_FLOOR_PER_NODE = 0.6
+
+#: A10's ceiling on confidence scoring's cost relative to a plain
+#: suggest, in percent (mirrors bench_serving.py's assertion).
+CONFIDENCE_OVERHEAD_CEILING_PCT = 10.0
 
 
 def check(path: Path) -> list[str]:
@@ -133,6 +144,12 @@ def check(path: Path) -> list[str]:
                 f"{path}: replication_speedup {repl_speedup!r} below the "
                 f"{floor}x floor ({REPLICATION_FLOOR_PER_NODE} per node x "
                 f"{replica_count + 1} nodes) claimed enforced on this host")
+    overhead = payload.get("confidence_overhead_pct")
+    if (isinstance(overhead, (int, float)) and not isinstance(overhead, bool)
+            and overhead > CONFIDENCE_OVERHEAD_CEILING_PCT):
+        problems.append(
+            f"{path}: confidence_overhead_pct {overhead!r} above the "
+            f"{CONFIDENCE_OVERHEAD_CEILING_PCT}% ceiling")
     return problems
 
 

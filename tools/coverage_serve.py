@@ -1,14 +1,15 @@
 #!/usr/bin/env python
-"""Line coverage for ``src/repro/serve/`` with a stdlib fallback.
+"""Line coverage for the serving + triage layers with a stdlib fallback.
 
-``make coverage`` gates the serving layer's line rate.  When ``pytest-cov``
-(or ``coverage``) is importable it is used directly; in hermetic
-environments without either, a ``sys.settrace``-based tracer measures the
-same thing with nothing beyond the standard library:
+``make coverage`` gates the line rate of every directory in ``TARGETS``
+(currently ``src/repro/serve/`` and ``src/repro/triage/``).  When
+``pytest-cov`` (or ``coverage``) is importable it is used directly; in
+hermetic environments without either, a ``sys.settrace``-based tracer
+measures the same thing with nothing beyond the standard library:
 
 * the tracer records every executed line of files under the target
-  directory (installed via ``threading.settrace`` too, so worker threads
-  count — the serving layer is thread-heavy);
+  directories (installed via ``threading.settrace`` too, so worker
+  threads count — the serving layer is thread-heavy);
 * the denominator is the set of *executable* lines, derived from each
   module's compiled code objects (``co_lines`` over the nested code-object
   tree), which is how coverage tools define it — comments and blank lines
@@ -18,17 +19,16 @@ same thing with nothing beyond the standard library:
   in ``SUBPROCESS_EXEMPT`` and excluded from the denominator, the same
   way ``# pragma: no cover`` would be.
 
-The target directory is globbed, so new serving modules join the
-denominator automatically — ``httpclient.py`` (the pooled keep-alive
-client) is covered by ``tests/serve/test_httpclient.py``.
+Each target directory is globbed, so new modules join the denominator
+automatically.
 
 Usage::
 
     python tools/coverage_serve.py [--fail-under PCT] [pytest args...]
 
-Default pytest target is ``tests/serve``; default ``--fail-under`` is
-``FAIL_UNDER`` below.  Exit status: pytest's if tests fail, else 1 when
-the rate is under the floor, else 0.
+Default pytest target is ``tests/serve tests/triage``; default
+``--fail-under`` is ``FAIL_UNDER`` below.  Exit status: pytest's if tests
+fail, else 1 when the rate is under the floor, else 0.
 """
 
 from __future__ import annotations
@@ -39,10 +39,16 @@ import threading
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-TARGET = REPO / "src" / "repro" / "serve"
 
-#: The committed line-rate floor for src/repro/serve/ (percent).  Raise it
-#: when coverage improves; never lower it to make a build pass.
+#: The gated directories.  Every ``*.py`` under each joins the
+#: denominator; the floor applies to the combined rate.
+TARGETS = (
+    REPO / "src" / "repro" / "serve",
+    REPO / "src" / "repro" / "triage",
+)
+
+#: The committed line-rate floor (percent).  Raise it when coverage
+#: improves; never lower it to make a build pass.
 FAIL_UNDER = 85.0
 
 #: Functions whose bodies only execute inside forked worker processes
@@ -70,15 +76,15 @@ def executable_lines(path: Path) -> set[int]:
 
 
 class LineTracer:
-    """Collect executed (filename, line) pairs under the target dir."""
+    """Collect executed (filename, line) pairs under the target dirs."""
 
-    def __init__(self, target: Path) -> None:
-        self._prefix = str(target) + os.sep
+    def __init__(self, targets: tuple[Path, ...]) -> None:
+        self._prefixes = tuple(str(target) + os.sep for target in targets)
         self.hit: dict[str, set[int]] = {}
 
     def _trace(self, frame, event, arg):
         filename = frame.f_code.co_filename
-        if not filename.startswith(self._prefix):
+        if not filename.startswith(self._prefixes):
             # returning None skips tracing the rest of this frame — the
             # overhead concentrates where we measure
             return None
@@ -98,7 +104,7 @@ class LineTracer:
 def run_with_fallback_tracer(pytest_args: list[str]) -> tuple[int, dict]:
     import pytest
 
-    tracer = LineTracer(TARGET)
+    tracer = LineTracer(TARGETS)
     tracer.install()
     try:
         status = pytest.main(pytest_args)
@@ -111,19 +117,25 @@ def report(hit: dict[str, set[int]], fail_under: float) -> int:
     total_executable = 0
     total_hit = 0
     rows = []
-    for path in sorted(TARGET.glob("*.py")):
-        executable = executable_lines(path)
-        executed = hit.get(str(path), set()) & executable
-        total_executable += len(executable)
-        total_hit += len(executed)
-        rate = 100.0 * len(executed) / len(executable) if executable else 100.0
-        rows.append((path.name, len(executable), len(executed), rate))
-    print(f"{'file':<16}{'lines':>8}{'hit':>8}{'rate':>9}")
+    for target in TARGETS:
+        label = target.relative_to(REPO / "src")
+        for path in sorted(target.glob("*.py")):
+            executable = executable_lines(path)
+            executed = hit.get(str(path), set()) & executable
+            total_executable += len(executable)
+            total_hit += len(executed)
+            rate = (100.0 * len(executed) / len(executable)
+                    if executable else 100.0)
+            rows.append((f"{label}/{path.name}", len(executable),
+                         len(executed), rate))
+    width = max(len(name) for name, _, _, _ in rows) + 2
+    print(f"{'file':<{width}}{'lines':>8}{'hit':>8}{'rate':>9}")
     for name, executable, executed, rate in rows:
-        print(f"{name:<16}{executable:>8}{executed:>8}{rate:>8.1f}%")
+        print(f"{name:<{width}}{executable:>8}{executed:>8}{rate:>8.1f}%")
     overall = (100.0 * total_hit / total_executable
                if total_executable else 100.0)
-    print(f"{'TOTAL':<16}{total_executable:>8}{total_hit:>8}{overall:>8.1f}%")
+    print(f"{'TOTAL':<{width}}{total_executable:>8}{total_hit:>8}"
+          f"{overall:>8.1f}%")
     if overall < fail_under:
         print(f"coverage_serve: FAIL — {overall:.1f}% is under the "
               f"{fail_under:.1f}% floor", file=sys.stderr)
@@ -135,8 +147,9 @@ def report(hit: dict[str, set[int]], fail_under: float) -> int:
 def run_with_pytest_cov(pytest_args: list[str], fail_under: float) -> int:
     import pytest
 
+    cov_args = [f"--cov={target}" for target in TARGETS]
     return int(pytest.main(
-        [f"--cov={TARGET}", "--cov-report=term-missing",
+        [*cov_args, "--cov-report=term-missing",
          f"--cov-fail-under={fail_under}", *pytest_args]))
 
 
@@ -147,7 +160,7 @@ def main(argv: list[str]) -> int:
         index = args.index("--fail-under")
         fail_under = float(args[index + 1])
         del args[index:index + 2]
-    pytest_args = args or ["tests/serve", "-q"]
+    pytest_args = args or ["tests/serve", "tests/triage", "-q"]
     sys.path.insert(0, str(REPO / "src"))
     try:
         import pytest_cov  # noqa: F401  (presence check only)
