@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-faults test-serve test-parity test-http test-replication test-triage coverage lint bench serve-bench
+.PHONY: test test-faults test-serve test-parity test-http test-replication test-triage test-mvcc coverage lint bench serve-bench
 
 # Tier-1: the fast deterministic suite gating every change, plus the
 # cross-executor parity contract and the serving-layer coverage gate.
@@ -40,11 +40,18 @@ test-replication:
 test-triage:
 	$(PYTHON) -m pytest tests/triage -q
 
-# Line-coverage gate for src/repro/serve/ + src/repro/triage/
-# (pytest-cov when installed, stdlib settrace fallback otherwise; floor
-# in tools/coverage_serve.py).
+# The MVCC battery on its own: the isolation-anomaly suite (dirty
+# read, non-repeatable read, lost update, write skew), WAL framing +
+# group commit, and the seeded mid-transaction crash scenarios.
+test-mvcc:
+	$(PYTHON) -m pytest tests/relstore/test_mvcc_anomalies.py tests/relstore/test_wal.py -q
+	$(PYTHON) -m pytest tests/relstore/test_mvcc_crash.py -q -m faults
+
+# Line-coverage gate for src/repro/serve/ + src/repro/triage/ +
+# src/repro/relstore/ (pytest-cov when installed, stdlib settrace
+# fallback otherwise; floor in tools/coverage_serve.py).
 coverage:
-	$(PYTHON) tools/coverage_serve.py tests/serve tests/triage -q
+	$(PYTHON) tools/coverage_serve.py tests/serve tests/triage tests/relstore -q
 
 lint:
 	$(PYTHON) tools/lint_bare_except.py src

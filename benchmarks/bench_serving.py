@@ -51,6 +51,18 @@ confidence scoring: the same sequential suggest trace runs once with
 every answer).  Floor: the confidence arm keeps at least 90% of plain
 throughput — scoring reads signals the ranker already computed, so its
 overhead must stay under ``CONFIDENCE_OVERHEAD_CEILING_PCT``.
+
+The sixth phase (bench A11) prices the relstore's MVCC snapshot reads:
+pooled reader threads run an index-assisted query trace three ways —
+idle (no writer), under a continuously committing MVCC writer
+transaction (readers pin ``read_view()`` snapshots, never block), and
+under the pre-MVCC reader-writer-lock discipline (readers share the
+read side, the writer holds the exclusive side per transaction).
+Floors, enforced only on multi-core hosts (a single core just
+time-slices the GIL either way): MVCC reader p95 under the committing
+writer stays within ``MVCC_P95_DEGRADATION_CEILING`` of the idle p95,
+and MVCC reader throughput beats the RWLock arm by at least
+``MVCC_RWLOCK_SPEEDUP_FLOOR``.
 """
 
 import json
@@ -106,6 +118,19 @@ TRIAGE_ROUNDS = 5
 #: Ceiling on confidence scoring's throughput cost relative to a plain
 #: suggest (percent of plain wall time).
 CONFIDENCE_OVERHEAD_CEILING_PCT = 10.0
+
+# MVCC phase (A11): relstore reader latency/throughput under a
+# committing writer, snapshot reads vs the old reader-writer lock.
+MVCC_ROWS = 400
+MVCC_READS = 400          # reads per reader thread per arm
+MVCC_READERS = 4
+MVCC_WRITER_TXN_ROWS = 20  # rows updated per writer transaction
+#: Ceiling on MVCC reader p95 degradation under a committing writer,
+#: relative to the idle-reader p95 (the acceptance bar: within 1.5x).
+MVCC_P95_DEGRADATION_CEILING = 1.5
+#: Floor for MVCC reader throughput over the RWLock arm's, both
+#: measured under the same committing-writer load.
+MVCC_RWLOCK_SPEEDUP_FLOOR = 1.5
 
 
 def _build_service(corpus, bundles):
@@ -762,6 +787,161 @@ def test_triage_confidence_overhead(benchmark, corpus, bundles, reporter):
         "confidence_suggest_rps": round(scored_rps, 2),
         "confidence_overhead_pct": round(overhead_pct, 3),
         "confidence_overhead_ceiling_pct": CONFIDENCE_OVERHEAD_CEILING_PCT,
+    })
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(results_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
+def _mvcc_bench_db():
+    from repro.relstore import Schema
+    db = Database("serve-bench-mvcc")
+    table = db.create_table("readings", Schema.build(
+        [("grp", "text"), ("payload", "text"), ("n", "integer")]))
+    table.create_index("ix_grp", "grp")
+    for i in range(MVCC_ROWS):
+        table.insert({"grp": f"g{i % 16}", "payload": f"row {i} " * 4,
+                      "n": i})
+    return db, table
+
+
+def _mvcc_reader_pass(table, col_grp, latencies, guard):
+    """One reader's trace: index-assisted selects under *guard*."""
+    for number in range(MVCC_READS):
+        group = f"g{number % 16}"
+        start = time.perf_counter()
+        with guard():
+            rows = table.select(col_grp == group)
+        latencies.append((time.perf_counter() - start) * 1000.0)
+        assert rows  # every group is populated
+
+
+def _mvcc_arm(db, table, guard, writer=None):
+    """Run the reader pool (and optional writer loop) for one arm.
+
+    Returns ``(reader_rps, p95_ms)`` pooled across all readers.
+    """
+    from repro.relstore import col
+    col_grp = col("grp")
+    latencies = [[] for _ in range(MVCC_READERS)]
+    stop_writer = threading.Event()
+    writer_thread = None
+    if writer is not None:
+        writer_thread = threading.Thread(target=writer, args=(stop_writer,))
+        writer_thread.start()
+    readers = [threading.Thread(target=_mvcc_reader_pass,
+                                args=(table, col_grp, sink, guard))
+               for sink in latencies]
+    start = time.perf_counter()
+    for thread in readers:
+        thread.start()
+    for thread in readers:
+        thread.join()
+    wall = time.perf_counter() - start
+    stop_writer.set()
+    if writer_thread is not None:
+        writer_thread.join()
+    pooled = [ms for sink in latencies for ms in sink]
+    return len(pooled) / wall, percentile(pooled, 0.95)
+
+
+def test_mvcc_reader_isolation(benchmark, reporter):
+    """A11 — MVCC snapshot reads vs the RWLock under a committing writer.
+
+    Three arms over the same table and reader trace:
+
+    * ``idle``   — MVCC read views, no writer (the latency baseline);
+    * ``mvcc``   — MVCC read views while a writer commits transactions
+      back to back (readers never block on the writer);
+    * ``rwlock`` — the pre-MVCC discipline: readers share an
+      :class:`~repro.serve.locks.RWLock` read side, the writer holds the
+      exclusive side for each whole transaction.
+    """
+    from repro.serve.locks import RWLock
+    db, table = _mvcc_bench_db()
+    row_ids = list(table.row_ids())
+
+    def mvcc_writer(stop):
+        counter = 0
+        while not stop.is_set():
+            with db.transaction():
+                for offset in range(MVCC_WRITER_TXN_ROWS):
+                    row_id = row_ids[(counter + offset) % len(row_ids)]
+                    table.update(row_id, {"n": counter})
+            counter += 1
+
+    store_lock = RWLock()
+
+    def rwlock_writer(stop):
+        counter = 0
+        while not stop.is_set():
+            with store_lock.write_locked():
+                for offset in range(MVCC_WRITER_TXN_ROWS):
+                    row_id = row_ids[(counter + offset) % len(row_ids)]
+                    table.update(row_id, {"n": counter})
+            counter += 1
+
+    def run_arms():
+        idle = _mvcc_arm(db, table, db.read_view)
+        mvcc = _mvcc_arm(db, table, db.read_view, writer=mvcc_writer)
+        rwlock = _mvcc_arm(db, table, store_lock.read_locked,
+                           writer=rwlock_writer)
+        return idle, mvcc, rwlock
+
+    (idle, mvcc, rwlock) = benchmark.pedantic(run_arms, rounds=1,
+                                              iterations=1)
+    idle_rps, idle_p95 = idle
+    mvcc_rps, mvcc_p95 = mvcc
+    rwlock_rps, rwlock_p95 = rwlock
+    db.vacuum()
+    assert db.check_consistency() == []
+
+    p95_ratio = mvcc_p95 / idle_p95 if idle_p95 else 1.0
+    speedup = mvcc_rps / rwlock_rps if rwlock_rps else float("inf")
+    cpus = os.cpu_count() or 1
+    floor_enforced = cpus >= 2
+    reporter.row("A11 — relstore readers under a committing writer: "
+                 "MVCC read views vs RWLock")
+    reporter.row(f"{'arm':<22}{'reads/s':>10}{'p95 ms':>10}")
+    reporter.row(f"{'idle (no writer)':<22}{idle_rps:>10.1f}"
+                 f"{idle_p95:>10.3f}")
+    reporter.row(f"{'mvcc + writer':<22}{mvcc_rps:>10.1f}"
+                 f"{mvcc_p95:>10.3f}")
+    reporter.row(f"{'rwlock + writer':<22}{rwlock_rps:>10.1f}"
+                 f"{rwlock_p95:>10.3f}")
+    reporter.row(f"p95 under writer: {p95_ratio:.2f}x idle "
+                 f"(ceiling {MVCC_P95_DEGRADATION_CEILING}x) | "
+                 f"mvcc/rwlock throughput: {speedup:.2f}x "
+                 f"(floor {MVCC_RWLOCK_SPEEDUP_FLOOR}x) | "
+                 f"{MVCC_READERS} readers x {MVCC_READS} reads")
+    if floor_enforced:
+        assert p95_ratio <= MVCC_P95_DEGRADATION_CEILING, (
+            f"MVCC reader p95 degraded {p95_ratio:.2f}x under a "
+            f"committing writer, over the "
+            f"{MVCC_P95_DEGRADATION_CEILING}x ceiling")
+        assert speedup >= MVCC_RWLOCK_SPEEDUP_FLOOR, (
+            f"MVCC readers only {speedup:.2f}x the RWLock arm, under "
+            f"the {MVCC_RWLOCK_SPEEDUP_FLOOR}x floor")
+    else:
+        reporter.row(f"single-core host: floors recorded, not enforced")
+
+    results_path = RESULTS_DIR / "BENCH_serving.json"
+    payload = {}
+    if results_path.exists():
+        payload = json.loads(results_path.read_text(encoding="utf-8"))
+    payload.update({
+        "mvcc_reads": MVCC_READS * MVCC_READERS,
+        "mvcc_readers": MVCC_READERS,
+        "mvcc_reader_rps_idle": round(idle_rps, 1),
+        "mvcc_reader_rps_writer": round(mvcc_rps, 1),
+        "rwlock_reader_rps_writer": round(rwlock_rps, 1),
+        "mvcc_idle_p95_ms": round(idle_p95, 3),
+        "mvcc_writer_p95_ms": round(mvcc_p95, 3),
+        "rwlock_writer_p95_ms": round(rwlock_p95, 3),
+        "mvcc_p95_ratio": round(p95_ratio, 3),
+        "mvcc_vs_rwlock_speedup": round(speedup, 3),
+        "mvcc_floor_enforced": floor_enforced,
     })
     RESULTS_DIR.mkdir(exist_ok=True)
     with open(results_path, "w", encoding="utf-8") as fh:

@@ -235,6 +235,21 @@ class KnowledgeBase:
         self._cache = NodeCache()
         # (part_id, error_code, features) -> row id, for dedup on insert
         self._row_ids: dict[tuple, int] = {}
+        self.reload()
+
+    def reload(self) -> None:
+        """Rebuild the node cache from the backing table.
+
+        The cache is write-through, so it only diverges from the table
+        when the table changes underneath it — the one supported case
+        being a rolled-back transaction that had routed mutations
+        through this knowledge base (the relstore undoes the rows; the
+        cache kept the applied view).  Callers that roll back a
+        transaction covering knowledge writes must call this before the
+        next read.
+        """
+        self._cache = NodeCache()
+        self._row_ids = {}
         for row_id in list(self._table.row_ids()):
             row = self._table.get(row_id)
             node = self._cache.put(row_id, KnowledgeNode(

@@ -18,7 +18,7 @@ from .csv_io import export_csv, import_csv, load_csv_into, table_to_csv
 from .database import Database
 from .errors import (CorruptionError, IntegrityError, PersistenceError,
                      QueryError, RelStoreError, SchemaError, SqlError,
-                     TransactionError, WalError)
+                     TransactionConflictError, TransactionError, WalError)
 from .index import HashIndex, InvertedIndex, UniqueIndex
 from .join import hash_join
 from .persist import (RecoveryReport, checkpoint, load_database,
@@ -48,6 +48,7 @@ __all__ = [
     "SchemaError",
     "SqlError",
     "Table",
+    "TransactionConflictError",
     "TransactionError",
     "UniqueIndex",
     "WalError",

@@ -1,10 +1,17 @@
-"""The database object: a namespace of tables with lightweight transactions.
+"""The database object: a namespace of tables with MVCC transactions.
 
-Transactions use an undo log: every mutation performed through the database
-while a transaction is open records its inverse, and ``rollback`` replays the
-inverses in reverse order.  This is enough for QATK's single-writer pipeline
-(the paper persists knowledge nodes and recommendations transactionally per
-processing batch).
+Transactions run under snapshot isolation (see :mod:`repro.relstore.mvcc`):
+``begin()`` binds a transaction to the calling thread and pins a stable
+read snapshot; writes go in place with an undo log and per-row version
+chains so other threads keep reading the committed state; ``commit``
+publishes every touched row atomically under a fresh commit sequence
+number, after journaling the transaction's ops as one framed WAL batch
+(txn-begin … txn-commit) so recovery replays all of it or none of it.
+Write-write conflicts resolve first-committer-wins with
+:class:`~repro.relstore.errors.TransactionConflictError`; savepoints
+give partial rollback inside a transaction; ``read_view()`` gives
+non-transactional readers the same stable-snapshot guarantee without
+ever blocking on writers.
 """
 
 from __future__ import annotations
@@ -13,9 +20,14 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Mapping
 
 from .errors import QueryError, SchemaError, TransactionError
+from .mvcc import MvccState, Transaction
 from .predicate import ALWAYS, Predicate
 from .table import Table
 from .types import Schema
+
+#: Undo-log entry kind tags (mirrors mvcc._ROW/_DDL).
+_ROW = "row"
+_DDL = "ddl"
 
 
 class Database:
@@ -24,32 +36,42 @@ class Database:
     def __init__(self, name: str = "main") -> None:
         self.name = name
         self._tables: dict[str, Table] = {}
-        self._undo_log: list[Callable[[], None]] | None = None
         self._journal: Callable[[Mapping[str, Any]], None] | None = None
-        self._txn_ops: list[Mapping[str, Any]] = []
-        self._journal_suppressed = False
+        self._journal_many: Callable[[list[Mapping[str, Any]]], None] | None = None
         self._wal = None  # WriteAheadLog attached by persist.open_database
+        self._mvcc = MvccState(lambda: list(self._tables.values()))
 
     # ------------------------------------------------------------------ #
     # journaling (write-ahead logging)
 
-    def set_journal(self, journal: Callable[[Mapping[str, Any]], None] | None) -> None:
+    def set_journal(self, journal: Callable[[Mapping[str, Any]], None] | None,
+                    journal_many: Callable[[list[Mapping[str, Any]]], None] | None = None) -> None:
         """Route every committed mutation through *journal* (or stop, if None).
 
         Used by :func:`repro.relstore.persist.open_database` to attach a
         write-ahead log.  Ops performed inside a transaction are buffered
         and only reach the journal on ``commit``; ``rollback`` discards
-        them (and suppresses the journal while undoing).
+        them (undo is purely physical and never journaled).
+
+        When *journal_many* is given (the WAL's ``append_many``), a
+        commit delivers its ops as one batch wrapped in ``txn_begin`` /
+        ``txn_commit`` framing records — recovery then replays the
+        transaction atomically, and the batch is made durable with a
+        single (group-committed) fsync.  A plain *journal* receives the
+        bare ops one by one, unframed, preserving the pre-MVCC contract
+        for in-memory journals.
         """
         self._journal = journal
+        self._journal_many = journal_many
         for table in self._tables.values():
             table.journal = self._route_op
 
     def _route_op(self, op: Mapping[str, Any]) -> None:
-        if self._journal is None or self._journal_suppressed:
+        if self._journal is None:
             return
-        if self._undo_log is not None:
-            self._txn_ops.append(op)
+        txn = self._mvcc.current_txn()
+        if txn is not None:
+            txn.ops.append(dict(op))
         else:
             self._journal(op)
 
@@ -67,12 +89,14 @@ class Database:
                 return self._tables[name]
             raise SchemaError(f"table {name!r} already exists")
         table = Table(name, schema)
+        table.bind_mvcc(self._mvcc)
         table.journal = self._route_op
         self._tables[name] = table
         self._route_op({"op": "create_table", "table": name,
                         "schema": schema.to_json()})
-        if self._undo_log is not None:
-            self._undo_log.append(lambda: self._tables.pop(name, None))
+        txn = self._mvcc.current_txn()
+        if txn is not None:
+            txn.record_ddl(lambda: self._tables.pop(name, None))
         return table
 
     def drop_table(self, name: str, *, if_exists: bool = False) -> None:
@@ -87,8 +111,9 @@ class Database:
             raise QueryError(f"no table {name!r}")
         table = self._tables.pop(name)
         self._route_op({"op": "drop_table", "table": name})
-        if self._undo_log is not None:
-            self._undo_log.append(lambda: self._tables.__setitem__(name, table))
+        txn = self._mvcc.current_txn()
+        if txn is not None:
+            txn.record_ddl(lambda: self._tables.__setitem__(name, table))
 
     def table(self, name: str) -> Table:
         """Return the table called *name*.
@@ -114,7 +139,11 @@ class Database:
 
     def check_consistency(self) -> list[str]:
         """Run :meth:`Table.check_consistency` over every table; returns
-        the concatenated problem list (empty = all indexes consistent)."""
+        the concatenated problem list (empty = all indexes consistent).
+
+        Checks physical state: call it quiesced or from the writer's
+        thread between transactions (see ``Table.check_consistency``).
+        """
         problems: list[str] = []
         for name in self.table_names():
             problems.extend(self._tables[name].check_consistency())
@@ -127,92 +156,167 @@ class Database:
     # transactional mutation helpers
 
     def insert(self, table_name: str, values: Mapping[str, Any]) -> int:
-        """Insert into a table, logging the inverse when in a transaction."""
-        table = self.table(table_name)
-        row_id = table.insert(values)
-        if self._undo_log is not None:
-            def undo_insert() -> None:
-                row = table._rows.pop(row_id, None)
-                if row is not None:
-                    for index in table._indexes.values():
-                        index.remove(row_id, row[table.schema.index_of(index.column)])
-            self._undo_log.append(undo_insert)
-        return row_id
+        """Insert into a table; undo/versioning is captured at table level."""
+        return self.table(table_name).insert(values)
 
     def insert_many(self, table_name: str, rows: Iterator[Mapping[str, Any]] | list) -> list[int]:
         """Insert several rows through :meth:`insert`."""
         return [self.insert(table_name, row) for row in rows]
 
     def update(self, table_name: str, row_id: int, changes: Mapping[str, Any]) -> None:
-        """Update one row, logging the inverse when in a transaction."""
-        table = self.table(table_name)
-        before = table.get(row_id)
-        table.update(row_id, changes)
-        if self._undo_log is not None:
-            self._undo_log.append(lambda: table.update(row_id, before))
+        """Update one row; undo/versioning is captured at table level."""
+        self.table(table_name).update(row_id, changes)
 
     def delete(self, table_name: str, predicate: Predicate = ALWAYS) -> int:
-        """Delete matching rows, logging re-inserts when in a transaction."""
-        table = self.table(table_name)
-        doomed = [(row_id, table.get(row_id)) for row_id in list(table.row_ids())
-                  if predicate(table.get(row_id))]
-        count = table.delete(predicate)
-        if self._undo_log is not None and doomed:
-            def reinsert() -> None:
-                for _, row in doomed:
-                    table.insert(row)
-            self._undo_log.append(reinsert)
-        return count
+        """Delete matching rows; rollback restores them under their
+        original row ids (durable-row-id invariant)."""
+        return self.table(table_name).delete(predicate)
 
     # ------------------------------------------------------------------ #
     # transactions
 
     @property
     def in_transaction(self) -> bool:
-        """Whether a transaction is currently open."""
-        return self._undo_log is not None
+        """Whether the *calling thread* has an open transaction."""
+        return self._mvcc.current_txn() is not None
 
     def begin(self) -> None:
-        """Open a transaction.
+        """Open a transaction bound to the calling thread.
+
+        The transaction reads from a snapshot pinned now; its writes
+        stay invisible to other threads until :meth:`commit`.
 
         Raises:
-            TransactionError: if one is already open (no nesting).
+            TransactionError: if this thread already has one open (no
+                nesting — use :meth:`savepoint`), or holds a read view.
         """
-        if self._undo_log is not None:
-            raise TransactionError("transaction already open")
-        self._undo_log = []
-        self._txn_ops = []
+        self._mvcc.begin()
 
     def commit(self) -> None:
         """Commit the open transaction.
 
+        Journals the buffered ops first (framed, one fsync), then
+        publishes every touched row under a fresh commit sequence
+        number.  If journaling fails the transaction is rolled back so
+        memory never diverges from the durable log.
+
         Raises:
-            TransactionError: if no transaction is open.
+            TransactionError: if no transaction is open on this thread.
         """
-        if self._undo_log is None:
+        txn = self._mvcc.current_txn()
+        if txn is None:
             raise TransactionError("no transaction to commit")
-        self._undo_log = None
-        ops, self._txn_ops = self._txn_ops, []
-        if self._journal is not None:
-            for op in ops:
-                self._journal(op)
+        try:
+            if txn.ops:
+                if self._journal_many is not None:
+                    framed: list[Mapping[str, Any]] = [
+                        {"op": "txn_begin", "txn": txn.txn_id}]
+                    framed.extend(txn.ops)
+                    framed.append({"op": "txn_commit", "txn": txn.txn_id})
+                    self._journal_many(framed)
+                elif self._journal is not None:
+                    for op in txn.ops:
+                        self._journal(op)
+        except BaseException:
+            self.rollback()
+            raise
+        self._mvcc.finish_commit(txn)
 
     def rollback(self) -> None:
         """Undo every change made since :meth:`begin`.
 
         Raises:
-            TransactionError: if no transaction is open.
+            TransactionError: if no transaction is open on this thread.
         """
-        if self._undo_log is None:
+        txn = self._mvcc.current_txn()
+        if txn is None:
             raise TransactionError("no transaction to roll back")
-        log, self._undo_log = self._undo_log, None
-        self._txn_ops = []
-        self._journal_suppressed = True
         try:
-            for undo in reversed(log):
-                undo()
+            self._replay_undo(txn.undo)
         finally:
-            self._journal_suppressed = False
+            txn.undo.clear()
+            txn.ops.clear()
+            txn.savepoints.clear()
+            self._mvcc.discard(txn)
+
+    def _replay_undo(self, entries: list[tuple[Any, ...]]) -> None:
+        """Reverse-apply undo entries (physical restores, never journaled)."""
+        for entry in reversed(entries):
+            if entry[0] == _DDL:
+                entry[1]()
+                continue
+            _, table, row_id, before, first, chain_appended = entry
+            current = table._rows.get(row_id)
+            if before is None:
+                if current is not None:
+                    table.remove_row(row_id)
+            elif current is None or current != before:
+                table._restore_row(row_id, before)
+            if first:
+                if chain_appended:
+                    chain = table._versions.get(row_id)
+                    if chain:
+                        chain.pop()
+                        if not chain:
+                            del table._versions[row_id]
+                table._dirty.discard(row_id)
+                table._mutations += 1
+
+    # -- savepoints ----------------------------------------------------- #
+
+    def _current_txn_or_raise(self, action: str) -> Transaction:
+        txn = self._mvcc.current_txn()
+        if txn is None:
+            raise TransactionError(f"no transaction to {action}")
+        return txn
+
+    def savepoint(self, name: str) -> None:
+        """Mark a savepoint inside the open transaction.
+
+        Re-using a name stacks a new mark; ``rollback_to_savepoint``
+        targets the most recent one.
+
+        Raises:
+            TransactionError: outside a transaction, or on an invalid name.
+        """
+        txn = self._current_txn_or_raise("set a savepoint in")
+        if not str(name).isidentifier():
+            raise TransactionError(f"invalid savepoint name {name!r}")
+        txn.savepoints.append((name, len(txn.undo), len(txn.ops)))
+
+    @staticmethod
+    def _find_savepoint(txn: Transaction, name: str) -> int:
+        for position in range(len(txn.savepoints) - 1, -1, -1):
+            if txn.savepoints[position][0] == name:
+                return position
+        raise TransactionError(f"no savepoint {name!r}")
+
+    def rollback_to_savepoint(self, name: str) -> None:
+        """Undo changes made since savepoint *name* (which survives, so
+        it can be rolled back to again); savepoints set after it are
+        destroyed.
+
+        Raises:
+            TransactionError: outside a transaction or on unknown name.
+        """
+        txn = self._current_txn_or_raise("roll back in")
+        position = self._find_savepoint(txn, name)
+        _, undo_len, ops_len = txn.savepoints[position]
+        self._replay_undo(txn.undo[undo_len:])
+        del txn.undo[undo_len:]
+        del txn.ops[ops_len:]
+        del txn.savepoints[position + 1:]
+
+    def release_savepoint(self, name: str) -> None:
+        """Forget savepoint *name* (and any set after it), keeping the
+        changes made since.
+
+        Raises:
+            TransactionError: outside a transaction or on unknown name.
+        """
+        txn = self._current_txn_or_raise("release a savepoint in")
+        position = self._find_savepoint(txn, name)
+        del txn.savepoints[position:]
 
     @contextmanager
     def transaction(self) -> Iterator["Database"]:
@@ -225,3 +329,40 @@ class Database:
             raise
         else:
             self.commit()
+
+    # ------------------------------------------------------------------ #
+    # read views & maintenance
+
+    @contextmanager
+    def read_view(self) -> Iterator["Database"]:
+        """Pin a stable committed snapshot for the calling thread's reads.
+
+        Every table read inside the block sees exactly the state
+        committed when the view was entered — concurrent committers
+        don't block the reader and don't change what it sees.  Views
+        are reentrant and read-only (a write inside one raises
+        :class:`TransactionError`); inside an open transaction this is
+        a no-op, since the transaction snapshot already governs reads.
+        """
+        self._mvcc.enter_view()
+        try:
+            yield self
+        finally:
+            self._mvcc.exit_view()
+
+    def vacuum(self) -> int:
+        """Garbage-collect version chains up to the oldest pinned
+        snapshot; returns the number of chain entries pruned."""
+        return self._mvcc.gc()
+
+    def mvcc_stats(self) -> dict[str, int]:
+        """Counters for observability and tests."""
+        state = self._mvcc
+        return {
+            "csn": state.csn,
+            "active_transactions": len(state._txns),
+            "pinned_snapshots": len(state._pins),
+            "version_entries": sum(
+                len(chain) for table in self._tables.values()
+                for chain in table._versions.values()),
+        }

@@ -31,6 +31,16 @@ class TransactionError(RelStoreError):
     """A transaction was misused (e.g. nested begin, commit without begin)."""
 
 
+class TransactionConflictError(TransactionError):
+    """A write-write conflict under snapshot isolation.
+
+    Raised when a transaction writes a row that another transaction
+    committed after this transaction's snapshot was taken
+    (first-committer-wins).  The losing transaction should be rolled
+    back and retried on a fresh snapshot.
+    """
+
+
 class PersistenceError(RelStoreError):
     """A database directory could not be written or read back."""
 

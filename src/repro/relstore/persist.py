@@ -39,8 +39,8 @@ from .errors import CorruptionError, PersistenceError
 from .index import InvertedIndex, UniqueIndex
 from .table import Table
 from .types import Schema
-from .wal import (WAL_NAME, WalReplay, WriteAheadLog, replay_wal_file,
-                  rewrite_wal_file, truncate_wal_file)
+from .wal import (TXN_BEGIN, TXN_COMMIT, WAL_NAME, WalReplay, WriteAheadLog,
+                  replay_wal_file, rewrite_wal_file, truncate_wal_file)
 
 CATALOG_NAME = "catalog.json"
 #: Version 2 adds per-row CRCs + durable row ids + per-file digests; version
@@ -115,6 +115,9 @@ class RecoveryReport:
     rows_loaded: int = 0
     wal_records_applied: int = 0
     wal_torn_tail_discarded: int = 0
+    #: Ops inside a txn_begin frame whose txn_commit never made it to
+    #: disk (crash mid-commit): dropped wholesale, never replayed.
+    wal_uncommitted_dropped: int = 0
     quarantined: list[QuarantinedRecord] = field(default_factory=list)
     checksum_failures: list[str] = field(default_factory=list)
     missing_files: list[str] = field(default_factory=list)
@@ -125,7 +128,8 @@ class RecoveryReport:
         """True when nothing was quarantined, missing, or inconsistent."""
         return not (self.quarantined or self.checksum_failures
                     or self.missing_files or self.orphan_files
-                    or self.wal_torn_tail_discarded)
+                    or self.wal_torn_tail_discarded
+                    or self.wal_uncommitted_dropped)
 
     def summary(self) -> str:
         """One human-readable line per finding (empty string when clean)."""
@@ -134,6 +138,9 @@ class RecoveryReport:
         if self.wal_torn_tail_discarded:
             lines.append(f"discarded torn WAL tail "
                          f"({self.wal_torn_tail_discarded} record(s))")
+        if self.wal_uncommitted_dropped:
+            lines.append(f"dropped uncommitted transaction record(s) "
+                         f"({self.wal_uncommitted_dropped}) from the WAL")
         for record in self.quarantined:
             lines.append(f"quarantined {record.source}:{record.line_number}: "
                          f"{record.reason}")
@@ -315,7 +322,7 @@ def open_database(directory: str | Path, *, sync: bool = True,
                                                 on_error="quarantine")
     wal = WriteAheadLog(directory / WAL_NAME, sync=sync)
     database._wal = wal
-    database.set_journal(wal.append)
+    database.set_journal(wal.append, wal.append_many)
     return database, report
 
 
@@ -463,15 +470,48 @@ def _replay_wal(database: Database, directory: Path, report: RecoveryReport,
                 f"{WAL_NAME}:{bad.line_number}: {bad.reason}")
         _quarantine(directory, report, WAL_NAME, bad.line_number,
                     bad.reason, bad.raw)
-    if replay.bad_records and not strict:
-        # Make the repair durable: drop the torn tail and the (already
-        # quarantined) corrupt lines from the log itself, so the next
-        # open does not re-discover the same damage and — critically —
-        # the next append cannot merge an acknowledged record onto a
-        # torn partial line and lose it.
-        rewrite_wal_file(directory / WAL_NAME, replay.records)
-    applied = 0
+    # Transaction framing: ops between a txn_begin and its txn_commit
+    # replay only when the commit marker made it to disk.  A group cut
+    # short by a crash mid-commit is dropped wholesale — recovery never
+    # applies a partial transaction.
+    survivors: list[dict[str, Any]] = []
+    apply_list: list[tuple[int, dict[str, Any]]] = []
+    pending: list[tuple[int, dict[str, Any]]] | None = None
+    pending_frame: dict[str, Any] | None = None
+    dropped = 0
     for position, op in enumerate(replay.records, start=1):
+        kind = op.get("op")
+        if kind == TXN_BEGIN:
+            if pending is not None:
+                dropped += len(pending) + 1
+            pending, pending_frame = [], op
+        elif kind == TXN_COMMIT:
+            if pending is None:
+                dropped += 1  # stray commit marker without its begin
+                continue
+            survivors.append(pending_frame)
+            survivors.extend(framed_op for _, framed_op in pending)
+            survivors.append(op)
+            apply_list.extend(pending)
+            pending, pending_frame = None, None
+        elif pending is not None:
+            pending.append((position, op))
+        else:
+            survivors.append(op)
+            apply_list.append((position, op))
+    if pending is not None:
+        dropped += len(pending) + 1
+    report.wal_uncommitted_dropped += dropped
+    if (replay.bad_records or dropped) and not strict:
+        # Make the repair durable: drop the torn tail, the (already
+        # quarantined) corrupt lines, and any uncommitted transaction
+        # frame from the log itself, so the next open does not
+        # re-discover the same damage and — critically — the next
+        # append cannot land new autocommit records *inside* an orphan
+        # txn_begin frame (which a later replay would then drop).
+        rewrite_wal_file(directory / WAL_NAME, survivors)
+    applied = 0
+    for position, op in apply_list:
         try:
             _apply_wal_op(database, op)
             applied += 1
@@ -489,7 +529,7 @@ def _apply_wal_op(database: Database, op: dict[str, Any]) -> None:
     """Apply one journaled op.  Idempotent: replaying the same log twice
     (e.g. reopening without a checkpoint) reproduces the same state."""
     kind = op["op"]
-    if kind == "checkpoint":
+    if kind in ("checkpoint", TXN_BEGIN, TXN_COMMIT):
         return
     name = op["table"]
     if kind == "create_table":

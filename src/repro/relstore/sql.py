@@ -10,6 +10,10 @@ the QUEST admin screens):
 * ``UPDATE t SET col = v, ... [WHERE ...]``
 * ``DELETE FROM t [WHERE ...]``
 * ``DROP TABLE t``
+* ``BEGIN [TRANSACTION|WORK]`` / ``COMMIT`` / ``ROLLBACK`` — snapshot-
+  isolation transactions bound to the calling thread
+* ``SAVEPOINT name`` (also EdgeQL's ``DECLARE SAVEPOINT name``),
+  ``ROLLBACK TO [SAVEPOINT] name``, ``RELEASE [SAVEPOINT] name``
 
 WHERE supports ``=  != < <= > >= IN (...) IS NULL IS NOT NULL`` combined
 with ``AND`` / ``OR`` / ``NOT`` and parentheses.  Literals: integers, floats,
@@ -46,6 +50,10 @@ _KEYWORDS = {
     "and", "or", "not", "in", "is", "null", "true", "false", "primary", "key",
     "count", "sum", "avg", "min", "max", "group", "distinct", "explain",
     "like", "join", "on", "left", "inner",
+    # transaction control (DECLARE SAVEPOINT is the EdgeQL spelling,
+    # accepted alongside plain SAVEPOINT)
+    "begin", "commit", "rollback", "savepoint", "release", "to",
+    "transaction", "work", "declare",
 }
 
 _AGGREGATES = ("count", "sum", "avg", "min", "max")
@@ -165,7 +173,43 @@ class _Parser:
             return self._delete()
         if self.accept("keyword", "drop"):
             return self._drop()
+        if self.accept("keyword", "begin"):
+            self._optional_txn_noise()
+            self.expect("end")
+            return {"kind": "begin"}
+        if self.accept("keyword", "commit"):
+            self._optional_txn_noise()
+            self.expect("end")
+            return {"kind": "commit"}
+        if self.accept("keyword", "rollback"):
+            if self.accept("keyword", "to"):
+                self.accept("keyword", "savepoint")
+                name = self.expect_name()
+                self.expect("end")
+                return {"kind": "rollback_to_savepoint", "name": name}
+            self._optional_txn_noise()
+            self.expect("end")
+            return {"kind": "rollback"}
+        if self.accept("keyword", "savepoint"):
+            name = self.expect_name()
+            self.expect("end")
+            return {"kind": "savepoint", "name": name}
+        if self.accept("keyword", "declare"):
+            self.expect("keyword", "savepoint")
+            name = self.expect_name()
+            self.expect("end")
+            return {"kind": "savepoint", "name": name}
+        if self.accept("keyword", "release"):
+            self.accept("keyword", "savepoint")
+            name = self.expect_name()
+            self.expect("end")
+            return {"kind": "release_savepoint", "name": name}
         raise SqlError(f"unsupported statement starting with {self.current.value!r}")
+
+    def _optional_txn_noise(self) -> None:
+        """Swallow the optional TRANSACTION / WORK keyword."""
+        if not self.accept("keyword", "transaction"):
+            self.accept("keyword", "work")
 
     def _create_table(self) -> dict[str, Any]:
         self.expect("keyword", "table")
@@ -500,4 +544,22 @@ def execute(database: Database, sql: str) -> Any:
         return touched
     if kind == "delete":
         return database.table(statement["table"]).delete(statement["where"])
+    if kind == "begin":
+        database.begin()
+        return None
+    if kind == "commit":
+        database.commit()
+        return None
+    if kind == "rollback":
+        database.rollback()
+        return None
+    if kind == "savepoint":
+        database.savepoint(statement["name"])
+        return None
+    if kind == "rollback_to_savepoint":
+        database.rollback_to_savepoint(statement["name"])
+        return None
+    if kind == "release_savepoint":
+        database.release_savepoint(statement["name"])
+        return None
     raise SqlError(f"unsupported statement kind {kind!r}")

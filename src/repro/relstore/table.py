@@ -12,6 +12,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from .errors import IntegrityError, QueryError, SchemaError
 from .index import BaseIndex, HashIndex, InvertedIndex, UniqueIndex
+from .mvcc import MvccState, Transaction
 from .predicate import ALWAYS, Predicate
 from .types import Schema
 
@@ -19,8 +20,10 @@ from .types import Schema
 class Table:
     """A single relational table.
 
-    Not thread-safe; QATK drives it from one pipeline thread, as the paper's
-    prototype does.
+    Mutations are serialized by the owning database's MVCC writer slot;
+    reads are versioned (see :mod:`repro.relstore.mvcc`): a thread
+    holding a transaction or read view sees a stable committed snapshot
+    plus its own writes, and never blocks on writers.
     """
 
     def __init__(self, name: str, schema: Schema) -> None:
@@ -31,6 +34,21 @@ class Table:
         self._rows: dict[int, tuple[Any, ...]] = {}
         self._next_row_id = 1
         self._indexes: dict[str, BaseIndex] = {}
+        #: MVCC bookkeeping.  ``_row_csn`` stamps the commit sequence
+        #: number at which a row's current state became current (absent
+        #: = "old enough for every snapshot"); ``_versions`` holds the
+        #: per-row chain of superseded committed values as ascending
+        #: ``(csn, value_or_None)`` pairs; ``_dirty`` marks rows whose
+        #: current state is an uncommitted in-place write; ``_mutations``
+        #: is a writer-only change stamp readers use to validate
+        #: lock-free snapshot reads.
+        self._row_csn: dict[int, int] = {}
+        self._versions: dict[int, list[tuple[int, tuple[Any, ...] | None]]] = {}
+        self._dirty: set[int] = set()
+        self._mutations = 0
+        #: A standalone table gets a private MVCC state; ``Database``
+        #: rebinds its shared one via :meth:`bind_mvcc`.
+        self._mvcc = MvccState(lambda: [self])
         #: Optional mutation journal: a callable receiving one op dict per
         #: committed change.  Set by ``Database`` so a write-ahead log can
         #: capture mutations made directly on the table (the QUEST service
@@ -38,6 +56,10 @@ class Table:
         self.journal: Callable[[dict[str, Any]], None] | None = None
         if schema.primary_key is not None:
             self.create_index(f"pk_{name}", schema.primary_key, unique=True)
+
+    def bind_mvcc(self, state: MvccState) -> None:
+        """Share the owning database's MVCC state (snapshots span tables)."""
+        self._mvcc = state
 
     def _emit(self, op: dict[str, Any]) -> None:
         if self.journal is not None:
@@ -47,7 +69,10 @@ class Table:
     # introspection
 
     def __len__(self) -> int:
-        return len(self._rows)
+        txn, snapshot = self._mvcc.read_context()
+        if snapshot is None:
+            return len(self._rows)
+        return sum(1 for _ in self._visible_items(txn, snapshot))
 
     def __repr__(self) -> str:
         return f"<Table {self.name} rows={len(self)} indexes={sorted(self._indexes)}>"
@@ -58,8 +83,11 @@ class Table:
         return dict(self._indexes)
 
     def row_ids(self) -> Iterator[int]:
-        """Iterate over all live row ids."""
-        return iter(self._rows)
+        """Iterate over all row ids visible to the calling thread."""
+        txn, snapshot = self._mvcc.read_context()
+        if snapshot is None:
+            return iter(self._rows)
+        return (row_id for row_id, _ in self._visible_items(txn, snapshot))
 
     # ------------------------------------------------------------------ #
     # index management
@@ -94,6 +122,9 @@ class Table:
         for row_id, row in self._rows.items():
             index.add(row_id, row[position])
         self._indexes[index_name] = index
+        txn = self._mvcc.current_txn()
+        if txn is not None:
+            txn.record_ddl(lambda: self._indexes.pop(index_name, None))
         self._emit({"op": "create_index", "table": self.name,
                     "name": index_name, "column": column,
                     "unique": unique, "inverted": inverted})
@@ -107,7 +138,11 @@ class Table:
         """
         if index_name not in self._indexes:
             raise SchemaError(f"no index {index_name!r} on table {self.name!r}")
-        del self._indexes[index_name]
+        index = self._indexes.pop(index_name)
+        txn = self._mvcc.current_txn()
+        if txn is not None:
+            txn.record_ddl(
+                lambda: self._indexes.__setitem__(index_name, index))
         self._emit({"op": "drop_index", "table": self.name,
                     "name": index_name})
 
@@ -153,26 +188,39 @@ class Table:
                 explicit *row_id* (no partial effects).
         """
         row = self.schema.normalize(values)
-        if row_id is None:
-            row_id = self._next_row_id
-        elif row_id in self._rows:
-            raise IntegrityError(
-                f"row id {row_id} already exists in table {self.name!r}")
-        added: list[tuple[BaseIndex, Any]] = []
+        ticket = self._mvcc.open_write()
+        committed = False
         try:
-            for index in self._indexes.values():
-                value = row[self.schema.index_of(index.column)]
-                index.add(row_id, value)
-                added.append((index, value))
-        except IntegrityError:
-            for index, value in added:
-                index.remove(row_id, value)
-            raise
-        self._rows[row_id] = row
-        self._next_row_id = max(self._next_row_id, row_id + 1)
-        self._emit({"op": "insert", "table": self.name, "id": row_id,
-                    "row": self.schema.as_dict(row)})
-        return row_id
+            if row_id is None:
+                row_id = self._next_row_id
+            else:
+                ticket.conflict_check(self, row_id)
+                if row_id in self._rows:
+                    raise IntegrityError(
+                        f"row id {row_id} already exists in table {self.name!r}")
+            ticket.claim(self, row_id, None)
+            added: list[tuple[BaseIndex, Any]] = []
+            try:
+                for index in self._indexes.values():
+                    value = row[self.schema.index_of(index.column)]
+                    index.add(row_id, value)
+                    added.append((index, value))
+            except IntegrityError:
+                for index, value in added:
+                    index.remove(row_id, value)
+                raise
+            self._rows[row_id] = row
+            self._next_row_id = max(self._next_row_id, row_id + 1)
+            self._mutations += 1
+            ticket.seal(self)
+            committed = True
+            self._emit({"op": "insert", "table": self.name, "id": row_id,
+                        "row": self.schema.as_dict(row)})
+            return row_id
+        finally:
+            if not committed:
+                ticket.abort(self)
+            ticket.release()
 
     def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> list[int]:
         """Insert several rows; returns their row ids."""
@@ -181,13 +229,20 @@ class Table:
     def get(self, row_id: int) -> dict[str, Any]:
         """Return the row with id *row_id* as a dict.
 
+        Under a transaction or read view this is the row as of the
+        snapshot (plus the transaction's own writes).
+
         Raises:
-            QueryError: if the row does not exist.
+            QueryError: if the row does not exist (or is not visible).
         """
-        try:
-            return self.schema.as_dict(self._rows[row_id])
-        except KeyError:
-            raise QueryError(f"no row {row_id} in table {self.name!r}") from None
+        txn, snapshot = self._mvcc.read_context()
+        if snapshot is None:
+            row = self._rows.get(row_id)
+        else:
+            row = self._read_visible(txn, snapshot, row_id)
+        if row is None:
+            raise QueryError(f"no row {row_id} in table {self.name!r}")
+        return self.schema.as_dict(row)
 
     def update(self, row_id: int, changes: Mapping[str, Any]) -> None:
         """Apply *changes* (a partial column->value mapping) to one row.
@@ -197,34 +252,115 @@ class Table:
             SchemaError / IntegrityError: on constraint violations; the row
                 is left unchanged in that case.
         """
-        if row_id not in self._rows:
-            raise QueryError(f"no row {row_id} in table {self.name!r}")
-        old_row = self._rows[row_id]
-        merged = self.schema.as_dict(old_row)
-        merged.update(changes)
-        new_row = self.schema.normalize(merged)
-        modified: list[tuple[BaseIndex, Any, Any]] = []
-        for index in self._indexes.values():
-            position = self.schema.index_of(index.column)
-            old_value, new_value = old_row[position], new_row[position]
-            if old_value == new_value:
-                continue
-            index.remove(row_id, old_value)
-            try:
-                index.add(row_id, new_value)
-            except IntegrityError:
-                index.add(row_id, old_value)
-                for other, other_old, other_new in reversed(modified):
-                    other.remove(row_id, other_new)
-                    other.add(row_id, other_old)
-                raise
-            modified.append((index, old_value, new_value))
-        self._rows[row_id] = new_row
-        self._emit({"op": "update", "table": self.name, "id": row_id,
-                    "row": self.schema.as_dict(new_row)})
+        ticket = self._mvcc.open_write()
+        committed = False
+        try:
+            ticket.conflict_check(self, row_id)
+            old_row = self._rows.get(row_id)
+            if old_row is None:
+                raise QueryError(f"no row {row_id} in table {self.name!r}")
+            merged = self.schema.as_dict(old_row)
+            merged.update(changes)
+            new_row = self.schema.normalize(merged)
+            ticket.claim(self, row_id, old_row)
+            modified: list[tuple[BaseIndex, Any, Any]] = []
+            for index in self._indexes.values():
+                position = self.schema.index_of(index.column)
+                old_value, new_value = old_row[position], new_row[position]
+                if old_value == new_value:
+                    continue
+                index.remove(row_id, old_value)
+                try:
+                    index.add(row_id, new_value)
+                except IntegrityError:
+                    index.add(row_id, old_value)
+                    for other, other_old, other_new in reversed(modified):
+                        other.remove(row_id, other_new)
+                        other.add(row_id, other_old)
+                    raise
+                modified.append((index, old_value, new_value))
+            self._rows[row_id] = new_row
+            self._mutations += 1
+            ticket.seal(self)
+            committed = True
+            self._emit({"op": "update", "table": self.name, "id": row_id,
+                        "row": self.schema.as_dict(new_row)})
+        finally:
+            if not committed:
+                ticket.abort(self)
+            ticket.release()
 
     def delete_row(self, row_id: int) -> None:
         """Delete one row by its id.
+
+        Raises:
+            QueryError: if the row does not exist.
+            TransactionConflictError: in a transaction, if another
+                transaction committed a change to the row after this
+                transaction's snapshot.
+        """
+        ticket = self._mvcc.open_write()
+        committed = False
+        try:
+            ticket.conflict_check(self, row_id)
+            row = self._rows.get(row_id)
+            if row is None:
+                raise QueryError(f"no row {row_id} in table {self.name!r}")
+            ticket.claim(self, row_id, row)
+            del self._rows[row_id]
+            for index in self._indexes.values():
+                index.remove(row_id, row[self.schema.index_of(index.column)])
+            self._mutations += 1
+            ticket.seal(self)
+            committed = True
+            self._emit({"op": "delete", "table": self.name, "id": row_id})
+        finally:
+            if not committed:
+                ticket.abort(self)
+            ticket.release()
+
+    def delete(self, predicate: Predicate = ALWAYS) -> int:
+        """Delete all rows matching *predicate*; returns the count.
+
+        The matching set is computed against the caller's snapshot (plus
+        its own writes); each deletion then goes through the normal
+        conflict-checked path.
+        """
+        doomed = [row_id for row_id, row in self._candidate_rows(predicate)
+                  if predicate(self.schema.as_dict(row))]
+        for row_id in doomed:
+            self.delete_row(row_id)
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Delete all rows (indexes are emptied, ids keep increasing)."""
+        ticket = self._mvcc.open_write()
+        committed = False
+        try:
+            for row_id, row in list(self._rows.items()):
+                ticket.claim(self, row_id, row)
+                del self._rows[row_id]
+                for index in self._indexes.values():
+                    index.remove(row_id,
+                                 row[self.schema.index_of(index.column)])
+                self._mutations += 1
+            ticket.seal(self)
+            committed = True
+            self._emit({"op": "clear", "table": self.name})
+        finally:
+            if not committed:
+                ticket.abort(self)
+            ticket.release()
+
+    def remove_row(self, row_id: int) -> dict[str, Any]:
+        """Physically remove a row and its index entries; the inverse of
+        :meth:`insert`.
+
+        Unlike :meth:`delete_row` this emits no journal op and records
+        no version: it is the inverse API that undo/replay paths use to
+        restore prior physical state without re-logging it (rollback of
+        an insert must disappear from the WAL, not append to it).
+        Returns the removed row as a dict.
 
         Raises:
             QueryError: if the row does not exist.
@@ -234,44 +370,195 @@ class Table:
             raise QueryError(f"no row {row_id} in table {self.name!r}")
         for index in self._indexes.values():
             index.remove(row_id, row[self.schema.index_of(index.column)])
-        self._emit({"op": "delete", "table": self.name, "id": row_id})
+        self._mutations += 1
+        return self.schema.as_dict(row)
 
-    def delete(self, predicate: Predicate = ALWAYS) -> int:
-        """Delete all rows matching *predicate*; returns the count."""
-        doomed = [row_id for row_id, _ in self._candidate_rows(predicate)
-                  if predicate(self.get(row_id))]
-        for row_id in doomed:
-            row = self._rows.pop(row_id)
-            for index in self._indexes.values():
-                index.remove(row_id, row[self.schema.index_of(index.column)])
-            self._emit({"op": "delete", "table": self.name, "id": row_id})
-        return len(doomed)
+    def _restore_row(self, row_id: int, row: tuple[Any, ...]) -> None:
+        """Physically re-install *row* under its original id (undo path).
 
-    def clear(self) -> None:
-        """Delete all rows (indexes are emptied, ids keep increasing)."""
-        self._rows.clear()
+        Preserves the durable-row-id invariant: rollback of a delete
+        brings the row back under the same id with identical index
+        entries, so candidate orderings are byte-identical to the
+        pre-transaction state.  No journal op, no version record.
+        """
+        current = self._rows.get(row_id)
         for index in self._indexes.values():
-            index.clear()
-        self._emit({"op": "clear", "table": self.name})
+            position = self.schema.index_of(index.column)
+            if current is None:
+                index.add(row_id, row[position])
+            elif current[position] != row[position]:
+                index.remove(row_id, current[position])
+                index.add(row_id, row[position])
+        # Scans and row_ids() iterate _rows in insertion order, which is
+        # ascending-id order everywhere else (ids only grow).  A plain
+        # dict insert would append a restored row at the *end*, so a
+        # rolled-back delete would silently reorder every id-ordered
+        # scan; re-sorting keeps the pre-transaction order byte-identical.
+        out_of_order = (current is None and bool(self._rows)
+                        and next(reversed(self._rows)) > row_id)
+        self._rows[row_id] = row
+        if out_of_order:
+            self._rows = dict(sorted(self._rows.items()))
+        self._next_row_id = max(self._next_row_id, row_id + 1)
+        self._mutations += 1
+
+    def _gc_versions(self, watermark: int) -> int:
+        """Prune version-chain entries no pinned snapshot can reach.
+
+        Called by :meth:`MvccState.gc` with the oldest pinned CSN.  For
+        each chain, keep the suffix starting at the last entry at or
+        below the watermark (the base value some pin may still need);
+        drop the chain (and the CSN stamp) entirely when the current row
+        state itself is old enough for every pin.  Chains are replaced,
+        never mutated, so concurrent readers keep iterating a
+        consistent list.  Returns the number of entries pruned.
+        """
+        pruned = 0
+        for row_id in list(self._versions):
+            chain = self._versions.get(row_id)
+            if not chain:
+                continue
+            if (row_id not in self._dirty
+                    and self._row_csn.get(row_id, 0) <= watermark):
+                del self._versions[row_id]
+                pruned += len(chain)
+                continue
+            cut = 0
+            for position, (entry_csn, _) in enumerate(chain):
+                if entry_csn <= watermark:
+                    cut = position
+                else:
+                    break
+            if cut:
+                self._versions[row_id] = chain[cut:]
+                pruned += cut
+        for row_id in list(self._row_csn):
+            if (self._row_csn.get(row_id, 0) <= watermark
+                    and row_id not in self._dirty
+                    and row_id not in self._versions):
+                del self._row_csn[row_id]
+        return pruned
 
     # ------------------------------------------------------------------ #
     # querying
 
+    # -- MVCC visibility ------------------------------------------------ #
+
+    def _chain_visible(self, row_id: int,
+                       snapshot: int) -> tuple[Any, ...] | None:
+        """The committed value at *snapshot* from the version chain.
+
+        Chain entries are ascending ``(csn, value)`` pairs meaning "as
+        of *csn* the committed value was *value*" (None = absent); the
+        last entry at or below the snapshot wins.  An empty/missing
+        chain means the row did not exist at the snapshot.
+        """
+        chain = self._versions.get(row_id)
+        if not chain:
+            return None
+        value: tuple[Any, ...] | None = None
+        for entry_csn, entry_value in chain:
+            if entry_csn <= snapshot:
+                value = entry_value
+            else:
+                break
+        return value
+
+    def _read_committed(self, row_id: int,
+                        snapshot: int) -> tuple[Any, ...] | None:
+        """Lock-free committed read at *snapshot* (None = not visible).
+
+        Optimistic: reads are validated against the writer-only
+        ``_mutations`` stamp and retried on interference, so a torn
+        in-place write can never leak into a snapshot.
+        """
+        while True:
+            stamp = self._mutations
+            if row_id in self._dirty:
+                result = self._chain_visible(row_id, snapshot)
+            else:
+                csn = self._row_csn.get(row_id, 0)
+                if csn > snapshot:
+                    result = self._chain_visible(row_id, snapshot)
+                else:
+                    result = self._rows.get(row_id)
+            if self._mutations == stamp:
+                return result
+
+    def _read_visible(self, txn: Transaction | None, snapshot: int,
+                      row_id: int) -> tuple[Any, ...] | None:
+        """What the calling thread sees for *row_id*: its transaction's
+        own uncommitted write, else the committed value at *snapshot*."""
+        if txn is not None and self._mvcc.is_own_write(txn, self, row_id):
+            return self._rows.get(row_id)
+        return self._read_committed(row_id, snapshot)
+
+    def _visible_items(self, txn: Transaction | None,
+                       snapshot: int) -> Iterator[tuple[int, tuple[Any, ...]]]:
+        """Full scan of the rows visible at the caller's snapshot.
+
+        Ascending row-id order, matching a plain scan of ``_rows`` —
+        rows visible only through a version chain (deleted after the
+        snapshot) must not trail the scan out of order.
+        """
+        candidates: set[int] = set(self._rows)
+        for source in (self._row_csn, self._versions, self._dirty):
+            candidates.update(source)
+        for row_id in sorted(candidates):
+            row = self._read_visible(txn, snapshot, row_id)
+            if row is not None:
+                yield row_id, row
+
+    def _index_candidates(self, index: BaseIndex, key: Any,
+                          txn: Transaction | None,
+                          snapshot: int) -> Iterator[tuple[int, tuple[Any, ...]]]:
+        """Snapshot-safe index probe.
+
+        The index reflects *current* state, so beyond its hits we must
+        consider rows whose committed value changed after the snapshot
+        and rows with uncommitted in-place writes — their snapshot value
+        may match the key even though their current value does not.
+        Callers re-check the predicate against the visible record.
+        """
+        candidates = set(index.lookup(key))
+        candidates.update(row_id for row_id, csn in list(self._row_csn.items())
+                          if csn > snapshot)
+        candidates.update(self._dirty)
+        for row_id in candidates:
+            row = self._read_visible(txn, snapshot, row_id)
+            if row is not None:
+                yield row_id, row
+
     def _candidate_rows(self, predicate: Predicate) -> Iterator[tuple[int, tuple[Any, ...]]]:
         """Yield (row_id, row) pairs, narrowed through an index if possible."""
+        txn, snapshot = self._mvcc.read_context()
+        if snapshot is None:
+            for column, value in predicate.equality_bindings().items():
+                index = self._index_on(column)
+                if index is not None:
+                    for row_id in index.lookup(value):
+                        yield row_id, self._rows[row_id]
+                    return
+            for column, element in predicate.membership_bindings().items():
+                index = self._index_on(column, inverted=True)
+                if index is not None:
+                    for row_id in index.lookup(element):
+                        yield row_id, self._rows[row_id]
+                    return
+            yield from self._rows.items()
+            return
         for column, value in predicate.equality_bindings().items():
             index = self._index_on(column)
             if index is not None:
-                for row_id in index.lookup(value):
-                    yield row_id, self._rows[row_id]
+                yield from self._index_candidates(index, value, txn, snapshot)
                 return
         for column, element in predicate.membership_bindings().items():
             index = self._index_on(column, inverted=True)
             if index is not None:
-                for row_id in index.lookup(element):
-                    yield row_id, self._rows[row_id]
+                yield from self._index_candidates(index, element, txn,
+                                                  snapshot)
                 return
-        yield from self._rows.items()
+        yield from self._visible_items(txn, snapshot)
 
     def select(
         self,
@@ -325,9 +612,9 @@ class Table:
         return rows[0] if rows else None
 
     def count(self, predicate: Predicate = ALWAYS) -> int:
-        """Number of rows matching *predicate*."""
+        """Number of rows matching *predicate* (snapshot-aware)."""
         if predicate is ALWAYS:
-            return len(self._rows)
+            return len(self)
         return sum(1 for _ in self._matching(predicate))
 
     def distinct(self, column: str, predicate: Predicate = ALWAYS) -> set[Any]:
@@ -367,8 +654,13 @@ class Table:
                 yield record
 
     def scan(self) -> Iterator[dict[str, Any]]:
-        """Iterate over all rows as dicts (no filtering, no copies of cells)."""
-        for row in self._rows.values():
+        """Iterate over all visible rows as dicts (no filtering)."""
+        txn, snapshot = self._mvcc.read_context()
+        if snapshot is None:
+            for row in self._rows.values():
+                yield self.schema.as_dict(row)
+            return
+        for _, row in self._visible_items(txn, snapshot):
             yield self.schema.as_dict(row)
 
     def check_consistency(self) -> list[str]:
@@ -380,6 +672,11 @@ class Table:
         indexes exactly mirror its rows.  Used by the concurrency
         regression tests: unsynchronized writers corrupt exactly this
         invariant first.
+
+        This is a check of the *physical* (current) state, not of a
+        snapshot; run it from the writer's thread between transactions
+        (or otherwise quiesced) so in-flight in-place writes don't show
+        up as false divergences.
         """
         problems: list[str] = []
         for index in self._indexes.values():

@@ -15,10 +15,13 @@ and :class:`~repro.quest.service.QuestService`:
 3. **Fixed worker pool** — per-request deadlines, timeout/cancellation,
    one retry on a worker fault, then the degraded-suggest chain
    (stored -> fallback classifier -> frequency baseline).
-4. **Model registry** — workers serve from an immutable
-   :class:`~repro.serve.registry.ModelSnapshot`; writes go through the
-   registry's writer-preferring lock and re-version the snapshot, which
-   invalidates the gateway's memos.
+4. **Model registry + MVCC** — workers serve from an immutable
+   :class:`~repro.serve.registry.ModelSnapshot`; relstore reads (bundle
+   loads, code lists, stored suggestions, read-only screens) pin an MVCC
+   read view so they see one committed snapshot without blocking writers
+   or being blocked by them.  Writes run as relstore transactions under
+   the registry's write lock — a failed service call rolls back atomically
+   — and re-version the snapshot, which invalidates the gateway's memos.
 5. **Stats** — every outcome lands in :class:`~repro.serve.stats.ServeStats`
    (exposed on the web app's ``/stats`` and in bench output).
 """
@@ -163,16 +166,56 @@ class ServeGateway:
 
     @contextmanager
     def read_locked(self):
-        """Shared read access to the service's store.
+        """A stable committed view of the service's store.
 
         Read-only screens that bypass the suggest queue (bundle list,
-        search, assignment history) take this guard so they observe the
-        relstore under the same writer-preferring lock the batchers and
-        writers use — a concurrent ``assign`` can never hand them a torn
-        row set.  Not reentrant; do not nest with other lock holders.
+        search, assignment history) used to share the writer-preferring
+        RWLock with the write paths; they now pin an MVCC read view
+        (:meth:`~repro.relstore.database.Database.read_view`) instead —
+        every row they see comes from one committed snapshot, a
+        concurrent ``assign`` can neither hand them a torn row set *nor
+        make them wait*, and writers no longer stall behind slow
+        screens.  Reentrant per thread; the name survives from the lock
+        era because transports treat it as an opaque read guard.
         """
-        with self.registry.store_lock.read_locked():
+        with self.service.database.read_view():
             yield
+
+    @contextmanager
+    def _write_txn(self):
+        """The gateway write-path guard: write lock + MVCC transaction.
+
+        The registry's write lock still serializes whole *service calls*
+        (their read-compute-write sequences assume no concurrent writer,
+        and the knowledge base's write-through node cache is unversioned);
+        the transaction underneath makes the relstore half atomic — a
+        service call that fails mid-way rolls back every row it touched
+        instead of leaving partial writes.  A rollback also resyncs the
+        knowledge caches, which keep the applied view while the relstore
+        reverts (see :meth:`~repro.knowledge.base.KnowledgeBase.reload`).
+        """
+        with self.registry.store_lock.write_locked():
+            try:
+                with self.service.database.transaction():
+                    yield
+            except BaseException:
+                self._resync_knowledge_caches()
+                raise
+
+    def _resync_knowledge_caches(self) -> None:
+        """Rebuild write-through knowledge caches after a rollback, for
+        every model whose knowledge base lives in the service's database
+        (a knowledge base on its own database never rolled back)."""
+        for classifier in (self.service.classifier,
+                           self.service.fallback_classifier):
+            if classifier is None:
+                continue
+            knowledge = classifier.knowledge_base
+            reload = getattr(knowledge, "reload", None)
+            if (reload is not None
+                    and getattr(knowledge, "database", None)
+                    is self.service.database):
+                reload()
 
     def start(self) -> None:
         """Spawn the worker pool (idempotent; also called lazily)."""
@@ -274,9 +317,9 @@ class ServeGateway:
     # write path: everything that mutates the relstore
 
     def assign(self, actor: User, ref_no: str, error_code: str) -> None:
-        """Record an assignment under the store's write lock and bump the
-        model snapshot (the knowledge base just learned)."""
-        with self.registry.store_lock.write_locked():
+        """Record an assignment transactionally and bump the model
+        snapshot (the knowledge base just learned)."""
+        with self._write_txn():
             self.service.assign_code(actor, ref_no, error_code)
         self.stats.count("assignments")
         self.registry.bump()
@@ -285,8 +328,8 @@ class ServeGateway:
 
     def define_error_code(self, actor: User, error_code: str, part_id: str,
                           description: str) -> None:
-        """Create a custom code under the write lock (code lists change)."""
-        with self.registry.store_lock.write_locked():
+        """Create a custom code transactionally (code lists change)."""
+        with self._write_txn():
             self.service.define_error_code(actor, error_code, part_id,
                                            description)
         self.registry.bump()
@@ -294,8 +337,8 @@ class ServeGateway:
         self._publish_snapshot()
 
     def register_bundles(self, bundles: list[DataBundle]) -> int:
-        """Intake new bundles under the write lock."""
-        with self.registry.store_lock.write_locked():
+        """Intake new bundles as one transaction (all land or none do)."""
+        with self._write_txn():
             count = self.service.register_bundles(bundles)
         self.registry.bump()
         self.stats.count("swaps")
@@ -311,12 +354,12 @@ class ServeGateway:
 
     def override(self, actor: User, ref_no: str, error_code: str,
                  reason: str = "") -> dict:
-        """Pin an error code to a bundle under the write lock.
+        """Pin an error code to a bundle transactionally.
 
         The new snapshot carries the refreshed override map, so worker
         processes and replicas serve the pin from the next version on.
         """
-        with self.registry.store_lock.write_locked():
+        with self._write_txn():
             record = self.service.apply_override(actor, ref_no, error_code,
                                                  reason)
             overrides = self.service.overrides.active_map()
@@ -329,7 +372,7 @@ class ServeGateway:
     def claim_review(self, actor: User,
                      ref_no: str | None = None) -> dict | None:
         """Claim a review entry (queue state changes; models do not)."""
-        with self.registry.store_lock.write_locked():
+        with self._write_txn():
             entry = self.service.claim_review(actor, ref_no)
         self.stats.count("reviews")
         return entry
@@ -339,7 +382,7 @@ class ServeGateway:
                        reason: str = "") -> dict:
         """Resolve a review entry; an ``override`` resolution pins the
         code and republishes the snapshot like :meth:`override`."""
-        with self.registry.store_lock.write_locked():
+        with self._write_txn():
             outcome = self.service.resolve_review(actor, ref_no, resolution,
                                                   error_code, reason)
             overrides = self.service.overrides.active_map()
@@ -367,8 +410,7 @@ class ServeGateway:
         procs = self.config.worker_procs or min(8, max(2, os.cpu_count()
                                                        or 2))
         try:
-            with self.registry.store_lock.read_locked():
-                payload = self.registry.current().to_payload()
+            payload = self._export_payload()
             self.registry.retain_payload(payload)
             pool = ProcessWorkerPool(payload, procs=procs)
             pool.start()
@@ -376,6 +418,21 @@ class ServeGateway:
         except Exception:
             self.stats.count("pool_fallbacks")
             return None
+
+    def _export_payload(self) -> dict:
+        """Export the current snapshot from a committed MVCC version.
+
+        The read view pins the relstore rows the export reads; the lock's
+        read side is still taken around the model walk because the
+        knowledge base's node cache is write-through and unversioned — a
+        concurrent writer could otherwise mutate it mid-export.  Export
+        sites sit off the request path (pool seeding, post-write
+        publishes, replica polls), so holding the read side here never
+        stalls serving reads.
+        """
+        with self.service.database.read_view():
+            with self.registry.store_lock.read_locked():
+                return self.registry.current().to_payload()
 
     def _publish_snapshot(self) -> None:
         """Ship the current snapshot to the worker pool after a write.
@@ -388,8 +445,7 @@ class ServeGateway:
         if pool is None:
             return
         try:
-            with self.registry.store_lock.read_locked():
-                payload = self.registry.current().to_payload()
+            payload = self._export_payload()
             self.registry.retain_payload(payload)
             pool.publish(payload)
         except Exception:
@@ -413,8 +469,7 @@ class ServeGateway:
         registry = self.registry
         full = registry.retained_payload(registry.version)
         if full is None:
-            with registry.store_lock.read_locked():
-                full = registry.current().to_payload()
+            full = self._export_payload()
             registry.retain_payload(full)
         if base_version == full["version"]:
             return {"format": PAYLOAD_FORMAT, "kind": "current",
@@ -569,7 +624,11 @@ class ServeGateway:
             return
         snapshot = self.registry.current()
         bundles, features, codes, persist_views = {}, {}, {}, []
-        with self.registry.store_lock.read_locked():
+        # Bundle loads are pure relstore reads: a pinned read view gives
+        # the whole batch one committed snapshot without making a
+        # concurrent writer wait (or waiting on one), where the old
+        # RWLock read side did both.
+        with self.service.database.read_view():
             for request in live:
                 ref = request.ref_no
                 if ref in bundles:
@@ -611,7 +670,7 @@ class ServeGateway:
             self.stats.record_completion(time.monotonic()
                                          - request.enqueued_at)
         if persist_views:
-            with self.registry.store_lock.write_locked():
+            with self._write_txn():
                 store_recommendations(
                     self.service.database,
                     [view.suggestions for view in persist_views])
@@ -679,7 +738,7 @@ class ServeGateway:
                 self.stats.count("memo_hits")
         all_codes = codes.get(bundle.part_id)
         if all_codes is None:
-            with self.registry.store_lock.read_locked():
+            with self.service.database.read_view():
                 all_codes = self._full_code_list(snapshot, bundle.part_id)
             codes[bundle.part_id] = all_codes
         if pinned is not None:
@@ -700,6 +759,9 @@ class ServeGateway:
         if feats is None:
             feats = self._extract_features(snapshot, bundle)
             features[bundle.ref_no] = feats
+        # Classification walks the knowledge base's write-through node
+        # cache, which is not MVCC-versioned — the lock's read side stays
+        # here (only) to exclude a writer mutating that cache mid-walk.
         with self.registry.store_lock.read_locked():
             return snapshot.classifier.rank_codes(bundle.part_id, feats,
                                                   ref_no=bundle.ref_no)
@@ -708,7 +770,7 @@ class ServeGateway:
                       cause: Exception):
         """PR 2's degraded chain, against the snapshot's models:
         stored suggestion -> BoW fallback -> frequency baseline."""
-        with self.registry.store_lock.read_locked():
+        with self.service.database.read_view():
             stored = self.service.stored_suggestion(bundle.ref_no)
         if stored is not None:
             return stored, "stored"

@@ -12,10 +12,15 @@ custom codes) meet here:
   an offline retrain), and :meth:`ModelRegistry.bump` re-stamps the
   current models after an in-place knowledge-base update, invalidating
   every version-keyed cache downstream.
-* ``registry.store_lock`` is the reader-writer lock serializing relstore
-  access: the relstore tables are single-writer by contract, so every
-  mutation takes the exclusive side while classifications share the read
-  side.
+* ``registry.store_lock`` is the reader-writer lock serializing *model*
+  access.  Since the relstore grew MVCC snapshot isolation, plain row
+  reads no longer take the read side — they pin a committed read view
+  (``Database.read_view()``) and never block.  The write side still
+  serializes whole service calls (their read-compute-write sequences
+  assume one writer at a time), and the read side survives only around
+  walks of the knowledge base's write-through node cache — the one
+  shared structure MVCC does not version (classification, payload
+  exports).
 """
 
 from __future__ import annotations

@@ -1,0 +1,157 @@
+"""Tier-2 crash scenarios for transactional WAL framing (``-m faults``).
+
+The acceptance bar from the MVCC work: a crash between a transaction's
+``txn_begin`` and ``txn_commit`` WAL records must never replay a partial
+transaction — recovery drops the unterminated frame, reports it, and
+every *earlier* committed transaction (and autocommit write) survives
+intact.  Each scenario runs across 5 seeds varying row counts and the
+crash point.
+"""
+
+import random
+
+import pytest
+
+from repro.relstore import Database, Schema, open_database
+from repro.relstore.wal import WAL_NAME
+
+pytestmark = pytest.mark.faults
+
+SEEDS = [11, 23, 37, 51, 68]
+SCHEMA = [("k", "text"), ("n", "integer")]
+
+
+def durable_db(directory):
+    db, report = open_database(directory)
+    if not db.has_table("t"):
+        db.create_table("t", Schema.build(SCHEMA))
+    return db, report
+
+
+def rows_by_k(db):
+    return {row["k"]: row["n"] for row in db.table("t").scan()}
+
+
+def crash(db, directory, *, cut_bytes):
+    """Simulate dying mid-commit: chop *cut_bytes* off the WAL tail."""
+    db._wal.close()
+    wal_path = directory / WAL_NAME
+    data = wal_path.read_bytes()
+    assert cut_bytes < len(data)
+    wal_path.write_bytes(data[:len(data) - cut_bytes])
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_crash_between_txn_begin_and_commit_drops_the_txn(tmp_path, seed):
+    rng = random.Random(seed)
+    directory = tmp_path / "store"
+    db, _ = durable_db(directory)
+    table = db.table("t")
+    survivors = {}
+    for i in range(rng.randint(1, 4)):
+        table.insert({"k": f"auto{i}", "n": i})
+        survivors[f"auto{i}"] = i
+    with db.transaction():
+        for i in range(rng.randint(1, 3)):
+            table.insert({"k": f"committed{i}", "n": i})
+            survivors[f"committed{i}"] = i
+    wal_path = directory / WAL_NAME
+    safe_length = len(wal_path.read_bytes())
+    db.begin()
+    for i in range(rng.randint(1, 5)):
+        table.insert({"k": f"doomed{i}", "n": i})
+    db.commit()
+    # Crash strictly inside the doomed transaction's frame: the
+    # txn_begin record hit the disk intact, the txn_commit record did
+    # not — the cut never reaches back past the frame's first newline.
+    data = wal_path.read_bytes()
+    begin_line_end = data.index(b"\n", safe_length) + 1
+    cut = rng.randrange(1, len(data) - begin_line_end)
+    crash(db, directory, cut_bytes=cut)
+
+    reopened, report = durable_db(directory)
+    try:
+        assert rows_by_k(reopened) == survivors
+        assert report.wal_uncommitted_dropped >= 1
+        assert not report.clean
+        assert "uncommitted transaction" in report.summary()
+        assert reopened.check_consistency() == []
+        # The scrub stuck: an immediate reopen is clean and identical.
+        reopened._wal.close()
+        again, second_report = durable_db(directory)
+        assert rows_by_k(again) == survivors
+        assert second_report.wal_uncommitted_dropped == 0
+        again._wal.close()
+    finally:
+        reopened._wal.close()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_torn_tail_in_commit_group_spares_earlier_txns(tmp_path, seed):
+    """Several framed transactions land back to back; a torn tail in
+    the *last* frame (its commit record mangled mid-write) must drop
+    only that transaction — the frames before it replay in full."""
+    rng = random.Random(seed)
+    directory = tmp_path / "store"
+    db, _ = durable_db(directory)
+    table = db.table("t")
+    survivors = {}
+    committed_txns = rng.randint(2, 4)
+    for txn_no in range(committed_txns):
+        with db.transaction():
+            for i in range(rng.randint(1, 3)):
+                key = f"txn{txn_no}_{i}"
+                table.insert({"k": key, "n": txn_no})
+                survivors[key] = txn_no
+    wal_path = directory / WAL_NAME
+    safe_length = len(wal_path.read_bytes())
+    db.begin()
+    table.insert({"k": "doomed", "n": -1})
+    db.commit()
+    # Tear mid-record: leave a ragged partial line, not a clean cut.
+    total = len(wal_path.read_bytes())
+    cut = rng.randrange(1, min(15, total - safe_length))
+    crash(db, directory, cut_bytes=cut)
+
+    reopened, report = durable_db(directory)
+    try:
+        assert rows_by_k(reopened) == survivors
+        assert "doomed" not in rows_by_k(reopened)
+        assert (report.wal_uncommitted_dropped >= 1
+                or report.wal_torn_tail_discarded >= 1)
+        assert reopened.check_consistency() == []
+    finally:
+        reopened._wal.close()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_committed_transactions_always_replay_in_full(tmp_path, seed):
+    """No crash at all: every framed commit replays atomically and the
+    reopened state matches the pre-close state byte for byte."""
+    rng = random.Random(seed)
+    directory = tmp_path / "store"
+    db, _ = durable_db(directory)
+    table = db.table("t")
+    expected = {}
+    for txn_no in range(rng.randint(2, 5)):
+        try:
+            with db.transaction():
+                for i in range(rng.randint(1, 4)):
+                    key = f"t{txn_no}_{i}"
+                    table.insert({"k": key, "n": i})
+                    expected[key] = i
+                if rng.random() < 0.3:
+                    raise RuntimeError("simulated failure -> rollback")
+        except RuntimeError:
+            for i in range(4):
+                expected.pop(f"t{txn_no}_{i}", None)
+    before = rows_by_k(db)
+    assert before == expected
+    db._wal.close()
+    reopened, report = durable_db(directory)
+    try:
+        assert rows_by_k(reopened) == before
+        assert report.wal_uncommitted_dropped == 0
+        assert reopened.check_consistency() == []
+    finally:
+        reopened._wal.close()

@@ -126,3 +126,134 @@ class TestDatabaseJournal:
                 raise RuntimeError("abort")
         assert ops == []
         assert db.table("t").count() == 1
+
+
+class TestGroupCommit:
+    """``append_many`` and the leader/follower fsync amortization."""
+
+    def test_append_many_is_one_batch_one_fsync(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        ops = [{"op": "insert", "table": "t", "id": i, "row": {}}
+               for i in range(5)]
+        wal.append_many(ops)
+        wal.close()
+        assert wal.batches == 1
+        assert wal.fsyncs == 1
+        assert wal.appended == 5
+        assert wal.replay().records == ops
+
+    def test_append_many_empty_is_a_noop(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        wal.append_many([])
+        assert wal.batches == 0 and wal.appended == 0
+
+    def test_concurrent_committers_share_a_batch(self, tmp_path):
+        """Block the leader inside its disk write; the appends that pile
+        up behind it must drain as ONE follower batch (a single fsync),
+        and every caller's ops must be durable when its call returns."""
+        import threading
+
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        wal._ensure_open()
+        real_write = wal._handle.write
+        first_write_entered = threading.Event()
+        release_first_write = threading.Event()
+        writes = []
+
+        def gated_write(data):
+            writes.append(data)
+            if len(writes) == 1:
+                first_write_entered.set()
+                assert release_first_write.wait(timeout=30)
+            return real_write(data)
+
+        wal._handle.write = gated_write
+        leader = threading.Thread(target=wal.append_many, args=(
+            [{"op": "insert", "table": "t", "id": 0, "row": {}}],))
+        leader.start()
+        assert first_write_entered.wait(timeout=30)
+        followers = [threading.Thread(target=wal.append_many, args=(
+            [{"op": "insert", "table": "t", "id": i, "row": {}}],))
+            for i in range(1, 5)]
+        for thread in followers:
+            thread.start()
+        # Followers are enqueued and waiting on the leader's barrier.
+        deadline = 30
+        import time
+        start = time.monotonic()
+        while len(wal._pending) < 4:
+            assert time.monotonic() - start < deadline
+            time.sleep(0.005)
+        release_first_write.set()
+        leader.join(timeout=30)
+        for thread in followers:
+            thread.join(timeout=30)
+        wal.close()
+        assert wal.batches == 2  # leader's own + one shared follower batch
+        assert wal.fsyncs == 2
+        assert wal.appended == 5
+        assert len(wal.replay().records) == 5
+
+    def test_failed_batch_raises_without_poisoning_later_appends(self, tmp_path):
+        from repro.relstore import WalError
+
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        wal.path.mkdir()  # opening a directory as a file -> OSError
+        with pytest.raises(WalError):
+            wal.append({"op": "insert", "table": "t", "id": 1, "row": {}})
+        # The error was bound to the failed batch, not sticky: once the
+        # path is usable again, the next append succeeds.
+        wal.path.rmdir()
+        wal.append({"op": "insert", "table": "t", "id": 2, "row": {}})
+        wal.close()
+        assert wal.appended == 1
+        assert [record["op"] for record in wal.replay().records] == ["insert"]
+        assert wal.replay().records[0]["id"] == 2
+
+
+class TestTransactionFraming:
+    """Commits journal through ``append_many`` as one framed batch."""
+
+    def test_commit_writes_framed_batch(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        db = make_db()
+        db.set_journal(wal.append, wal.append_many)
+        with db.transaction():
+            db.insert("t", {"k": "a", "n": 1})
+            db.insert("t", {"k": "b", "n": 2})
+        wal.close()
+        kinds = [record["op"] for record in wal.replay().records]
+        assert kinds == ["txn_begin", "insert", "insert", "txn_commit"]
+        assert wal.batches == 1  # the whole frame: one write, one fsync
+
+    def test_autocommit_ops_are_unframed(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        db = make_db()
+        db.set_journal(wal.append, wal.append_many)
+        db.insert("t", {"k": "a", "n": 1})
+        wal.close()
+        assert [r["op"] for r in wal.replay().records] == ["insert"]
+
+    def test_empty_transaction_writes_no_frame(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        db = make_db()
+        db.set_journal(wal.append, wal.append_many)
+        with db.transaction():
+            pass
+        wal.close()
+        assert wal.replay().records == []
+
+    def test_journal_failure_rolls_the_transaction_back(self, tmp_path):
+        from repro.relstore import WalError
+
+        db = make_db()
+
+        def broken_many(ops):
+            raise WalError("disk on fire")
+
+        db.set_journal(lambda op: None, broken_many)
+        with pytest.raises(WalError):
+            with db.transaction():
+                db.insert("t", {"k": "a", "n": 1})
+        assert db.table("t").count() == 0
+        assert not db.in_transaction

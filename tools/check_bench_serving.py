@@ -64,13 +64,27 @@ REQUIRED = {
     "plain_suggest_rps": ((int, float), 0.0),
     "confidence_suggest_rps": ((int, float), 0.0),
     "confidence_overhead_pct": ((int, float), -100.0),
+    # MVCC phase (A11: relstore readers under a committing writer,
+    # snapshot read views vs the pre-MVCC reader-writer lock)
+    "mvcc_reads": (int, 1),
+    "mvcc_readers": (int, 1),
+    "mvcc_reader_rps_idle": ((int, float), 0.0),
+    "mvcc_reader_rps_writer": ((int, float), 0.0),
+    "rwlock_reader_rps_writer": ((int, float), 0.0),
+    "mvcc_idle_p95_ms": ((int, float), 0.0),
+    "mvcc_writer_p95_ms": ((int, float), 0.0),
+    "rwlock_writer_p95_ms": ((int, float), 0.0),
+    "mvcc_p95_ratio": ((int, float), 0.0),
+    "mvcc_vs_rwlock_speedup": ((int, float), 0.0),
 }
 
 #: Latency keys: allowed to equal their minimum (a 0.0ms percentile is
 #: merely suspicious, not structurally invalid).
 _PERCENTILE_KEYS = ("p50_ms", "p95_ms", "p99_ms",
                     "per_request_p95_ms", "keepalive_p95_ms",
-                    "replica_write_visibility_seconds")
+                    "replica_write_visibility_seconds",
+                    "mvcc_idle_p95_ms", "mvcc_writer_p95_ms",
+                    "rwlock_writer_p95_ms")
 
 #: The keep-alive transport floor (mirrors bench A8's assertion; the
 #: bench fails before writing a payload below it, so a violation here
@@ -84,6 +98,11 @@ REPLICATION_FLOOR_PER_NODE = 0.6
 #: A10's ceiling on confidence scoring's cost relative to a plain
 #: suggest, in percent (mirrors bench_serving.py's assertion).
 CONFIDENCE_OVERHEAD_CEILING_PCT = 10.0
+
+#: A11's floors (mirror bench_serving.py); checked only when the
+#: payload claims they were enforced on its host (multi-core).
+MVCC_P95_DEGRADATION_CEILING = 1.5
+MVCC_RWLOCK_SPEEDUP_FLOOR = 1.5
 
 
 def check(path: Path) -> list[str]:
@@ -150,6 +169,23 @@ def check(path: Path) -> list[str]:
         problems.append(
             f"{path}: confidence_overhead_pct {overhead!r} above the "
             f"{CONFIDENCE_OVERHEAD_CEILING_PCT}% ceiling")
+    if payload.get("mvcc_floor_enforced"):
+        p95_ratio = payload.get("mvcc_p95_ratio")
+        if (isinstance(p95_ratio, (int, float))
+                and not isinstance(p95_ratio, bool)
+                and p95_ratio > MVCC_P95_DEGRADATION_CEILING):
+            problems.append(
+                f"{path}: mvcc_p95_ratio {p95_ratio!r} above the "
+                f"{MVCC_P95_DEGRADATION_CEILING}x ceiling claimed "
+                f"enforced on this host")
+        mvcc_speedup = payload.get("mvcc_vs_rwlock_speedup")
+        if (isinstance(mvcc_speedup, (int, float))
+                and not isinstance(mvcc_speedup, bool)
+                and mvcc_speedup < MVCC_RWLOCK_SPEEDUP_FLOOR):
+            problems.append(
+                f"{path}: mvcc_vs_rwlock_speedup {mvcc_speedup!r} below "
+                f"the {MVCC_RWLOCK_SPEEDUP_FLOOR}x floor claimed "
+                f"enforced on this host")
     return problems
 
 

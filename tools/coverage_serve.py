@@ -1,8 +1,9 @@
 #!/usr/bin/env python
-"""Line coverage for the serving + triage layers with a stdlib fallback.
+"""Line coverage for the serving + storage layers with a stdlib fallback.
 
 ``make coverage`` gates the line rate of every directory in ``TARGETS``
-(currently ``src/repro/serve/`` and ``src/repro/triage/``).  When
+(currently ``src/repro/serve/``, ``src/repro/triage/``, and
+``src/repro/relstore/``).  When
 ``pytest-cov`` (or ``coverage``) is importable it is used directly; in
 hermetic environments without either, a ``sys.settrace``-based tracer
 measures the same thing with nothing beyond the standard library:
@@ -26,7 +27,8 @@ Usage::
 
     python tools/coverage_serve.py [--fail-under PCT] [pytest args...]
 
-Default pytest target is ``tests/serve tests/triage``; default
+Default pytest target is ``tests/serve tests/triage tests/relstore``;
+default
 ``--fail-under`` is ``FAIL_UNDER`` below.  Exit status: pytest's if tests
 fail, else 1 when the rate is under the floor, else 0.
 """
@@ -45,6 +47,7 @@ REPO = Path(__file__).resolve().parent.parent
 TARGETS = (
     REPO / "src" / "repro" / "serve",
     REPO / "src" / "repro" / "triage",
+    REPO / "src" / "repro" / "relstore",
 )
 
 #: The committed line-rate floor (percent).  Raise it when coverage
@@ -160,7 +163,8 @@ def main(argv: list[str]) -> int:
         index = args.index("--fail-under")
         fail_under = float(args[index + 1])
         del args[index:index + 2]
-    pytest_args = args or ["tests/serve", "tests/triage", "-q"]
+    pytest_args = args or ["tests/serve", "tests/triage", "tests/relstore",
+                           "-q"]
     sys.path.insert(0, str(REPO / "src"))
     try:
         import pytest_cov  # noqa: F401  (presence check only)
