@@ -1,14 +1,21 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-faults test-serve test-parity test-http test-replication test-triage test-mvcc coverage lint bench serve-bench
+.PHONY: test test-aio test-faults test-serve test-parity test-http test-replication test-triage test-mvcc coverage lint bench serve-bench
 
 # Tier-1: the fast deterministic suite gating every change, plus the
-# cross-executor parity contract and the serving-layer coverage gate.
+# cross-executor parity contract, the async-transport suite, and the
+# serving-layer coverage gate.
 test:
 	$(PYTHON) -m pytest -x -q
 	$(MAKE) test-parity
+	$(MAKE) test-aio
 	$(MAKE) coverage
+
+# The asyncio transport: its own unit suite plus the keep-alive wire
+# contract parameterized over both transports (thread + async).
+test-aio:
+	$(PYTHON) -m pytest tests/serve/test_aio.py tests/quest/test_keepalive.py -q
 
 # Tier-2: seeded fault-injection scenarios (torn WALs, bit flips,
 # crashes mid-save, poisoned CASes, slow/flaky serving workers,
@@ -51,7 +58,7 @@ test-mvcc:
 # src/repro/relstore/ (pytest-cov when installed, stdlib settrace
 # fallback otherwise; floor in tools/coverage_serve.py).
 coverage:
-	$(PYTHON) tools/coverage_serve.py tests/serve tests/triage tests/relstore -q
+	$(PYTHON) tools/coverage_serve.py tests/serve tests/triage tests/relstore tests/quest/test_keepalive.py -q
 
 lint:
 	$(PYTHON) tools/lint_bare_except.py src

@@ -63,11 +63,21 @@ time-slices the GIL either way): MVCC reader p95 under the committing
 writer stays within ``MVCC_P95_DEGRADATION_CEILING`` of the idle p95,
 and MVCC reader throughput beats the RWLock arm by at least
 ``MVCC_RWLOCK_SPEEDUP_FLOOR``.
+
+The seventh phase (ISSUE PR 10, bench A12) measures connection *scale*
+rather than request throughput: both transports — the threaded
+``QuestServer`` and the event-loop ``AsyncQuestServer`` — hold 64/256/
+1024 primed idle keep-alive connections while a small closed-loop pass
+reads warm ``/api/suggest`` answers.  The threaded transport pays a
+parked handler thread per connection; the event loop pays a task object.
+Floor (multi-core hosts only): async read p95 while carrying 1024 idle
+connections must be no worse than threaded p95 carrying 64.
 """
 
 import json
 import multiprocessing
 import os
+import socket
 import threading
 import time
 
@@ -78,6 +88,7 @@ from repro.quest import QuestApp, QuestServer, Role, User, UserStore
 from repro.relstore import Database
 from repro.serve import (GatewayConfig, PooledHTTPClient, ServeGateway,
                          percentile)
+from repro.serve.aio import AsyncQuestServer
 
 REQUESTS = 240
 CLIENTS = 8
@@ -118,6 +129,19 @@ TRIAGE_ROUNDS = 5
 #: Ceiling on confidence scoring's throughput cost relative to a plain
 #: suggest (percent of plain wall time).
 CONFIDENCE_OVERHEAD_CEILING_PCT = 10.0
+
+# C10k phase (A12): idle keep-alive connection scale, event-loop vs
+# threaded transport.  Each tier holds that many primed persistent
+# connections open while a small closed-loop read pass measures p95.
+IDLE_TIERS = (64, 256, 1024)
+IDLE_PROBE_REQUESTS = 160
+IDLE_PROBE_CLIENTS = 4
+#: Ceiling on the async transport's read p95 at the top tier relative
+#: to the threaded transport's at the bottom tier ("no worse than
+#: threaded at 64") — enforced only on multi-core hosts, where the
+#: thread-per-connection cost actually competes with the probe for CPU
+#: scheduling rather than everything time-slicing one core anyway.
+AIO_P95_RATIO_CEILING = 1.0
 
 # MVCC phase (A11): relstore reader latency/throughput under a
 # committing writer, snapshot reads vs the old reader-writer lock.
@@ -942,6 +966,148 @@ def test_mvcc_reader_isolation(benchmark, reporter):
         "mvcc_p95_ratio": round(p95_ratio, 3),
         "mvcc_vs_rwlock_speedup": round(speedup, 3),
         "mvcc_floor_enforced": floor_enforced,
+    })
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(results_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
+def _prime_idle_connections(host, port, count):
+    """Open *count* keep-alive connections, prime each with one cheap
+    GET (so every socket is mid-keep-alive, not merely accepted), and
+    return them all open.  Priming sequentially also paces the server's
+    accept loop, so the threaded transport's listen backlog never
+    overflows on the big tiers."""
+    request = (f"GET /api/stats HTTP/1.1\r\nHost: {host}\r\n"
+               "Connection: keep-alive\r\n\r\n").encode("ascii")
+    conns = []
+    try:
+        for _ in range(count):
+            sock = socket.create_connection((host, port), timeout=30)
+            sock.sendall(request)
+            buffer = b""
+            while b"\r\n\r\n" not in buffer:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    raise AssertionError(
+                        "connection closed during idle-tier priming")
+                buffer += chunk
+            head, _, body = buffer.partition(b"\r\n\r\n")
+            length = next(int(line.split(b":")[1])
+                          for line in head.split(b"\r\n")
+                          if line.lower().startswith(b"content-length"))
+            while len(body) < length:
+                body += sock.recv(65536)
+            conns.append(sock)
+    except Exception:
+        for sock in conns:
+            sock.close()
+        raise
+    return conns
+
+
+def _idle_tier_pass(server_cls, service, refs, trace, tier):
+    """One arm: start a server of *server_cls*, hold *tier* primed idle
+    connections, run the closed-loop read probe, tear down.  Returns the
+    probe's p95 latency in ms."""
+    gateway = ServeGateway(service, GatewayConfig(
+        workers=MODE_WORKERS, max_queue=512, max_batch_size=MAX_BATCH,
+        max_wait_ms=0.0, default_timeout=30.0))
+    users = UserStore()
+    users.add(User("bench", Role.POWER_EXPERT, "Benchmarks"))
+    app = QuestApp(service, users, users.get("bench"), gateway=gateway)
+    # idle_timeout far above the pass duration: the first-primed socket
+    # must still be alive when the probe runs behind the 1024th prime.
+    server = server_cls(app, idle_timeout=300.0)
+    server.start()
+    host, port = server.address
+    base_url = f"http://{host}:{port}"
+    idle = []
+    try:
+        with PooledHTTPClient(max_per_host=1) as warm:
+            for ref in refs:
+                assert warm.get(f"{base_url}/api/suggest/{ref}").status \
+                    == 200
+        idle = _prime_idle_connections(host, port, tier)
+        elapsed, latencies, errors, _ = _http_pass(
+            base_url, trace, IDLE_PROBE_CLIENTS, keep_alive=True)
+    finally:
+        for sock in idle:
+            sock.close()
+        report = server.stop(grace=30.0)
+    assert not errors, (
+        f"{server_cls.__name__} at {tier} idle connections: "
+        f"{errors[:3]!r}")
+    assert report.cancelled == 0
+    p95 = percentile(latencies, 0.95) * 1000.0
+    rps = len(trace) / elapsed
+    return p95, rps
+
+
+def test_idle_connection_scale(benchmark, corpus, bundles, reporter):
+    """A12 — C10k: idle keep-alive connections, async vs threaded.
+
+    Every tier holds N primed persistent connections open while a
+    4-client closed-loop pass reads warm ``/api/suggest`` answers.  The
+    acceptance bar: the event-loop transport sustains the 1024 tier
+    (every priming request answered, zero probe errors) with read p95
+    no worse than the threaded transport carrying only 64 — the floor
+    itself enforced on multi-core hosts only.
+    """
+    service, refs = _build_service(corpus, bundles)
+    trace = [f"/api/suggest/{refs[number % len(refs)]}"
+             for number in range(IDLE_PROBE_REQUESTS)]
+    arms = [("thread", QuestServer, tier) for tier in IDLE_TIERS] + \
+        [("async", AsyncQuestServer, tier) for tier in IDLE_TIERS]
+
+    def run_all():
+        results = {}
+        for transport, server_cls, tier in arms:
+            results[(transport, tier)] = _idle_tier_pass(
+                server_cls, service, refs, trace, tier)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    cpus = os.cpu_count() or 1
+    floor_enforced = cpus >= 2
+    threaded_p95 = results[("thread", IDLE_TIERS[0])][0]
+    aio_p95 = results[("async", IDLE_TIERS[-1])][0]
+    ratio = aio_p95 / threaded_p95 if threaded_p95 else 0.0
+    reporter.row("A12 — idle keep-alive connection scale: threaded vs "
+                 "event loop")
+    reporter.row(f"{'transport':<12}{'idle conns':>12}{'read p95 ms':>14}"
+                 f"{'req/s':>10}")
+    for transport, _, tier in arms:
+        p95, rps = results[(transport, tier)]
+        reporter.row(f"{transport:<12}{tier:>12}{p95:>14.2f}{rps:>10.1f}")
+    reporter.row(f"async@{IDLE_TIERS[-1]} vs threaded@{IDLE_TIERS[0]} "
+                 f"p95 ratio: {ratio:.3f} | {cpus} cpus | floor "
+                 f"{'enforced' if floor_enforced else 'recorded only'}")
+    if floor_enforced:
+        assert ratio <= AIO_P95_RATIO_CEILING, (
+            f"async read p95 at {IDLE_TIERS[-1]} idle connections is "
+            f"{ratio:.2f}x the threaded p95 at {IDLE_TIERS[0]}, over "
+            f"the {AIO_P95_RATIO_CEILING}x ceiling")
+
+    results_path = RESULTS_DIR / "BENCH_serving.json"
+    payload = {}
+    if results_path.exists():
+        payload = json.loads(results_path.read_text(encoding="utf-8"))
+    payload.update({
+        "aio_idle_connections": IDLE_TIERS[-1],
+        "aio_read_p95_ms": round(aio_p95, 3),
+        "threaded_read_p95_ms": round(threaded_p95, 3),
+        "aio_vs_threaded_p95_ratio": round(ratio, 3),
+        "aio_idle_tiers": {
+            transport: {
+                str(tier): {"p95_ms": round(results[(transport, tier)][0],
+                                            3),
+                            "rps": round(results[(transport, tier)][1], 1)}
+                for tier in IDLE_TIERS}
+            for transport in ("thread", "async")},
+        "aio_floor_enforced": floor_enforced,
     })
     RESULTS_DIR.mkdir(exist_ok=True)
     with open(results_path, "w", encoding="utf-8") as fh:

@@ -106,6 +106,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        dest="keepalive_idle_timeout",
                        help="seconds a keep-alive connection may idle "
                             "between requests before the server closes it")
+    serve.add_argument("--transport", choices=["thread", "async"],
+                       default="thread",
+                       help="HTTP transport: 'thread' (one handler "
+                            "thread per connection) or 'async' (single "
+                            "event loop; thousands of idle keep-alive "
+                            "connections at near-zero cost)")
+    serve.add_argument("--header-timeout", type=float, default=10.0,
+                       dest="header_timeout",
+                       help="seconds a client gets to finish sending a "
+                            "request's line + headers once the first "
+                            "byte arrives (slowloris shed deadline)")
     serve.add_argument("--keepalive-max-requests", type=int, default=1000,
                        dest="keepalive_max_requests",
                        help="requests served per keep-alive connection "
@@ -306,10 +317,13 @@ def _cmd_serve(port: int, train: int, on_error: str, workers: int,
                keepalive_idle_timeout: float = 30.0,
                keepalive_max_requests: int = 1000,
                replica_of: str | None = None,
-               replication_interval: float = 1.0) -> int:
+               replication_interval: float = 1.0,
+               transport: str = "thread",
+               header_timeout: float = 10.0) -> int:
     from .core import QATK, QatkConfig
     from .quest import QuestApp, QuestServer, Role, User, UserStore
     from .serve import GatewayConfig, ServeGateway, SnapshotReplicator
+    from .serve.aio import AsyncQuestServer
     corpus = generate_corpus()
     bundles = experiment_subset(corpus.bundles)
     qatk = QATK(corpus.taxonomy, QatkConfig(feature_mode="words",
@@ -333,9 +347,11 @@ def _cmd_serve(port: int, train: int, on_error: str, workers: int,
                                         interval=replication_interval)
     app = QuestApp(service, users, users.get("expert"), gateway=gateway,
                    replica_of=replica_of, replicator=replicator)
-    server = QuestServer(
+    server_cls = AsyncQuestServer if transport == "async" else QuestServer
+    server = server_cls(
         app, port=port, idle_timeout=keepalive_idle_timeout,
-        max_requests_per_connection=keepalive_max_requests)
+        max_requests_per_connection=keepalive_max_requests,
+        header_timeout=header_timeout)
     host, bound_port = server.address
     gateway.start()
     pool_note = ""
@@ -345,7 +361,8 @@ def _cmd_serve(port: int, train: int, on_error: str, workers: int,
     replica_note = (f", replica of {replicator.primary_url} "
                     f"(poll every {replication_interval:g}s)"
                     if replicator is not None else "")
-    print(f"QUEST running on http://{host}:{bound_port}/ — "
+    print(f"QUEST running on http://{host}:{bound_port}/ "
+          f"({transport} transport) — "
           f"{workers} worker(s){pool_note}, queue bound {max_queue}, "
           f"batches up to {batch_size} ({batch_wait_ms:g} ms window)"
           f"{replica_note}; Ctrl+C to stop")
@@ -487,7 +504,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                           args.timeout, args.worker_mode, args.worker_procs,
                           args.keepalive_idle_timeout,
                           args.keepalive_max_requests,
-                          args.replica_of, args.replication_interval)
+                          args.replica_of, args.replication_interval,
+                          args.transport, args.header_timeout)
     if args.command == "review":
         return _cmd_review(args.train, args.incoming, args.threshold,
                            args.limit)

@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 import pickle
 import threading
+import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING
@@ -64,6 +65,14 @@ MAX_REQUESTS_PER_CONNECTION = 1000
 
 #: Default seconds a keep-alive connection may idle between requests.
 KEEPALIVE_IDLE_TIMEOUT = 30.0
+
+#: Once the first byte of a request has arrived, the rest of the request
+#: line and headers must arrive within this many seconds.  A socket-level
+#: idle timeout alone cannot bound this: every dribbled byte resets the
+#: per-``recv`` clock, so a slowloris client sending one byte per second
+#: could pin a handler (a whole thread, on the threaded transport)
+#: forever — and past the drain grace during ``stop()``.
+HEADER_TIMEOUT = 10.0
 
 
 def _failure_response(exc: Exception) -> tuple[int, str]:
@@ -370,9 +379,130 @@ class QuestApp:
         return 404, views.render_message("Not found", f"no action {path!r}")
 
 
+class _HeaderDeadlineError(TimeoutError):
+    """The request head dribbled past :data:`HEADER_TIMEOUT` (slowloris).
+
+    Subclasses :class:`TimeoutError` so the stdlib handler's existing
+    timeout path closes the connection without a response — exactly what
+    an idle-timeout expiry does today.
+    """
+
+
+class _DeadlineReader:
+    """Buffered read side of a handler socket with per-phase deadlines.
+
+    Replaces the ``makefile``-based ``rfile``: the stdlib's buffered
+    reader applies the socket timeout per ``recv``, so a client dribbling
+    the request head byte-by-byte resets the clock on every byte.  This
+    reader drives ``recv`` itself and distinguishes three phases:
+
+    * **idle** — waiting for the first byte of the next request; a
+      timeout here is the ordinary keep-alive idle close (no shed).
+    * **head** — the first byte has arrived; the rest of the request
+      line and headers must land within ``header_timeout`` *total*.
+      Expiry sheds the connection (counted via *on_slow_shed*) by
+      raising :class:`_HeaderDeadlineError`.
+    * **body** — headers are parsed; reads revert to the plain
+      per-``recv`` idle timeout the transport always used.
+
+    Implements the ``readline(limit)``/``read(n)`` subset
+    ``BaseHTTPRequestHandler`` and ``http.client.parse_headers`` use.
+    """
+
+    def __init__(self, sock, idle_timeout: float, header_timeout: float,
+                 on_slow_shed) -> None:
+        self._sock = sock
+        self._idle_timeout = idle_timeout
+        self._header_timeout = header_timeout
+        self._on_slow_shed = on_slow_shed
+        self._buffer = bytearray()
+        self._phase = "body"
+        self._deadline = 0.0
+
+    def begin_request(self) -> None:
+        """Arm the idle phase for the next request on this connection."""
+        self._phase = "idle"
+
+    def end_head(self) -> None:
+        """Headers are parsed: drop back to plain idle-timeout reads.
+
+        Also restores the socket timeout, so the response write that
+        follows is not bounded by whatever sliver of the header deadline
+        the last ``recv`` left behind (``settimeout`` is bidirectional).
+        """
+        self._phase = "body"
+        self._sock.settimeout(self._idle_timeout)
+
+    def _recv(self) -> bytes:
+        if self._phase == "head":
+            remaining = self._deadline - time.monotonic()
+            if remaining <= 0:
+                self._on_slow_shed()
+                raise _HeaderDeadlineError("request head incomplete after "
+                                           f"{self._header_timeout:g}s")
+            self._sock.settimeout(remaining)
+            try:
+                return self._sock.recv(65536)
+            except TimeoutError:
+                self._on_slow_shed()
+                raise _HeaderDeadlineError(
+                    "request head incomplete after "
+                    f"{self._header_timeout:g}s") from None
+        self._sock.settimeout(self._idle_timeout)
+        chunk = self._sock.recv(65536)
+        if chunk and self._phase == "idle":
+            self._phase = "head"
+            self._deadline = time.monotonic() + self._header_timeout
+        return chunk
+
+    def readline(self, limit: int = -1) -> bytes:
+        while True:
+            index = self._buffer.find(b"\n")
+            if index >= 0:
+                end = index + 1
+                if 0 <= limit < end:
+                    end = limit
+                line = bytes(self._buffer[:end])
+                del self._buffer[:end]
+                return line
+            if 0 <= limit <= len(self._buffer):
+                line = bytes(self._buffer[:limit])
+                del self._buffer[:limit]
+                return line
+            chunk = self._recv()
+            if not chunk:
+                line = bytes(self._buffer)
+                self._buffer.clear()
+                return line
+            self._buffer += chunk
+
+    def read(self, size: int = -1) -> bytes:
+        if size < 0:
+            while True:
+                chunk = self._recv()
+                if not chunk:
+                    break
+                self._buffer += chunk
+            data = bytes(self._buffer)
+            self._buffer.clear()
+            return data
+        while len(self._buffer) < size:
+            chunk = self._recv()
+            if not chunk:
+                break
+            self._buffer += chunk
+        data = bytes(self._buffer[:size])
+        del self._buffer[:size]
+        return data
+
+    def close(self) -> None:
+        """The handler's ``finish()`` closes rfile; the socket itself is
+        owned (and closed) by the server."""
+
+
 def _make_handler(app: QuestApp, draining: threading.Event,
-                  max_requests: int,
-                  idle_timeout: float) -> type[BaseHTTPRequestHandler]:
+                  max_requests: int, idle_timeout: float,
+                  header_timeout: float) -> type[BaseHTTPRequestHandler]:
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
         #: Without TCP_NODELAY a persistent connection stalls ~40ms per
@@ -388,12 +518,35 @@ def _make_handler(app: QuestApp, draining: threading.Event,
         def setup(self) -> None:
             super().setup()
             self._requests_served = 0
+            # Swap the buffered makefile reader for the deadline-aware
+            # one (nothing has been read yet, so no buffered bytes are
+            # lost); the makefile object is closed to drop its socket
+            # reference — the connection itself stays open.
+            self.rfile.close()
+            self.rfile = _DeadlineReader(
+                self.connection, idle_timeout, header_timeout,
+                lambda: app.gateway.stats.count("slow_client_sheds"))
+
+        def handle_one_request(self) -> None:
+            self.rfile.begin_request()
+            super().handle_one_request()
+
+        def parse_request(self) -> bool:
+            # The request line and headers have been consumed by the
+            # time the stdlib's parse returns (whether it succeeded or
+            # answered 400/414 itself): lift the header deadline before
+            # the route handler runs.
+            try:
+                return super().parse_request()
+            finally:
+                self.rfile.end_head()
 
         def _draining(self) -> bool:
             return draining.is_set() or app.gateway.stopping
 
         def _send(self, status: int, body: str | bytes,
-                  content_type: str = "text/html; charset=utf-8") -> None:
+                  content_type: str = "text/html; charset=utf-8",
+                  head_only: bool = False) -> None:
             payload = body if isinstance(body, bytes) else \
                 body.encode("utf-8")
             self._requests_served += 1
@@ -414,7 +567,8 @@ def _make_handler(app: QuestApp, draining: threading.Event,
             else:
                 self.send_header("Connection", "keep-alive")
             self.end_headers()
-            self.wfile.write(payload)
+            if not head_only:
+                self.wfile.write(payload)
 
         def _content_type(self, body: str | bytes = "") -> str:
             if isinstance(body, bytes):
@@ -436,6 +590,22 @@ def _make_handler(app: QuestApp, draining: threading.Event,
                                                      str(exc)))
                 return
             self._send(status, body, self._content_type(body))
+
+        def do_HEAD(self) -> None:  # noqa: N802 (http.server API)
+            # Same status and headers the GET would produce — exact
+            # Content-Length included — with no body bytes, so a load
+            # balancer can health-check /api/stats without paying for
+            # (or desynchronizing on) the payload.
+            try:
+                status, body = app.get(self.path)
+            except Exception as exc:
+                self.close_connection = True
+                self._send(500, views.render_message("Internal error",
+                                                     str(exc)),
+                           head_only=True)
+                return
+            self._send(status, body, self._content_type(body),
+                       head_only=True)
 
         def do_POST(self) -> None:  # noqa: N802 (http.server API)
             form, problem = self._read_form()
@@ -520,14 +690,16 @@ class QuestServer:
                  port: int = 0, *,
                  max_requests_per_connection: int =
                  MAX_REQUESTS_PER_CONNECTION,
-                 idle_timeout: float = KEEPALIVE_IDLE_TIMEOUT) -> None:
+                 idle_timeout: float = KEEPALIVE_IDLE_TIMEOUT,
+                 header_timeout: float = HEADER_TIMEOUT) -> None:
         self.app = app
         #: Set at the start of ``stop()``: every response sent from then
         #: on carries ``Connection: close``, so persistent connections
         #: fall away instead of pinning the drain on their idle timeout.
         self._draining = threading.Event()
         handler = _make_handler(app, self._draining,
-                                max_requests_per_connection, idle_timeout)
+                                max_requests_per_connection, idle_timeout,
+                                header_timeout)
         self._server = _QuestHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
 

@@ -23,7 +23,20 @@ from .replica import (REPLICATION_INTERVAL, REPLICATION_TIMEOUT,
                       SnapshotReplicator)
 from .stats import ServeStats, percentile
 
+
+def __getattr__(name: str):
+    # AsyncQuestServer is exported lazily: aio.py imports the quest
+    # webapp at module level, and pulling it in eagerly here would close
+    # an import cycle through quest/__init__ for any consumer that
+    # imports repro.quest first.
+    if name == "AsyncQuestServer":
+        from .aio import AsyncQuestServer
+        return AsyncQuestServer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "AsyncQuestServer",
     "BrokenProcessPool",
     "ClientResponse",
     "DeadlineExceededError",

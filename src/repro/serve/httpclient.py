@@ -202,7 +202,19 @@ class PooledHTTPClient:
             except (OSError, http.client.HTTPException):
                 conn.close()
                 raise
-            if self.keep_alive and not response.will_close:
+            # A connection the server marked for close (request cap hit,
+            # drain begun) must be discarded, not pooled: reusing it
+            # burns the one dead-socket retry on a request the server
+            # was always going to refuse.  ``will_close`` covers the
+            # common cases, but the explicit header is the contract —
+            # check it directly so a response ``http.client`` mispredicts
+            # (or a future parser swap) can never leak a doomed socket
+            # back into the pool.
+            connection_header = (response.getheader("Connection")
+                                 or "").lower()
+            server_closing = (response.will_close
+                              or "close" in connection_header)
+            if self.keep_alive and not server_closing:
                 self._release(host, port, conn)
             else:
                 conn.close()

@@ -35,6 +35,12 @@ The payloads travel as pickles, exactly like the process-pool pipe
 traffic they reuse; replication therefore assumes the same trust
 boundary as the rest of the serving cluster (do not point a replica at
 an untrusted primary).
+
+Replication is transport-independent: both ends speak plain HTTP/1.1
+through :class:`~repro.serve.PooledHTTPClient`, so a primary or replica
+may run on either the threaded ``QuestServer`` or the event-loop
+``AsyncQuestServer`` (``serve --transport=async``) in any combination —
+the async primary serves ``/api/replicate`` straight off its event loop.
 """
 
 from __future__ import annotations

@@ -61,6 +61,7 @@ class ServeStats:
         self.pool_fallbacks = 0     # broken-pool fallbacks to thread mode
         self.pool_errors = 0        # unexpected pool-path errors absorbed
         self.batch_failures = 0     # batches rejected by the catch-all guard
+        self.slow_client_sheds = 0  # connections shed by the header deadline
 
     # ------------------------------------------------------------------ #
     # recording
@@ -133,6 +134,7 @@ class ServeStats:
                 "pool_fallbacks": self.pool_fallbacks,
                 "pool_errors": self.pool_errors,
                 "batch_failures": self.batch_failures,
+                "slow_client_sheds": self.slow_client_sheds,
             }
         counters["mean_batch_size"] = (
             round(counters["batched_requests"] / counters["batches"], 3)

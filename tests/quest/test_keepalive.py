@@ -6,19 +6,27 @@ cannot desynchronize the connection); pooled-client tests pin the
 client/server pair end to end; and a concurrency regression drives
 read-only screens against parallel assigns under the gateway's read
 guard.
+
+Every wire test is parameterized over both transports — the threaded
+``QuestServer`` and the event-loop ``AsyncQuestServer`` — so the two
+implementations of the keep-alive contract can never drift.
 """
 
 import json
 import socket
 import threading
+import time
 import urllib.parse
 
 import pytest
 
 from repro.quest import QuestApp, QuestServer, Role, User, UserStore
 from repro.serve import PooledHTTPClient
+from repro.serve.aio import AsyncQuestServer
 from repro.serve.errors import (DeadlineExceededError, GatewayStoppedError,
                                 QueueFullError)
+
+TRANSPORTS = {"thread": QuestServer, "async": AsyncQuestServer}
 
 
 def make_app(service_pair):
@@ -28,10 +36,19 @@ def make_app(service_pair):
     return QuestApp(quest, users, users.get("expert"))
 
 
+def make_server(transport, app, **kwargs):
+    return TRANSPORTS[transport](app, **kwargs)
+
+
+@pytest.fixture(params=sorted(TRANSPORTS))
+def transport(request):
+    return request.param
+
+
 @pytest.fixture()
-def running_server(service):
+def running_server(service, transport):
     app = make_app(service)
-    server = QuestServer(app)
+    server = make_server(transport, app)
     server.start()
     yield server, app, service[1]
     server.stop(grace=5.0)
@@ -135,9 +152,9 @@ class TestKeepAliveWire:
         finally:
             sock.close()
 
-    def test_max_requests_per_connection_cap(self, service):
+    def test_max_requests_per_connection_cap(self, service, transport):
         app = make_app(service)
-        server = QuestServer(app, max_requests_per_connection=2)
+        server = make_server(transport, app, max_requests_per_connection=2)
         server.start()
         try:
             sock, host, _ = _connect(server)
@@ -150,9 +167,9 @@ class TestKeepAliveWire:
         finally:
             server.stop(grace=2.0)
 
-    def test_idle_timeout_closes_connection(self, service):
+    def test_idle_timeout_closes_connection(self, service, transport):
         app = make_app(service)
-        server = QuestServer(app, idle_timeout=0.2)
+        server = make_server(transport, app, idle_timeout=0.2)
         server.start()
         try:
             sock, host, _ = _connect(server)
@@ -191,6 +208,131 @@ class TestKeepAliveWire:
             assert _connection_is_closed(sock)
         finally:
             sock.close()
+
+
+def _send_head(sock, host, path):
+    """Send a HEAD request; returns (status, headers, trailing-bytes).
+
+    *trailing-bytes* is whatever arrived after the blank line — a
+    correct HEAD response leaves it empty, a leaked body shows up here
+    (or desynchronizes the next request, which the tests also check).
+    """
+    sock.sendall(f"HEAD {path} HTTP/1.1\r\nHost: {host}\r\n\r\n"
+                 .encode("ascii"))
+    buffer = b""
+    while b"\r\n\r\n" not in buffer:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise AssertionError("connection closed before headers arrived")
+        buffer += chunk
+    head, _, rest = buffer.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        key, _, value = line.partition(":")
+        headers[key.strip().lower()] = value.strip()
+    return status, headers, rest
+
+
+class TestHeadRequests:
+    def test_head_matches_get_with_no_body(self, running_server):
+        """HEAD answers the GET status/headers — exact Content-Length
+        included — with zero body bytes, so a load balancer can
+        health-check without paying for the payload."""
+        server, app, _ = running_server
+        sock, host, _ = _connect(server)
+        try:
+            status, headers, rest = _send_head(sock, host, "/users")
+            assert status == 200
+            assert rest == b""
+            expected = app.get("/users")[1].encode("utf-8")
+            assert int(headers["content-length"]) == len(expected)
+            assert headers["connection"] == "keep-alive"
+            # The connection stays in sync: a GET right behind the HEAD
+            # parses cleanly (a leaked HEAD body would corrupt it).
+            status, _, body = _send_get(sock, host, "/stats")
+            assert status == 200
+            json.loads(body)
+        finally:
+            sock.close()
+
+    def test_head_on_json_api_and_error_routes(self, running_server):
+        server, _, _ = running_server
+        sock, host, _ = _connect(server)
+        try:
+            status, headers, rest = _send_head(sock, host, "/api/stats")
+            assert status == 200
+            assert rest == b""
+            assert headers["content-type"] == "application/json"
+            assert int(headers["content-length"]) > 0
+            status, headers, rest = _send_head(sock, host, "/bundle/R404")
+            assert status == 404
+            assert rest == b""
+            assert int(headers["content-length"]) > 0
+        finally:
+            sock.close()
+
+
+# --------------------------------------------------------------------- #
+# slowloris: a dribbled request head must not pin a handler
+
+
+class TestSlowloris:
+    def test_dribbling_head_is_shed_and_counted(self, service, transport):
+        app = make_app(service)
+        server = make_server(transport, app, header_timeout=0.3)
+        server.start()
+        try:
+            sock, host, _ = _connect(server)
+            sock.sendall(b"GET /sta")  # head begun, never finished
+            start = time.monotonic()
+            assert _connection_is_closed(sock)
+            # Shed on the header deadline, far before the 30s idle
+            # timeout (the generous bound absorbs scheduler noise).
+            assert time.monotonic() - start < 5.0
+            deadline = time.monotonic() + 5.0
+            while (app.gateway.stats.snapshot()["slow_client_sheds"] < 1
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert app.gateway.stats.snapshot()["slow_client_sheds"] >= 1
+            sock.close()
+        finally:
+            server.stop(grace=2.0)
+
+    def test_idle_connection_is_not_a_shed(self, service, transport):
+        """A connection that sends *nothing* is an ordinary idle-timeout
+        close — the shed counter only counts clients that began a
+        request head and stalled."""
+        app = make_app(service)
+        server = make_server(transport, app, idle_timeout=0.2,
+                             header_timeout=30.0)
+        server.start()
+        try:
+            sock, _, _ = _connect(server)
+            assert _connection_is_closed(sock)
+            assert app.gateway.stats.snapshot()["slow_client_sheds"] == 0
+            sock.close()
+        finally:
+            server.stop(grace=2.0)
+
+    def test_slow_head_within_deadline_is_served(self, service, transport):
+        app = make_app(service)
+        server = make_server(transport, app, header_timeout=10.0)
+        server.start()
+        try:
+            sock, host, _ = _connect(server)
+            request = (f"GET /stats HTTP/1.1\r\nHost: {host}\r\n\r\n"
+                       .encode("ascii"))
+            sock.sendall(request[:9])
+            time.sleep(0.1)
+            sock.sendall(request[9:])
+            status, _, body = _read_response(sock)
+            assert status == 200
+            json.loads(body)
+            sock.close()
+        finally:
+            server.stop(grace=2.0)
 
 
 # --------------------------------------------------------------------- #
@@ -245,6 +387,23 @@ class TestMalformedBodies:
             status, headers, _ = _send_post(sock, host, "/assign",
                                             content_length=(1 << 20) + 1)
             assert status == 413
+            assert headers["connection"] == "close"
+            assert _connection_is_closed(sock)
+        finally:
+            sock.close()
+
+    def test_short_body_then_eof_is_400_and_close(self, running_server):
+        server, _, _ = running_server
+        sock, host, _ = _connect(server)
+        try:
+            lines = ["POST /assign HTTP/1.1", f"Host: {host}",
+                     "Content-Type: application/x-www-form-urlencoded",
+                     "Content-Length: 100"]
+            sock.sendall(("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+                         + b"ref_no=x")
+            sock.shutdown(socket.SHUT_WR)  # EOF before the declared length
+            status, headers, _ = _read_response(sock)
+            assert status == 400
             assert headers["connection"] == "close"
             assert _connection_is_closed(sock)
         finally:

@@ -108,6 +108,88 @@ class _OneShotServer:
         self._sock.close()
 
 
+class _CloseHeaderServer:
+    """Answers every request with ``Connection: close`` but deliberately
+    holds the socket open — the shape of a server that marked the
+    connection for close (request cap reached, drain begun) and is
+    waiting for the client to hang up.  Pooling such a connection burns
+    the one dead-socket retry on the next request."""
+
+    def __init__(self):
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self._running = True
+        self._conns = []
+        self._lock = threading.Lock()
+        self.connections_served = 0
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    @property
+    def url(self):
+        host, port = self._sock.getsockname()
+        return f"http://{host}:{port}"
+
+    def _loop(self):
+        while self._running:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            with self._lock:
+                self._conns.append(conn)
+                self.connections_served += 1
+            try:
+                conn.settimeout(5.0)
+                buffer = b""
+                while b"\r\n\r\n" not in buffer:
+                    chunk = conn.recv(4096)
+                    if not chunk:
+                        break
+                    buffer += chunk
+                else:
+                    conn.sendall(b"HTTP/1.1 200 OK\r\n"
+                                 b"Content-Length: 2\r\n"
+                                 b"Connection: close\r\n\r\nok")
+                # ... and the socket stays open: closing is left to the
+                # client, which must not pool it either way.
+            except OSError:
+                pass
+
+    def stop(self):
+        self._running = False
+        self._sock.close()
+        with self._lock:
+            for conn in self._conns:
+                conn.close()
+
+
+class TestConnectionCloseDiscard:
+    def test_close_marked_response_is_never_pooled(self):
+        """Regression: a response carrying ``Connection: close`` used to
+        be returned to the pool whenever the socket was still open; the
+        next request then rode a doomed connection and burned its one
+        transparent retry."""
+        server = _CloseHeaderServer()
+        try:
+            with PooledHTTPClient() as client:
+                first = client.get(server.url + "/one")
+                assert first.status == 200
+                assert first.header("Connection") == "close"
+                # discarded, not pooled
+                assert client.pooled_connections() == 0
+                second = client.get(server.url + "/two")
+                assert second.status == 200
+                assert second.reused is False, \
+                    "a close-marked connection was reused"
+                assert second.retried is False
+                assert client.stats_snapshot()["retries"] == 0
+                assert server.connections_served == 2
+        finally:
+            server.stop()
+
+
 class TestConnectionReuse:
     def test_sequential_requests_reuse_one_connection(self, echo_server):
         with PooledHTTPClient() as client:

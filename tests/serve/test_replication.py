@@ -18,26 +18,31 @@ from repro.quest import QuestApp, QuestServer, Role, User, UserStore
 from repro.serve import (GatewayConfig, ModelRegistry, PooledHTTPClient,
                          ServeGateway, SnapshotPayloadError,
                          SnapshotReplicator)
+from repro.serve.aio import AsyncQuestServer
 
 
-@pytest.fixture
-def primary(service):
-    """A primary QuestServer over the shared test service."""
+def _start_primary(service, server_cls):
     quest, held_out = service
     gateway = ServeGateway(quest, GatewayConfig(
         workers=2, max_queue=32, max_batch_size=8, drain_grace=2.0))
     users = UserStore()
     users.add(User("expert", Role.POWER_EXPERT, "Test Expert"))
     app = QuestApp(quest, users, users.get("expert"), gateway=gateway)
-    server = QuestServer(app)
+    server = server_cls(app)
     server.start()
     host, port = server.address
-    node = SimpleNamespace(gateway=gateway, app=app, server=server,
+    return SimpleNamespace(gateway=gateway, app=app, server=server,
                            service=quest, user=users.get("expert"),
                            url=f"http://{host}:{port}",
                            refs=[bundle.ref_no for bundle in held_out])
+
+
+@pytest.fixture
+def primary(service):
+    """A primary QuestServer over the shared test service."""
+    node = _start_primary(service, QuestServer)
     yield node
-    server.stop(grace=2.0)
+    node.server.stop(grace=2.0)
 
 
 def make_replica(primary_node, interval=30.0):
@@ -140,6 +145,29 @@ class TestPollSequence:
         finally:
             client.close()
             replicator.stop()
+
+
+class TestAsyncPrimary:
+    def test_replication_over_async_transport(self, service):
+        """Replication is transport-independent: an event-loop primary
+        serves ``/api/replicate`` (a bytes route, straight off the loop)
+        and a replica converges through the same full/current/delta
+        sequence the threaded primary produces."""
+        node = _start_primary(service, AsyncQuestServer)
+        gateway, replicator = make_replica(node)
+        try:
+            assert replicator.poll_once() == "full"
+            assert replicator.synced_version() == \
+                node.gateway.registry.version
+            assert replicator.poll_once() == "current"
+            new_version = primary_write(node)
+            assert replicator.poll_once() == "delta"
+            assert gateway.registry.version == new_version
+            assert replicator.stats_snapshot()["replication_failed"] == 0
+        finally:
+            replicator.stop()
+            gateway.stop(grace=1.0)
+            node.server.stop(grace=2.0)
 
 
 class TestPartitionTolerance:

@@ -76,6 +76,13 @@ REQUIRED = {
     "rwlock_writer_p95_ms": ((int, float), 0.0),
     "mvcc_p95_ratio": ((int, float), 0.0),
     "mvcc_vs_rwlock_speedup": ((int, float), 0.0),
+    # C10k phase (A12: idle keep-alive connection scale, event-loop vs
+    # threaded transport); the async server must have sustained >= 1024
+    # idle connections for the payload to validate.
+    "aio_idle_connections": (int, 1023),
+    "aio_read_p95_ms": ((int, float), 0.0),
+    "threaded_read_p95_ms": ((int, float), 0.0),
+    "aio_vs_threaded_p95_ratio": ((int, float), 0.0),
 }
 
 #: Latency keys: allowed to equal their minimum (a 0.0ms percentile is
@@ -84,7 +91,8 @@ _PERCENTILE_KEYS = ("p50_ms", "p95_ms", "p99_ms",
                     "per_request_p95_ms", "keepalive_p95_ms",
                     "replica_write_visibility_seconds",
                     "mvcc_idle_p95_ms", "mvcc_writer_p95_ms",
-                    "rwlock_writer_p95_ms")
+                    "rwlock_writer_p95_ms",
+                    "aio_read_p95_ms", "threaded_read_p95_ms")
 
 #: The keep-alive transport floor (mirrors bench A8's assertion; the
 #: bench fails before writing a payload below it, so a violation here
@@ -103,6 +111,11 @@ CONFIDENCE_OVERHEAD_CEILING_PCT = 10.0
 #: payload claims they were enforced on its host (multi-core).
 MVCC_P95_DEGRADATION_CEILING = 1.5
 MVCC_RWLOCK_SPEEDUP_FLOOR = 1.5
+
+#: A12's ceiling on async read p95 at 1024 idle connections relative to
+#: threaded at 64 (mirrors bench_serving.py); checked only when the
+#: payload claims the floor was enforced on its host (multi-core).
+AIO_P95_RATIO_CEILING = 1.0
 
 
 def check(path: Path) -> list[str]:
@@ -186,6 +199,15 @@ def check(path: Path) -> list[str]:
                 f"{path}: mvcc_vs_rwlock_speedup {mvcc_speedup!r} below "
                 f"the {MVCC_RWLOCK_SPEEDUP_FLOOR}x floor claimed "
                 f"enforced on this host")
+    if payload.get("aio_floor_enforced"):
+        aio_ratio = payload.get("aio_vs_threaded_p95_ratio")
+        if (isinstance(aio_ratio, (int, float))
+                and not isinstance(aio_ratio, bool)
+                and aio_ratio > AIO_P95_RATIO_CEILING):
+            problems.append(
+                f"{path}: aio_vs_threaded_p95_ratio {aio_ratio!r} above "
+                f"the {AIO_P95_RATIO_CEILING}x ceiling claimed enforced "
+                f"on this host")
     return problems
 
 
